@@ -1,0 +1,52 @@
+//! E4 — §2.1 blob-size ablation: interpolation queries against partitions
+//! with different cube edges. Small, page-friendly blobs cut the bytes
+//! fetched per query; the 6 MB production blobs are "obviously overkill"
+//! for an 8³ stencil.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_storage::PageStore;
+use sqlarray_turbulence::{FetchMode, PartitionSpec, Scheme, SyntheticField, TurbulenceDb};
+
+fn bench_blob_sizes(c: &mut Criterion) {
+    let field = SyntheticField::new(5, 6, 3);
+    let grid_n = 64;
+    let mut group = c.benchmark_group("blob_sizes");
+    group.sample_size(10);
+
+    for block in [8usize, 16, 32] {
+        let mut store = PageStore::new();
+        let spec = PartitionSpec::new(grid_n, block, 4);
+        let db = TurbulenceDb::build(&mut store, &field, spec).unwrap();
+        let positions: Vec<[f64; 3]> = (0..64)
+            .map(|i| {
+                let t = i as f64 * 0.37;
+                [
+                    (0.1 + t).rem_euclid(1.0),
+                    (0.5 + 0.7 * t).rem_euclid(1.0),
+                    (0.9 + 0.3 * t).rem_euclid(1.0),
+                ]
+            })
+            .collect();
+        for mode in [FetchMode::PartialRead, FetchMode::FullBlob] {
+            let label = format!(
+                "block{block}_{}",
+                if mode == FetchMode::PartialRead {
+                    "partial"
+                } else {
+                    "full"
+                }
+            );
+            group.bench_function(&label, |b| {
+                b.iter(|| {
+                    store.clear_cache();
+                    db.query_particles(&mut store, &positions, Scheme::Lagrange8, mode)
+                        .unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blob_sizes);
+criterion_main!(benches);

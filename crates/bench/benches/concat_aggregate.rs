@@ -1,0 +1,38 @@
+//! E5 — §4.2: why the paper abandoned user-defined aggregates. The same
+//! `Concat` aggregate runs with in-memory state vs the SQL Server 2008 CLR
+//! contract (state serialized and deserialized between every row); the
+//! paper found the latter "prohibitive".
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_engine::aggregate::{run_uda, ConcatUda, UdaMode, UdaState};
+use sqlarray_engine::Value;
+use sqlarray_core::{ElementType, StorageClass};
+
+fn size_vec(n: i64) -> Value {
+    let a = sqlarray_core::build::short_vector(&[n as i32]).unwrap();
+    Value::Bytes(a.into_blob())
+}
+
+fn bench_concat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("concat_aggregate");
+    group.sample_size(10);
+    for n in [1_000i64, 10_000] {
+        for (label, mode) in [
+            ("in_memory", UdaMode::InMemory),
+            ("stream_serialized", UdaMode::StreamSerialized),
+        ] {
+            group.bench_function(format!("{label}_{n}_rows"), |b| {
+                b.iter(|| {
+                    let mut state: Box<dyn UdaState> =
+                        Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Max));
+                    let rows = (0..n).map(|i| vec![size_vec(n), Value::F64(i as f64)]);
+                    run_uda(&mut state, rows, mode).unwrap()
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_concat);
+criterion_main!(benches);

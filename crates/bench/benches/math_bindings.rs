@@ -1,0 +1,69 @@
+//! E7 — §3.6/§5.3 in-server math: SVD and FFT over array blobs. Checks
+//! the zero-copy column-major hand-off (marshal cost vs compute) and the
+//! FFTW-style aligned-buffer copy of planned execution.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_core::{Complex64, SqlArray, StorageClass};
+use sqlarray_engine::{fft_array, gesvd_array};
+use sqlarray_fft::{Direction, Plan};
+
+fn bench_math(c: &mut Criterion) {
+    let mut group = c.benchmark_group("math_bindings");
+    group.sample_size(10);
+
+    // SVD over array blobs, paper-style sizes.
+    for n in [32usize, 64] {
+        let m = SqlArray::from_fn(StorageClass::Max, &[n, n], |idx| {
+            ((idx[0] * 31 + idx[1] * 17) % 13) as f64 - 6.0
+        })
+        .unwrap();
+        group.bench_function(format!("gesvd_{n}x{n}"), |b| {
+            b.iter(|| gesvd_array(std::hint::black_box(&m)).unwrap())
+        });
+    }
+
+    // FFT through the array UDF path (includes blob decode + widen).
+    for n in [1024usize, 4096] {
+        let v = sqlarray_core::build::max_vector(
+            &(0..n).map(|i| (i as f64 * 0.1).sin()).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        group.bench_function(format!("fft_array_{n}"), |b| {
+            b.iter(|| fft_array(std::hint::black_box(&v)).unwrap())
+        });
+    }
+    // Non-power-of-two (Bluestein path): the 100³ Fourier cube edge of
+    // §2.3, as a 1-D case.
+    let v100 = sqlarray_core::build::max_vector(
+        &(0..1000).map(|i| (i as f64 * 0.01).cos()).collect::<Vec<_>>(),
+    )
+    .unwrap();
+    group.bench_function("fft_array_1000_bluestein", |b| {
+        b.iter(|| fft_array(std::hint::black_box(&v100)).unwrap())
+    });
+
+    // Planned execution: in-place kernel vs the aligned-buffer round trip.
+    let data: Vec<Complex64> = (0..4096)
+        .map(|i| Complex64::new((i as f64 * 0.3).sin(), 0.0))
+        .collect();
+    let plan = Plan::new(4096, Direction::Forward);
+    group.bench_function("fft_plan_inplace_4096", |b| {
+        b.iter(|| {
+            let mut d = data.clone();
+            plan.execute_inplace(&mut d);
+            d
+        })
+    });
+    let mut plan_buf = Plan::new(4096, Direction::Forward);
+    let mut out = vec![Complex64::ZERO; 4096];
+    group.bench_function("fft_plan_aligned_copy_4096", |b| {
+        b.iter(|| {
+            plan_buf.execute(&data, &mut out);
+            out[0]
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_math);
+criterion_main!(benches);

@@ -1,0 +1,64 @@
+//! E9 — §2.3 N-body analyses: CIC density assignment, FFT power
+//! spectrum, friends-of-friends halos, merger linking, two-point
+//! correlation, and octree light-cone queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_nbody::{
+    build_lightcone, friends_of_friends, link_catalogs, power_spectrum,
+    two_point_correlation, DensityGrid, LightconeSpec, Octree, SynthSim,
+};
+
+fn bench_nbody(c: &mut Criterion) {
+    let sim = SynthSim {
+        halos: 16,
+        halo_particles: 200,
+        background: 3000,
+        ..SynthSim::default()
+    };
+    let snap0 = sim.snapshot(0);
+    let snap1 = sim.snapshot(1);
+
+    let mut group = c.benchmark_group("nbody_analysis");
+    group.sample_size(10);
+
+    group.bench_function("cic_assign_32cube", |b| {
+        b.iter(|| DensityGrid::assign_cic(std::hint::black_box(&snap0.particles), 32))
+    });
+
+    let grid = DensityGrid::assign_cic(&snap0.particles, 32);
+    group.bench_function("power_spectrum_32cube", |b| {
+        b.iter(|| power_spectrum(std::hint::black_box(&grid)))
+    });
+
+    group.bench_function("fof_6200_particles", |b| {
+        b.iter(|| friends_of_friends(std::hint::black_box(&snap0.particles), 0.01, 20))
+    });
+
+    let h0 = friends_of_friends(&snap0.particles, 0.01, 20);
+    let h1 = friends_of_friends(&snap1.particles, 0.01, 20);
+    group.bench_function("merger_link_catalogs", |b| {
+        b.iter(|| link_catalogs(std::hint::black_box(&h0), &h1, 0.5))
+    });
+
+    group.bench_function("two_point_correlation", |b| {
+        b.iter(|| two_point_correlation(std::hint::black_box(&snap0.particles), 0.01, 0.1))
+    });
+
+    group.bench_function("octree_build_bucket256", |b| {
+        b.iter(|| Octree::build(snap0.particles.clone(), 256))
+    });
+
+    let spec = LightconeSpec {
+        apex: [0.5, 0.5, 0.5],
+        dir: [1.0, 0.0, 0.0],
+        half_angle: 0.4,
+        shell_width: 0.12,
+    };
+    group.bench_function("lightcone_4_shells", |b| {
+        b.iter(|| build_lightcone(&sim, &[3, 2, 1, 0], std::hint::black_box(&spec)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_nbody);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E6 — §3.3 storage-class asymmetry: item access and subsetting on
+//! in-page (short) vs out-of-page (max) arrays, and streamed partial reads
+//! vs full-blob fetches for max-array subsetting.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_core::prelude::*;
+use sqlarray_core::ops::subarray;
+use sqlarray_storage::{blob, PageStore};
+
+fn bench_short_vs_max(c: &mut Criterion) {
+    let mut group = c.benchmark_group("short_vs_max");
+
+    // In-memory item access: short (950 doubles, fits a page) vs max
+    // (64³ = 2 MB).
+    let short = build::short_vector(&(0..950).map(|i| i as f64).collect::<Vec<_>>()).unwrap();
+    let max = SqlArray::from_fn(StorageClass::Max, &[64, 64, 64], |idx| {
+        (idx[0] + idx[1] + idx[2]) as f64
+    })
+    .unwrap();
+    group.bench_function("item_short_inmem", |b| {
+        b.iter(|| short.item(std::hint::black_box(&[137])).unwrap())
+    });
+    group.bench_function("item_max_inmem", |b| {
+        b.iter(|| max.item(std::hint::black_box(&[10, 20, 30])).unwrap())
+    });
+
+    // Subsetting through the page store: partial LOB reads vs full fetch.
+    let mut store = PageStore::new();
+    let id = blob::write_blob(&mut store, max.as_blob()).unwrap();
+    group.bench_function("subarray_8cube_partial_lob", |b| {
+        b.iter(|| {
+            store.clear_cache();
+            let stream = sqlarray_storage::BlobStream::open(&mut store, id).unwrap();
+            let mut reader = ArrayReader::open(stream).unwrap();
+            reader.subarray(&[10, 20, 30], &[8, 8, 8], false).unwrap()
+        })
+    });
+    group.bench_function("subarray_8cube_full_lob", |b| {
+        b.iter(|| {
+            store.clear_cache();
+            let stream = sqlarray_storage::BlobStream::open(&mut store, id).unwrap();
+            let mut reader = ArrayReader::open(stream).unwrap();
+            let full = reader.read_full().unwrap();
+            subarray::subarray(&full, &[10, 20, 30], &[8, 8, 8], false).unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_short_vs_max);
+criterion_main!(benches);

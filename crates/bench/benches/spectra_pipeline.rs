@@ -1,0 +1,57 @@
+//! E8 — §2.2 spectrum pipeline: flux-conserving resampling, composite
+//! stacking, PCA index construction, and kd-tree similarity queries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_spectra::{
+    composite, linear_grid, resample, synth_spectrum, synth_survey, SpectralClass,
+    SpectrumIndex, SynthParams,
+};
+
+fn bench_spectra(c: &mut Criterion) {
+    let params = SynthParams {
+        bins: 512,
+        mask_prob: 0.01,
+        ..SynthParams::default()
+    };
+    let survey = synth_survey(21, 64, &[0.05, 0.15, 0.25], &params);
+    let grid = linear_grid(4200.0, 8800.0, 128);
+
+    let mut group = c.benchmark_group("spectra_pipeline");
+    group.sample_size(10);
+
+    group.bench_function("resample_512_to_128", |b| {
+        b.iter(|| resample(std::hint::black_box(&survey[0]), &grid).unwrap())
+    });
+
+    group.bench_function("composite_64_spectra", |b| {
+        b.iter(|| composite(std::hint::black_box(&survey), &grid).unwrap())
+    });
+
+    group.bench_function("pca_index_build_64x128_k6", |b| {
+        b.iter(|| {
+            let items: Vec<(u64, _)> = survey
+                .iter()
+                .cloned()
+                .enumerate()
+                .map(|(i, s)| (i as u64, s))
+                .collect();
+            SpectrumIndex::build(&items, &grid, 6).unwrap()
+        })
+    });
+
+    let items: Vec<(u64, _)> = survey
+        .iter()
+        .cloned()
+        .enumerate()
+        .map(|(i, s)| (i as u64, s))
+        .collect();
+    let index = SpectrumIndex::build(&items, &grid, 6).unwrap();
+    let probe = synth_spectrum(999, SpectralClass::Emission, 0.15, &params);
+    group.bench_function("similar_query_k5", |b| {
+        b.iter(|| index.similar(std::hint::black_box(&probe), 5).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_spectra);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! E1 — Table 1: the five clustered-index-scan queries over `Tscalar` and
+//! `Tvector`, cold buffer pool, paper hosting model (2 µs per CLR call).
+//!
+//! Expected shape (paper, §6.3): Q1 ≈ Q2 ≈ Q3 are I/O-bound; Q4 and Q5
+//! are CPU-bound and several times slower, with Q4 slightly above Q5.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use sqlarray_bench::{build_table1_db, TABLE1_QUERIES};
+
+fn bench_table1(c: &mut Criterion) {
+    let rows = 20_000;
+    let mut session = build_table1_db(rows);
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    for (i, query) in TABLE1_QUERIES.iter().enumerate() {
+        group.bench_function(format!("q{}", i + 1), |b| {
+            b.iter_batched(
+                || (),
+                |_| {
+                    session.db.store.clear_cache();
+                    session.query(query).expect("query runs")
+                },
+                BatchSize::PerIteration,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

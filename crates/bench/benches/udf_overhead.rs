@@ -1,0 +1,68 @@
+//! E2 — §7.1 UDF-call overhead decomposition: empty managed call vs real
+//! item extraction vs native column access, and the hosting-model
+//! counterfactual (what a native array type would cost).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_engine::{HostingModel, UdfRegistry, Value};
+
+fn bench_udf_overhead(c: &mut Criterion) {
+    let mut reg = UdfRegistry::new();
+    sqlarray_engine::arraybind::register_all(&mut reg);
+    sqlarray_engine::mathfn::register_math(&mut reg);
+
+    let arr = sqlarray_core::build::short_vector(&[1.0f64, 2.0, 3.0, 4.0, 5.0]).unwrap();
+    let blob = Value::Bytes(arr.into_blob());
+    let zero = Value::I64(0);
+
+    let mut group = c.benchmark_group("udf_overhead");
+
+    // The paper's CLR cost: ~2 µs per call even for an empty body.
+    let mut clr = HostingModel::paper_clr();
+    group.bench_function("empty_call_clr_2us", |b| {
+        b.iter(|| {
+            reg.call(
+                "dbo.EmptyFunction",
+                std::hint::black_box(&[blob.clone(), zero.clone()]),
+                &mut clr,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("item1_clr_2us", |b| {
+        b.iter(|| {
+            reg.call(
+                "FloatArray.Item_1",
+                std::hint::black_box(&[blob.clone(), zero.clone()]),
+                &mut clr,
+            )
+            .unwrap()
+        })
+    });
+
+    // The counterfactual the paper asks SQL Server for: no hosting charge.
+    let mut native = HostingModel::free();
+    group.bench_function("empty_call_native", |b| {
+        b.iter(|| {
+            reg.call(
+                "dbo.EmptyFunction",
+                std::hint::black_box(&[blob.clone(), zero.clone()]),
+                &mut native,
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function("item1_native", |b| {
+        b.iter(|| {
+            reg.call(
+                "FloatArray.Item_1",
+                std::hint::black_box(&[blob.clone(), zero.clone()]),
+                &mut native,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_udf_overhead);
+criterion_main!(benches);

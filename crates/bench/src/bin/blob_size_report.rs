@@ -1,0 +1,65 @@
+//! E4 report — §2.1 blob-size ablation.
+//!
+//! For each cube edge, runs a batch of 8-point interpolation queries and
+//! prints the bytes fetched per query for streamed-stencil vs whole-blob
+//! access, reproducing the design observation that "by using much smaller
+//! blobs, especially if they fit onto a single 8 kB page, we could have a
+//! much lower overhead on disk IOs".
+
+use sqlarray_storage::PageStore;
+use sqlarray_turbulence::{FetchMode, PartitionSpec, Scheme, SyntheticField, TurbulenceDb};
+
+fn main() {
+    let field = SyntheticField::new(5, 6, 3);
+    let grid_n = 128;
+    let queries: Vec<[f64; 3]> = (0..200)
+        .map(|i| {
+            let t = i as f64 * 0.41;
+            [
+                (0.11 + t).rem_euclid(1.0),
+                (0.53 + 0.71 * t).rem_euclid(1.0),
+                (0.87 + 0.29 * t).rem_euclid(1.0),
+            ]
+        })
+        .collect();
+
+    println!("== sqlarray-rs: blob-size ablation (Sec. 2.1) ==");
+    println!(
+        "grid {grid_n}^3, ghost 4, Lagrange-8 stencil, {} queries, cold cache per batch",
+        queries.len()
+    );
+    println!();
+    println!(
+        "{:>6} {:>12} {:>18} {:>18} {:>10}",
+        "block", "blob [kB]", "partial [kB/qry]", "full [kB/qry]", "ratio"
+    );
+    for block in [8usize, 16, 32, 64] {
+        let spec = PartitionSpec::new(grid_n, block, 4);
+        let mut store = PageStore::new();
+        let db = TurbulenceDb::build(&mut store, &field, spec).expect("build");
+
+        let mut measure = |mode: FetchMode| -> f64 {
+            store.clear_cache();
+            store.reset_stats();
+            db.query_particles(&mut store, &queries, Scheme::Lagrange8, mode)
+                .expect("query");
+            store.stats().bytes_read() as f64 / queries.len() as f64 / 1024.0
+        };
+        let partial = measure(FetchMode::PartialRead);
+        let full = measure(FetchMode::FullBlob);
+        println!(
+            "{:>6} {:>12.0} {:>18.1} {:>18.1} {:>9.1}x",
+            block,
+            spec.blob_bytes() as f64 / 1024.0,
+            partial,
+            full,
+            full / partial
+        );
+    }
+    println!();
+    println!(
+        "paper shape: the 6 MB production blobs (block 64) are overkill for an 8-point\n\
+         stencil; page-sized blobs cut the bytes touched per query by orders of magnitude,\n\
+         and partial LOB reads recover most of that advantage without re-partitioning."
+    );
+}

@@ -1,0 +1,81 @@
+//! Reproduces **Table 1** of the paper plus the §7.1 overhead
+//! decomposition and the §6.2 storage comparison.
+//!
+//! ```text
+//! cargo run --release -p sqlarray-bench --bin table1_report
+//! SQLARRAY_ROWS=2000000 cargo run --release -p sqlarray-bench --bin table1_report
+//! ```
+
+use sqlarray_bench::{
+    build_table1_db, run_table1, storage_overhead, rows_from_env, TABLE1_QUERIES, TESTBED_DOP,
+};
+
+fn main() {
+    let rows = rows_from_env();
+    println!("== sqlarray-rs: Table 1 reproduction ==");
+    println!(
+        "rows per table: {rows} (paper: 357M); hosting model: 2 us per CLR call; \
+         modelled DOP: {TESTBED_DOP}; disk: 1150 MB/s sequential"
+    );
+    println!();
+
+    eprintln!("building Tscalar and Tvector ({rows} rows each)...");
+    let mut session = build_table1_db(rows);
+
+    println!("{:<5} {:>14} {:>10} {:>12}   {}", "Query", "Exec time [s]", "CPU [%]", "I/O [MB/s]", "statement");
+    println!("{}", "-".repeat(100));
+    let table = run_table1(&mut session);
+    for row in &table {
+        println!(
+            "{:<5} {:>14.3} {:>10.0} {:>12.0}   {}",
+            row.query,
+            row.exec_seconds,
+            row.cpu_percent,
+            row.io_mb_per_sec,
+            TABLE1_QUERIES[row.query - 1]
+        );
+    }
+
+    println!();
+    println!("== paper reference (357M rows, Dell PowerVault, SQL Server 2008) ==");
+    println!("1: 18 s, 45 % CPU, 1150 MB/s    4: 133 s, 98 % CPU, 215 MB/s");
+    println!("2: 25 s, 38 % CPU, 1150 MB/s    5: 109 s, 99 % CPU, 265 MB/s");
+    println!("3: 18 s, 90 % CPU, 1150 MB/s");
+
+    // --- §7.1: overhead decomposition --------------------------------
+    println!();
+    println!("== Sec. 7.1 derived metrics ==");
+    let q1 = &table[0];
+    let q3 = &table[2];
+    let q4 = &table[3];
+    let q5 = &table[4];
+    let empty_call_cost = (q5.cpu_seconds - q3.cpu_seconds).max(0.0) / q5.udf_calls.max(1) as f64;
+    println!(
+        "cost per empty CLR call: {:.2} us (paper: ~2 us)",
+        empty_call_cost * 1e6
+    );
+    let item_extra = (q4.cpu_seconds - q5.cpu_seconds) / q5.cpu_seconds * 100.0;
+    println!(
+        "item extraction adds {:.0} % over the empty call (paper: 22 %)",
+        item_extra
+    );
+    let udf_share = (q5.cpu_seconds - q1.cpu_seconds).max(0.0) / q5.cpu_seconds * 100.0;
+    println!(
+        "UDF-call share of Q5 CPU: {:.0} % (paper: at least 38 % even when empty)",
+        udf_share
+    );
+    println!(
+        "Q2/Q1 execution-time ratio: {:.2} (paper: 25/18 = 1.39)",
+        table[1].exec_seconds / q1.exec_seconds
+    );
+
+    // --- §6.2: storage sizes -----------------------------------------
+    println!();
+    println!("== Sec. 6.2 storage comparison ==");
+    let (s, v, ratio) = storage_overhead(&mut session);
+    println!("Tscalar: {s:.1} bytes/row   Tvector: {v:.1} bytes/row");
+    println!(
+        "Tvector is {:.0} % bigger (paper: 43 % from the 24-byte array headers)",
+        (ratio - 1.0) * 100.0
+    );
+}

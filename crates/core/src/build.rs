@@ -1,0 +1,145 @@
+//! Convenience constructors mirroring the T-SQL creation functions.
+//!
+//! The original library exposes `Vector_1 .. Vector_N` and `Matrix_N`
+//! because T-SQL lacks variadic UDFs (§5.1). In Rust a slice covers all
+//! arities, so [`vector`] replaces the whole numbered family; [`matrix`]
+//! builds a 2-D array from row-major literal order (the natural order of a
+//! T-SQL argument list), converting to the column-major storage layout.
+
+use crate::array::SqlArray;
+use crate::element::Element;
+use crate::errors::Result;
+use crate::header::StorageClass;
+
+/// Creates a 1-D array (`Vector_N`).
+pub fn vector<T: Element>(class: StorageClass, items: &[T]) -> Result<SqlArray> {
+    SqlArray::from_vec(class, &[items.len()], items)
+}
+
+/// Creates a short-class vector; the most common case in the paper's
+/// examples (`FloatArray.Vector_5(1.0, ..., 5.0)`).
+pub fn short_vector<T: Element>(items: &[T]) -> Result<SqlArray> {
+    vector(StorageClass::Short, items)
+}
+
+/// Creates a max-class vector.
+pub fn max_vector<T: Element>(items: &[T]) -> Result<SqlArray> {
+    vector(StorageClass::Max, items)
+}
+
+/// Creates an `rows × cols` matrix from items listed in *row-major* order
+/// (the order a T-SQL caller writes them: `Matrix_2(0.1, 0.2, 0.3, 0.4)` is
+/// the matrix [[0.1, 0.2], [0.3, 0.4]]). Storage is column-major.
+pub fn matrix<T: Element>(
+    class: StorageClass,
+    rows: usize,
+    cols: usize,
+    row_major_items: &[T],
+) -> Result<SqlArray> {
+    use crate::errors::ArrayError;
+    if rows * cols != row_major_items.len() {
+        return Err(ArrayError::CountMismatch {
+            dims_product: rows * cols,
+            count: row_major_items.len(),
+        });
+    }
+    SqlArray::from_fn(class, &[rows, cols], |idx| {
+        row_major_items[idx[0] * cols + idx[1]]
+    })
+}
+
+/// Creates a square matrix with `diag` on the diagonal and zeros elsewhere.
+pub fn diagonal<T: Element>(class: StorageClass, diag: &[T]) -> Result<SqlArray> {
+    let n = diag.len();
+    SqlArray::from_fn(class, &[n, n], |idx| {
+        if idx[0] == idx[1] {
+            diag[idx[0]]
+        } else {
+            T::default()
+        }
+    })
+}
+
+/// Creates the `n × n` identity matrix.
+pub fn identity(class: StorageClass, n: usize) -> Result<SqlArray> {
+    diagonal(class, &vec![1.0f64; n])
+}
+
+/// Creates a vector of `n` evenly spaced doubles from `start` to `stop`
+/// inclusive (wavelength grids, parameter sweeps).
+pub fn linspace(class: StorageClass, start: f64, stop: f64, n: usize) -> Result<SqlArray> {
+    let data: Vec<f64> = if n == 1 {
+        vec![start]
+    } else {
+        (0..n)
+            .map(|i| start + (stop - start) * i as f64 / (n - 1) as f64)
+            .collect()
+    };
+    vector(class, &data)
+}
+
+/// Creates an integer range vector `[start, start+1, ..)` of length `n`.
+pub fn range_i64(class: StorageClass, start: i64, n: usize) -> Result<SqlArray> {
+    let data: Vec<i64> = (0..n as i64).map(|i| start + i).collect();
+    vector(class, &data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn vector_matches_paper_example() {
+        // FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0); Item_1(@a, 3) = 4.0
+        // (zero indexed "third" element in the paper's wording).
+        let a = short_vector(&[1.0f64, 2.0, 3.0, 4.0, 5.0]).unwrap();
+        assert_eq!(a.item(&[3]).unwrap(), Scalar::F64(4.0));
+        assert_eq!(a.dims(), &[5]);
+    }
+
+    #[test]
+    fn matrix_matches_paper_example() {
+        // FloatArray.Matrix_2(0.1, 0.2, 0.3, 0.4) builds a 2x2 from the
+        // listed elements; Item_2(@m, 1, 0) is row 1, column 0 = 0.3.
+        let m = matrix(StorageClass::Short, 2, 2, &[0.1f64, 0.2, 0.3, 0.4]).unwrap();
+        assert_eq!(m.item(&[1, 0]).unwrap(), Scalar::F64(0.3));
+        assert_eq!(m.item(&[0, 1]).unwrap(), Scalar::F64(0.2));
+        // Storage itself is column-major: 0.1, 0.3, 0.2, 0.4.
+        assert_eq!(m.to_vec::<f64>().unwrap(), vec![0.1, 0.3, 0.2, 0.4]);
+    }
+
+    #[test]
+    fn matrix_rejects_wrong_item_count() {
+        assert!(matrix(StorageClass::Short, 2, 2, &[1.0f64]).is_err());
+    }
+
+    #[test]
+    fn identity_and_diagonal() {
+        let i3 = identity(StorageClass::Short, 3).unwrap();
+        for r in 0..3 {
+            for c in 0..3 {
+                let expect = if r == c { 1.0 } else { 0.0 };
+                assert_eq!(i3.item(&[r, c]).unwrap(), Scalar::F64(expect));
+            }
+        }
+        let d = diagonal(StorageClass::Short, &[2i32, 5]).unwrap();
+        assert_eq!(d.item(&[1, 1]).unwrap(), Scalar::I32(5));
+        assert_eq!(d.item(&[1, 0]).unwrap(), Scalar::I32(0));
+    }
+
+    #[test]
+    fn linspace_endpoints_and_spacing() {
+        let a = linspace(StorageClass::Short, 0.0, 1.0, 5).unwrap();
+        let v = a.to_vec::<f64>().unwrap();
+        assert_eq!(v, vec![0.0, 0.25, 0.5, 0.75, 1.0]);
+        let single = linspace(StorageClass::Short, 3.0, 9.0, 1).unwrap();
+        assert_eq!(single.to_vec::<f64>().unwrap(), vec![3.0]);
+    }
+
+    #[test]
+    fn range_vector() {
+        let r = range_i64(StorageClass::Short, 100, 3).unwrap();
+        assert_eq!(r.to_vec::<i64>().unwrap(), vec![100, 101, 102]);
+    }
+}

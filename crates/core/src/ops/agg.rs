@@ -1,0 +1,196 @@
+//! Whole-array aggregates.
+//!
+//! The requirements list a "simple T-SQL interface to perform various
+//! aggregate operations over arrays". Real-valued aggregates accumulate in
+//! `f64`; `sum`/`mean` also work on complex arrays (accumulating in
+//! `Complex64`), while order statistics (`min`/`max`) are defined only for
+//! real element types.
+
+use crate::array::SqlArray;
+use crate::complex::Complex64;
+use crate::element::ElementType;
+use crate::errors::{ArrayError, Result};
+use crate::scalar::Scalar;
+
+/// Sum of all elements. Complex arrays return a complex sum; real arrays a
+/// double.
+pub fn sum(a: &SqlArray) -> Result<Scalar> {
+    if a.elem().is_complex() {
+        let mut acc = Complex64::ZERO;
+        for s in a.iter_scalars() {
+            acc += s.as_c64();
+        }
+        Ok(Scalar::C64(acc))
+    } else {
+        let mut acc = 0.0f64;
+        for s in a.iter_scalars() {
+            acc += s.as_f64()?;
+        }
+        Ok(Scalar::F64(acc))
+    }
+}
+
+/// Arithmetic mean of all elements.
+pub fn mean(a: &SqlArray) -> Result<Scalar> {
+    let n = a.count() as f64;
+    match sum(a)? {
+        Scalar::F64(s) => Ok(Scalar::F64(s / n)),
+        Scalar::C64(s) => Ok(Scalar::C64(s.scale(1.0 / n))),
+        _ => unreachable!("sum returns F64 or C64"),
+    }
+}
+
+/// Product of all elements (real types only).
+pub fn product(a: &SqlArray) -> Result<Scalar> {
+    require_real(a)?;
+    let mut acc = 1.0f64;
+    for s in a.iter_scalars() {
+        acc *= s.as_f64()?;
+    }
+    Ok(Scalar::F64(acc))
+}
+
+/// Minimum element (real types only).
+pub fn min(a: &SqlArray) -> Result<Scalar> {
+    fold_real(a, f64::INFINITY, |acc, v| acc.min(v))
+}
+
+/// Maximum element (real types only).
+pub fn max(a: &SqlArray) -> Result<Scalar> {
+    fold_real(a, f64::NEG_INFINITY, |acc, v| acc.max(v))
+}
+
+/// Population standard deviation (real types only). Computed with the
+/// two-pass algorithm for accuracy.
+pub fn stddev(a: &SqlArray) -> Result<Scalar> {
+    require_real(a)?;
+    let n = a.count() as f64;
+    let mu = mean(a)?.as_f64()?;
+    let mut acc = 0.0f64;
+    for s in a.iter_scalars() {
+        let d = s.as_f64()? - mu;
+        acc += d * d;
+    }
+    Ok(Scalar::F64((acc / n).sqrt()))
+}
+
+/// Number of non-zero elements (all types; complex counts non-zero modulus).
+pub fn count_nonzero(a: &SqlArray) -> usize {
+    a.iter_scalars()
+        .filter(|s| match s {
+            Scalar::C32(c) => c.re != 0.0 || c.im != 0.0,
+            Scalar::C64(c) => c.re != 0.0 || c.im != 0.0,
+            other => other.as_f64().map(|v| v != 0.0).unwrap_or(true),
+        })
+        .count()
+}
+
+/// Euclidean (L2) norm. Complex arrays use the modulus of each element.
+pub fn norm2(a: &SqlArray) -> Result<f64> {
+    let mut acc = 0.0f64;
+    for s in a.iter_scalars() {
+        match s {
+            Scalar::C32(c) => acc += c.norm_sqr() as f64,
+            Scalar::C64(c) => acc += c.norm_sqr(),
+            other => {
+                let v = other.as_f64()?;
+                acc += v * v;
+            }
+        }
+    }
+    Ok(acc.sqrt())
+}
+
+fn require_real(a: &SqlArray) -> Result<()> {
+    if a.elem().is_complex() {
+        return Err(ArrayError::BadConversion {
+            from: a.elem(),
+            to: ElementType::Float64,
+        });
+    }
+    Ok(())
+}
+
+fn fold_real(a: &SqlArray, init: f64, f: impl Fn(f64, f64) -> f64) -> Result<Scalar> {
+    require_real(a)?;
+    let mut acc = init;
+    for s in a.iter_scalars() {
+        acc = f(acc, s.as_f64()?);
+    }
+    Ok(Scalar::F64(acc))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::short_vector;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-12
+    }
+
+    #[test]
+    fn sum_mean_product() {
+        let a = short_vector(&[1.0f64, 2.0, 3.0, 4.0]).unwrap();
+        assert!(close(sum(&a).unwrap().as_f64().unwrap(), 10.0));
+        assert!(close(mean(&a).unwrap().as_f64().unwrap(), 2.5));
+        assert!(close(product(&a).unwrap().as_f64().unwrap(), 24.0));
+    }
+
+    #[test]
+    fn integer_arrays_aggregate_as_doubles() {
+        let a = short_vector(&[1i16, 2, 3]).unwrap();
+        assert_eq!(sum(&a).unwrap(), Scalar::F64(6.0));
+    }
+
+    #[test]
+    fn min_max() {
+        let a = short_vector(&[3.0f32, -1.0, 2.0]).unwrap();
+        assert_eq!(min(&a).unwrap(), Scalar::F64(-1.0));
+        assert_eq!(max(&a).unwrap(), Scalar::F64(3.0));
+    }
+
+    #[test]
+    fn stddev_two_pass() {
+        let a = short_vector(&[2.0f64, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]).unwrap();
+        assert!(close(stddev(&a).unwrap().as_f64().unwrap(), 2.0));
+    }
+
+    #[test]
+    fn complex_sum_and_mean() {
+        let a = short_vector(&[Complex64::new(1.0, 2.0), Complex64::new(3.0, -1.0)]).unwrap();
+        assert_eq!(sum(&a).unwrap(), Scalar::C64(Complex64::new(4.0, 1.0)));
+        assert_eq!(mean(&a).unwrap(), Scalar::C64(Complex64::new(2.0, 0.5)));
+    }
+
+    #[test]
+    fn order_stats_reject_complex() {
+        let a = short_vector(&[Complex64::ONE]).unwrap();
+        assert!(min(&a).is_err());
+        assert!(max(&a).is_err());
+        assert!(stddev(&a).is_err());
+        assert!(product(&a).is_err());
+    }
+
+    #[test]
+    fn norm_and_nonzero() {
+        let a = short_vector(&[3.0f64, 0.0, 4.0]).unwrap();
+        assert!(close(norm2(&a).unwrap(), 5.0));
+        assert_eq!(count_nonzero(&a), 2);
+        let c = short_vector(&[Complex64::new(0.0, 0.0), Complex64::new(0.0, 2.0)]).unwrap();
+        assert_eq!(count_nonzero(&c), 1);
+        assert!(close(norm2(&c).unwrap(), 2.0));
+    }
+
+    #[test]
+    fn aggregates_over_matrices() {
+        let m = crate::build::matrix(
+            crate::header::StorageClass::Short,
+            2,
+            2,
+            &[1.0f64, 2.0, 3.0, 4.0],
+        )
+        .unwrap();
+        assert!(close(sum(&m).unwrap().as_f64().unwrap(), 10.0));
+    }
+}

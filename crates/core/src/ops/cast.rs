@@ -1,0 +1,115 @@
+//! Header prefixing and stripping (`Cast` / `Raw`).
+//!
+//! "The function Cast is used to treat raw binaries containing consecutive
+//! numbers to be able to be treated as arrays by prefixing them with a
+//! header. The opposite to this is Raw which returns the array elements as a
+//! raw binary by stripping the header." (§5.1)
+
+use crate::array::SqlArray;
+use crate::element::ElementType;
+use crate::errors::{ArrayError, Result};
+use crate::header::{Header, StorageClass};
+use crate::shape::Shape;
+
+/// Prefixes a raw little-endian payload with an array header.
+///
+/// `raw.len()` must equal `product(dims) * elem.size()`.
+pub fn cast(
+    raw: &[u8],
+    class: StorageClass,
+    elem: ElementType,
+    dims: &[usize],
+) -> Result<SqlArray> {
+    if raw.len() % elem.size() != 0 {
+        return Err(ArrayError::RawSizeNotAligned {
+            len: raw.len(),
+            elem_size: elem.size(),
+        });
+    }
+    let shape = Shape::new(dims)?;
+    let need = shape.count() * elem.size();
+    if raw.len() != need {
+        return Err(ArrayError::PayloadSizeMismatch {
+            got: raw.len(),
+            need,
+        });
+    }
+    let header = Header::new(class, elem, shape)?;
+    let mut out = vec![0u8; header.blob_len()];
+    header.encode(&mut out);
+    out[header.header_len()..].copy_from_slice(raw);
+    SqlArray::from_blob(out)
+}
+
+/// Casts a raw payload as a 1-D vector, inferring the length from the byte
+/// count.
+pub fn cast_vector(raw: &[u8], class: StorageClass, elem: ElementType) -> Result<SqlArray> {
+    if raw.is_empty() || raw.len() % elem.size() != 0 {
+        return Err(ArrayError::RawSizeNotAligned {
+            len: raw.len(),
+            elem_size: elem.size(),
+        });
+    }
+    cast(raw, class, elem, &[raw.len() / elem.size()])
+}
+
+/// Strips the header, returning the payload bytes (`Raw`).
+pub fn raw(a: &SqlArray) -> Vec<u8> {
+    a.payload().to_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn cast_then_raw_is_identity_on_payload() {
+        let payload: Vec<u8> = (0..24).collect();
+        let a = cast(&payload, StorageClass::Short, ElementType::Int32, &[3, 2]).unwrap();
+        assert_eq!(a.dims(), &[3, 2]);
+        assert_eq!(raw(&a), payload);
+    }
+
+    #[test]
+    fn raw_then_cast_round_trips_an_array() {
+        let a = crate::build::short_vector(&[1.5f64, -2.5, 3.25]).unwrap();
+        let bytes = raw(&a);
+        let b = cast(&bytes, a.class(), a.elem(), a.dims()).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn cast_validates_length() {
+        let payload = vec![0u8; 10];
+        assert!(matches!(
+            cast(&payload, StorageClass::Short, ElementType::Int32, &[3]),
+            Err(ArrayError::RawSizeNotAligned { .. })
+        ));
+        let payload = vec![0u8; 16];
+        assert!(matches!(
+            cast(&payload, StorageClass::Short, ElementType::Int32, &[3]),
+            Err(ArrayError::PayloadSizeMismatch { got: 16, need: 12 })
+        ));
+    }
+
+    #[test]
+    fn cast_vector_infers_length() {
+        let mut payload = vec![0u8; 16];
+        payload[0] = 7; // little-endian i32 = 7
+        let v = cast_vector(&payload, StorageClass::Short, ElementType::Int32).unwrap();
+        assert_eq!(v.dims(), &[4]);
+        assert_eq!(v.item(&[0]).unwrap(), Scalar::I32(7));
+        assert!(cast_vector(&[], StorageClass::Short, ElementType::Int32).is_err());
+    }
+
+    #[test]
+    fn cast_enforces_short_budget() {
+        let payload = vec![0u8; 7990];
+        assert!(matches!(
+            cast_vector(&payload, StorageClass::Short, ElementType::Int8),
+            Err(ArrayError::ShortTooLarge { .. })
+        ));
+        assert!(cast_vector(&payload, StorageClass::Max, ElementType::Int8).is_ok());
+    }
+}

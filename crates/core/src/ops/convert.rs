@@ -1,0 +1,133 @@
+//! Base-type and storage-class conversions.
+//!
+//! "Conversion functions between different base types and storage classes
+//! exist." (§5.1) Type conversion follows SQL CAST semantics per element
+//! (see [`crate::scalar::Scalar::cast_to`]); storage-class conversion
+//! re-encodes the header and revalidates the class limits.
+
+use crate::array::SqlArray;
+use crate::element::ElementType;
+use crate::errors::Result;
+use crate::header::{Header, StorageClass};
+
+/// Converts every element to the target base type, keeping shape and
+/// storage class. Fails if any element is not representable (complex with
+/// non-zero imaginary part → real).
+pub fn convert_type(a: &SqlArray, target: ElementType) -> Result<SqlArray> {
+    if a.elem() == target {
+        return Ok(a.clone());
+    }
+    let header = Header::new(a.class(), target, a.shape().clone())?;
+    let hlen = header.header_len();
+    let mut out = vec![0u8; header.blob_len()];
+    header.encode(&mut out);
+    let es = target.size();
+    for lin in 0..a.count() {
+        let v = a.item_linear(lin).cast_to(target)?;
+        v.write_le(&mut out[hlen + lin * es..]);
+    }
+    SqlArray::from_blob(out)
+}
+
+/// Converts between the short and max storage classes, preserving type,
+/// shape and values. Converting to short revalidates the rank/dimension/
+/// page-budget limits and fails if the array does not fit.
+pub fn convert_class(a: &SqlArray, target: StorageClass) -> Result<SqlArray> {
+    if a.class() == target {
+        return Ok(a.clone());
+    }
+    let header = Header::new(target, a.elem(), a.shape().clone())?;
+    let hlen = header.header_len();
+    let mut out = vec![0u8; header.blob_len()];
+    header.encode(&mut out);
+    out[hlen..].copy_from_slice(a.payload());
+    SqlArray::from_blob(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::complex::Complex64;
+    use crate::errors::ArrayError;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn int_to_float_and_back() {
+        let a = crate::build::short_vector(&[1i32, -2, 3]).unwrap();
+        let f = convert_type(&a, ElementType::Float64).unwrap();
+        assert_eq!(f.to_vec::<f64>().unwrap(), vec![1.0, -2.0, 3.0]);
+        let back = convert_type(&f, ElementType::Int32).unwrap();
+        assert_eq!(back.to_vec::<i32>().unwrap(), vec![1, -2, 3]);
+    }
+
+    #[test]
+    fn float_to_int_truncates() {
+        let a = crate::build::short_vector(&[1.9f64, -1.9]).unwrap();
+        let i = convert_type(&a, ElementType::Int16).unwrap();
+        assert_eq!(i.to_vec::<i16>().unwrap(), vec![1, -1]);
+    }
+
+    #[test]
+    fn real_to_complex_widens() {
+        let a = crate::build::short_vector(&[2.0f64]).unwrap();
+        let c = convert_type(&a, ElementType::Complex64).unwrap();
+        assert_eq!(
+            c.item(&[0]).unwrap(),
+            Scalar::C64(Complex64::new(2.0, 0.0))
+        );
+    }
+
+    #[test]
+    fn complex_to_real_fails_on_nonzero_im() {
+        let ok = crate::build::short_vector(&[Complex64::new(1.0, 0.0)]).unwrap();
+        assert!(convert_type(&ok, ElementType::Float64).is_ok());
+        let bad = crate::build::short_vector(&[Complex64::new(1.0, 0.5)]).unwrap();
+        assert!(matches!(
+            convert_type(&bad, ElementType::Float64),
+            Err(ArrayError::BadConversion { .. })
+        ));
+    }
+
+    #[test]
+    fn same_type_conversion_is_clone() {
+        let a = crate::build::short_vector(&[1i64, 2]).unwrap();
+        assert_eq!(convert_type(&a, ElementType::Int64).unwrap(), a);
+    }
+
+    #[test]
+    fn class_round_trip_preserves_values() {
+        let a = crate::build::short_vector(&[1.0f32, 2.0, 3.0]).unwrap();
+        let m = convert_class(&a, StorageClass::Max).unwrap();
+        assert_eq!(m.class(), StorageClass::Max);
+        assert_eq!(m.payload(), a.payload());
+        let s = convert_class(&m, StorageClass::Short).unwrap();
+        assert_eq!(s, a);
+    }
+
+    #[test]
+    fn to_short_enforces_limits() {
+        let big: Vec<f64> = (0..2000).map(|i| i as f64).collect();
+        let m = crate::build::max_vector(&big).unwrap();
+        assert!(matches!(
+            convert_class(&m, StorageClass::Short),
+            Err(ArrayError::ShortTooLarge { .. })
+        ));
+        let deep = SqlArray::from_vec(StorageClass::Max, &[1, 1, 1, 1, 1, 1, 2], &[1i8, 2])
+            .unwrap();
+        assert!(matches!(
+            convert_class(&deep, StorageClass::Short),
+            Err(ArrayError::BadRank { .. })
+        ));
+    }
+
+    #[test]
+    fn converting_type_can_shrink_below_page_budget() {
+        // 997 doubles fill a short array exactly; converting to f32 halves
+        // the payload and must stay valid.
+        let data: Vec<f64> = (0..997).map(|i| i as f64).collect();
+        let a = crate::build::short_vector(&data).unwrap();
+        let f = convert_type(&a, ElementType::Float32).unwrap();
+        assert_eq!(f.count(), 997);
+        assert_eq!(f.item(&[996]).unwrap(), Scalar::F32(996.0));
+    }
+}

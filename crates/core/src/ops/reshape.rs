@@ -1,0 +1,82 @@
+//! Dimension recasting (`Reshape`).
+//!
+//! "The Reshape function is used to resize the array dimensions without
+//! reordering the array elements (original and target sizes must not
+//! differ)." (§5.1) — a header-only rewrite; the payload is untouched.
+
+use crate::array::SqlArray;
+use crate::errors::{ArrayError, Result};
+use crate::header::Header;
+use crate::shape::Shape;
+
+/// Returns a copy of `a` with the new dimensions. The element count must be
+/// preserved; the payload bytes are identical.
+pub fn reshape(a: &SqlArray, new_dims: &[usize]) -> Result<SqlArray> {
+    let new_shape = Shape::new(new_dims)?;
+    if new_shape.count() != a.count() {
+        return Err(ArrayError::ReshapeCountMismatch {
+            from: a.count(),
+            to: new_shape.count(),
+        });
+    }
+    let header = Header::new(a.class(), a.elem(), new_shape)?;
+    let mut out = vec![0u8; header.blob_len()];
+    header.encode(&mut out);
+    let hlen = header.header_len();
+    out[hlen..].copy_from_slice(a.payload());
+    SqlArray::from_blob(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scalar::Scalar;
+
+    #[test]
+    fn reshape_preserves_storage_order() {
+        let v = crate::build::short_vector(&[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let m = reshape(&v, &[2, 3]).unwrap();
+        assert_eq!(m.dims(), &[2, 3]);
+        // Column-major: first column is the first two stored elements.
+        assert_eq!(m.item(&[0, 0]).unwrap(), Scalar::F64(1.0));
+        assert_eq!(m.item(&[1, 0]).unwrap(), Scalar::F64(2.0));
+        assert_eq!(m.item(&[0, 1]).unwrap(), Scalar::F64(3.0));
+        assert_eq!(m.payload(), v.payload());
+    }
+
+    #[test]
+    fn reshape_rejects_count_change() {
+        let v = crate::build::short_vector(&[1i32, 2, 3]).unwrap();
+        assert!(matches!(
+            reshape(&v, &[2, 2]),
+            Err(ArrayError::ReshapeCountMismatch { from: 3, to: 4 })
+        ));
+    }
+
+    #[test]
+    fn reshape_round_trip() {
+        let v = crate::build::short_vector(&[1i32, 2, 3, 4, 5, 6, 7, 8]).unwrap();
+        let m = reshape(&v, &[2, 2, 2]).unwrap();
+        let back = reshape(&m, &[8]).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn reshape_respects_short_rank_limit() {
+        let v = crate::build::short_vector(&[0u8 as i8; 128]).unwrap();
+        assert!(reshape(&v, &[2, 2, 2, 2, 2, 4]).is_ok());
+        assert!(reshape(&v, &[2, 2, 2, 2, 2, 2, 2]).is_err());
+        // ... but a max array can take rank 7.
+        let vm = crate::build::max_vector(&[0i8; 128]).unwrap();
+        assert!(reshape(&vm, &[2, 2, 2, 2, 2, 2, 2]).is_ok());
+    }
+
+    #[test]
+    fn max_header_length_changes_with_rank() {
+        let v = crate::build::max_vector(&[1i32, 2, 3, 4]).unwrap();
+        assert_eq!(v.as_blob().len(), 16 + 4 + 16);
+        let m = reshape(&v, &[2, 2]).unwrap();
+        assert_eq!(m.as_blob().len(), 16 + 8 + 16);
+        assert_eq!(m.payload(), v.payload());
+    }
+}

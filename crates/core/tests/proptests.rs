@@ -1,0 +1,189 @@
+//! Property-based tests for the array blob format and operations.
+
+use proptest::prelude::*;
+use sqlarray_core::ops::{cast, convert, reshape, subarray};
+use sqlarray_core::prelude::*;
+
+/// Strategy: a small shape (rank 1-4, dims 1-6) plus matching f64 data.
+fn small_f64_array() -> impl Strategy<Value = (Vec<usize>, Vec<f64>)> {
+    prop::collection::vec(1usize..=6, 1..=4).prop_flat_map(|dims| {
+        let count: usize = dims.iter().product();
+        (
+            Just(dims),
+            prop::collection::vec(-1e6f64..1e6, count..=count),
+        )
+    })
+}
+
+fn small_i32_array() -> impl Strategy<Value = (Vec<usize>, Vec<i32>)> {
+    prop::collection::vec(1usize..=5, 1..=3).prop_flat_map(|dims| {
+        let count: usize = dims.iter().product();
+        (
+            Just(dims),
+            prop::collection::vec(any::<i32>(), count..=count),
+        )
+    })
+}
+
+proptest! {
+    /// Encoding an array and decoding the blob yields the same array.
+    #[test]
+    fn blob_round_trip((dims, data) in small_f64_array()) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        let b = SqlArray::from_blob(a.as_blob().to_vec()).unwrap();
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(b.to_vec::<f64>().unwrap(), data);
+    }
+
+    /// Every element written is read back identically via multi-index.
+    #[test]
+    fn item_round_trip((dims, data) in small_i32_array()) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        for (lin, &v) in data.iter().enumerate() {
+            let idx = a.shape().multi_index(lin);
+            prop_assert_eq!(a.item(&idx).unwrap(), Scalar::I32(v));
+        }
+    }
+
+    /// `Raw` followed by `Cast` reconstructs the array exactly.
+    #[test]
+    fn cast_raw_round_trip((dims, data) in small_f64_array()) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        let raw = cast::raw(&a);
+        let b = cast::cast(&raw, a.class(), a.elem(), a.dims()).unwrap();
+        prop_assert_eq!(a, b);
+    }
+
+    /// Reshape keeps the payload bytes untouched, in any factorization.
+    #[test]
+    fn reshape_preserves_payload((dims, data) in small_f64_array()) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        let flat = reshape::reshape(&a, &[a.count()]).unwrap();
+        prop_assert_eq!(flat.payload(), a.payload());
+        let back = reshape::reshape(&flat, &dims).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    /// A full-extent subarray is the identity; any subarray agrees with
+    /// elementwise indexing.
+    #[test]
+    fn subarray_agrees_with_indexing(
+        (dims, data) in small_f64_array(),
+        seed in any::<u64>(),
+    ) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        // Derive a deterministic in-bounds (offset, size) from the seed.
+        let mut s = seed;
+        let mut next = || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); s };
+        let offset: Vec<usize> = dims.iter().map(|&d| (next() as usize) % d).collect();
+        let size: Vec<usize> = dims
+            .iter()
+            .zip(&offset)
+            .map(|(&d, &o)| 1 + (next() as usize) % (d - o))
+            .collect();
+        let sub = subarray::subarray(&a, &offset, &size, false).unwrap();
+        prop_assert_eq!(sub.dims(), &size[..]);
+        for lin in 0..sub.count() {
+            let si = sub.shape().multi_index(lin);
+            let ai: Vec<usize> = si.iter().zip(&offset).map(|(&i, &o)| i + o).collect();
+            prop_assert_eq!(sub.item(&si).unwrap(), a.item(&ai).unwrap());
+        }
+    }
+
+    /// Streamed subarray equals in-memory subarray and never reads more
+    /// bytes than the whole blob.
+    #[test]
+    fn streamed_subarray_equivalence((dims, data) in small_f64_array()) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        let size: Vec<usize> = dims.iter().map(|&d| 1 + d / 2).collect();
+        let offset: Vec<usize> = dims.iter().zip(&size).map(|(&d, &s)| (d - s) / 2).collect();
+        let direct = subarray::subarray(&a, &offset, &size, false).unwrap();
+        let mut reader = ArrayReader::open(a.as_blob()).unwrap();
+        let streamed = reader.subarray(&offset, &size, false).unwrap();
+        prop_assert_eq!(direct, streamed);
+    }
+
+    /// Type conversion int32 -> float64 -> int32 is lossless.
+    #[test]
+    fn int_float_conversion_round_trip((dims, data) in small_i32_array()) {
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        let f = convert::convert_type(&a, ElementType::Float64).unwrap();
+        let back = convert::convert_type(&f, ElementType::Int32).unwrap();
+        prop_assert_eq!(back.to_vec::<i32>().unwrap(), data);
+    }
+
+    /// Storage-class conversion short -> max -> short is the identity for
+    /// arrays that fit in a page.
+    #[test]
+    fn class_conversion_round_trip(data in prop::collection::vec(-1e3f64..1e3, 1..64)) {
+        let a = build::short_vector(&data).unwrap();
+        let m = convert::convert_class(&a, StorageClass::Max).unwrap();
+        let s = convert::convert_class(&m, StorageClass::Short).unwrap();
+        prop_assert_eq!(a, s);
+    }
+
+    /// Text form round-trips for f64 vectors (display uses shortest-exact
+    /// float formatting).
+    #[test]
+    fn string_round_trip(data in prop::collection::vec(-1e12f64..1e12, 1..20)) {
+        let a = build::short_vector(&data).unwrap();
+        let s = sqlarray_core::fmt::to_string(&a);
+        let b: SqlArray = s.parse().unwrap();
+        prop_assert_eq!(b.to_vec::<f64>().unwrap(), data);
+    }
+
+    /// Aggregates: sum of a concatenation equals the sum of the parts.
+    #[test]
+    fn sum_is_additive(
+        left in prop::collection::vec(-1e6f64..1e6, 1..32),
+        right in prop::collection::vec(-1e6f64..1e6, 1..32),
+    ) {
+        use sqlarray_core::ops::agg;
+        let mut all = left.clone();
+        all.extend_from_slice(&right);
+        let la = build::short_vector(&left).unwrap();
+        let ra = build::short_vector(&right).unwrap();
+        let aa = build::short_vector(&all).unwrap();
+        let ls = agg::sum(&la).unwrap().as_f64().unwrap();
+        let rs = agg::sum(&ra).unwrap().as_f64().unwrap();
+        let as_ = agg::sum(&aa).unwrap().as_f64().unwrap();
+        prop_assert!((ls + rs - as_).abs() <= 1e-6 * (1.0 + as_.abs()));
+    }
+
+    /// Axis reduction: summing a matrix over axis 0 then summing the result
+    /// equals the whole-array sum.
+    #[test]
+    fn axis_sum_consistent((dims, data) in small_f64_array()) {
+        use sqlarray_core::ops::{agg, axis};
+        let a = SqlArray::from_vec(StorageClass::Max, &dims, &data).unwrap();
+        let mut reduced = a.clone();
+        while reduced.rank() > 1 {
+            reduced = axis::sum_axis(&reduced, 0).unwrap();
+        }
+        let total = agg::sum(&reduced).unwrap().as_f64().unwrap();
+        let direct = agg::sum(&a).unwrap().as_f64().unwrap();
+        prop_assert!((total - direct).abs() <= 1e-6 * (1.0 + direct.abs()));
+    }
+
+    /// Header probe length is always the actual header length.
+    #[test]
+    fn probe_matches_header((dims, data) in small_f64_array()) {
+        for class in [StorageClass::Short, StorageClass::Max] {
+            if class == StorageClass::Short && (dims.len() > 6 || data.len() * 8 + 24 > 8000) {
+                continue;
+            }
+            let a = SqlArray::from_vec(class, &dims, &data).unwrap();
+            let blob = a.as_blob();
+            let probe = sqlarray_core::Header::probe_len(&blob[..8.min(blob.len())]).unwrap();
+            prop_assert_eq!(probe, a.header().header_len());
+        }
+    }
+
+    /// Corrupted headers never panic: decode either succeeds on equal bytes
+    /// or returns an error.
+    #[test]
+    fn decode_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = sqlarray_core::Header::decode(&bytes);
+        let _ = SqlArray::from_blob(bytes);
+    }
+}

@@ -1,0 +1,460 @@
+//! User-defined aggregates and the per-row state-serialization pathology.
+//!
+//! "Although user-defined aggregate functions seem a very elegant way of
+//! implementing operations such as table to array conversion [...] the
+//! state of aggregation had to be serialized via a binary stream interface
+//! for each row processed by the aggregation. This turned out to be
+//! prohibitive in our scenarios. In place of aggregate functions, we wrote
+//! plain SQL CLR scalar functions that take a SQL query as an input
+//! parameter" (§4.2).
+//!
+//! Both execution modes live here: [`UdaMode::InMemory`] is what a sane
+//! runtime would do; [`UdaMode::StreamSerialized`] round-trips the state
+//! through its binary serialization after **every row**, reproducing the
+//! SQL Server 2008 CLR UDA behaviour that experiment E5 quantifies.
+
+use crate::value::{EngineError, Result, Value};
+use sqlarray_core::ops::table::ConcatBuilder;
+use sqlarray_core::{ElementType, Scalar, StorageClass};
+use std::collections::HashMap;
+
+/// How the executor maintains aggregate state between rows.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum UdaMode {
+    /// State persists in memory between rows.
+    #[default]
+    InMemory,
+    /// State is serialized and deserialized between every pair of rows —
+    /// the SQL Server 2008 CLR contract.
+    StreamSerialized,
+}
+
+/// Running state of one aggregate group.
+pub trait UdaState: Send {
+    /// Folds one row's argument values into the state.
+    fn accumulate(&mut self, args: &[Value]) -> Result<()>;
+    /// Serializes the full state (the CLR `Write(BinaryWriter)` half).
+    fn serialize_state(&self) -> Vec<u8>;
+    /// Restores the state from its serialization (the `Read` half).
+    fn load_state(&mut self, buf: &[u8]) -> Result<()>;
+    /// Produces the aggregate result.
+    fn terminate(&mut self) -> Result<Value>;
+}
+
+/// Factory producing fresh per-group states.
+pub type UdaFactory = Box<dyn Fn() -> Box<dyn UdaState> + Send + Sync>;
+
+/// Name → aggregate registry, case-insensitive.
+#[derive(Default)]
+pub struct UdaRegistry {
+    map: HashMap<String, UdaFactory>,
+}
+
+impl UdaRegistry {
+    /// Empty registry.
+    pub fn new() -> UdaRegistry {
+        UdaRegistry::default()
+    }
+
+    /// Registers an aggregate by name.
+    pub fn register(
+        &mut self,
+        name: &str,
+        factory: impl Fn() -> Box<dyn UdaState> + Send + Sync + 'static,
+    ) {
+        self.map
+            .insert(name.to_ascii_lowercase(), Box::new(factory));
+    }
+
+    /// True when `name` is a registered aggregate.
+    pub fn contains(&self, name: &str) -> bool {
+        self.map.contains_key(&name.to_ascii_lowercase())
+    }
+
+    /// Creates a fresh state for `name`.
+    pub fn create(&self, name: &str) -> Result<Box<dyn UdaState>> {
+        self.map
+            .get(&name.to_ascii_lowercase())
+            .map(|f| f())
+            .ok_or_else(|| EngineError::Unknown(format!("aggregate `{name}`")))
+    }
+
+    /// Registers the array aggregates for every type/class schema:
+    /// `Concat` (table → array assembly) and `VectorAvg` (elementwise mean
+    /// of array columns — the composite-spectrum aggregate of §2.2).
+    pub fn register_array_aggregates(&mut self) {
+        for elem in ElementType::ALL {
+            for class in [StorageClass::Short, StorageClass::Max] {
+                let schema = crate::arraybind::schema_name(elem, class);
+                self.register(&format!("{schema}.Concat"), move || {
+                    Box::new(ConcatUda::new(elem, class))
+                });
+            }
+        }
+        for class in [StorageClass::Short, StorageClass::Max] {
+            let schema = crate::arraybind::schema_name(ElementType::Float64, class);
+            self.register(&format!("{schema}.VectorAvg"), move || {
+                Box::new(VectorAvgUda::new(class))
+            });
+        }
+    }
+}
+
+/// The `Concat` aggregate: assembles an array from `(size_vector, index,
+/// value)` rows (the paper's `FloatArrayMax.Concat(@l, ix, v)` call shape)
+/// or from `(size_vector, value)` rows in scan order.
+pub struct ConcatUda {
+    elem: ElementType,
+    class: StorageClass,
+    builder: Option<ConcatBuilder>,
+}
+
+impl ConcatUda {
+    /// New empty aggregate for one schema.
+    pub fn new(elem: ElementType, class: StorageClass) -> ConcatUda {
+        ConcatUda {
+            elem,
+            class,
+            builder: None,
+        }
+    }
+
+    fn ensure_builder(&mut self, size_arg: &Value) -> Result<&mut ConcatBuilder> {
+        if self.builder.is_none() {
+            let dims_arr = size_arg.as_array()?;
+            let dims: Vec<usize> = dims_arr
+                .iter_scalars()
+                .map(|s| s.as_f64().map(|f| f as usize))
+                .collect::<sqlarray_core::Result<_>>()?;
+            self.builder = Some(
+                ConcatBuilder::new(self.class, self.elem, &dims)
+                    .map_err(EngineError::from)?,
+            );
+        }
+        Ok(self.builder.as_mut().expect("just initialized"))
+    }
+}
+
+impl UdaState for ConcatUda {
+    fn accumulate(&mut self, args: &[Value]) -> Result<()> {
+        match args.len() {
+            2 => {
+                // (size, value): fill in scan order.
+                let value = scalar_from_value(&args[1], self.elem)?;
+                self.ensure_builder(&args[0])?
+                    .push_next(value)
+                    .map_err(EngineError::from)
+            }
+            3 => {
+                // (size, index_vector, value).
+                let idx_arr = args[1].as_array()?;
+                let idx: Vec<usize> = idx_arr
+                    .iter_scalars()
+                    .map(|s| s.as_f64().map(|f| f as usize))
+                    .collect::<sqlarray_core::Result<_>>()?;
+                let value = scalar_from_value(&args[2], self.elem)?;
+                self.ensure_builder(&args[0])?
+                    .push(&idx, value)
+                    .map_err(EngineError::from)
+            }
+            n => Err(EngineError::Arity {
+                func: "Concat".into(),
+                got: n,
+                want: "2..=3".into(),
+            }),
+        }
+    }
+
+    fn serialize_state(&self) -> Vec<u8> {
+        match &self.builder {
+            Some(b) => {
+                let mut out = vec![1u8];
+                out.extend_from_slice(&b.serialize_state());
+                out
+            }
+            None => vec![0u8],
+        }
+    }
+
+    fn load_state(&mut self, buf: &[u8]) -> Result<()> {
+        if buf.is_empty() {
+            return Err(EngineError::Storage("empty UDA state".into()));
+        }
+        self.builder = if buf[0] == 0 {
+            None
+        } else {
+            Some(ConcatBuilder::deserialize_state(&buf[1..]).map_err(EngineError::from)?)
+        };
+        Ok(())
+    }
+
+    fn terminate(&mut self) -> Result<Value> {
+        match self.builder.take() {
+            Some(b) => Ok(Value::Bytes(b.finish().into_blob())),
+            None => Ok(Value::Null),
+        }
+    }
+}
+
+fn scalar_from_value(v: &Value, elem: ElementType) -> Result<Scalar> {
+    Ok(Scalar::F64(v.as_f64()?).cast_to(elem)?)
+}
+
+/// Elementwise mean of an array column — composite spectra "could be very
+/// easily solved using an aggregate function" (§2.2).
+pub struct VectorAvgUda {
+    class: StorageClass,
+    sum: Option<Vec<f64>>,
+    dims: Vec<usize>,
+    count: u64,
+}
+
+impl VectorAvgUda {
+    /// New empty aggregate.
+    pub fn new(class: StorageClass) -> VectorAvgUda {
+        VectorAvgUda {
+            class,
+            sum: None,
+            dims: Vec::new(),
+            count: 0,
+        }
+    }
+}
+
+impl UdaState for VectorAvgUda {
+    fn accumulate(&mut self, args: &[Value]) -> Result<()> {
+        if args.len() != 1 {
+            return Err(EngineError::Arity {
+                func: "VectorAvg".into(),
+                got: args.len(),
+                want: "1..=1".into(),
+            });
+        }
+        let a = args[0].as_array()?;
+        let vals: Vec<f64> = a
+            .iter_scalars()
+            .map(|s| s.as_f64())
+            .collect::<sqlarray_core::Result<_>>()?;
+        match &mut self.sum {
+            None => {
+                self.dims = a.dims().to_vec();
+                self.sum = Some(vals);
+            }
+            Some(acc) => {
+                if a.dims() != self.dims.as_slice() {
+                    return Err(EngineError::Type(format!(
+                        "VectorAvg over mixed shapes: {:?} vs {:?}",
+                        a.dims(),
+                        self.dims
+                    )));
+                }
+                for (s, v) in acc.iter_mut().zip(&vals) {
+                    *s += v;
+                }
+            }
+        }
+        self.count += 1;
+        Ok(())
+    }
+
+    fn serialize_state(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&(self.dims.len() as u32).to_le_bytes());
+        for &d in &self.dims {
+            out.extend_from_slice(&(d as u64).to_le_bytes());
+        }
+        if let Some(sum) = &self.sum {
+            for v in sum {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        out
+    }
+
+    fn load_state(&mut self, buf: &[u8]) -> Result<()> {
+        let corrupt = || EngineError::Storage("corrupt VectorAvg state".into());
+        if buf.len() < 12 {
+            return Err(corrupt());
+        }
+        self.count = u64::from_le_bytes(buf[..8].try_into().unwrap());
+        let rank = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let mut off = 12;
+        self.dims.clear();
+        for _ in 0..rank {
+            if buf.len() < off + 8 {
+                return Err(corrupt());
+            }
+            self.dims
+                .push(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize);
+            off += 8;
+        }
+        let n: usize = self.dims.iter().product();
+        if self.count == 0 {
+            self.sum = None;
+            return Ok(());
+        }
+        if buf.len() != off + 8 * n {
+            return Err(corrupt());
+        }
+        let mut sum = Vec::with_capacity(n);
+        for k in 0..n {
+            sum.push(f64::from_le_bytes(
+                buf[off + 8 * k..off + 8 * (k + 1)].try_into().unwrap(),
+            ));
+        }
+        self.sum = Some(sum);
+        Ok(())
+    }
+
+    fn terminate(&mut self) -> Result<Value> {
+        match self.sum.take() {
+            None => Ok(Value::Null),
+            Some(sum) => {
+                let mean: Vec<f64> = sum.iter().map(|v| v / self.count as f64).collect();
+                let a = match sqlarray_core::SqlArray::from_vec(self.class, &self.dims, &mean) {
+                    Ok(a) => a,
+                    Err(sqlarray_core::ArrayError::ShortTooLarge { .. }) => {
+                        sqlarray_core::SqlArray::from_vec(StorageClass::Max, &self.dims, &mean)
+                            .map_err(EngineError::from)?
+                    }
+                    Err(e) => return Err(e.into()),
+                };
+                Ok(Value::Bytes(a.into_blob()))
+            }
+        }
+    }
+}
+
+/// Runs a UDA over an iterator of row argument tuples, in the given mode —
+/// the helper both the executor and experiment E5 use.
+pub fn run_uda(
+    state: &mut Box<dyn UdaState>,
+    rows: impl Iterator<Item = Vec<Value>>,
+    mode: UdaMode,
+) -> Result<Value> {
+    for args in rows {
+        if mode == UdaMode::StreamSerialized {
+            // The CLR contract: state round-trips through its binary
+            // serialization on every row.
+            let buf = state.serialize_state();
+            state.load_state(&buf)?;
+        }
+        state.accumulate(&args)?;
+    }
+    state.terminate()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn size_vec(dims: &[i64]) -> Value {
+        let a = sqlarray_core::build::short_vector(
+            &dims.iter().map(|&d| d as i32).collect::<Vec<_>>(),
+        )
+        .unwrap();
+        Value::Bytes(a.into_blob())
+    }
+
+    #[test]
+    fn concat_sequential_assembles_array() {
+        let mut state: Box<dyn UdaState> =
+            Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Max));
+        let rows = (0..6).map(|i| vec![size_vec(&[2, 3]), Value::F64(i as f64)]);
+        let out = run_uda(&mut state, rows, UdaMode::InMemory).unwrap();
+        let a = out.as_array().unwrap();
+        assert_eq!(a.dims(), &[2, 3]);
+        assert_eq!(a.to_vec::<f64>().unwrap(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn concat_indexed_matches_paper_call_shape() {
+        // Concat(@l, ix, v) with @l = Vector_2(2, 2).
+        let mut state: Box<dyn UdaState> =
+            Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Max));
+        let rows = vec![
+            vec![size_vec(&[2, 2]), size_vec(&[1, 1]), Value::F64(4.0)],
+            vec![size_vec(&[2, 2]), size_vec(&[0, 0]), Value::F64(1.0)],
+            vec![size_vec(&[2, 2]), size_vec(&[1, 0]), Value::F64(2.0)],
+            vec![size_vec(&[2, 2]), size_vec(&[0, 1]), Value::F64(3.0)],
+        ];
+        let out = run_uda(&mut state, rows.into_iter(), UdaMode::InMemory).unwrap();
+        let a = out.as_array().unwrap();
+        assert_eq!(a.item(&[0, 0]).unwrap().as_f64().unwrap(), 1.0);
+        assert_eq!(a.item(&[1, 1]).unwrap().as_f64().unwrap(), 4.0);
+    }
+
+    #[test]
+    fn stream_serialized_mode_produces_identical_result() {
+        let build = || -> Box<dyn UdaState> {
+            Box::new(ConcatUda::new(ElementType::Int32, StorageClass::Short))
+        };
+        let rows = || (0..10i64).map(|i| vec![size_vec(&[10]), Value::I64(i * i)]);
+        let mut fast = build();
+        let mut slow = build();
+        let a = run_uda(&mut fast, rows(), UdaMode::InMemory).unwrap();
+        let b = run_uda(&mut slow, rows(), UdaMode::StreamSerialized).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_aggregate_terminates_null() {
+        let mut state: Box<dyn UdaState> =
+            Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Max));
+        let out = run_uda(&mut state, std::iter::empty(), UdaMode::InMemory).unwrap();
+        assert_eq!(out, Value::Null);
+    }
+
+    #[test]
+    fn vector_avg_means_elementwise() {
+        let mut state: Box<dyn UdaState> = Box::new(VectorAvgUda::new(StorageClass::Short));
+        let rows = (0..4).map(|i| {
+            let a = sqlarray_core::build::short_vector(&[i as f64, 10.0 * i as f64]).unwrap();
+            vec![Value::Bytes(a.into_blob())]
+        });
+        let out = run_uda(&mut state, rows, UdaMode::StreamSerialized).unwrap();
+        let a = out.as_array().unwrap();
+        assert_eq!(a.to_vec::<f64>().unwrap(), vec![1.5, 15.0]);
+    }
+
+    #[test]
+    fn vector_avg_rejects_mixed_shapes() {
+        let mut state = VectorAvgUda::new(StorageClass::Short);
+        let a1 = sqlarray_core::build::short_vector(&[1.0f64, 2.0]).unwrap();
+        let a2 = sqlarray_core::build::short_vector(&[1.0f64, 2.0, 3.0]).unwrap();
+        state
+            .accumulate(&[Value::Bytes(a1.into_blob())])
+            .unwrap();
+        assert!(state.accumulate(&[Value::Bytes(a2.into_blob())]).is_err());
+    }
+
+    #[test]
+    fn registry_lookup_and_creation() {
+        let mut reg = UdaRegistry::new();
+        reg.register_array_aggregates();
+        assert!(reg.contains("FloatArrayMax.Concat"));
+        assert!(reg.contains("floatarraymax.concat"));
+        assert!(!reg.contains("nope"));
+        let mut s = reg.create("IntArray.Concat").unwrap();
+        s.accumulate(&[size_vec(&[1]), Value::I64(7)]).unwrap();
+        let v = s.terminate().unwrap();
+        assert_eq!(
+            v.as_array().unwrap().item(&[0]).unwrap().as_f64().unwrap(),
+            7.0
+        );
+    }
+
+    #[test]
+    fn state_round_trip_preserves_progress() {
+        let mut s = ConcatUda::new(ElementType::Float64, StorageClass::Short);
+        s.accumulate(&[size_vec(&[3]), Value::F64(1.0)]).unwrap();
+        let buf = s.serialize_state();
+        let mut s2 = ConcatUda::new(ElementType::Float64, StorageClass::Short);
+        s2.load_state(&buf).unwrap();
+        s2.accumulate(&[size_vec(&[3]), Value::F64(2.0)]).unwrap();
+        s2.accumulate(&[size_vec(&[3]), Value::F64(3.0)]).unwrap();
+        let out = s2.terminate().unwrap().as_array().unwrap();
+        assert_eq!(out.to_vec::<f64>().unwrap(), vec![1.0, 2.0, 3.0]);
+    }
+}

@@ -1,0 +1,516 @@
+//! The query executor: clustered-index scans with filters, projections,
+//! built-in aggregates, GROUP BY and user-defined aggregates.
+
+use crate::aggregate::{UdaMode, UdaRegistry, UdaState};
+use crate::expr::{eval, AggFunc, EvalEnv, Expr, RowCtx};
+use crate::hosting::HostingModel;
+use crate::tsql::{SelectItem, SelectStmt};
+use crate::udf::UdfRegistry;
+use crate::value::{EngineError, Result, Value};
+use sqlarray_storage::{IoStats, PageStore, Table};
+use std::collections::HashMap;
+use std::time::Instant;
+
+/// Default cap on rows returned by a projection without `TOP`.
+pub const DEFAULT_ROW_LIMIT: usize = 100_000;
+
+/// Per-query measurements — the raw numbers behind a Table 1 row.
+#[derive(Debug, Clone)]
+pub struct QueryStats {
+    /// Rows the scan visited (before WHERE).
+    pub rows_scanned: u64,
+    /// Managed UDF invocations during the query.
+    pub udf_calls: u64,
+    /// Hosting overhead charged, nanoseconds.
+    pub udf_overhead_ns: u64,
+    /// Wall-clock seconds (≈ CPU seconds: the engine computes in memory).
+    pub cpu_seconds: f64,
+    /// Page-level I/O performed.
+    pub io: IoStats,
+    /// Seconds the simulated disk needs for that I/O.
+    pub sim_io_seconds: f64,
+}
+
+impl QueryStats {
+    /// Execution time under the overlap model: CPU and disk pipelines run
+    /// concurrently, so the slower one bounds the query.
+    pub fn exec_seconds(&self) -> f64 {
+        self.cpu_seconds.max(self.sim_io_seconds)
+    }
+
+    /// CPU utilization in percent, as Table 1 reports it.
+    pub fn cpu_percent(&self) -> f64 {
+        if self.exec_seconds() == 0.0 {
+            0.0
+        } else {
+            100.0 * self.cpu_seconds / self.exec_seconds()
+        }
+    }
+
+    /// Effective I/O rate in MB/s over the execution time.
+    pub fn io_mb_per_sec(&self) -> f64 {
+        if self.exec_seconds() == 0.0 {
+            0.0
+        } else {
+            self.io.bytes_read() as f64 / (1024.0 * 1024.0) / self.exec_seconds()
+        }
+    }
+}
+
+/// A query result: column names, rows, measurements.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output column names.
+    pub columns: Vec<String>,
+    /// Output rows.
+    pub rows: Vec<Vec<Value>>,
+    /// Measurements.
+    pub stats: QueryStats,
+    /// `@var = expr` assignments produced by the select list.
+    pub assignments: Vec<(String, Value)>,
+}
+
+impl QueryResult {
+    /// The single value of a one-row, one-column result.
+    pub fn scalar(&self) -> Result<&Value> {
+        if self.rows.len() == 1 && self.rows[0].len() == 1 {
+            Ok(&self.rows[0][0])
+        } else {
+            Err(EngineError::Type(format!(
+                "expected a scalar result, got {}x{}",
+                self.rows.len(),
+                self.rows.first().map(|r| r.len()).unwrap_or(0)
+            )))
+        }
+    }
+}
+
+/// Everything `exec_select` needs besides the statement.
+pub struct ExecCtx<'a> {
+    /// The page store.
+    pub store: &'a mut PageStore,
+    /// Tables by lowercase name.
+    pub tables: &'a HashMap<String, Table>,
+    /// Scalar UDFs.
+    pub udfs: &'a UdfRegistry,
+    /// User-defined aggregates.
+    pub udas: &'a UdaRegistry,
+    /// Hosting model (mutated).
+    pub hosting: &'a mut HostingModel,
+    /// Session variables.
+    pub vars: &'a HashMap<String, Value>,
+    /// UDA state-maintenance mode.
+    pub uda_mode: UdaMode,
+    /// Row cap for projections without TOP.
+    pub row_limit: usize,
+}
+
+/// Rewrites scalar-function calls that name a registered UDA into
+/// [`Expr::UdaCall`] nodes.
+fn resolve_udas(expr: &Expr, udas: &UdaRegistry) -> Expr {
+    match expr {
+        Expr::Func { name, args } if udas.contains(name) => Expr::UdaCall {
+            name: name.clone(),
+            args: args.iter().map(|a| resolve_udas(a, udas)).collect(),
+        },
+        Expr::Func { name, args } => Expr::Func {
+            name: name.clone(),
+            args: args.iter().map(|a| resolve_udas(a, udas)).collect(),
+        },
+        Expr::Neg(e) => Expr::Neg(Box::new(resolve_udas(e, udas))),
+        Expr::Not(e) => Expr::Not(Box::new(resolve_udas(e, udas))),
+        Expr::Bin { op, left, right } => Expr::Bin {
+            op: *op,
+            left: Box::new(resolve_udas(left, udas)),
+            right: Box::new(resolve_udas(right, udas)),
+        },
+        other => other.clone(),
+    }
+}
+
+/// One select-list accumulator.
+enum ItemAcc {
+    Agg {
+        func: AggFunc,
+        arg: Option<Expr>,
+        count: u64,
+        sum: f64,
+        min: Option<Value>,
+        max: Option<Value>,
+    },
+    Uda {
+        args: Vec<Expr>,
+        state: Box<dyn UdaState>,
+    },
+    Plain {
+        expr: Expr,
+        value: Option<Value>,
+    },
+}
+
+fn make_acc(item_expr: &Expr, udas: &UdaRegistry) -> Result<ItemAcc> {
+    Ok(match item_expr {
+        Expr::Agg { func, arg } => ItemAcc::Agg {
+            func: *func,
+            arg: arg.as_deref().cloned(),
+            count: 0,
+            sum: 0.0,
+            min: None,
+            max: None,
+        },
+        Expr::UdaCall { name, args } => ItemAcc::Uda {
+            args: args.clone(),
+            state: udas.create(name)?,
+        },
+        other => ItemAcc::Plain {
+            expr: other.clone(),
+            value: None,
+        },
+    })
+}
+
+impl ItemAcc {
+    fn accumulate(
+        &mut self,
+        row: &RowCtx<'_>,
+        env: &mut EvalEnv<'_>,
+        uda_mode: UdaMode,
+    ) -> Result<()> {
+        match self {
+            ItemAcc::Agg {
+                func,
+                arg,
+                count,
+                sum,
+                min,
+                max,
+            } => {
+                let v = match arg {
+                    Some(e) => Some(eval(e, Some(row), env)?),
+                    None => None,
+                };
+                if matches!(func, AggFunc::CountStar) {
+                    *count += 1;
+                    return Ok(());
+                }
+                let v = v.expect("non-COUNT(*) aggregates have an argument");
+                if v.is_null() {
+                    return Ok(());
+                }
+                *count += 1;
+                match func {
+                    AggFunc::Sum | AggFunc::Avg => *sum += v.as_f64()?,
+                    AggFunc::Min => {
+                        let replace = match min {
+                            None => true,
+                            Some(cur) => {
+                                crate::expr::compare(&v, cur)? == std::cmp::Ordering::Less
+                            }
+                        };
+                        if replace {
+                            *min = Some(v);
+                        }
+                    }
+                    AggFunc::Max => {
+                        let replace = match max {
+                            None => true,
+                            Some(cur) => {
+                                crate::expr::compare(&v, cur)? == std::cmp::Ordering::Greater
+                            }
+                        };
+                        if replace {
+                            *max = Some(v);
+                        }
+                    }
+                    AggFunc::Count | AggFunc::CountStar => {}
+                }
+                Ok(())
+            }
+            ItemAcc::Uda { args, state, .. } => {
+                let mut argv = Vec::with_capacity(args.len());
+                for a in args.iter() {
+                    argv.push(eval(a, Some(row), env)?);
+                }
+                if uda_mode == UdaMode::StreamSerialized {
+                    let buf = state.serialize_state();
+                    state.load_state(&buf)?;
+                }
+                // Each UDA row hop is a managed call, like the CLR
+                // aggregate interface.
+                env.hosting.charge_call();
+                state.accumulate(&argv)
+            }
+            ItemAcc::Plain { expr, value } => {
+                if value.is_none() {
+                    *value = Some(eval(expr, Some(row), env)?);
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn finish(&mut self) -> Result<Value> {
+        match self {
+            ItemAcc::Agg {
+                func,
+                count,
+                sum,
+                min,
+                max,
+                ..
+            } => Ok(match func {
+                AggFunc::CountStar | AggFunc::Count => Value::I64(*count as i64),
+                AggFunc::Sum => {
+                    if *count == 0 {
+                        Value::Null
+                    } else {
+                        Value::F64(*sum)
+                    }
+                }
+                AggFunc::Avg => {
+                    if *count == 0 {
+                        Value::Null
+                    } else {
+                        Value::F64(*sum / *count as f64)
+                    }
+                }
+                AggFunc::Min => min.take().unwrap_or(Value::Null),
+                AggFunc::Max => max.take().unwrap_or(Value::Null),
+            }),
+            ItemAcc::Uda { state, .. } => state.terminate(),
+            ItemAcc::Plain { value, .. } => Ok(value.take().unwrap_or(Value::Null)),
+        }
+    }
+}
+
+fn item_name(item: &SelectItem, index: usize) -> String {
+    if let Some(a) = &item.alias {
+        return a.clone();
+    }
+    match &item.expr {
+        Expr::Col(name) => name.clone(),
+        Expr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase(),
+        _ => format!("col{index}"),
+    }
+}
+
+/// Executes one SELECT.
+pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResult> {
+    let io_before = ctx.store.stats();
+    ctx.hosting.reset();
+    let t0 = Instant::now();
+
+    let items: Vec<SelectItem> = stmt
+        .items
+        .iter()
+        .map(|it| SelectItem {
+            expr: resolve_udas(&it.expr, ctx.udas),
+            alias: it.alias.clone(),
+            assign: it.assign.clone(),
+        })
+        .collect();
+    let columns: Vec<String> = items
+        .iter()
+        .enumerate()
+        .map(|(i, it)| item_name(it, i))
+        .collect();
+
+    let has_aggregate =
+        items.iter().any(|it| it.expr.contains_aggregate()) || !stmt.group_by.is_empty();
+
+    let mut rows_scanned = 0u64;
+    let mut rows: Vec<Vec<Value>> = Vec::new();
+
+    match &stmt.from {
+        None => {
+            let mut env = EvalEnv {
+                udfs: ctx.udfs,
+                hosting: ctx.hosting,
+                vars: ctx.vars,
+            };
+            let mut row = Vec::with_capacity(items.len());
+            for it in &items {
+                row.push(eval(&it.expr, None, &mut env)?);
+            }
+            rows.push(row);
+        }
+        Some(table_name) => {
+            let table = ctx
+                .tables
+                .get(&table_name.to_ascii_lowercase())
+                .cloned()
+                .ok_or_else(|| EngineError::Unknown(format!("table `{table_name}`")))?;
+            let schema = table.schema().clone();
+
+            if has_aggregate {
+                // Group key (possibly empty = one global group), insertion
+                // ordered.
+                let mut group_index: HashMap<String, usize> = HashMap::new();
+                let mut groups: Vec<Vec<ItemAcc>> = Vec::new();
+                if stmt.group_by.is_empty() {
+                    let accs = items
+                        .iter()
+                        .map(|it| make_acc(&it.expr, ctx.udas))
+                        .collect::<Result<Vec<_>>>()?;
+                    groups.push(accs);
+                    group_index.insert(String::new(), 0);
+                }
+
+                let udfs = ctx.udfs;
+                let udas = ctx.udas;
+                let vars = ctx.vars;
+                let hosting = &mut *ctx.hosting;
+                let uda_mode = ctx.uda_mode;
+                let group_by = &stmt.group_by;
+                let where_clause = &stmt.where_clause;
+                let items_ref = &items;
+                let mut inner_err: Option<EngineError> = None;
+
+                table.scan_raw(ctx.store, |key, bytes| {
+                    rows_scanned += 1;
+                    let row = RowCtx {
+                        schema: &schema,
+                        bytes,
+                        key,
+                    };
+                    let mut env = EvalEnv {
+                        udfs,
+                        hosting,
+                        vars,
+                    };
+                    let step = (|| -> Result<()> {
+                        if let Some(w) = where_clause {
+                            if !eval(w, Some(&row), &mut env)?.is_true() {
+                                return Ok(());
+                            }
+                        }
+                        let gidx = if group_by.is_empty() {
+                            0
+                        } else {
+                            let mut key_parts = String::new();
+                            for g in group_by.iter() {
+                                let v = eval(g, Some(&row), &mut env)?;
+                                key_parts.push_str(&format!("{v:?}|"));
+                            }
+                            match group_index.get(&key_parts) {
+                                Some(&i) => i,
+                                None => {
+                                    let accs = items_ref
+                                        .iter()
+                                        .map(|it| make_acc(&it.expr, udas))
+                                        .collect::<Result<Vec<_>>>()?;
+                                    groups.push(accs);
+                                    let i = groups.len() - 1;
+                                    group_index.insert(key_parts, i);
+                                    i
+                                }
+                            }
+                        };
+                        for acc in groups[gidx].iter_mut() {
+                            acc.accumulate(&row, &mut env, uda_mode)?;
+                        }
+                        Ok(())
+                    })();
+                    match step {
+                        Ok(()) => Ok(true),
+                        Err(e) => {
+                            inner_err = Some(e);
+                            Ok(false)
+                        }
+                    }
+                })?;
+                if let Some(e) = inner_err {
+                    return Err(e);
+                }
+                for mut accs in groups {
+                    let mut out = Vec::with_capacity(accs.len());
+                    for acc in accs.iter_mut() {
+                        out.push(acc.finish()?);
+                    }
+                    rows.push(out);
+                }
+            } else {
+                let limit = stmt.top.unwrap_or(ctx.row_limit);
+                let udfs = ctx.udfs;
+                let vars = ctx.vars;
+                let hosting = &mut *ctx.hosting;
+                let where_clause = &stmt.where_clause;
+                let items_ref = &items;
+                let mut inner_err: Option<EngineError> = None;
+
+                table.scan_raw(ctx.store, |key, bytes| {
+                    rows_scanned += 1;
+                    if rows.len() >= limit {
+                        return Ok(false);
+                    }
+                    let row = RowCtx {
+                        schema: &schema,
+                        bytes,
+                        key,
+                    };
+                    let mut env = EvalEnv {
+                        udfs,
+                        hosting,
+                        vars,
+                    };
+                    let step = (|| -> Result<()> {
+                        if let Some(w) = where_clause {
+                            if !eval(w, Some(&row), &mut env)?.is_true() {
+                                return Ok(());
+                            }
+                        }
+                        let mut out = Vec::with_capacity(items_ref.len());
+                        for it in items_ref.iter() {
+                            out.push(eval(&it.expr, Some(&row), &mut env)?);
+                        }
+                        rows.push(out);
+                        Ok(())
+                    })();
+                    match step {
+                        Ok(()) => Ok(rows.len() < limit),
+                        Err(e) => {
+                            inner_err = Some(e);
+                            Ok(false)
+                        }
+                    }
+                })?;
+                if let Some(e) = inner_err {
+                    return Err(e);
+                }
+            }
+        }
+    }
+
+    let cpu_seconds = t0.elapsed().as_secs_f64();
+    let io = ctx.store.stats().since(&io_before);
+    let sim_io_seconds = ctx.store.profile().io_seconds(&io);
+
+    let assignments: Vec<(String, Value)> = items
+        .iter()
+        .enumerate()
+        .filter_map(|(i, it)| {
+            it.assign.as_ref().map(|name| {
+                let v = rows
+                    .last()
+                    .and_then(|r| r.get(i))
+                    .cloned()
+                    .unwrap_or(Value::Null);
+                (name.clone(), v)
+            })
+        })
+        .collect();
+
+    Ok(QueryResult {
+        columns,
+        rows,
+        stats: QueryStats {
+            rows_scanned,
+            udf_calls: ctx.hosting.calls(),
+            udf_overhead_ns: ctx.hosting.charged_ns(),
+            cpu_seconds,
+            io,
+            sim_io_seconds,
+        },
+        assignments,
+    })
+}

@@ -1,0 +1,393 @@
+//! Expression trees and their evaluation.
+
+use crate::hosting::HostingModel;
+use crate::udf::UdfRegistry;
+use crate::value::{EngineError, Result, Value};
+use sqlarray_storage::{row, RowValue, Schema};
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Mod,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+/// Aggregate functions recognized by the executor.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum AggFunc {
+    CountStar,
+    Count,
+    Sum,
+    Avg,
+    Min,
+    Max,
+}
+
+/// An expression node.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// Literal value.
+    Lit(Value),
+    /// Column reference (resolved by name against the scan schema).
+    Col(String),
+    /// Session variable `@name`.
+    Var(String),
+    /// Scalar function call (schema-qualified names allowed).
+    Func {
+        /// Function name as written.
+        name: String,
+        /// Argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Built-in aggregate; only valid in a select list.
+    Agg {
+        /// Which aggregate.
+        func: AggFunc,
+        /// The aggregated expression (`None` for `COUNT(*)`).
+        arg: Option<Box<Expr>>,
+    },
+    /// User-defined aggregate; only valid in a select list.
+    UdaCall {
+        /// Registered UDA name.
+        name: String,
+        /// Per-row argument expressions.
+        args: Vec<Expr>,
+    },
+    /// Unary minus.
+    Neg(Box<Expr>),
+    /// Logical NOT.
+    Not(Box<Expr>),
+    /// Binary operation.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+}
+
+impl Expr {
+    /// True if the expression (transitively) contains an aggregate.
+    pub fn contains_aggregate(&self) -> bool {
+        match self {
+            Expr::Agg { .. } | Expr::UdaCall { .. } => true,
+            Expr::Func { args, .. } => args.iter().any(Expr::contains_aggregate),
+            Expr::Neg(e) | Expr::Not(e) => e.contains_aggregate(),
+            Expr::Bin { left, right, .. } => {
+                left.contains_aggregate() || right.contains_aggregate()
+            }
+            _ => false,
+        }
+    }
+}
+
+/// Everything an expression needs to evaluate against one row.
+pub struct RowCtx<'a> {
+    /// Schema of the scanned table.
+    pub schema: &'a Schema,
+    /// Encoded row bytes (columns decode lazily).
+    pub bytes: &'a [u8],
+    /// Clustered key of the row.
+    pub key: i64,
+}
+
+/// The evaluation environment: UDF registry, hosting model, variables.
+pub struct EvalEnv<'a> {
+    /// Registered scalar functions.
+    pub udfs: &'a UdfRegistry,
+    /// Hosting cost model (mutated by managed calls).
+    pub hosting: &'a mut HostingModel,
+    /// Session variables.
+    pub vars: &'a std::collections::HashMap<String, Value>,
+}
+
+/// Evaluates an expression against an optional row.
+pub fn eval(expr: &Expr, row: Option<&RowCtx<'_>>, env: &mut EvalEnv<'_>) -> Result<Value> {
+    match expr {
+        Expr::Lit(v) => Ok(v.clone()),
+        Expr::Var(name) => env
+            .vars
+            .get(&name.to_ascii_lowercase())
+            .cloned()
+            .ok_or_else(|| EngineError::Unknown(format!("variable `@{name}`"))),
+        Expr::Col(name) => {
+            let row = row.ok_or_else(|| {
+                EngineError::Unknown(format!("column `{name}` outside a FROM context"))
+            })?;
+            let idx = row.schema.col_index(name).ok_or_else(|| {
+                EngineError::Unknown(format!("column `{name}`"))
+            })?;
+            let v = row::decode_col(row.schema, row.bytes, idx)?;
+            Ok(resolve_row_value(v))
+        }
+        Expr::Func { name, args } => {
+            let mut argv = Vec::with_capacity(args.len());
+            for a in args {
+                argv.push(eval(a, row, env)?);
+            }
+            env.udfs.call(name, &argv, env.hosting)
+        }
+        Expr::Agg { .. } | Expr::UdaCall { .. } => Err(EngineError::Unsupported(
+            "aggregate evaluated outside an aggregation context".into(),
+        )),
+        Expr::Neg(e) => {
+            let v = eval(e, row, env)?;
+            Ok(match v {
+                Value::I64(x) => Value::I64(-x),
+                Value::I32(x) => Value::I32(-x),
+                Value::F64(x) => Value::F64(-x),
+                Value::F32(x) => Value::F32(-x),
+                other => return Err(EngineError::Type(format!("cannot negate {other:?}"))),
+            })
+        }
+        Expr::Not(e) => {
+            let v = eval(e, row, env)?;
+            Ok(Value::Bool(!v.is_true()))
+        }
+        Expr::Bin { op, left, right } => {
+            let l = eval(left, row, env)?;
+            // Short-circuit logical operators.
+            match op {
+                BinOp::And if !l.is_true() => return Ok(Value::Bool(false)),
+                BinOp::Or if l.is_true() => return Ok(Value::Bool(true)),
+                _ => {}
+            }
+            let r = eval(right, row, env)?;
+            apply_bin(*op, l, r)
+        }
+    }
+}
+
+/// LOB references surface as their id string unless a blob-aware operator
+/// resolves them; in-row data passes through.
+fn resolve_row_value(v: RowValue) -> Value {
+    Value::from(v)
+}
+
+fn apply_bin(op: BinOp, l: Value, r: Value) -> Result<Value> {
+    use BinOp::*;
+    match op {
+        And => Ok(Value::Bool(l.is_true() && r.is_true())),
+        Or => Ok(Value::Bool(l.is_true() || r.is_true())),
+        Add | Sub | Mul | Div | Mod => {
+            // Integer arithmetic stays integral when both sides are.
+            let int_int = matches!(l, Value::I64(_) | Value::I32(_))
+                && matches!(r, Value::I64(_) | Value::I32(_));
+            if int_int {
+                let a = l.as_i64()?;
+                let b = r.as_i64()?;
+                let v = match op {
+                    Add => a.wrapping_add(b),
+                    Sub => a.wrapping_sub(b),
+                    Mul => a.wrapping_mul(b),
+                    Div => {
+                        if b == 0 {
+                            return Err(EngineError::Type("integer division by zero".into()));
+                        }
+                        a / b
+                    }
+                    Mod => {
+                        if b == 0 {
+                            return Err(EngineError::Type("modulo by zero".into()));
+                        }
+                        a % b
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::I64(v))
+            } else {
+                let a = l.as_f64()?;
+                let b = r.as_f64()?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Mod => a % b,
+                    _ => unreachable!(),
+                };
+                Ok(Value::F64(v))
+            }
+        }
+        Eq | Ne | Lt | Le | Gt | Ge => {
+            let ord = compare(&l, &r)?;
+            let b = match op {
+                Eq => ord == std::cmp::Ordering::Equal,
+                Ne => ord != std::cmp::Ordering::Equal,
+                Lt => ord == std::cmp::Ordering::Less,
+                Le => ord != std::cmp::Ordering::Greater,
+                Gt => ord == std::cmp::Ordering::Greater,
+                Ge => ord != std::cmp::Ordering::Less,
+                _ => unreachable!(),
+            };
+            Ok(Value::Bool(b))
+        }
+    }
+}
+
+/// SQL comparison: numerics compare numerically, strings lexically, bytes
+/// bytewise.
+pub fn compare(l: &Value, r: &Value) -> Result<std::cmp::Ordering> {
+    match (l, r) {
+        (Value::Str(a), Value::Str(b)) => Ok(a.cmp(b)),
+        (Value::Bytes(a), Value::Bytes(b)) => Ok(a.cmp(b)),
+        _ => {
+            let a = l.as_f64()?;
+            let b = r.as_f64()?;
+            a.partial_cmp(&b)
+                .ok_or_else(|| EngineError::Type("NaN comparison".into()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    fn env_fixture() -> (UdfRegistry, HostingModel, HashMap<String, Value>) {
+        let mut reg = UdfRegistry::new();
+        reg.register("dbo.Twice", Some(1..=1), |a| {
+            Ok(Value::F64(a[0].as_f64()? * 2.0))
+        });
+        let mut vars = HashMap::new();
+        vars.insert("x".to_string(), Value::I64(21));
+        (reg, HostingModel::free(), vars)
+    }
+
+    fn eval_free(expr: &Expr) -> Result<Value> {
+        let (reg, mut h, vars) = env_fixture();
+        let mut env = EvalEnv {
+            udfs: &reg,
+            hosting: &mut h,
+            vars: &vars,
+        };
+        eval(expr, None, &mut env)
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    #[test]
+    fn arithmetic() {
+        let e = bin(
+            BinOp::Add,
+            Expr::Lit(Value::I64(2)),
+            bin(BinOp::Mul, Expr::Lit(Value::I64(3)), Expr::Lit(Value::I64(4))),
+        );
+        assert_eq!(eval_free(&e).unwrap(), Value::I64(14));
+        let f = bin(BinOp::Div, Expr::Lit(Value::F64(1.0)), Expr::Lit(Value::I64(4)));
+        assert_eq!(eval_free(&f).unwrap(), Value::F64(0.25));
+        let z = bin(BinOp::Div, Expr::Lit(Value::I64(1)), Expr::Lit(Value::I64(0)));
+        assert!(eval_free(&z).is_err());
+    }
+
+    #[test]
+    fn comparisons_and_logic() {
+        let lt = bin(BinOp::Lt, Expr::Lit(Value::I64(1)), Expr::Lit(Value::F64(1.5)));
+        assert_eq!(eval_free(&lt).unwrap(), Value::Bool(true));
+        let and = bin(
+            BinOp::And,
+            Expr::Lit(Value::Bool(true)),
+            Expr::Lit(Value::Bool(false)),
+        );
+        assert_eq!(eval_free(&and).unwrap(), Value::Bool(false));
+        let not = Expr::Not(Box::new(Expr::Lit(Value::I64(0))));
+        assert_eq!(eval_free(&not).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn short_circuit_skips_rhs_errors() {
+        // RHS would fail (unknown variable), but the AND short-circuits.
+        let e = bin(
+            BinOp::And,
+            Expr::Lit(Value::Bool(false)),
+            Expr::Var("missing".into()),
+        );
+        assert_eq!(eval_free(&e).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn variables_and_functions() {
+        let e = Expr::Func {
+            name: "dbo.Twice".into(),
+            args: vec![Expr::Var("x".into())],
+        };
+        assert_eq!(eval_free(&e).unwrap(), Value::F64(42.0));
+        assert!(eval_free(&Expr::Var("nope".into())).is_err());
+    }
+
+    #[test]
+    fn column_eval_against_row() {
+        use sqlarray_storage::{ColType, PageStore};
+        let schema = Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]);
+        let mut store = PageStore::new();
+        let bytes = sqlarray_storage::row::encode_row(
+            &mut store,
+            &schema,
+            &[RowValue::I64(7), RowValue::F64(1.25)],
+        )
+        .unwrap();
+        let row = RowCtx {
+            schema: &schema,
+            bytes: &bytes,
+            key: 7,
+        };
+        let (reg, mut h, vars) = env_fixture();
+        let mut env = EvalEnv {
+            udfs: &reg,
+            hosting: &mut h,
+            vars: &vars,
+        };
+        assert_eq!(
+            eval(&Expr::Col("x".into()), Some(&row), &mut env).unwrap(),
+            Value::F64(1.25)
+        );
+        assert!(eval(&Expr::Col("x".into()), None, &mut env).is_err());
+        assert!(eval(&Expr::Col("nope".into()), Some(&row), &mut env).is_err());
+    }
+
+    #[test]
+    fn aggregate_detection() {
+        let agg = Expr::Agg {
+            func: AggFunc::Sum,
+            arg: Some(Box::new(Expr::Col("x".into()))),
+        };
+        assert!(agg.contains_aggregate());
+        let nested = Expr::Func {
+            name: "f".into(),
+            args: vec![agg],
+        };
+        assert!(nested.contains_aggregate());
+        assert!(!Expr::Col("x".into()).contains_aggregate());
+    }
+
+    #[test]
+    fn negation_types() {
+        assert_eq!(
+            eval_free(&Expr::Neg(Box::new(Expr::Lit(Value::I32(5))))).unwrap(),
+            Value::I32(-5)
+        );
+        assert!(eval_free(&Expr::Neg(Box::new(Expr::Lit(Value::Str("s".into()))))).is_err());
+    }
+}

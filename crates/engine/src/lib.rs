@@ -1,0 +1,40 @@
+//! # sqlarray-engine
+//!
+//! A miniature relational query engine reproducing the parts of SQL Server
+//! that the paper's evaluation exercises (Dobos et al., EDBT 2011):
+//!
+//! * a T-SQL-flavoured dialect ([`tsql`]) covering the paper's examples —
+//!   `DECLARE`/`SET`, schema-qualified UDF calls, `SELECT ... FROM ... WITH
+//!   (NOLOCK)`, aggregates, `GROUP BY`;
+//! * clustered-index-scan execution with per-query I/O and CPU accounting
+//!   ([`exec`]);
+//! * a scalar UDF registry hosting the entire array library under its
+//!   original schema names ([`udf`], [`arraybind`]) plus the LAPACK/FFTW
+//!   bindings ([`mathfn`]);
+//! * an explicit CLR hosting-cost model ([`hosting`]) reproducing the
+//!   ~2 µs/call overhead that makes queries 4 and 5 of Table 1 CPU-bound;
+//! * user-defined aggregates with the per-row state-serialization mode
+//!   that made the paper abandon UDAs ([`aggregate`]).
+
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod arraybind;
+pub mod exec;
+pub mod expr;
+pub mod hosting;
+pub mod mathfn;
+pub mod session;
+pub mod sugar;
+pub mod tsql;
+pub mod udf;
+pub mod value;
+
+pub use aggregate::{UdaMode, UdaRegistry, UdaState};
+pub use exec::{QueryResult, QueryStats};
+pub use hosting::{CostClass, HostingModel, PAPER_CLR_CALL_NS};
+pub use mathfn::{fft_array, gesvd_array, ifft_array, power_spectrum_array};
+pub use session::{Database, Session};
+pub use sugar::{desugar, SugarTypes};
+pub use udf::UdfRegistry;
+pub use value::{EngineError, Value};

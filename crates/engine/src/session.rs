@@ -1,0 +1,415 @@
+//! Sessions: database + function registries + variables, executing T-SQL
+//! batches.
+
+use crate::aggregate::{UdaMode, UdaRegistry};
+use crate::exec::{exec_select, ExecCtx, QueryResult, DEFAULT_ROW_LIMIT};
+use crate::expr::{eval, EvalEnv};
+use crate::hosting::HostingModel;
+use crate::tsql::{parse, Stmt};
+use crate::udf::UdfRegistry;
+use crate::value::{EngineError, Result, Value};
+use sqlarray_storage::{PageStore, RowValue, Schema, Table};
+use std::collections::HashMap;
+
+/// A database: one page store plus its tables.
+pub struct Database {
+    /// The page store all tables live in.
+    pub store: PageStore,
+    /// Tables by lowercase name.
+    pub tables: HashMap<String, Table>,
+}
+
+impl Database {
+    /// An empty database with default store settings.
+    pub fn new() -> Database {
+        Database {
+            store: PageStore::new(),
+            tables: HashMap::new(),
+        }
+    }
+
+    /// An empty database over a custom store (pool size, disk profile).
+    pub fn with_store(store: PageStore) -> Database {
+        Database {
+            store,
+            tables: HashMap::new(),
+        }
+    }
+
+    /// Creates a table.
+    pub fn create_table(&mut self, name: &str, schema: Schema) -> Result<()> {
+        let key = name.to_ascii_lowercase();
+        if self.tables.contains_key(&key) {
+            return Err(EngineError::Storage(format!("table `{name}` exists")));
+        }
+        let t = Table::create(&mut self.store, name, schema)?;
+        self.tables.insert(key, t);
+        Ok(())
+    }
+
+    /// Inserts a row into a table.
+    pub fn insert(&mut self, table: &str, key: i64, values: &[RowValue]) -> Result<()> {
+        let t = self
+            .tables
+            .get_mut(&table.to_ascii_lowercase())
+            .ok_or_else(|| EngineError::Unknown(format!("table `{table}`")))?;
+        t.insert(&mut self.store, key, values)?;
+        Ok(())
+    }
+
+    /// Looks a table up by name.
+    pub fn table(&self, name: &str) -> Option<&Table> {
+        self.tables.get(&name.to_ascii_lowercase())
+    }
+}
+
+impl Default for Database {
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+/// An interactive session against one database.
+pub struct Session {
+    /// The database.
+    pub db: Database,
+    /// Scalar UDFs (all array schemas + math bindings pre-registered).
+    pub udfs: UdfRegistry,
+    /// User-defined aggregates (array aggregates pre-registered).
+    pub udas: UdaRegistry,
+    /// CLR hosting-cost model.
+    pub hosting: HostingModel,
+    /// How UDA state is maintained between rows.
+    pub uda_mode: UdaMode,
+    /// Row cap for projections without TOP.
+    pub row_limit: usize,
+    vars: HashMap<String, Value>,
+}
+
+impl Session {
+    /// A session with the full array library registered and the paper's
+    /// 2 µs CLR hosting cost.
+    pub fn new(db: Database) -> Session {
+        Session::with_hosting(db, HostingModel::paper_clr())
+    }
+
+    /// A session with an explicit hosting model (e.g.
+    /// [`HostingModel::free`] for the native-cost counterfactual).
+    pub fn with_hosting(db: Database, hosting: HostingModel) -> Session {
+        let mut udfs = UdfRegistry::new();
+        crate::arraybind::register_all(&mut udfs);
+        crate::mathfn::register_math(&mut udfs);
+        let mut udas = UdaRegistry::new();
+        udas.register_array_aggregates();
+        Session {
+            db,
+            udfs,
+            udas,
+            hosting,
+            uda_mode: UdaMode::InMemory,
+            row_limit: DEFAULT_ROW_LIMIT,
+            vars: HashMap::new(),
+        }
+    }
+
+    /// Reads a session variable.
+    pub fn var(&self, name: &str) -> Option<&Value> {
+        self.vars.get(&name.to_ascii_lowercase())
+    }
+
+    /// Sets a session variable directly (bypassing SQL).
+    pub fn set_var(&mut self, name: &str, v: Value) {
+        self.vars.insert(name.to_ascii_lowercase(), v);
+    }
+
+    /// Executes a batch; returns the result of each SELECT in order.
+    pub fn execute(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
+        let stmts = parse(sql)?;
+        let mut results = Vec::new();
+        for stmt in stmts {
+            match stmt {
+                Stmt::Declare { name, init } => {
+                    let v = match init {
+                        Some(e) => self.eval_expr(&e)?,
+                        None => Value::Null,
+                    };
+                    self.vars.insert(name.to_ascii_lowercase(), v);
+                }
+                Stmt::Set { name, expr } => {
+                    let key = name.to_ascii_lowercase();
+                    if !self.vars.contains_key(&key) {
+                        return Err(EngineError::Unknown(format!(
+                            "variable `@{name}` (DECLARE it first)"
+                        )));
+                    }
+                    let v = self.eval_expr(&expr)?;
+                    self.vars.insert(key, v);
+                }
+                Stmt::Select(sel) => {
+                    let result = {
+                        let mut ctx = ExecCtx {
+                            store: &mut self.db.store,
+                            tables: &self.db.tables,
+                            udfs: &self.udfs,
+                            udas: &self.udas,
+                            hosting: &mut self.hosting,
+                            vars: &self.vars,
+                            uda_mode: self.uda_mode,
+                            row_limit: self.row_limit,
+                        };
+                        exec_select(&mut ctx, &sel)?
+                    };
+                    for (name, v) in &result.assignments {
+                        self.vars.insert(name.to_ascii_lowercase(), v.clone());
+                    }
+                    results.push(result);
+                }
+            }
+        }
+        Ok(results)
+    }
+
+    /// Executes a batch written in the §8 array-notation sugar (`@a[3]`,
+    /// `v[1:4]`, `SET @a[0] = x`), translating it through
+    /// [`crate::sugar::desugar`] first.
+    pub fn execute_sugar(
+        &mut self,
+        sql: &str,
+        types: &crate::sugar::SugarTypes,
+    ) -> Result<Vec<QueryResult>> {
+        let plain = crate::sugar::desugar(sql, types)?;
+        self.execute(&plain)
+    }
+
+    /// Sugar variant of [`query`](Self::query).
+    pub fn query_sugar(
+        &mut self,
+        sql: &str,
+        types: &crate::sugar::SugarTypes,
+    ) -> Result<QueryResult> {
+        self.execute_sugar(sql, types)?
+            .pop()
+            .ok_or_else(|| EngineError::Unsupported("batch contains no SELECT".into()))
+    }
+
+    /// Executes a batch and returns the last SELECT's result.
+    pub fn query(&mut self, sql: &str) -> Result<QueryResult> {
+        self.execute(sql)?
+            .pop()
+            .ok_or_else(|| EngineError::Unsupported("batch contains no SELECT".into()))
+    }
+
+    /// Executes a batch expecting a single scalar result.
+    pub fn query_scalar(&mut self, sql: &str) -> Result<Value> {
+        Ok(self.query(sql)?.scalar()?.clone())
+    }
+
+    fn eval_expr(&mut self, e: &crate::expr::Expr) -> Result<Value> {
+        let mut env = EvalEnv {
+            udfs: &self.udfs,
+            hosting: &mut self.hosting,
+            vars: &self.vars,
+        };
+        eval(e, None, &mut env)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlarray_storage::ColType;
+
+    fn session_with_tables(rows: i64) -> Session {
+        let mut db = Database::new();
+        db.create_table(
+            "Tscalar",
+            Schema::new(&[
+                ("id", ColType::I64),
+                ("v1", ColType::F64),
+                ("v2", ColType::F64),
+                ("v3", ColType::F64),
+                ("v4", ColType::F64),
+                ("v5", ColType::F64),
+            ]),
+        )
+        .unwrap();
+        db.create_table(
+            "Tvector",
+            Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]),
+        )
+        .unwrap();
+        for k in 0..rows {
+            let comps: Vec<f64> = (0..5).map(|i| k as f64 + i as f64 * 0.25).collect();
+            let scalar_row: Vec<RowValue> = std::iter::once(RowValue::I64(k))
+                .chain(comps.iter().map(|&c| RowValue::F64(c)))
+                .collect();
+            db.insert("Tscalar", k, &scalar_row).unwrap();
+            let arr = sqlarray_core::build::short_vector(&comps).unwrap();
+            db.insert(
+                "Tvector",
+                k,
+                &[RowValue::I64(k), RowValue::Bytes(arr.into_blob())],
+            )
+            .unwrap();
+        }
+        // Keep unit tests fast: no hosting spin.
+        Session::with_hosting(db, HostingModel::free())
+    }
+
+    #[test]
+    fn paper_queries_1_through_5() {
+        let mut s = session_with_tables(200);
+        // Q1 / Q2: COUNT(*).
+        let q1 = s
+            .query_scalar("SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)")
+            .unwrap();
+        assert_eq!(q1, Value::I64(200));
+        let q2 = s
+            .query_scalar("SELECT COUNT(*) FROM Tvector WITH (NOLOCK)")
+            .unwrap();
+        assert_eq!(q2, Value::I64(200));
+        // Q3: native column sum.
+        let q3 = s
+            .query_scalar("SELECT SUM(v1) FROM Tscalar WITH (NOLOCK)")
+            .unwrap();
+        let expected: f64 = (0..200).map(|k| k as f64).sum();
+        assert_eq!(q3, Value::F64(expected));
+        // Q4: sum through the array UDF.
+        let q4 = s
+            .query_scalar("SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)")
+            .unwrap();
+        assert_eq!(q4, Value::F64(expected));
+        // Q5: the empty managed function.
+        let q5 = s
+            .query_scalar("SELECT SUM(dbo.EmptyFunction(v, 0)) FROM Tvector WITH (NOLOCK)")
+            .unwrap();
+        assert_eq!(q5, Value::F64(0.0));
+    }
+
+    #[test]
+    fn q4_charges_one_udf_call_per_row() {
+        let mut s = session_with_tables(150);
+        let r = s
+            .query("SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector")
+            .unwrap();
+        assert_eq!(r.stats.rows_scanned, 150);
+        assert_eq!(r.stats.udf_calls, 150);
+        // Q3 makes none.
+        let r3 = s.query("SELECT SUM(v1) FROM Tscalar").unwrap();
+        assert_eq!(r3.stats.udf_calls, 0);
+    }
+
+    #[test]
+    fn declare_set_select_variables() {
+        let mut s = session_with_tables(0);
+        let results = s
+            .execute(
+                "DECLARE @a VARBINARY(100) = FloatArray.Vector_5(1.0, 2.0, 3.0, 4.0, 5.0);\
+                 SELECT FloatArray.Item_1(@a, 3)",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].rows[0][0], Value::F64(4.0));
+        // SET without DECLARE fails.
+        assert!(s.execute("SET @zzz = 1").is_err());
+    }
+
+    #[test]
+    fn where_and_projection() {
+        let mut s = session_with_tables(20);
+        let r = s
+            .query("SELECT TOP 3 id, v1 FROM Tscalar WHERE id >= 5")
+            .unwrap();
+        assert_eq!(r.columns, vec!["id", "v1"]);
+        assert_eq!(r.rows.len(), 3);
+        assert_eq!(r.rows[0][0], Value::I64(5));
+        assert_eq!(r.rows[2][0], Value::I64(7));
+    }
+
+    #[test]
+    fn group_by_aggregation() {
+        let mut s = session_with_tables(10);
+        let r = s
+            .query("SELECT id % 2, COUNT(*), SUM(v1) FROM Tscalar GROUP BY id % 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        // Insertion order: group of id=0 (even) first.
+        assert_eq!(r.rows[0][1], Value::I64(5));
+        assert_eq!(r.rows[1][1], Value::I64(5));
+        let even: f64 = (0..10).step_by(2).map(|k| k as f64).sum();
+        assert_eq!(r.rows[0][2], Value::F64(even));
+    }
+
+    #[test]
+    fn min_max_avg() {
+        let mut s = session_with_tables(9);
+        let r = s
+            .query("SELECT MIN(v1), MAX(v1), AVG(v1), COUNT(v1) FROM Tscalar")
+            .unwrap();
+        assert_eq!(r.rows[0][0], Value::F64(0.0));
+        assert_eq!(r.rows[0][1], Value::F64(8.0));
+        assert_eq!(r.rows[0][2], Value::F64(4.0));
+        assert_eq!(r.rows[0][3], Value::I64(9));
+    }
+
+    #[test]
+    fn concat_uda_via_sql() {
+        let mut s = session_with_tables(6);
+        // Assemble all six v1 values into one vector, in scan order.
+        let results = s
+            .execute(
+                "DECLARE @l VARBINARY(100) = IntArray.Vector_1(6);\
+                 DECLARE @a VARBINARY(MAX);\
+                 SELECT @a = FloatArrayMax.Concat(@l, v1) FROM Tscalar",
+            )
+            .unwrap();
+        assert_eq!(results.len(), 1);
+        let a = s.var("a").unwrap().as_array().unwrap();
+        assert_eq!(a.dims(), &[6]);
+        assert_eq!(
+            a.to_vec::<f64>().unwrap(),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        );
+    }
+
+    #[test]
+    fn vector_avg_group_composite() {
+        let mut s = session_with_tables(8);
+        let r = s
+            .query("SELECT id % 2, FloatArrayMax.VectorAvg(v) FROM Tvector GROUP BY id % 2")
+            .unwrap();
+        assert_eq!(r.rows.len(), 2);
+        let even = r.rows[0][1].as_array().unwrap();
+        // Rows 0,2,4,6: v1 mean = 3.0.
+        assert_eq!(even.item(&[0]).unwrap().as_f64().unwrap(), 3.0);
+    }
+
+    #[test]
+    fn stats_track_io() {
+        let mut s = session_with_tables(2000);
+        s.db.store.clear_cache();
+        let r = s.query("SELECT COUNT(*) FROM Tscalar").unwrap();
+        assert!(r.stats.io.pages_read > 5);
+        assert!(r.stats.sim_io_seconds > 0.0);
+        assert!(r.stats.exec_seconds() > 0.0);
+        assert!(r.stats.cpu_percent() <= 100.0);
+        // Cached re-run does less physical I/O.
+        let r2 = s.query("SELECT COUNT(*) FROM Tscalar").unwrap();
+        assert!(r2.stats.io.pages_read < r.stats.io.pages_read);
+    }
+
+    #[test]
+    fn unknown_names_error() {
+        let mut s = session_with_tables(1);
+        assert!(s.query("SELECT COUNT(*) FROM nope").is_err());
+        assert!(s.query("SELECT nocol FROM Tscalar").is_err());
+        assert!(s.query("SELECT no.such.fn(1)").is_err());
+    }
+
+    #[test]
+    fn selects_without_from() {
+        let mut s = session_with_tables(0);
+        let v = s.query_scalar("SELECT 1 + 2 * 3").unwrap();
+        assert_eq!(v, Value::I64(7));
+    }
+}

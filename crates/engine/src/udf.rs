@@ -1,0 +1,201 @@
+//! Scalar UDF registry.
+//!
+//! The original library exposes its whole surface as schema-qualified
+//! scalar functions (`FloatArray.Item_1`, `IntArrayMax.Subarray`, ...,
+//! §5.1). Because T-SQL lacks variadic UDFs, the numbered suffix encodes
+//! the arity; this registry accepts variadic implementations and resolves
+//! `Name_N` to `Name` automatically, so the paper's exact spellings work.
+
+use crate::hosting::{CostClass, HostingModel};
+use crate::value::{EngineError, Result, Value};
+use std::collections::HashMap;
+
+/// The implementation of a scalar function.
+pub type UdfFn = Box<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
+
+/// A registered scalar function.
+pub struct Udf {
+    /// Implementation.
+    pub func: UdfFn,
+    /// Managed functions pay the hosting overhead per call; native ones
+    /// do not.
+    pub cost: CostClass,
+    /// Allowed argument counts (`None` = variadic).
+    pub arity: Option<std::ops::RangeInclusive<usize>>,
+}
+
+/// Name → function registry, case-insensitive.
+#[derive(Default)]
+pub struct UdfRegistry {
+    funcs: HashMap<String, Udf>,
+}
+
+impl UdfRegistry {
+    /// An empty registry.
+    pub fn new() -> UdfRegistry {
+        UdfRegistry::default()
+    }
+
+    /// Registers a managed (CLR-cost) function.
+    pub fn register(
+        &mut self,
+        name: &str,
+        arity: Option<std::ops::RangeInclusive<usize>>,
+        func: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(
+            name.to_ascii_lowercase(),
+            Udf {
+                func: Box::new(func),
+                cost: CostClass::Managed,
+                arity,
+            },
+        );
+    }
+
+    /// Registers a native (no hosting charge) function.
+    pub fn register_native(
+        &mut self,
+        name: &str,
+        arity: Option<std::ops::RangeInclusive<usize>>,
+        func: impl Fn(&[Value]) -> Result<Value> + Send + Sync + 'static,
+    ) {
+        self.funcs.insert(
+            name.to_ascii_lowercase(),
+            Udf {
+                func: Box::new(func),
+                cost: CostClass::Native,
+                arity,
+            },
+        );
+    }
+
+    /// Looks a function up, resolving `Name_N` numbered variants to their
+    /// variadic base registration.
+    pub fn resolve(&self, name: &str) -> Option<&Udf> {
+        let lower = name.to_ascii_lowercase();
+        if let Some(u) = self.funcs.get(&lower) {
+            return Some(u);
+        }
+        // Strip a trailing _<digits> (the T-SQL numbered-arity convention).
+        if let Some(pos) = lower.rfind('_') {
+            if lower[pos + 1..].chars().all(|c| c.is_ascii_digit())
+                && !lower[pos + 1..].is_empty()
+            {
+                return self.funcs.get(&lower[..pos]);
+            }
+        }
+        None
+    }
+
+    /// Invokes a function, charging the hosting model for managed calls.
+    pub fn call(&self, name: &str, args: &[Value], hosting: &mut HostingModel) -> Result<Value> {
+        let udf = self
+            .resolve(name)
+            .ok_or_else(|| EngineError::Unknown(format!("function `{name}`")))?;
+        if let Some(arity) = &udf.arity {
+            if !arity.contains(&args.len()) {
+                return Err(EngineError::Arity {
+                    func: name.to_string(),
+                    got: args.len(),
+                    want: format!("{}..={}", arity.start(), arity.end()),
+                });
+            }
+        }
+        if udf.cost == CostClass::Managed {
+            hosting.charge_call();
+        }
+        (udf.func)(args)
+    }
+
+    /// Number of registered functions.
+    pub fn len(&self) -> usize {
+        self.funcs.len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.funcs.is_empty()
+    }
+
+    /// All registered names, sorted (for documentation/tests).
+    pub fn names(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.funcs.keys().cloned().collect();
+        v.sort();
+        v
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn add_fn(args: &[Value]) -> Result<Value> {
+        Ok(Value::F64(args[0].as_f64()? + args[1].as_f64()?))
+    }
+
+    #[test]
+    fn register_and_call() {
+        let mut reg = UdfRegistry::new();
+        reg.register("dbo.Add", Some(2..=2), add_fn);
+        let mut h = HostingModel::free();
+        let v = reg
+            .call("dbo.add", &[Value::F64(1.0), Value::F64(2.0)], &mut h)
+            .unwrap();
+        assert_eq!(v, Value::F64(3.0));
+        assert_eq!(h.calls(), 1);
+    }
+
+    #[test]
+    fn numbered_suffix_resolves() {
+        let mut reg = UdfRegistry::new();
+        reg.register("FloatArray.Vector", None, |args| {
+            Ok(Value::I64(args.len() as i64))
+        });
+        let mut h = HostingModel::free();
+        let v = reg
+            .call(
+                "FloatArray.Vector_3",
+                &[Value::F64(1.0), Value::F64(2.0), Value::F64(3.0)],
+                &mut h,
+            )
+            .unwrap();
+        assert_eq!(v, Value::I64(3));
+        // But a name whose suffix is not numeric does not resolve.
+        assert!(reg.resolve("FloatArray.Vector_x").is_none());
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let mut reg = UdfRegistry::new();
+        reg.register("f", Some(2..=2), add_fn);
+        let mut h = HostingModel::free();
+        assert!(matches!(
+            reg.call("f", &[Value::F64(1.0)], &mut h),
+            Err(EngineError::Arity { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_function() {
+        let reg = UdfRegistry::new();
+        let mut h = HostingModel::free();
+        assert!(matches!(
+            reg.call("nope", &[], &mut h),
+            Err(EngineError::Unknown(_))
+        ));
+    }
+
+    #[test]
+    fn native_functions_skip_hosting_charge() {
+        let mut reg = UdfRegistry::new();
+        reg.register_native("native.id", Some(1..=1), |args| Ok(args[0].clone()));
+        reg.register("managed.id", Some(1..=1), |args| Ok(args[0].clone()));
+        let mut h = HostingModel::new(100);
+        reg.call("native.id", &[Value::I64(1)], &mut h).unwrap();
+        assert_eq!(h.calls(), 0);
+        reg.call("managed.id", &[Value::I64(1)], &mut h).unwrap();
+        assert_eq!(h.calls(), 1);
+        assert_eq!(h.charged_ns(), 100);
+    }
+}

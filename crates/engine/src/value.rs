@@ -1,0 +1,289 @@
+//! SQL values flowing through the query engine.
+
+use sqlarray_core::{ArrayError, Scalar, SqlArray};
+use sqlarray_storage::RowValue;
+use std::fmt;
+
+/// A runtime SQL value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// SQL NULL.
+    Null,
+    /// `bigint`.
+    I64(i64),
+    /// `int`.
+    I32(i32),
+    /// `float`.
+    F64(f64),
+    /// `real`.
+    F32(f32),
+    /// `varbinary` — including array blobs.
+    Bytes(Vec<u8>),
+    /// `varchar`.
+    Str(String),
+    /// `bit`.
+    Bool(bool),
+}
+
+/// Engine error type.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payloads are self-describing
+pub enum EngineError {
+    /// SQL text failed to parse.
+    Parse { pos: usize, msg: String },
+    /// Name resolution failed (table, column, function).
+    Unknown(String),
+    /// A value had the wrong type for an operation.
+    Type(String),
+    /// Wrong number of arguments to a function.
+    Arity {
+        func: String,
+        got: usize,
+        want: String,
+    },
+    /// Array library error surfaced through a UDF.
+    Array(String),
+    /// Storage engine failure.
+    Storage(String),
+    /// Feature outside the supported T-SQL subset.
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Parse { pos, msg } => write!(f, "parse error at {pos}: {msg}"),
+            EngineError::Unknown(what) => write!(f, "unknown {what}"),
+            EngineError::Type(msg) => write!(f, "type error: {msg}"),
+            EngineError::Arity { func, got, want } => {
+                write!(f, "{func} takes {want} arguments, got {got}")
+            }
+            EngineError::Array(msg) => write!(f, "array error: {msg}"),
+            EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<ArrayError> for EngineError {
+    fn from(e: ArrayError) -> Self {
+        EngineError::Array(e.to_string())
+    }
+}
+
+impl From<sqlarray_storage::StorageError> for EngineError {
+    fn from(e: sqlarray_storage::StorageError) -> Self {
+        EngineError::Storage(e.to_string())
+    }
+}
+
+/// Engine result alias.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+impl Value {
+    /// Numeric view as `f64`; NULL and non-numerics fail.
+    pub fn as_f64(&self) -> Result<f64> {
+        match self {
+            Value::I64(v) => Ok(*v as f64),
+            Value::I32(v) => Ok(*v as f64),
+            Value::F64(v) => Ok(*v),
+            Value::F32(v) => Ok(*v as f64),
+            Value::Bool(b) => Ok(*b as i64 as f64),
+            other => Err(EngineError::Type(format!("{other:?} is not numeric"))),
+        }
+    }
+
+    /// Integer view (floats must be integral).
+    pub fn as_i64(&self) -> Result<i64> {
+        match self {
+            Value::I64(v) => Ok(*v),
+            Value::I32(v) => Ok(*v as i64),
+            Value::F64(v) if v.fract() == 0.0 => Ok(*v as i64),
+            Value::F32(v) if v.fract() == 0.0 => Ok(*v as i64),
+            other => Err(EngineError::Type(format!("{other:?} is not an integer"))),
+        }
+    }
+
+    /// Index view (non-negative integer).
+    pub fn as_index(&self) -> Result<usize> {
+        let v = self.as_i64()?;
+        usize::try_from(v).map_err(|_| EngineError::Type(format!("negative index {v}")))
+    }
+
+    /// Binary view.
+    pub fn as_bytes(&self) -> Result<&[u8]> {
+        match self {
+            Value::Bytes(b) => Ok(b),
+            other => Err(EngineError::Type(format!("{other:?} is not binary"))),
+        }
+    }
+
+    /// Decodes this binary value as an array blob.
+    pub fn as_array(&self) -> Result<SqlArray> {
+        Ok(SqlArray::from_blob(self.as_bytes()?.to_vec())?)
+    }
+
+    /// Truthiness for WHERE clauses.
+    pub fn is_true(&self) -> bool {
+        match self {
+            Value::Bool(b) => *b,
+            Value::Null => false,
+            Value::I64(v) => *v != 0,
+            Value::I32(v) => *v != 0,
+            Value::F64(v) => *v != 0.0,
+            Value::F32(v) => *v != 0.0,
+            Value::Bytes(b) => !b.is_empty(),
+            Value::Str(s) => !s.is_empty(),
+        }
+    }
+
+    /// True for SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl From<Scalar> for Value {
+    fn from(s: Scalar) -> Value {
+        match s {
+            Scalar::I8(v) => Value::I32(v as i32),
+            Scalar::I16(v) => Value::I32(v as i32),
+            Scalar::I32(v) => Value::I32(v),
+            Scalar::I64(v) => Value::I64(v),
+            Scalar::F32(v) => Value::F32(v),
+            Scalar::F64(v) => Value::F64(v),
+            // Complex scalars cross the SQL boundary in their UDT
+            // serialization: 16/32 bytes of little-endian parts.
+            Scalar::C32(c) => {
+                let mut b = vec![0u8; 8];
+                c.write_le_into(&mut b);
+                Value::Bytes(b)
+            }
+            Scalar::C64(c) => {
+                let mut b = vec![0u8; 16];
+                c.write_le_into(&mut b);
+                Value::Bytes(b)
+            }
+        }
+    }
+}
+
+/// Helper trait so complex types can serialize through the same path.
+trait WriteLeInto {
+    fn write_le_into(&self, out: &mut [u8]);
+}
+
+impl WriteLeInto for sqlarray_core::Complex32 {
+    fn write_le_into(&self, out: &mut [u8]) {
+        use sqlarray_core::Element;
+        Element::write_le(*self, out);
+    }
+}
+
+impl WriteLeInto for sqlarray_core::Complex64 {
+    fn write_le_into(&self, out: &mut [u8]) {
+        use sqlarray_core::Element;
+        Element::write_le(*self, out);
+    }
+}
+
+impl From<RowValue> for Value {
+    fn from(v: RowValue) -> Value {
+        match v {
+            RowValue::I64(x) => Value::I64(x),
+            RowValue::I32(x) => Value::I32(x),
+            RowValue::F64(x) => Value::F64(x),
+            RowValue::F32(x) => Value::F32(x),
+            RowValue::Bytes(b) => Value::Bytes(b),
+            // Callers resolve LOBs before converting; an unresolved ref
+            // has no in-row bytes to offer.
+            RowValue::LobRef(id, len) => Value::Str(format!("<lob:{id}:{len}>")),
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "NULL"),
+            Value::I64(v) => write!(f, "{v}"),
+            Value::I32(v) => write!(f, "{v}"),
+            Value::F64(v) => write!(f, "{v}"),
+            Value::F32(v) => write!(f, "{v}"),
+            Value::Bytes(b) => {
+                write!(f, "0x")?;
+                for byte in b.iter().take(16) {
+                    write!(f, "{byte:02X}")?;
+                }
+                if b.len() > 16 {
+                    write!(f, "... ({} bytes)", b.len())?;
+                }
+                Ok(())
+            }
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Bool(b) => write!(f, "{}", *b as u8),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numeric_views() {
+        assert_eq!(Value::I32(5).as_f64().unwrap(), 5.0);
+        assert_eq!(Value::F64(2.0).as_i64().unwrap(), 2);
+        assert!(Value::F64(2.5).as_i64().is_err());
+        assert!(Value::Str("x".into()).as_f64().is_err());
+        assert_eq!(Value::I64(3).as_index().unwrap(), 3);
+        assert!(Value::I64(-1).as_index().is_err());
+    }
+
+    #[test]
+    fn truthiness() {
+        assert!(Value::Bool(true).is_true());
+        assert!(!Value::Null.is_true());
+        assert!(Value::I64(7).is_true());
+        assert!(!Value::F64(0.0).is_true());
+    }
+
+    #[test]
+    fn scalar_conversion() {
+        assert_eq!(Value::from(Scalar::F64(1.5)), Value::F64(1.5));
+        assert_eq!(Value::from(Scalar::I8(-3)), Value::I32(-3));
+        let c = Value::from(Scalar::C64(sqlarray_core::Complex64::new(1.0, 2.0)));
+        match c {
+            Value::Bytes(b) => assert_eq!(b.len(), 16),
+            other => panic!("expected bytes, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn array_round_trip_through_value() {
+        let a = sqlarray_core::build::short_vector(&[1.0f64, 2.0]).unwrap();
+        let v = Value::Bytes(a.as_blob().to_vec());
+        let back = v.as_array().unwrap();
+        assert_eq!(back, a);
+        assert!(Value::I64(0).as_array().is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::Null.to_string(), "NULL");
+        assert_eq!(Value::I64(42).to_string(), "42");
+        assert_eq!(Value::Bytes(vec![0xAB, 0xCD]).to_string(), "0xABCD");
+        assert_eq!(Value::Str("hi".into()).to_string(), "'hi'");
+    }
+
+    #[test]
+    fn row_value_conversion() {
+        assert_eq!(Value::from(RowValue::F64(1.0)), Value::F64(1.0));
+        assert_eq!(
+            Value::from(RowValue::Bytes(vec![1, 2])),
+            Value::Bytes(vec![1, 2])
+        );
+    }
+}

@@ -1,0 +1,95 @@
+//! Property-based tests for the transforms.
+
+use proptest::prelude::*;
+use sqlarray_core::Complex64;
+use sqlarray_fft::{fft, fftn, ifft, ifftn_normalized, irfft, rfft, Direction};
+
+fn signal(n: usize, seed: u64) -> Vec<Complex64> {
+    let mut s = seed | 1;
+    (0..n)
+        .map(|_| {
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let re = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let im = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
+            Complex64::new(re, im)
+        })
+        .collect()
+}
+
+proptest! {
+    /// `ifft(fft(x)) = x` for any length (radix-2 and Bluestein paths).
+    #[test]
+    fn round_trip_any_length(n in 1usize..300, seed in any::<u64>()) {
+        let x = signal(n, seed);
+        let back = ifft(&fft(&x));
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (n as f64));
+        }
+    }
+
+    /// Parseval: energy is conserved (with the 1/n normalization).
+    #[test]
+    fn parseval(n in 1usize..200, seed in any::<u64>()) {
+        let x = signal(n, seed);
+        let spec = fft(&x);
+        let te: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let fe: f64 = spec.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        prop_assert!((te - fe).abs() < 1e-8 * (1.0 + te));
+    }
+
+    /// Linearity: F(ax + by) = aF(x) + bF(y).
+    #[test]
+    fn linearity(n in 2usize..128, seed in any::<u64>(), a in -3.0f64..3.0, b in -3.0f64..3.0) {
+        let x = signal(n, seed);
+        let y = signal(n, seed.wrapping_add(99));
+        let combo: Vec<Complex64> = x.iter().zip(&y).map(|(&p, &q)| p.scale(a) + q.scale(b)).collect();
+        let fc = fft(&combo);
+        let fx = fft(&x);
+        let fy = fft(&y);
+        for k in 0..n {
+            let expect = fx[k].scale(a) + fy[k].scale(b);
+            prop_assert!((fc[k] - expect).abs() < 1e-7 * (n as f64));
+        }
+    }
+
+    /// A circular shift multiplies the spectrum by a phase only: bin
+    /// magnitudes are invariant.
+    #[test]
+    fn shift_preserves_magnitudes(n in 2usize..128, shift in 0usize..64, seed in any::<u64>()) {
+        let x = signal(n, seed);
+        let shift = shift % n;
+        let shifted: Vec<Complex64> = (0..n).map(|i| x[(i + shift) % n]).collect();
+        let fx = fft(&x);
+        let fs = fft(&shifted);
+        for k in 0..n {
+            prop_assert!((fx[k].abs() - fs[k].abs()).abs() < 1e-7 * (n as f64));
+        }
+    }
+
+    /// Real-transform round trip for even and odd lengths.
+    #[test]
+    fn rfft_round_trip(n in 2usize..200, seed in any::<u64>()) {
+        let x: Vec<f64> = signal(n, seed).iter().map(|c| c.re).collect();
+        let back = irfft(&rfft(&x), n);
+        for (a, b) in back.iter().zip(&x) {
+            prop_assert!((a - b).abs() < 1e-8 * (n as f64));
+        }
+    }
+
+    /// n-D round trip over random small lattices.
+    #[test]
+    fn ndim_round_trip(
+        dims in prop::collection::vec(1usize..8, 1..4),
+        seed in any::<u64>(),
+    ) {
+        let count: usize = dims.iter().product();
+        let x = signal(count, seed);
+        let mut data = x.clone();
+        fftn(&mut data, &dims, Direction::Forward);
+        ifftn_normalized(&mut data, &dims);
+        for (a, b) in data.iter().zip(&x) {
+            prop_assert!((*a - *b).abs() < 1e-8 * (count as f64));
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! BLAS-level kernels: dot, axpy, norms, matrix-vector and matrix-matrix
+//! products over column-major buffers.
+
+use crate::matrix::Matrix;
+
+/// `xᵀy`.
+pub fn dot(x: &[f64], y: &[f64]) -> f64 {
+    debug_assert_eq!(x.len(), y.len());
+    x.iter().zip(y).map(|(a, b)| a * b).sum()
+}
+
+/// `y ← αx + y`.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, &xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x ← αx`.
+pub fn scal(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Euclidean norm, computed with scaling to avoid overflow.
+pub fn nrm2(x: &[f64]) -> f64 {
+    let mut scale = 0.0f64;
+    let mut ssq = 1.0f64;
+    for &v in x {
+        if v != 0.0 {
+            let a = v.abs();
+            if scale < a {
+                ssq = 1.0 + ssq * (scale / a).powi(2);
+                scale = a;
+            } else {
+                ssq += (a / scale).powi(2);
+            }
+        }
+    }
+    scale * ssq.sqrt()
+}
+
+/// `y ← A·x` (A is `m × n`, x has n entries, y gets m entries).
+pub fn gemv(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.cols(), x.len());
+    assert_eq!(a.rows(), y.len());
+    y.fill(0.0);
+    // Column-major: accumulate one column at a time (unit-stride inner
+    // loop).
+    for (j, &xj) in x.iter().enumerate() {
+        if xj != 0.0 {
+            axpy(xj, a.col(j), y);
+        }
+    }
+}
+
+/// `y ← Aᵀ·x`.
+pub fn gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
+    assert_eq!(a.rows(), x.len());
+    assert_eq!(a.cols(), y.len());
+    for j in 0..a.cols() {
+        y[j] = dot(a.col(j), x);
+    }
+}
+
+/// `C ← A·B`.
+pub fn gemm(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.rows(), "inner dimensions must agree");
+    let mut c = Matrix::zeros(a.rows(), b.cols());
+    // jki order: C's column j accumulates A's columns scaled by B[k][j] —
+    // all unit-stride in a column-major layout.
+    for j in 0..b.cols() {
+        let bcol = b.col(j);
+        // Split borrow: compute into a scratch column then store.
+        let ccol = c.col_mut(j);
+        for (k, &bkj) in bcol.iter().enumerate() {
+            if bkj != 0.0 {
+                axpy(bkj, a.col(k), ccol);
+            }
+        }
+    }
+    c
+}
+
+/// `C ← Aᵀ·A` (the Gram/correlation matrix PCA needs), exploiting
+/// symmetry.
+pub fn gram(a: &Matrix) -> Matrix {
+    let n = a.cols();
+    let mut c = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = dot(a.col(i), a.col(j));
+            c.set(i, j, v);
+            c.set(j, i, v);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f64, b: f64) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn dot_axpy_scal() {
+        let x = [1.0, 2.0, 3.0];
+        let mut y = [4.0, 5.0, 6.0];
+        assert!(close(dot(&x, &y), 32.0));
+        axpy(2.0, &x, &mut y);
+        assert_eq!(y, [6.0, 9.0, 12.0]);
+        scal(0.5, &mut y);
+        assert_eq!(y, [3.0, 4.5, 6.0]);
+    }
+
+    #[test]
+    fn nrm2_is_stable() {
+        assert!(close(nrm2(&[3.0, 4.0]), 5.0));
+        // Values that would overflow a naive sum of squares.
+        let big = nrm2(&[1e200, 1e200]);
+        assert!(close(big / 1e200, std::f64::consts::SQRT_2));
+        assert_eq!(nrm2(&[]), 0.0);
+    }
+
+    #[test]
+    fn gemv_matches_manual() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]);
+        let x = [1.0, -1.0];
+        let mut y = [0.0; 3];
+        gemv(&a, &x, &mut y);
+        assert_eq!(y, [-1.0, -1.0, -1.0]);
+        let mut yt = [0.0; 2];
+        gemv_t(&a, &[1.0, 1.0, 1.0], &mut yt);
+        assert_eq!(yt, [9.0, 12.0]);
+    }
+
+    #[test]
+    fn gemm_small_known_product() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0]]);
+        let b = Matrix::from_rows(&[&[5.0, 6.0], &[7.0, 8.0]]);
+        let c = gemm(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[&[19.0, 22.0], &[43.0, 50.0]]));
+    }
+
+    #[test]
+    fn gemm_identity_is_noop() {
+        let a = Matrix::from_fn(4, 4, |i, j| (i * 4 + j) as f64);
+        let c = gemm(&a, &Matrix::identity(4));
+        assert_eq!(c, a);
+        let c2 = gemm(&Matrix::identity(4), &a);
+        assert_eq!(c2, a);
+    }
+
+    #[test]
+    fn gram_is_symmetric_psd_diag() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[0.0, 1.0], &[1.0, 0.0]]);
+        let g = gram(&a);
+        assert_eq!(g.get(0, 1), g.get(1, 0));
+        assert!(close(g.get(0, 0), 2.0)); // |col0|^2
+        assert!(close(g.get(1, 1), 5.0));
+        assert!(close(g.get(0, 1), 2.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions")]
+    fn gemm_checks_dims() {
+        let a = Matrix::zeros(2, 3);
+        let b = Matrix::zeros(2, 3);
+        let _ = gemm(&a, &b);
+    }
+}

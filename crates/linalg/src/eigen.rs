@@ -1,0 +1,162 @@
+//! Symmetric eigendecomposition via the classical Jacobi rotation method.
+//!
+//! PCA over spectra (§2.2) diagonalizes the correlation matrix; Jacobi is
+//! exact, stable, and ideal for the modest dimensions involved.
+
+use crate::matrix::Matrix;
+
+/// Eigendecomposition `A = V · diag(λ) · Vᵀ` of a symmetric matrix.
+#[derive(Debug, Clone)]
+pub struct Eigen {
+    /// Eigenvalues, descending.
+    pub values: Vec<f64>,
+    /// Eigenvectors as columns, matching `values` order.
+    pub vectors: Matrix,
+}
+
+/// Computes the eigendecomposition of a symmetric matrix.
+///
+/// Panics if `a` is not square; symmetry is assumed (only the upper
+/// triangle drives the rotations, the input is symmetrized defensively).
+pub fn eigh(a: &Matrix) -> Eigen {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "eigh requires a square matrix");
+
+    // Defensive symmetrization (guards against tiny asymmetries from
+    // accumulated Gram computations).
+    let mut m = Matrix::from_fn(n, n, |i, j| 0.5 * (a.get(i, j) + a.get(j, i)));
+    let mut v = Matrix::identity(n);
+
+    let max_sweeps = 100;
+    for _ in 0..max_sweeps {
+        // Largest off-diagonal magnitude.
+        let mut off = 0.0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                off = off.max(m.get(i, j).abs());
+            }
+        }
+        if off < 1e-14 * (1.0 + m_frobenius_diag(&m)) {
+            break;
+        }
+        for p in 0..n {
+            for q in p + 1..n {
+                let apq = m.get(p, q);
+                if apq.abs() < 1e-300 {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = (aqq - app) / (2.0 * apq);
+                let t = theta.signum() / (theta.abs() + (1.0 + theta * theta).sqrt());
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = c * t;
+
+                // A ← Jᵀ A J over rows/cols p and q.
+                for k in 0..n {
+                    let akp = m.get(k, p);
+                    let akq = m.get(k, q);
+                    m.set(k, p, c * akp - s * akq);
+                    m.set(k, q, s * akp + c * akq);
+                }
+                for k in 0..n {
+                    let apk = m.get(p, k);
+                    let aqk = m.get(q, k);
+                    m.set(p, k, c * apk - s * aqk);
+                    m.set(q, k, s * apk + c * aqk);
+                }
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+
+    let mut order: Vec<usize> = (0..n).collect();
+    let diag: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    order.sort_by(|&i, &j| diag[j].partial_cmp(&diag[i]).expect("finite eigenvalues"));
+
+    let values: Vec<f64> = order.iter().map(|&i| diag[i]).collect();
+    let vectors = Matrix::from_fn(n, n, |i, j| v.get(i, order[j]));
+    Eigen { values, vectors }
+}
+
+fn m_frobenius_diag(m: &Matrix) -> f64 {
+    (0..m.rows()).map(|i| m.get(i, i).abs()).fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::{gemm, gram};
+
+    #[test]
+    fn diagonal_matrix_eigenvalues() {
+        let a = Matrix::from_rows(&[&[4.0, 0.0], &[0.0, 9.0]]);
+        let e = eigh(&a);
+        assert!((e.values[0] - 9.0).abs() < 1e-12);
+        assert!((e.values[1] - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_rows(&[&[2.0, 1.0], &[1.0, 2.0]]);
+        let e = eigh(&a);
+        assert!((e.values[0] - 3.0).abs() < 1e-12);
+        assert!((e.values[1] - 1.0).abs() < 1e-12);
+        // Eigenvector for λ=3 is (1,1)/√2 up to sign.
+        let v0 = e.vectors.col(0);
+        assert!((v0[0].abs() - std::f64::consts::FRAC_1_SQRT_2).abs() < 1e-10);
+        assert!((v0[0] - v0[1]).abs() < 1e-10);
+    }
+
+    #[test]
+    fn reconstruction_and_orthogonality() {
+        let a = Matrix::from_fn(6, 6, |i, j| 1.0 / (1.0 + i as f64 + j as f64)); // Hilbert-ish, symmetric
+        let e = eigh(&a);
+        // V is orthonormal.
+        assert!(gram(&e.vectors).max_abs_diff(&Matrix::identity(6)) < 1e-10);
+        // V diag(λ) Vᵀ = A.
+        let mut vd = e.vectors.clone();
+        for j in 0..6 {
+            crate::blas::scal(e.values[j], vd.col_mut(j));
+        }
+        let rec = gemm(&vd, &e.vectors.transpose());
+        assert!(rec.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn eigenvalues_sorted_descending() {
+        let a = Matrix::from_fn(5, 5, |i, j| if i == j { (i + 1) as f64 } else { 0.1 });
+        let e = eigh(&a);
+        for w in e.values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn eigenvalues_match_svd_of_psd_matrix() {
+        let b = Matrix::from_fn(7, 4, |i, j| ((i * 5 + j * 3) % 11) as f64 - 5.0);
+        let g = gram(&b); // PSD
+        let e = eigh(&g);
+        let s = crate::svd::gesvd(&b);
+        for k in 0..4 {
+            assert!(
+                (e.values[k] - s.s[k] * s.s[k]).abs() < 1e-8 * (1.0 + e.values[0]),
+                "λ{k}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_eigenvalues_supported() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[1.0, 0.0]]);
+        let e = eigh(&a);
+        assert!((e.values[0] - 1.0).abs() < 1e-12);
+        assert!((e.values[1] + 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,30 @@
+//! # sqlarray-linalg
+//!
+//! Dense linear algebra standing in for the LAPACK routines the array
+//! library binds (Dobos et al., EDBT 2011, §3.6): the `*gesvd` SVD driver,
+//! plus the least-squares machinery the astronomy use case requires
+//! (masked least squares, non-negative least squares, PCA — §2.2).
+//!
+//! Matrices are **column-major** ([`matrix::Matrix`]), matching the array
+//! blob payload layout, so an `m × n` `float64` array's payload can be
+//! wrapped into a matrix without copying or transposing — the zero-copy
+//! interop claim of §5.3.
+
+#![warn(missing_docs)]
+
+pub mod blas;
+pub mod eigen;
+pub mod lstsq;
+pub mod matrix;
+pub mod nnls;
+pub mod pca;
+pub mod qr;
+pub mod svd;
+
+pub use eigen::{eigh, Eigen};
+pub use lstsq::{lstsq, lstsq_svd, lstsq_weighted};
+pub use matrix::Matrix;
+pub use nnls::{nnls, Nnls};
+pub use pca::Pca;
+pub use qr::{qr, Qr};
+pub use svd::{gesvd, Svd};

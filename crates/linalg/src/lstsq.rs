@@ -1,0 +1,142 @@
+//! Least squares, including the masked/weighted variant the spectrum
+//! pipeline needs.
+//!
+//! "Because of the flags that mask out wrong measurements bin by bin, dot
+//! product cannot be used for expanding spectra on a basis but least
+//! squares fitting is necessary, which is again a very generic
+//! functionality that would be required in a vector library addressing a
+//! wide range of users." (§2.2)
+
+use crate::matrix::Matrix;
+use crate::qr;
+use crate::svd;
+
+/// Solves `min ‖A·x − b‖₂` via QR. Returns `None` when A is (numerically)
+/// rank deficient — use [`lstsq_svd`] in that case.
+pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    assert_eq!(a.rows(), b.len(), "rhs length must match rows");
+    let f = qr::qr(a);
+    // x = R⁻¹ Qᵀ b
+    let mut qtb = vec![0.0; a.cols()];
+    crate::blas::gemv_t(&f.q, b, &mut qtb);
+    qr::solve_upper(&f.r, &qtb)
+}
+
+/// Solves least squares via the SVD pseudo-inverse, dropping singular
+/// values below `rcond * s_max`. Always succeeds (minimum-norm solution).
+pub fn lstsq_svd(a: &Matrix, b: &[f64], rcond: f64) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len(), "rhs length must match rows");
+    let f = svd::gesvd(a);
+    let cutoff = rcond * f.s.first().copied().unwrap_or(0.0);
+    let mut utb = vec![0.0; a.cols()];
+    crate::blas::gemv_t(&f.u, b, &mut utb);
+    for (c, &s) in utb.iter_mut().zip(&f.s) {
+        if s > cutoff && s > 0.0 {
+            *c /= s;
+        } else {
+            *c = 0.0;
+        }
+    }
+    let mut x = vec![0.0; a.cols()];
+    crate::blas::gemv(&f.v, &utb, &mut x);
+    x
+}
+
+/// Weighted least squares: `min ‖W^{1/2}(A·x − b)‖₂` with per-row weights
+/// (`w[i] = 0` masks row i out entirely — the bad-pixel flags of §2.2).
+pub fn lstsq_weighted(a: &Matrix, b: &[f64], w: &[f64], rcond: f64) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len());
+    assert_eq!(a.rows(), w.len());
+    let sw: Vec<f64> = w.iter().map(|&v| v.max(0.0).sqrt()).collect();
+    let aw = Matrix::from_fn(a.rows(), a.cols(), |i, j| a.get(i, j) * sw[i]);
+    let bw: Vec<f64> = b.iter().zip(&sw).map(|(&v, &s)| v * s).collect();
+    lstsq_svd(&aw, &bw, rcond)
+}
+
+/// Residual norm `‖A·x − b‖₂` (diagnostic).
+pub fn residual_norm(a: &Matrix, x: &[f64], b: &[f64]) -> f64 {
+    let mut ax = vec![0.0; a.rows()];
+    crate::blas::gemv(a, x, &mut ax);
+    let mut ss = 0.0;
+    for (p, q) in ax.iter().zip(b) {
+        ss += (p - q) * (p - q);
+    }
+    ss.sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close_vec(a: &[f64], b: &[f64], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((x - y).abs() < tol, "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn exact_system() {
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, -1.0]]);
+        let x = lstsq(&a, &[3.0, 1.0]).unwrap();
+        close_vec(&x, &[2.0, 1.0], 1e-12);
+    }
+
+    #[test]
+    fn overdetermined_regression() {
+        // Fit y = 2t + 1 through noiseless samples.
+        let ts = [0.0, 1.0, 2.0, 3.0, 4.0];
+        let a = Matrix::from_fn(5, 2, |i, j| if j == 0 { ts[i] } else { 1.0 });
+        let b: Vec<f64> = ts.iter().map(|&t| 2.0 * t + 1.0).collect();
+        let x = lstsq(&a, &b).unwrap();
+        close_vec(&x, &[2.0, 1.0], 1e-10);
+        assert!(residual_norm(&a, &x, &b) < 1e-10);
+    }
+
+    #[test]
+    fn least_squares_minimizes_residual() {
+        let a = Matrix::from_rows(&[&[1.0, 0.0], &[0.0, 1.0], &[1.0, 1.0]]);
+        let b = [1.0, 1.0, 0.0];
+        let x = lstsq(&a, &b).unwrap();
+        let r_opt = residual_norm(&a, &x, &b);
+        // Any perturbation increases the residual.
+        for d in [[0.01, 0.0], [0.0, 0.01], [-0.01, 0.01]] {
+            let xp = [x[0] + d[0], x[1] + d[1]];
+            assert!(residual_norm(&a, &xp, &b) > r_opt);
+        }
+    }
+
+    #[test]
+    fn rank_deficient_falls_back_to_svd() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        assert!(lstsq(&a, &[1.0, 2.0, 3.0]).is_none());
+        let x = lstsq_svd(&a, &[1.0, 2.0, 3.0], 1e-10);
+        // Minimum-norm solution of x1 + 2 x2 = 1 is (1/5, 2/5).
+        close_vec(&x, &[0.2, 0.4], 1e-10);
+    }
+
+    #[test]
+    fn weighted_masks_bad_rows() {
+        // Five samples of y = 3t, one corrupted; masking the bad row
+        // recovers the exact slope.
+        let ts = [1.0, 2.0, 3.0, 4.0, 5.0];
+        let a = Matrix::from_fn(5, 1, |i, _| ts[i]);
+        let mut b: Vec<f64> = ts.iter().map(|&t| 3.0 * t).collect();
+        b[2] = -100.0; // cosmic ray
+        let w = [1.0, 1.0, 0.0, 1.0, 1.0];
+        let x = lstsq_weighted(&a, &b, &w, 1e-12);
+        close_vec(&x, &[3.0], 1e-10);
+        // Unweighted fit is badly off.
+        let x_bad = lstsq_svd(&a, &b, 1e-12);
+        assert!((x_bad[0] - 3.0).abs() > 1.0);
+    }
+
+    #[test]
+    fn svd_and_qr_agree_on_full_rank() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i as f64 + 1.3) * (j as f64 + 0.7)).sin() + 0.1);
+        let b: Vec<f64> = (0..6).map(|i| (i as f64) * 0.7 - 1.0).collect();
+        let x1 = lstsq(&a, &b).unwrap();
+        let x2 = lstsq_svd(&a, &b, 1e-12);
+        close_vec(&x1, &x2, 1e-8);
+    }
+}

@@ -1,0 +1,188 @@
+//! Householder QR factorization.
+//!
+//! `A = Q·R` with Q orthonormal (`m × n`, thin) and R upper triangular
+//! (`n × n`). Used by the least-squares solver, which in turn backs the
+//! spectrum-expansion functionality the paper calls out ("dot product
+//! cannot be used for expanding spectra on a basis but least squares
+//! fitting is necessary", §2.2).
+
+use crate::blas;
+use crate::matrix::Matrix;
+
+/// The factorization result.
+#[derive(Debug, Clone)]
+pub struct Qr {
+    /// Thin orthonormal factor, `m × n`.
+    pub q: Matrix,
+    /// Upper-triangular factor, `n × n`.
+    pub r: Matrix,
+}
+
+/// Computes the thin QR of `a` (`m × n`, requires `m ≥ n`).
+pub fn qr(a: &Matrix) -> Qr {
+    let m = a.rows();
+    let n = a.cols();
+    assert!(m >= n, "qr requires rows >= cols; transpose first");
+
+    // Work on a copy; accumulate Householder vectors in-place below the
+    // diagonal, as LAPACK's geqrf does.
+    let mut work = a.clone();
+    let mut taus = Vec::with_capacity(n);
+
+    for k in 0..n {
+        // Build the Householder reflector for column k, rows k..m.
+        let col = work.col(k);
+        let x = &col[k..];
+        let alpha = x[0];
+        let norm = blas::nrm2(x);
+        if norm == 0.0 {
+            taus.push((0.0, vec![0.0; m - k]));
+            continue;
+        }
+        let beta = -norm.copysign(alpha);
+        let mut v: Vec<f64> = x.to_vec();
+        v[0] -= beta;
+        let vnorm = blas::nrm2(&v);
+        if vnorm == 0.0 {
+            taus.push((0.0, v));
+            work.set(k, k, beta);
+            continue;
+        }
+        blas::scal(1.0 / vnorm, &mut v);
+        let tau = 2.0;
+
+        // Apply (I - tau v vᵀ) to the trailing columns.
+        for j in k..n {
+            let cj = &mut work.col_mut(j)[k..];
+            let w = blas::dot(&v, cj);
+            blas::axpy(-tau * w, &v, cj);
+        }
+        taus.push((tau, v));
+    }
+
+    // Extract R.
+    let mut r = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in 0..=j {
+            r.set(i, j, work.get(i, j));
+        }
+    }
+
+    // Form thin Q by applying the reflectors to the first n columns of I.
+    let mut q = Matrix::zeros(m, n);
+    for j in 0..n {
+        q.set(j, j, 1.0);
+    }
+    for k in (0..n).rev() {
+        let (tau, v) = &taus[k];
+        if *tau == 0.0 {
+            continue;
+        }
+        for j in 0..n {
+            let cj = &mut q.col_mut(j)[k..];
+            let w = blas::dot(v, cj);
+            blas::axpy(-tau * w, v, cj);
+        }
+    }
+    Qr { q, r }
+}
+
+/// Solves `R x = b` by back substitution (R upper triangular). Returns
+/// `None` when R is numerically singular — any diagonal below
+/// `ε·max|Rᵢᵢ|`, the same relative criterion LAPACK's condition estimate
+/// would trip on.
+pub fn solve_upper(r: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = r.cols();
+    assert_eq!(r.rows(), n);
+    assert_eq!(b.len(), n);
+    let max_diag = (0..n).map(|i| r.get(i, i).abs()).fold(0.0, f64::max);
+    let tol = f64::EPSILON * 16.0 * max_diag;
+    let mut x = b.to_vec();
+    for i in (0..n).rev() {
+        let d = r.get(i, i);
+        if d.abs() <= tol {
+            return None;
+        }
+        let mut s = x[i];
+        for j in i + 1..n {
+            s -= r.get(i, j) * x[j];
+        }
+        x[i] = s / d;
+    }
+    Some(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::blas::gemm;
+
+    fn assert_close(a: f64, b: f64, tol: f64) {
+        assert!((a - b).abs() < tol, "{a} vs {b}");
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = Matrix::from_rows(&[
+            &[1.0, 2.0, 3.0],
+            &[4.0, 5.0, 6.0],
+            &[7.0, 8.0, 10.0],
+            &[2.0, -1.0, 0.5],
+        ]);
+        let f = qr(&a);
+        let qr_prod = gemm(&f.q, &f.r);
+        assert!(qr_prod.max_abs_diff(&a) < 1e-10);
+    }
+
+    #[test]
+    fn q_is_orthonormal() {
+        let a = Matrix::from_fn(6, 3, |i, j| ((i * 7 + j * 3) % 5) as f64 - 2.0);
+        let f = qr(&a);
+        let qtq = crate::blas::gram(&f.q);
+        assert!(qtq.max_abs_diff(&Matrix::identity(3)) < 1e-10);
+    }
+
+    #[test]
+    fn r_is_upper_triangular() {
+        let a = Matrix::from_fn(5, 4, |i, j| (1 + i + 2 * j) as f64 * 0.3);
+        let f = qr(&a);
+        for i in 0..4 {
+            for j in 0..i {
+                assert_close(f.r.get(i, j), 0.0, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn square_identity_qr() {
+        let f = qr(&Matrix::identity(3));
+        assert!(gemm(&f.q, &f.r).max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn rank_deficient_still_factors() {
+        // Column 1 = 2 × column 0.
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 4.0], &[3.0, 6.0]]);
+        let f = qr(&a);
+        assert!(gemm(&f.q, &f.r).max_abs_diff(&a) < 1e-10);
+        // R(1,1) collapses to ~0.
+        assert!(f.r.get(1, 1).abs() < 1e-10);
+    }
+
+    #[test]
+    fn back_substitution() {
+        let r = Matrix::from_rows(&[&[2.0, 1.0], &[0.0, 4.0]]);
+        let x = solve_upper(&r, &[5.0, 8.0]).unwrap();
+        assert_close(x[1], 2.0, 1e-12);
+        assert_close(x[0], 1.5, 1e-12);
+        let singular = Matrix::from_rows(&[&[1.0, 1.0], &[0.0, 0.0]]);
+        assert!(solve_upper(&singular, &[1.0, 1.0]).is_none());
+    }
+
+    #[test]
+    fn zero_column_does_not_panic() {
+        let a = Matrix::from_rows(&[&[0.0, 1.0], &[0.0, 2.0], &[0.0, 3.0]]);
+        let f = qr(&a);
+        assert!(gemm(&f.q, &f.r).max_abs_diff(&a) < 1e-10);
+    }
+}

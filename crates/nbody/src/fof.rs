@@ -1,0 +1,263 @@
+//! Friends-of-friends halo finding.
+//!
+//! "At each snapshot we need to compute the so-called halos, clusters of
+//! particles identified by friends of friends (FOF) algorithms within a
+//! certain distance." (§2.3) Implementation: hash particles into a grid of
+//! cells no smaller than the linking length, union-find across the 27
+//! neighboring cells with periodic wrapping.
+
+use crate::particle::{periodic_distance, Particle};
+use std::collections::HashMap;
+
+/// One FOF halo: the member particle ids (sorted) and summary statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Halo {
+    /// Member particle ids, ascending.
+    pub members: Vec<i64>,
+    /// Center of mass (periodic-aware).
+    pub center: [f64; 3],
+    /// Mean velocity.
+    pub velocity: [f64; 3],
+}
+
+impl Halo {
+    /// Number of member particles.
+    pub fn size(&self) -> usize {
+        self.members.len()
+    }
+}
+
+/// Union-find with path halving.
+struct UnionFind {
+    parent: Vec<usize>,
+}
+
+impl UnionFind {
+    fn new(n: usize) -> UnionFind {
+        UnionFind {
+            parent: (0..n).collect(),
+        }
+    }
+
+    fn find(&mut self, mut x: usize) -> usize {
+        while self.parent[x] != x {
+            self.parent[x] = self.parent[self.parent[x]];
+            x = self.parent[x];
+        }
+        x
+    }
+
+    fn union(&mut self, a: usize, b: usize) {
+        let (ra, rb) = (self.find(a), self.find(b));
+        if ra != rb {
+            self.parent[ra] = rb;
+        }
+    }
+}
+
+/// Runs FOF with linking length `b` (box units); groups smaller than
+/// `min_members` are discarded. Returns halos sorted by descending size.
+pub fn friends_of_friends(particles: &[Particle], b: f64, min_members: usize) -> Vec<Halo> {
+    assert!(b > 0.0 && b < 0.5, "linking length must be in (0, 0.5)");
+    let n = particles.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Grid with cell edge >= b so friends are always in adjacent cells.
+    let cells = ((1.0 / b).floor() as usize).clamp(1, 256);
+    let cell_of = |pos: [f64; 3]| -> (usize, usize, usize) {
+        let f = |v: f64| (((v.rem_euclid(1.0)) * cells as f64) as usize).min(cells - 1);
+        (f(pos[0]), f(pos[1]), f(pos[2]))
+    };
+    let mut grid: HashMap<(usize, usize, usize), Vec<usize>> = HashMap::new();
+    for (i, p) in particles.iter().enumerate() {
+        grid.entry(cell_of(p.pos)).or_default().push(i);
+    }
+
+    let mut uf = UnionFind::new(n);
+    for (&(cx, cy, cz), members) in &grid {
+        // Pairs within the cell.
+        for (a, &i) in members.iter().enumerate() {
+            for &j in &members[a + 1..] {
+                if periodic_distance(particles[i].pos, particles[j].pos) <= b {
+                    uf.union(i, j);
+                }
+            }
+        }
+        // Pairs with half of the neighbor cells (each unordered cell pair
+        // visited once).
+        for dx in -1i64..=1 {
+            for dy in -1i64..=1 {
+                for dz in -1i64..=1 {
+                    if (dx, dy, dz) <= (0, 0, 0) {
+                        continue;
+                    }
+                    let nb = (
+                        (cx as i64 + dx).rem_euclid(cells as i64) as usize,
+                        (cy as i64 + dy).rem_euclid(cells as i64) as usize,
+                        (cz as i64 + dz).rem_euclid(cells as i64) as usize,
+                    );
+                    if let Some(others) = grid.get(&nb) {
+                        for &i in members {
+                            for &j in others {
+                                if periodic_distance(particles[i].pos, particles[j].pos) <= b
+                                {
+                                    uf.union(i, j);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Collect groups.
+    let mut groups: HashMap<usize, Vec<usize>> = HashMap::new();
+    for i in 0..n {
+        let root = uf.find(i);
+        groups.entry(root).or_default().push(i);
+    }
+    let mut halos: Vec<Halo> = groups
+        .into_values()
+        .filter(|g| g.len() >= min_members)
+        .map(|g| make_halo(particles, &g))
+        .collect();
+    halos.sort_by(|a, b| b.size().cmp(&a.size()).then(a.members.cmp(&b.members)));
+    halos
+}
+
+/// Periodic-aware center of mass: average displacements relative to the
+/// first member, then wrap.
+fn make_halo(particles: &[Particle], idx: &[usize]) -> Halo {
+    let anchor = particles[idx[0]].pos;
+    let mut center = [0.0f64; 3];
+    let mut velocity = [0.0f64; 3];
+    for &i in idx {
+        let p = &particles[i];
+        for k in 0..3 {
+            let mut d = p.pos[k] - anchor[k];
+            if d > 0.5 {
+                d -= 1.0;
+            }
+            if d < -0.5 {
+                d += 1.0;
+            }
+            center[k] += d;
+            velocity[k] += p.vel[k];
+        }
+    }
+    let m = idx.len() as f64;
+    for k in 0..3 {
+        center[k] = (anchor[k] + center[k] / m).rem_euclid(1.0);
+        velocity[k] /= m;
+    }
+    let mut members: Vec<i64> = idx.iter().map(|&i| particles[i].id).collect();
+    members.sort_unstable();
+    Halo {
+        members,
+        center,
+        velocity,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::particle::SynthSim;
+
+    fn p(id: i64, pos: [f64; 3]) -> Particle {
+        Particle {
+            id,
+            pos,
+            vel: [0.0; 3],
+        }
+    }
+
+    #[test]
+    fn two_clusters_are_separated() {
+        let mut parts = Vec::new();
+        for i in 0..5 {
+            parts.push(p(i, [0.2 + i as f64 * 0.001, 0.2, 0.2]));
+        }
+        for i in 5..9 {
+            parts.push(p(i, [0.8 + (i - 5) as f64 * 0.001, 0.8, 0.8]));
+        }
+        let halos = friends_of_friends(&parts, 0.01, 2);
+        assert_eq!(halos.len(), 2);
+        assert_eq!(halos[0].members, vec![0, 1, 2, 3, 4]);
+        assert_eq!(halos[1].members, vec![5, 6, 7, 8]);
+    }
+
+    #[test]
+    fn chain_percolates_into_one_group() {
+        // A chain of particles each within b of the next: FOF links all.
+        let parts: Vec<Particle> = (0..20)
+            .map(|i| p(i, [0.1 + i as f64 * 0.009, 0.5, 0.5]))
+            .collect();
+        let halos = friends_of_friends(&parts, 0.01, 2);
+        assert_eq!(halos.len(), 1);
+        assert_eq!(halos[0].size(), 20);
+    }
+
+    #[test]
+    fn linking_respects_periodic_wrap() {
+        let parts = vec![p(0, [0.999, 0.5, 0.5]), p(1, [0.001, 0.5, 0.5])];
+        let halos = friends_of_friends(&parts, 0.01, 2);
+        assert_eq!(halos.len(), 1, "pair across the boundary must link");
+        // Center of mass sits on the boundary, not at 0.5.
+        let cx = halos[0].center[0];
+        assert!(cx > 0.99 || cx < 0.01, "center {cx}");
+    }
+
+    #[test]
+    fn min_members_filters_field_particles() {
+        let mut parts: Vec<Particle> = (0..10)
+            .map(|i| p(i, [0.3 + i as f64 * 0.001, 0.3, 0.3]))
+            .collect();
+        parts.push(p(100, [0.9, 0.1, 0.5])); // isolated
+        let halos = friends_of_friends(&parts, 0.01, 5);
+        assert_eq!(halos.len(), 1);
+        assert!(!halos[0].members.contains(&100));
+    }
+
+    #[test]
+    fn finds_the_synthetic_halos() {
+        let sim = SynthSim {
+            halos: 6,
+            halo_particles: 80,
+            background: 200,
+            halo_radius: 0.008,
+            ..SynthSim::default()
+        };
+        let snap = sim.snapshot(0);
+        let halos = friends_of_friends(&snap.particles, 0.02, 20);
+        // The generator's halos are compact: FOF should recover roughly
+        // that many groups of roughly that size.
+        assert!(
+            (4..=8).contains(&halos.len()),
+            "found {} halos",
+            halos.len()
+        );
+        assert!(halos[0].size() >= 60);
+    }
+
+    #[test]
+    fn halos_sorted_by_size() {
+        let mut parts = Vec::new();
+        for i in 0..3 {
+            parts.push(p(i, [0.1 + i as f64 * 0.001, 0.1, 0.1]));
+        }
+        for i in 10..16 {
+            parts.push(p(i, [0.6 + (i - 10) as f64 * 0.001, 0.6, 0.6]));
+        }
+        let halos = friends_of_friends(&parts, 0.01, 2);
+        assert_eq!(halos[0].size(), 6);
+        assert_eq!(halos[1].size(), 3);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(friends_of_friends(&[], 0.01, 2).is_empty());
+    }
+}

@@ -1,0 +1,173 @@
+//! Light-cone construction.
+//!
+//! "We will need to build light-cones through the simulations where we
+//! look at the cube from a distant viewpoint and follow light rays back
+//! into the simulation [...] including the Doppler-shift of the galaxies
+//! along the radial direction due to their velocities. Furthermore, as we
+//! look farther, the simulation box needs to be taken from an earlier time
+//! step since the light coming to us was emitted by those galaxies at a
+//! much earlier epoch." (§2.3)
+//!
+//! The cone is sliced into radial shells; shell `s` draws its particles
+//! from progressively earlier snapshots, and each entry carries the radial
+//! Doppler factor.
+
+use crate::octree::Octree;
+use crate::particle::{Particle, SynthSim};
+
+/// Observer geometry of a light cone.
+#[derive(Debug, Clone, Copy)]
+pub struct LightconeSpec {
+    /// Observer (apex) position in the box.
+    pub apex: [f64; 3],
+    /// Unit viewing direction.
+    pub dir: [f64; 3],
+    /// Half-opening angle, radians.
+    pub half_angle: f64,
+    /// Radial width of one shell (box units).
+    pub shell_width: f64,
+}
+
+/// One particle on the light cone.
+#[derive(Debug, Clone, Copy)]
+pub struct LightconeEntry {
+    /// The particle, as seen at its emission epoch.
+    pub particle: Particle,
+    /// Comoving distance from the apex.
+    pub distance: f64,
+    /// Snapshot step the particle was drawn from.
+    pub step: u32,
+    /// Radial velocity (positive = receding): the Doppler shift along the
+    /// line of sight.
+    pub v_radial: f64,
+}
+
+/// Builds the light cone: shell `s` (distances `[s·w, (s+1)·w)`) is filled
+/// from `snapshots[s]` — callers order the snapshot list from latest
+/// (nearest shell) to earliest (farthest), mirroring look-back time.
+pub fn build_lightcone(
+    sim: &SynthSim,
+    steps_near_to_far: &[u32],
+    spec: &LightconeSpec,
+) -> Vec<LightconeEntry> {
+    let mut out = Vec::new();
+    for (s, &step) in steps_near_to_far.iter().enumerate() {
+        let r_lo = s as f64 * spec.shell_width;
+        let r_hi = (s as f64 + 1.0) * spec.shell_width;
+        let snap = sim.snapshot(step);
+        let tree = Octree::build(snap.particles, 256);
+        for p in tree.within_cone(spec.apex, spec.dir, spec.half_angle, r_hi) {
+            let (r, unit) = radial(p.pos, spec.apex);
+            if r < r_lo || r >= r_hi {
+                continue;
+            }
+            let v_radial = p.vel[0] * unit[0] + p.vel[1] * unit[1] + p.vel[2] * unit[2];
+            out.push(LightconeEntry {
+                particle: *p,
+                distance: r,
+                step,
+                v_radial,
+            });
+        }
+    }
+    out.sort_by(|a, b| a.distance.partial_cmp(&b.distance).expect("finite"));
+    out
+}
+
+/// Minimum-image radial distance and unit vector from the apex.
+fn radial(pos: [f64; 3], apex: [f64; 3]) -> (f64, [f64; 3]) {
+    let mut d = [0.0f64; 3];
+    for k in 0..3 {
+        let mut delta = pos[k] - apex[k];
+        if delta > 0.5 {
+            delta -= 1.0;
+        }
+        if delta < -0.5 {
+            delta += 1.0;
+        }
+        d[k] = delta;
+    }
+    let r = (d[0] * d[0] + d[1] * d[1] + d[2] * d[2]).sqrt();
+    if r == 0.0 {
+        (0.0, [0.0; 3])
+    } else {
+        (r, [d[0] / r, d[1] / r, d[2] / r])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec() -> LightconeSpec {
+        LightconeSpec {
+            apex: [0.5, 0.5, 0.5],
+            dir: [1.0, 0.0, 0.0],
+            half_angle: 0.5,
+            shell_width: 0.12,
+        }
+    }
+
+    #[test]
+    fn entries_sorted_and_within_cone() {
+        let sim = SynthSim::default();
+        let cone = build_lightcone(&sim, &[3, 2, 1, 0], &spec());
+        assert!(!cone.is_empty());
+        for w in cone.windows(2) {
+            assert!(w[0].distance <= w[1].distance);
+        }
+        for e in &cone {
+            let (r, unit) = radial(e.particle.pos, spec().apex);
+            assert!((r - e.distance).abs() < 1e-12);
+            let cos = unit[0]; // dir = +x
+            assert!(cos >= 0.5f64.cos() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn farther_shells_use_earlier_steps() {
+        let sim = SynthSim::default();
+        let s = spec();
+        let cone = build_lightcone(&sim, &[3, 2, 1, 0], &s);
+        for e in &cone {
+            let shell = (e.distance / s.shell_width) as usize;
+            let expected_step = [3u32, 2, 1, 0][shell];
+            assert_eq!(e.step, expected_step, "distance {}", e.distance);
+        }
+        // The cone should reach beyond the first shell.
+        assert!(cone.iter().any(|e| e.step != 3));
+    }
+
+    #[test]
+    fn doppler_is_the_radial_velocity_projection() {
+        let sim = SynthSim::default();
+        let cone = build_lightcone(&sim, &[0], &spec());
+        for e in cone.iter().take(20) {
+            let (_, unit) = radial(e.particle.pos, spec().apex);
+            let dot = e.particle.vel[0] * unit[0]
+                + e.particle.vel[1] * unit[1]
+                + e.particle.vel[2] * unit[2];
+            assert!((dot - e.v_radial).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn narrow_cone_is_a_subset_of_wide_cone() {
+        let sim = SynthSim {
+            background: 5000,
+            ..SynthSim::default()
+        };
+        let wide = build_lightcone(&sim, &[1, 0], &spec());
+        let narrow_spec = LightconeSpec {
+            half_angle: 0.2,
+            ..spec()
+        };
+        let narrow = build_lightcone(&sim, &[1, 0], &narrow_spec);
+        assert!(narrow.len() < wide.len());
+        let wide_ids: std::collections::HashSet<(i64, u32)> =
+            wide.iter().map(|e| (e.particle.id, e.step)).collect();
+        for e in &narrow {
+            assert!(wide_ids.contains(&(e.particle.id, e.step)));
+        }
+    }
+}

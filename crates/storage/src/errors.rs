@@ -1,0 +1,92 @@
+//! Storage-engine error type.
+
+use std::fmt;
+
+/// Errors raised by the page store, B-trees, blob store and tables.
+#[derive(Debug, Clone, PartialEq)]
+#[allow(missing_docs)] // variant payload fields are self-describing
+pub enum StorageError {
+    /// A page id beyond the end of the file.
+    PageOutOfRange { page: u64, max: u64 },
+    /// A record does not fit in a page even after a split.
+    RecordTooLarge { bytes: usize, limit: usize },
+    /// A slotted-page slot index beyond the slot count.
+    BadSlot { slot: usize, count: usize },
+    /// Key already present in a unique index.
+    DuplicateKey { key: i64 },
+    /// Key not found.
+    KeyNotFound { key: i64 },
+    /// A page's type byte does not match the structure reading it.
+    PageTypeMismatch { page: u64, expected: u8, got: u8 },
+    /// Blob byte range outside the stored length.
+    BlobRangeOutOfBounds { offset: usize, len: usize, total: usize },
+    /// Row bytes do not decode against the table schema.
+    RowCorrupt(String),
+    /// Schema/value arity or type mismatch on insert.
+    SchemaMismatch(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::PageOutOfRange { page, max } => {
+                write!(f, "page {page} out of range (file has {max} pages)")
+            }
+            StorageError::RecordTooLarge { bytes, limit } => {
+                write!(f, "record of {bytes} bytes exceeds the page limit of {limit}")
+            }
+            StorageError::BadSlot { slot, count } => {
+                write!(f, "slot {slot} out of range ({count} slots)")
+            }
+            StorageError::DuplicateKey { key } => write!(f, "duplicate key {key}"),
+            StorageError::KeyNotFound { key } => write!(f, "key {key} not found"),
+            StorageError::PageTypeMismatch {
+                page,
+                expected,
+                got,
+            } => write!(
+                f,
+                "page {page} has type {got:#x}, expected {expected:#x}"
+            ),
+            StorageError::BlobRangeOutOfBounds { offset, len, total } => write!(
+                f,
+                "blob read [{offset}, {offset}+{len}) exceeds blob of {total} bytes"
+            ),
+            StorageError::RowCorrupt(msg) => write!(f, "row corrupt: {msg}"),
+            StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Convenience alias.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+impl From<StorageError> for sqlarray_core::ArrayError {
+    fn from(e: StorageError) -> Self {
+        sqlarray_core::ArrayError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_details() {
+        let e = StorageError::BlobRangeOutOfBounds {
+            offset: 10,
+            len: 20,
+            total: 15,
+        };
+        let s = e.to_string();
+        assert!(s.contains("10") && s.contains("20") && s.contains("15"));
+    }
+
+    #[test]
+    fn converts_to_array_error() {
+        let e: sqlarray_core::ArrayError = StorageError::KeyNotFound { key: 7 }.into();
+        assert!(matches!(e, sqlarray_core::ArrayError::Io(_)));
+    }
+}

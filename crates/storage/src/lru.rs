@@ -1,0 +1,252 @@
+//! A fixed-capacity LRU set over page ids, used by the buffer pool.
+//!
+//! Implemented as a slab-backed doubly linked list plus a hash map, giving
+//! O(1) touch/insert/evict. Only membership is tracked — page bytes live in
+//! the page file — which is all the cost model needs to decide whether a
+//! logical read hits the pool or goes to disk.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+#[derive(Debug, Clone, Copy)]
+struct Node {
+    key: u64,
+    prev: usize,
+    next: usize,
+}
+
+/// Fixed-capacity LRU set of `u64` keys.
+#[derive(Debug)]
+pub struct LruSet {
+    map: HashMap<u64, usize>,
+    nodes: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl LruSet {
+    /// Creates a set that holds at most `capacity` keys (≥ 1).
+    pub fn new(capacity: usize) -> LruSet {
+        let capacity = capacity.max(1);
+        LruSet {
+            map: HashMap::with_capacity(capacity),
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    /// Number of resident keys.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when no keys are resident.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum number of resident keys.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// If `key` is resident, marks it most-recently-used and returns true.
+    pub fn touch(&mut self, key: u64) -> bool {
+        match self.map.get(&key).copied() {
+            Some(idx) => {
+                self.unlink(idx);
+                self.push_front(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Inserts a key (must not be resident; callers use [`LruSet::touch`] first).
+    /// Returns the evicted key, if the set was full.
+    pub fn insert(&mut self, key: u64) -> Option<u64> {
+        debug_assert!(!self.map.contains_key(&key));
+        let evicted = if self.map.len() >= self.capacity {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            let victim_key = self.nodes[victim].key;
+            self.unlink(victim);
+            self.map.remove(&victim_key);
+            self.free.push(victim);
+            Some(victim_key)
+        } else {
+            None
+        };
+        let idx = match self.free.pop() {
+            Some(i) => {
+                self.nodes[i] = Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                };
+                i
+            }
+            None => {
+                self.nodes.push(Node {
+                    key,
+                    prev: NIL,
+                    next: NIL,
+                });
+                self.nodes.len() - 1
+            }
+        };
+        self.push_front(idx);
+        self.map.insert(key, idx);
+        evicted
+    }
+
+    /// Removes a specific key if resident.
+    pub fn remove(&mut self, key: u64) -> bool {
+        match self.map.remove(&key) {
+            Some(idx) => {
+                self.unlink(idx);
+                self.free.push(idx);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Empties the set (the `DBCC DROPCLEANBUFFERS` of the model: the paper
+    /// clears the server cache before every measured run).
+    pub fn clear(&mut self) {
+        self.map.clear();
+        self.nodes.clear();
+        self.free.clear();
+        self.head = NIL;
+        self.tail = NIL;
+    }
+
+    /// Keys from most- to least-recently used (for tests/debugging).
+    pub fn keys_mru_order(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.map.len());
+        let mut cur = self.head;
+        while cur != NIL {
+            out.push(self.nodes[cur].key);
+            cur = self.nodes[cur].next;
+        }
+        out
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let Node { prev, next, .. } = self.nodes[idx];
+        if prev != NIL {
+            self.nodes[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.nodes[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = NIL;
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.nodes[idx].prev = NIL;
+        self.nodes[idx].next = self.head;
+        if self.head != NIL {
+            self.nodes[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inserts_until_capacity_then_evicts_lru() {
+        let mut lru = LruSet::new(3);
+        assert_eq!(lru.insert(1), None);
+        assert_eq!(lru.insert(2), None);
+        assert_eq!(lru.insert(3), None);
+        assert_eq!(lru.len(), 3);
+        // 1 is the least recently used.
+        assert_eq!(lru.insert(4), Some(1));
+        assert_eq!(lru.keys_mru_order(), vec![4, 3, 2]);
+    }
+
+    #[test]
+    fn touch_promotes() {
+        let mut lru = LruSet::new(3);
+        lru.insert(1);
+        lru.insert(2);
+        lru.insert(3);
+        assert!(lru.touch(1)); // 1 becomes MRU; 2 is now LRU
+        assert_eq!(lru.insert(4), Some(2));
+        assert!(lru.touch(1));
+        assert!(!lru.touch(2));
+    }
+
+    #[test]
+    fn remove_and_reuse_slot() {
+        let mut lru = LruSet::new(2);
+        lru.insert(10);
+        lru.insert(20);
+        assert!(lru.remove(10));
+        assert!(!lru.remove(10));
+        assert_eq!(lru.len(), 1);
+        assert_eq!(lru.insert(30), None); // free slot reused, no eviction
+        assert_eq!(lru.keys_mru_order(), vec![30, 20]);
+    }
+
+    #[test]
+    fn clear_empties() {
+        let mut lru = LruSet::new(4);
+        for k in 0..4 {
+            lru.insert(k);
+        }
+        lru.clear();
+        assert!(lru.is_empty());
+        assert!(!lru.touch(2));
+        assert_eq!(lru.insert(9), None);
+    }
+
+    #[test]
+    fn capacity_one_always_replaces() {
+        let mut lru = LruSet::new(1);
+        assert_eq!(lru.insert(1), None);
+        assert_eq!(lru.insert(2), Some(1));
+        assert_eq!(lru.insert(3), Some(2));
+        assert_eq!(lru.keys_mru_order(), vec![3]);
+    }
+
+    #[test]
+    fn heavy_churn_is_consistent() {
+        let mut lru = LruSet::new(64);
+        for round in 0..10u64 {
+            for k in 0..256u64 {
+                let key = (k * 7 + round) % 512;
+                if !lru.touch(key) {
+                    lru.insert(key);
+                }
+                assert!(lru.len() <= 64);
+            }
+        }
+        // The MRU listing must contain exactly len() unique keys.
+        let keys = lru.keys_mru_order();
+        assert_eq!(keys.len(), lru.len());
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), keys.len());
+    }
+}

@@ -1,0 +1,406 @@
+//! Slotted-page layout.
+//!
+//! Every page is [`PAGE_SIZE`] = 8192 bytes, the SQL Server data-page size
+//! that drives the short/max array split ("blobs smaller than 8 kB are
+//! stored on-page, as they fit into the 8 kB storage engine data pages",
+//! §3.3). Record pages use the classic slotted layout:
+//!
+//! ```text
+//! 0                16                          free              8192
+//! +----------------+---------------------------+----//----+------+
+//! | page header    | records (grow upward)     |   free   | slot |
+//! |                |                           |          | dir  |
+//! +----------------+---------------------------+----//----+------+
+//! ```
+//!
+//! Header: `type u8 | reserved u8 | slot_count u16 | free_off u16 |
+//! next_page u64 | pad`. The slot directory at the page tail stores
+//! `(offset u16, len u16)` per record, growing downward.
+
+use crate::errors::{Result, StorageError};
+
+/// Size of every page in bytes.
+pub const PAGE_SIZE: usize = 8192;
+/// Identifier of a page within the store.
+pub type PageId = u64;
+
+/// Byte offset where record data starts.
+pub const PAGE_HEADER_LEN: usize = 16;
+/// Bytes per slot-directory entry.
+pub const SLOT_LEN: usize = 4;
+
+/// Page type tags (first header byte).
+pub mod page_type {
+    /// B-tree leaf page.
+    pub const BTREE_LEAF: u8 = 1;
+    /// B-tree internal page.
+    pub const BTREE_INTERNAL: u8 = 2;
+    /// Blob root (LOB descriptor) page.
+    pub const BLOB_ROOT: u8 = 3;
+    /// Blob data chunk page.
+    pub const BLOB_CHUNK: u8 = 4;
+    /// Blob chunk-id continuation page.
+    pub const BLOB_INDEX: u8 = 5;
+}
+
+/// In-place view over a page's bytes implementing the slotted layout.
+///
+/// `SlottedPage` borrows the raw bytes; it holds no state of its own, so a
+/// page can be re-viewed freely after round-tripping through the store.
+pub struct SlottedPage<'a> {
+    bytes: &'a mut [u8],
+}
+
+impl<'a> SlottedPage<'a> {
+    /// Initializes the slotted structure on zeroed bytes.
+    pub fn init(bytes: &'a mut [u8], ptype: u8) -> SlottedPage<'a> {
+        debug_assert_eq!(bytes.len(), PAGE_SIZE);
+        bytes[0] = ptype;
+        bytes[1] = 0;
+        bytes[2..4].copy_from_slice(&0u16.to_le_bytes());
+        bytes[4..6].copy_from_slice(&(PAGE_HEADER_LEN as u16).to_le_bytes());
+        bytes[6..14].copy_from_slice(&u64::MAX.to_le_bytes());
+        SlottedPage { bytes }
+    }
+
+    /// Views existing page bytes, checking the type tag.
+    pub fn open(bytes: &'a mut [u8], expect_type: u8, page: PageId) -> Result<SlottedPage<'a>> {
+        if bytes[0] != expect_type {
+            return Err(StorageError::PageTypeMismatch {
+                page,
+                expected: expect_type,
+                got: bytes[0],
+            });
+        }
+        Ok(SlottedPage { bytes })
+    }
+
+    /// The page type byte.
+    pub fn page_type(&self) -> u8 {
+        self.bytes[0]
+    }
+
+    /// Number of records.
+    pub fn slot_count(&self) -> usize {
+        u16::from_le_bytes([self.bytes[2], self.bytes[3]]) as usize
+    }
+
+    fn free_off(&self) -> usize {
+        u16::from_le_bytes([self.bytes[4], self.bytes[5]]) as usize
+    }
+
+    fn set_slot_count(&mut self, n: usize) {
+        self.bytes[2..4].copy_from_slice(&(n as u16).to_le_bytes());
+    }
+
+    fn set_free_off(&mut self, off: usize) {
+        self.bytes[4..6].copy_from_slice(&(off as u16).to_le_bytes());
+    }
+
+    /// Sibling link (next leaf in key order); `u64::MAX` means none.
+    pub fn next_page(&self) -> Option<PageId> {
+        let v = u64::from_le_bytes(self.bytes[6..14].try_into().unwrap());
+        (v != u64::MAX).then_some(v)
+    }
+
+    /// Sets the sibling link.
+    pub fn set_next_page(&mut self, next: Option<PageId>) {
+        let v = next.unwrap_or(u64::MAX);
+        self.bytes[6..14].copy_from_slice(&v.to_le_bytes());
+    }
+
+    fn slot_dir_start(&self) -> usize {
+        PAGE_SIZE - self.slot_count() * SLOT_LEN
+    }
+
+    /// Free bytes available for one more record (slot entry included).
+    pub fn free_space(&self) -> usize {
+        self.slot_dir_start()
+            .saturating_sub(self.free_off())
+            .saturating_sub(SLOT_LEN)
+    }
+
+    /// Largest record this layout can ever hold in one page.
+    pub const fn max_record() -> usize {
+        PAGE_SIZE - PAGE_HEADER_LEN - SLOT_LEN
+    }
+
+    fn slot(&self, i: usize) -> (usize, usize) {
+        let base = PAGE_SIZE - (i + 1) * SLOT_LEN;
+        let off = u16::from_le_bytes([self.bytes[base], self.bytes[base + 1]]) as usize;
+        let len = u16::from_le_bytes([self.bytes[base + 2], self.bytes[base + 3]]) as usize;
+        (off, len)
+    }
+
+    fn write_slot(&mut self, i: usize, off: usize, len: usize) {
+        let base = PAGE_SIZE - (i + 1) * SLOT_LEN;
+        self.bytes[base..base + 2].copy_from_slice(&(off as u16).to_le_bytes());
+        self.bytes[base + 2..base + 4].copy_from_slice(&(len as u16).to_le_bytes());
+    }
+
+    /// Returns record `i`.
+    pub fn record(&self, i: usize) -> Result<&[u8]> {
+        if i >= self.slot_count() {
+            return Err(StorageError::BadSlot {
+                slot: i,
+                count: self.slot_count(),
+            });
+        }
+        let (off, len) = self.slot(i);
+        Ok(&self.bytes[off..off + len])
+    }
+
+    /// Inserts a record at slot position `i`, shifting later slots down.
+    /// Record bytes always append at the free offset; only the 4-byte slot
+    /// directory entries move.
+    pub fn insert_record(&mut self, i: usize, rec: &[u8]) -> Result<()> {
+        let count = self.slot_count();
+        if i > count {
+            return Err(StorageError::BadSlot {
+                slot: i,
+                count,
+            });
+        }
+        if rec.len() > self.free_space() {
+            return Err(StorageError::RecordTooLarge {
+                bytes: rec.len(),
+                limit: self.free_space(),
+            });
+        }
+        let off = self.free_off();
+        self.bytes[off..off + rec.len()].copy_from_slice(rec);
+        // Shift slots [i, count) one position toward the page start
+        // (their directory entries move 4 bytes down).
+        for j in (i..count).rev() {
+            let (o, l) = self.slot(j);
+            self.write_slot(j + 1, o, l);
+        }
+        self.write_slot(i, off, rec.len());
+        self.set_slot_count(count + 1);
+        self.set_free_off(off + rec.len());
+        Ok(())
+    }
+
+    /// Appends a record after the last slot.
+    pub fn push_record(&mut self, rec: &[u8]) -> Result<usize> {
+        let i = self.slot_count();
+        self.insert_record(i, rec)?;
+        Ok(i)
+    }
+
+    /// Removes slot `i` (the record bytes become dead space until the page
+    /// is compacted by a split).
+    pub fn remove_slot(&mut self, i: usize) -> Result<()> {
+        let count = self.slot_count();
+        if i >= count {
+            return Err(StorageError::BadSlot { slot: i, count });
+        }
+        for j in i + 1..count {
+            let (o, l) = self.slot(j);
+            self.write_slot(j - 1, o, l);
+        }
+        self.set_slot_count(count - 1);
+        Ok(())
+    }
+
+    /// Copies all records out (used when splitting/compacting).
+    pub fn all_records(&self) -> Vec<Vec<u8>> {
+        (0..self.slot_count())
+            .map(|i| self.record(i).expect("slot in range").to_vec())
+            .collect()
+    }
+
+    /// Clears the page back to an empty slotted page of the same type,
+    /// keeping the sibling link.
+    pub fn reset(&mut self) {
+        let t = self.page_type();
+        let next = self.next_page();
+        for b in self.bytes[..PAGE_HEADER_LEN].iter_mut() {
+            *b = 0;
+        }
+        self.bytes[0] = t;
+        self.set_slot_count(0);
+        self.set_free_off(PAGE_HEADER_LEN);
+        self.set_next_page(next);
+    }
+}
+
+/// Read-only view over a slotted page (for scans that must not copy).
+pub struct SlottedRead<'a> {
+    bytes: &'a [u8],
+}
+
+impl<'a> SlottedRead<'a> {
+    /// Views existing page bytes, checking the type tag.
+    pub fn open(bytes: &'a [u8], expect_type: u8, page: PageId) -> Result<SlottedRead<'a>> {
+        if bytes[0] != expect_type {
+            return Err(StorageError::PageTypeMismatch {
+                page,
+                expected: expect_type,
+                got: bytes[0],
+            });
+        }
+        Ok(SlottedRead { bytes })
+    }
+
+    /// Number of records.
+    pub fn slot_count(&self) -> usize {
+        u16::from_le_bytes([self.bytes[2], self.bytes[3]]) as usize
+    }
+
+    /// Sibling link; `None` when this is the last page in the chain.
+    pub fn next_page(&self) -> Option<PageId> {
+        let v = u64::from_le_bytes(self.bytes[6..14].try_into().unwrap());
+        (v != u64::MAX).then_some(v)
+    }
+
+    /// Returns record `i`.
+    pub fn record(&self, i: usize) -> Result<&'a [u8]> {
+        if i >= self.slot_count() {
+            return Err(StorageError::BadSlot {
+                slot: i,
+                count: self.slot_count(),
+            });
+        }
+        let base = PAGE_SIZE - (i + 1) * SLOT_LEN;
+        let off = u16::from_le_bytes([self.bytes[base], self.bytes[base + 1]]) as usize;
+        let len = u16::from_le_bytes([self.bytes[base + 2], self.bytes[base + 3]]) as usize;
+        Ok(&self.bytes[off..off + len])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fresh() -> Vec<u8> {
+        vec![0u8; PAGE_SIZE]
+    }
+
+    #[test]
+    fn read_view_matches_writer() {
+        let mut bytes = fresh();
+        {
+            let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+            p.push_record(b"alpha").unwrap();
+            p.push_record(b"beta").unwrap();
+            p.set_next_page(Some(9));
+        }
+        let v = SlottedRead::open(&bytes, page_type::BTREE_LEAF, 0).unwrap();
+        assert_eq!(v.slot_count(), 2);
+        assert_eq!(v.record(0).unwrap(), b"alpha");
+        assert_eq!(v.record(1).unwrap(), b"beta");
+        assert_eq!(v.next_page(), Some(9));
+        assert!(v.record(2).is_err());
+        assert!(SlottedRead::open(&bytes, page_type::BLOB_ROOT, 0).is_err());
+    }
+
+    #[test]
+    fn init_and_open() {
+        let mut bytes = fresh();
+        SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        let p = SlottedPage::open(&mut bytes, page_type::BTREE_LEAF, 0).unwrap();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.next_page(), None);
+        assert!(SlottedPage::open(&mut bytes, page_type::BLOB_ROOT, 0).is_err());
+    }
+
+    #[test]
+    fn push_and_read_records() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        let a = p.push_record(b"hello").unwrap();
+        let b = p.push_record(b"world!").unwrap();
+        assert_eq!(p.record(a).unwrap(), b"hello");
+        assert_eq!(p.record(b).unwrap(), b"world!");
+        assert_eq!(p.slot_count(), 2);
+        assert!(p.record(2).is_err());
+    }
+
+    #[test]
+    fn insert_in_middle_keeps_order() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        p.push_record(b"a").unwrap();
+        p.push_record(b"c").unwrap();
+        p.insert_record(1, b"b").unwrap();
+        let recs = p.all_records();
+        assert_eq!(recs, vec![b"a".to_vec(), b"b".to_vec(), b"c".to_vec()]);
+    }
+
+    #[test]
+    fn remove_slot_shifts() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        for r in [b"x" as &[u8], b"y", b"z"] {
+            p.push_record(r).unwrap();
+        }
+        p.remove_slot(1).unwrap();
+        assert_eq!(p.all_records(), vec![b"x".to_vec(), b"z".to_vec()]);
+        assert!(p.remove_slot(5).is_err());
+    }
+
+    #[test]
+    fn fills_up_and_rejects_overflow() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        let rec = [0u8; 100];
+        let mut n = 0;
+        while p.free_space() >= rec.len() {
+            p.push_record(&rec).unwrap();
+            n += 1;
+        }
+        // 8192 - 16 = 8176 usable; each record costs 104 bytes.
+        assert_eq!(n, 8176 / 104);
+        assert!(matches!(
+            p.push_record(&rec),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn max_record_fits_exactly() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        let rec = vec![0xEE; SlottedPage::max_record()];
+        p.push_record(&rec).unwrap();
+        assert_eq!(p.record(0).unwrap().len(), SlottedPage::max_record());
+        assert_eq!(p.free_space(), 0);
+    }
+
+    #[test]
+    fn sibling_link_round_trip() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        p.set_next_page(Some(42));
+        assert_eq!(p.next_page(), Some(42));
+        p.set_next_page(None);
+        assert_eq!(p.next_page(), None);
+    }
+
+    #[test]
+    fn reset_keeps_type_and_link() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_INTERNAL);
+        p.push_record(b"junk").unwrap();
+        p.set_next_page(Some(7));
+        p.reset();
+        assert_eq!(p.slot_count(), 0);
+        assert_eq!(p.page_type(), page_type::BTREE_INTERNAL);
+        assert_eq!(p.next_page(), Some(7));
+        assert_eq!(p.free_space(), PAGE_SIZE - PAGE_HEADER_LEN - SLOT_LEN);
+    }
+
+    #[test]
+    fn survives_byte_round_trip() {
+        let mut bytes = fresh();
+        {
+            let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+            p.push_record(b"persisted").unwrap();
+        }
+        let copy = bytes.clone();
+        let mut copy2 = copy.clone();
+        let p = SlottedPage::open(&mut copy2, page_type::BTREE_LEAF, 3).unwrap();
+        assert_eq!(p.record(0).unwrap(), b"persisted");
+    }
+}

@@ -1,0 +1,428 @@
+//! Row format: schema-driven encoding of heterogeneous column values.
+//!
+//! Mirrors the two test tables of §6.2: `Tscalar` stores a vector as five
+//! scalar `float` columns; `Tvector` stores it as one binary column holding
+//! an array blob. Blob columns follow SQL Server's in-row rule: payloads up
+//! to [`INLINE_BLOB_LIMIT`] bytes stay in the row, larger ones move to the
+//! LOB store and leave a 16-byte pointer behind.
+
+use crate::blob::{self, BlobId};
+use crate::errors::{Result, StorageError};
+use crate::store::PageStore;
+
+/// Largest blob stored inside the row — the `VARBINARY(8000)` budget that
+/// also caps short arrays.
+pub const INLINE_BLOB_LIMIT: usize = 8000;
+
+/// Column data types.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColType {
+    /// `bigint`.
+    I64,
+    /// `int`.
+    I32,
+    /// `float`.
+    F64,
+    /// `real`.
+    F32,
+    /// Binary payload: in-row when ≤ [`INLINE_BLOB_LIMIT`] bytes,
+    /// out-of-page LOB otherwise (`VARBINARY(MAX)` semantics).
+    Blob,
+}
+
+/// A column definition.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Column {
+    /// Column name (case-insensitive lookups in the engine).
+    pub name: String,
+    /// Data type.
+    pub ctype: ColType,
+}
+
+impl Column {
+    /// Shorthand constructor.
+    pub fn new(name: &str, ctype: ColType) -> Column {
+        Column {
+            name: name.to_string(),
+            ctype,
+        }
+    }
+}
+
+/// An ordered list of columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Schema {
+    /// The columns, in storage order.
+    pub columns: Vec<Column>,
+}
+
+impl Schema {
+    /// Builds a schema from `(name, type)` pairs.
+    pub fn new(cols: &[(&str, ColType)]) -> Schema {
+        Schema {
+            columns: cols
+                .iter()
+                .map(|&(n, t)| Column::new(n, t))
+                .collect(),
+        }
+    }
+
+    /// Index of a column by case-insensitive name.
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.columns
+            .iter()
+            .position(|c| c.name.eq_ignore_ascii_case(name))
+    }
+}
+
+/// A single column value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RowValue {
+    /// `bigint` value.
+    I64(i64),
+    /// `int` value.
+    I32(i32),
+    /// `float` value.
+    F64(f64),
+    /// `real` value.
+    F32(f32),
+    /// Blob payload held in the row.
+    Bytes(Vec<u8>),
+    /// Blob moved out of page: LOB id and byte length.
+    LobRef(BlobId, u64),
+}
+
+impl RowValue {
+    /// Fetches the full payload of a blob-typed value, reading through the
+    /// LOB store when out of page.
+    pub fn blob_bytes(&self, store: &mut PageStore) -> Result<Vec<u8>> {
+        match self {
+            RowValue::Bytes(b) => Ok(b.clone()),
+            RowValue::LobRef(id, _) => blob::read_blob(store, *id),
+            other => Err(StorageError::SchemaMismatch(format!(
+                "value {other:?} is not a blob"
+            ))),
+        }
+    }
+}
+
+// Value tags inside encoded blob columns.
+const BLOB_INLINE: u8 = 0;
+const BLOB_LOB: u8 = 1;
+
+/// Encodes a row. Blob values larger than the in-row limit are written to
+/// the LOB store as a side effect.
+pub fn encode_row(
+    store: &mut PageStore,
+    schema: &Schema,
+    values: &[RowValue],
+) -> Result<Vec<u8>> {
+    if values.len() != schema.columns.len() {
+        return Err(StorageError::SchemaMismatch(format!(
+            "row has {} values, schema has {} columns",
+            values.len(),
+            schema.columns.len()
+        )));
+    }
+    let mut out = Vec::with_capacity(64);
+    for (col, val) in schema.columns.iter().zip(values) {
+        match (col.ctype, val) {
+            (ColType::I64, RowValue::I64(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ColType::I32, RowValue::I32(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ColType::F64, RowValue::F64(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ColType::F32, RowValue::F32(v)) => out.extend_from_slice(&v.to_le_bytes()),
+            (ColType::Blob, RowValue::Bytes(b)) => {
+                if b.len() <= INLINE_BLOB_LIMIT {
+                    out.push(BLOB_INLINE);
+                    out.extend_from_slice(&(b.len() as u16).to_le_bytes());
+                    out.extend_from_slice(b);
+                } else {
+                    let id = blob::write_blob(store, b)?;
+                    out.push(BLOB_LOB);
+                    out.extend_from_slice(&id.to_le_bytes());
+                    out.extend_from_slice(&(b.len() as u64).to_le_bytes());
+                }
+            }
+            (ColType::Blob, RowValue::LobRef(id, len)) => {
+                out.push(BLOB_LOB);
+                out.extend_from_slice(&id.to_le_bytes());
+                out.extend_from_slice(&len.to_le_bytes());
+            }
+            (t, v) => {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column `{}` of type {t:?} cannot store {v:?}",
+                    col.name
+                )))
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Decodes a whole row.
+pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Vec<RowValue>> {
+    let mut out = Vec::with_capacity(schema.columns.len());
+    let mut off = 0usize;
+    for col in &schema.columns {
+        let (v, next) = decode_value(col.ctype, bytes, off, &col.name)?;
+        out.push(v);
+        off = next;
+    }
+    if off != bytes.len() {
+        return Err(StorageError::RowCorrupt(format!(
+            "{} trailing bytes after last column",
+            bytes.len() - off
+        )));
+    }
+    Ok(out)
+}
+
+/// Decodes a single column without materializing the others (the scan
+/// projections of queries 3–5 touch exactly one column per row).
+pub fn decode_col(
+    schema: &Schema,
+    bytes: &[u8],
+    col_idx: usize,
+) -> Result<RowValue> {
+    if col_idx >= schema.columns.len() {
+        return Err(StorageError::SchemaMismatch(format!(
+            "column index {col_idx} out of range"
+        )));
+    }
+    let mut off = 0usize;
+    for (i, col) in schema.columns.iter().enumerate() {
+        if i == col_idx {
+            let (v, _) = decode_value(col.ctype, bytes, off, &col.name)?;
+            return Ok(v);
+        }
+        off = skip_value(col.ctype, bytes, off, &col.name)?;
+    }
+    unreachable!("col_idx checked above")
+}
+
+fn need(bytes: &[u8], off: usize, n: usize, name: &str) -> Result<()> {
+    if off + n > bytes.len() {
+        return Err(StorageError::RowCorrupt(format!(
+            "row truncated in column `{name}`"
+        )));
+    }
+    Ok(())
+}
+
+fn decode_value(
+    ctype: ColType,
+    bytes: &[u8],
+    off: usize,
+    name: &str,
+) -> Result<(RowValue, usize)> {
+    match ctype {
+        ColType::I64 => {
+            need(bytes, off, 8, name)?;
+            let v = i64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            Ok((RowValue::I64(v), off + 8))
+        }
+        ColType::I32 => {
+            need(bytes, off, 4, name)?;
+            let v = i32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            Ok((RowValue::I32(v), off + 4))
+        }
+        ColType::F64 => {
+            need(bytes, off, 8, name)?;
+            let v = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            Ok((RowValue::F64(v), off + 8))
+        }
+        ColType::F32 => {
+            need(bytes, off, 4, name)?;
+            let v = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            Ok((RowValue::F32(v), off + 4))
+        }
+        ColType::Blob => {
+            need(bytes, off, 1, name)?;
+            match bytes[off] {
+                BLOB_INLINE => {
+                    need(bytes, off + 1, 2, name)?;
+                    let len =
+                        u16::from_le_bytes(bytes[off + 1..off + 3].try_into().unwrap()) as usize;
+                    need(bytes, off + 3, len, name)?;
+                    Ok((
+                        RowValue::Bytes(bytes[off + 3..off + 3 + len].to_vec()),
+                        off + 3 + len,
+                    ))
+                }
+                BLOB_LOB => {
+                    need(bytes, off + 1, 16, name)?;
+                    let id = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap());
+                    let len = u64::from_le_bytes(bytes[off + 9..off + 17].try_into().unwrap());
+                    Ok((RowValue::LobRef(id, len), off + 17))
+                }
+                tag => Err(StorageError::RowCorrupt(format!(
+                    "unknown blob tag {tag} in column `{name}`"
+                ))),
+            }
+        }
+    }
+}
+
+fn skip_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<usize> {
+    match ctype {
+        ColType::I64 | ColType::F64 => {
+            need(bytes, off, 8, name)?;
+            Ok(off + 8)
+        }
+        ColType::I32 | ColType::F32 => {
+            need(bytes, off, 4, name)?;
+            Ok(off + 4)
+        }
+        ColType::Blob => {
+            need(bytes, off, 1, name)?;
+            match bytes[off] {
+                BLOB_INLINE => {
+                    need(bytes, off + 1, 2, name)?;
+                    let len =
+                        u16::from_le_bytes(bytes[off + 1..off + 3].try_into().unwrap()) as usize;
+                    need(bytes, off + 3, len, name)?;
+                    Ok(off + 3 + len)
+                }
+                BLOB_LOB => {
+                    need(bytes, off + 1, 16, name)?;
+                    Ok(off + 17)
+                }
+                tag => Err(StorageError::RowCorrupt(format!(
+                    "unknown blob tag {tag} in column `{name}`"
+                ))),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_schema() -> Schema {
+        Schema::new(&[
+            ("id", ColType::I64),
+            ("x", ColType::F64),
+            ("v", ColType::Blob),
+            ("n", ColType::I32),
+        ])
+    }
+
+    #[test]
+    fn round_trip_inline() {
+        let mut store = PageStore::new();
+        let schema = test_schema();
+        let row = vec![
+            RowValue::I64(42),
+            RowValue::F64(2.5),
+            RowValue::Bytes(vec![1, 2, 3]),
+            RowValue::I32(-7),
+        ];
+        let bytes = encode_row(&mut store, &schema, &row).unwrap();
+        assert_eq!(decode_row(&schema, &bytes).unwrap(), row);
+    }
+
+    #[test]
+    fn big_blob_moves_out_of_page() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("v", ColType::Blob)]);
+        let payload = vec![0x5A; 20_000];
+        let bytes =
+            encode_row(&mut store, &schema, &[RowValue::Bytes(payload.clone())]).unwrap();
+        // The row itself stays tiny.
+        assert!(bytes.len() < 32);
+        match &decode_row(&schema, &bytes).unwrap()[0] {
+            RowValue::LobRef(id, len) => {
+                assert_eq!(*len, 20_000);
+                assert_eq!(blob::read_blob(&mut store, *id).unwrap(), payload);
+            }
+            other => panic!("expected LobRef, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn inline_limit_is_8000() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("v", ColType::Blob)]);
+        let at_limit =
+            encode_row(&mut store, &schema, &[RowValue::Bytes(vec![0; 8000])]).unwrap();
+        assert_eq!(at_limit[8], BLOB_INLINE); // tag after nothing: offset 0 is the tag
+        assert_eq!(at_limit[0], BLOB_INLINE);
+        let over =
+            encode_row(&mut store, &schema, &[RowValue::Bytes(vec![0; 8001])]).unwrap();
+        assert_eq!(over[0], BLOB_LOB);
+    }
+
+    #[test]
+    fn blob_bytes_unifies_inline_and_lob() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("v", ColType::Blob)]);
+        for len in [100usize, 9000] {
+            let payload = vec![7u8; len];
+            let bytes =
+                encode_row(&mut store, &schema, &[RowValue::Bytes(payload.clone())]).unwrap();
+            let v = decode_row(&schema, &bytes).unwrap().remove(0);
+            assert_eq!(v.blob_bytes(&mut store).unwrap(), payload);
+        }
+        assert!(RowValue::I64(1).blob_bytes(&mut store).is_err());
+    }
+
+    #[test]
+    fn decode_col_skips_correctly() {
+        let mut store = PageStore::new();
+        let schema = test_schema();
+        let row = vec![
+            RowValue::I64(1),
+            RowValue::F64(3.25),
+            RowValue::Bytes(vec![9; 50]),
+            RowValue::I32(11),
+        ];
+        let bytes = encode_row(&mut store, &schema, &row).unwrap();
+        assert_eq!(decode_col(&schema, &bytes, 0).unwrap(), RowValue::I64(1));
+        assert_eq!(decode_col(&schema, &bytes, 1).unwrap(), RowValue::F64(3.25));
+        assert_eq!(decode_col(&schema, &bytes, 3).unwrap(), RowValue::I32(11));
+        assert!(decode_col(&schema, &bytes, 4).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_detected() {
+        let mut store = PageStore::new();
+        let schema = test_schema();
+        let wrong_arity = vec![RowValue::I64(1)];
+        assert!(encode_row(&mut store, &schema, &wrong_arity).is_err());
+        let wrong_type = vec![
+            RowValue::F64(1.0),
+            RowValue::F64(1.0),
+            RowValue::Bytes(vec![]),
+            RowValue::I32(0),
+        ];
+        assert!(encode_row(&mut store, &schema, &wrong_type).is_err());
+    }
+
+    #[test]
+    fn corrupt_rows_detected() {
+        let schema = test_schema();
+        assert!(decode_row(&schema, &[0u8; 3]).is_err()); // truncated
+        let mut store = PageStore::new();
+        let row = vec![
+            RowValue::I64(1),
+            RowValue::F64(1.0),
+            RowValue::Bytes(vec![1]),
+            RowValue::I32(0),
+        ];
+        let mut bytes = encode_row(&mut store, &schema, &row).unwrap();
+        bytes.push(0xFF); // trailing garbage
+        assert!(decode_row(&schema, &bytes).is_err());
+        bytes.pop();
+        bytes[16] = 9; // invalid blob tag
+        assert!(decode_row(&schema, &bytes).is_err());
+    }
+
+    #[test]
+    fn col_index_is_case_insensitive() {
+        let schema = test_schema();
+        assert_eq!(schema.col_index("ID"), Some(0));
+        assert_eq!(schema.col_index("V"), Some(2));
+        assert_eq!(schema.col_index("nope"), None);
+    }
+}

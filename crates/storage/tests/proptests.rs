@@ -1,0 +1,147 @@
+//! Property-based tests: the B-tree against a `BTreeMap` model, blob
+//! range reads against slices, and row-codec round trips.
+
+use proptest::prelude::*;
+use sqlarray_storage::{blob, row, BTree, ColType, PageStore, RowValue, Schema};
+use std::collections::BTreeMap;
+
+proptest! {
+    /// The clustered B-tree behaves exactly like an ordered map: same
+    /// point lookups, same full-scan order, same length.
+    #[test]
+    fn btree_matches_btreemap_model(
+        ops in prop::collection::vec((any::<i16>(), prop::collection::vec(any::<u8>(), 0..40)), 1..300)
+    ) {
+        let mut store = PageStore::new();
+        let mut tree = BTree::create(&mut store).unwrap();
+        let mut model: BTreeMap<i64, Vec<u8>> = BTreeMap::new();
+        for (k, payload) in ops {
+            let key = k as i64;
+            let inserted = tree.insert(&mut store, key, &payload);
+            if model.contains_key(&key) {
+                prop_assert!(inserted.is_err(), "duplicate accepted");
+            } else {
+                prop_assert!(inserted.is_ok());
+                model.insert(key, payload);
+            }
+        }
+        prop_assert_eq!(tree.len(), model.len() as u64);
+        // Point lookups agree, including misses.
+        for probe in [-40000i64, -1, 0, 1, 17, 40000] {
+            prop_assert_eq!(tree.get(&mut store, probe).unwrap(), model.get(&probe).cloned());
+        }
+        for (&k, v) in model.iter().take(20) {
+            let got = tree.get(&mut store, k).unwrap();
+            prop_assert_eq!(got.as_ref(), Some(v));
+        }
+        // Scan yields the model's entries in order.
+        let mut scanned = Vec::new();
+        tree.scan(&mut store, |k, p| {
+            scanned.push((k, p.to_vec()));
+            Ok(true)
+        })
+        .unwrap();
+        let expect: Vec<(i64, Vec<u8>)> = model.into_iter().collect();
+        prop_assert_eq!(scanned, expect);
+    }
+
+    /// Range scans agree with the model's range.
+    #[test]
+    fn btree_range_scan_matches_model(
+        keys in prop::collection::btree_set(-500i64..500, 1..150),
+        lo in -600i64..600,
+        span in 0i64..300,
+    ) {
+        let hi = lo + span;
+        let mut store = PageStore::new();
+        let mut tree = BTree::create(&mut store).unwrap();
+        for &k in &keys {
+            tree.insert(&mut store, k, &k.to_le_bytes()).unwrap();
+        }
+        let mut got = Vec::new();
+        tree.scan_range(&mut store, lo, hi, |k, _| {
+            got.push(k);
+            Ok(true)
+        })
+        .unwrap();
+        let expect: Vec<i64> = keys.iter().copied().filter(|&k| k >= lo && k <= hi).collect();
+        prop_assert_eq!(got, expect);
+    }
+
+    /// Blob range reads return exactly the bytes of the source slice, for
+    /// any in-bounds range.
+    #[test]
+    fn blob_range_reads_match_source(
+        len in 0usize..60_000,
+        seed in any::<u64>(),
+    ) {
+        let data: Vec<u8> = (0..len).map(|i| ((i as u64).wrapping_mul(seed | 1) >> 5) as u8).collect();
+        let mut store = PageStore::new();
+        let id = blob::write_blob(&mut store, &data).unwrap();
+        prop_assert_eq!(blob::blob_len(&mut store, id).unwrap(), len);
+        // Probe a few derived ranges.
+        let mut s = seed;
+        let mut next = move || { s = s.wrapping_mul(6364136223846793005).wrapping_add(1); s as usize };
+        for _ in 0..8 {
+            if len == 0 { break; }
+            let off = next() % len;
+            let n = (next() % (len - off)).min(4096);
+            let mut buf = vec![0u8; n];
+            blob::read_blob_range(&mut store, id, off, &mut buf).unwrap();
+            prop_assert_eq!(&buf[..], &data[off..off + n]);
+        }
+        // Full read agrees.
+        prop_assert_eq!(blob::read_blob(&mut store, id).unwrap(), data);
+    }
+
+    /// Row encode/decode is the identity for arbitrary values, and
+    /// single-column decode matches the full decode.
+    #[test]
+    fn row_codec_round_trips(
+        i64v in any::<i64>(),
+        i32v in any::<i32>(),
+        f64v in any::<f64>(),
+        f32v in any::<f32>(),
+        bytes in prop::collection::vec(any::<u8>(), 0..200),
+    ) {
+        // NaN breaks equality; normalize.
+        let f64v = if f64v.is_nan() { 0.0 } else { f64v };
+        let f32v = if f32v.is_nan() { 0.0 } else { f32v };
+        let schema = Schema::new(&[
+            ("a", ColType::I64),
+            ("b", ColType::I32),
+            ("c", ColType::F64),
+            ("d", ColType::F32),
+            ("e", ColType::Blob),
+        ]);
+        let values = vec![
+            RowValue::I64(i64v),
+            RowValue::I32(i32v),
+            RowValue::F64(f64v),
+            RowValue::F32(f32v),
+            RowValue::Bytes(bytes),
+        ];
+        let mut store = PageStore::new();
+        let encoded = row::encode_row(&mut store, &schema, &values).unwrap();
+        let decoded = row::decode_row(&schema, &encoded).unwrap();
+        prop_assert_eq!(&decoded, &values);
+        for col in 0..5 {
+            prop_assert_eq!(
+                row::decode_col(&schema, &encoded, col).unwrap(),
+                values[col].clone()
+            );
+        }
+    }
+
+    /// Morton keys round-trip and preserve the octant hierarchy for any
+    /// coordinates.
+    #[test]
+    fn morton_round_trip(x in 0u64..(1 << 21), y in 0u64..(1 << 21), z in 0u64..(1 << 21)) {
+        use sqlarray_storage::zorder::{morton3_decode, morton3_encode};
+        let key = morton3_encode(x, y, z);
+        prop_assert_eq!(morton3_decode(key), (x, y, z));
+        // Scaling all coordinates down by 2 strips exactly 3 bits.
+        let parent = morton3_encode(x >> 1, y >> 1, z >> 1);
+        prop_assert_eq!(parent, key >> 3);
+    }
+}

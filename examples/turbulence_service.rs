@@ -1,0 +1,92 @@
+//! The turbulence particle-query service (§2.1): build a z-order
+//! partitioned velocity database, query interpolated velocities at
+//! particle positions, and compare interpolation schemes and fetch
+//! strategies.
+//!
+//! ```text
+//! cargo run --release --example turbulence_service
+//! ```
+
+use sqlarray::storage::PageStore;
+use sqlarray::turbulence::{
+    FetchMode, PartitionSpec, Scheme, SyntheticField, TurbulenceDb,
+};
+
+fn main() {
+    // A 64³ synthetic isotropic field, partitioned into 16³ cubes with
+    // 4-voxel ghost zones (scaled-down version of the paper's
+    // 1024³ / (64+8)³ layout).
+    let field = SyntheticField::new(7, 16, 4);
+    let spec = PartitionSpec::new(64, 16, 4);
+    let mut store = PageStore::new();
+    println!(
+        "building turbulence db: grid {}^3, cubes of ({}+{})^3, blob {} kB ...",
+        spec.grid_n,
+        spec.block,
+        2 * spec.ghost,
+        spec.blob_bytes() / 1024
+    );
+    let db = TurbulenceDb::build(&mut store, &field, spec).expect("build");
+    let table = db.table().clone();
+    println!(
+        "stored {} blobs, {} data pages, file {:.1} MB",
+        table.row_count(),
+        table.data_pages(&mut store).unwrap(),
+        store.file_bytes() as f64 / (1024.0 * 1024.0)
+    );
+
+    // A batch of "sensor" particles along a streamline-ish path.
+    let particles: Vec<[f64; 3]> = (0..1000)
+        .map(|i| {
+            let t = i as f64 * 0.013;
+            [
+                (0.2 + 0.61 * t).rem_euclid(1.0),
+                (0.8 - 0.37 * t).rem_euclid(1.0),
+                (0.5 + 0.23 * t).rem_euclid(1.0),
+            ]
+        })
+        .collect();
+
+    println!("\nscheme      rms error   max error   (vs analytic field, 1000 particles)");
+    for scheme in [
+        Scheme::Nearest,
+        Scheme::Pchip,
+        Scheme::Lagrange4,
+        Scheme::Lagrange6,
+        Scheme::Lagrange8,
+    ] {
+        let vels = db
+            .query_particles(&mut store, &particles, scheme, FetchMode::PartialRead)
+            .expect("query");
+        let mut sq = 0.0f64;
+        let mut maxe = 0.0f64;
+        for (v, p) in vels.iter().zip(&particles) {
+            let truth = field.velocity(*p);
+            for c in 0..3 {
+                let e = (v[c] - truth[c]).abs();
+                sq += e * e;
+                maxe = maxe.max(e);
+            }
+        }
+        let rms = (sq / (3.0 * particles.len() as f64)).sqrt();
+        println!("{scheme:?}\t{rms:>12.2e}{maxe:>12.2e}");
+    }
+
+    // I/O comparison: streamed stencil vs whole blob (the §2.1 "6 MB for
+    // an 8-point interpolation is overkill" observation).
+    println!("\nfetch mode      bytes/query   pages/query   (Lagrange-8, cold cache)");
+    for mode in [FetchMode::PartialRead, FetchMode::FullBlob] {
+        store.clear_cache();
+        store.reset_stats();
+        db.query_particles(&mut store, &particles[..100], Scheme::Lagrange8, mode)
+            .expect("query");
+        let st = store.stats();
+        println!(
+            "{:<14}{:>12.0}{:>14.1}",
+            format!("{mode:?}"),
+            st.bytes_read() as f64 / 100.0,
+            st.pages_read as f64 / 100.0
+        );
+    }
+    println!("\nturbulence_service: done");
+}

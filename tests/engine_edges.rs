@@ -1,0 +1,165 @@
+//! Executor and session edge cases across the public API.
+
+use sqlarray::prelude::*;
+
+fn tiny_db(rows: i64) -> Database {
+    let mut db = Database::new();
+    db.create_table(
+        "t",
+        Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]),
+    )
+    .unwrap();
+    for k in 0..rows {
+        db.insert("t", k, &[RowValue::I64(k), RowValue::F64(k as f64)])
+            .unwrap();
+    }
+    db
+}
+
+#[test]
+fn top_caps_rows_and_stops_the_scan_early() {
+    let mut s = Session::with_hosting(tiny_db(1000), HostingModel::free());
+    let r = s.query("SELECT TOP 7 id FROM t").unwrap();
+    assert_eq!(r.rows.len(), 7);
+    // The scan must not have visited all 1000 rows.
+    assert!(
+        r.stats.rows_scanned < 1000,
+        "scanned {} rows for TOP 7",
+        r.stats.rows_scanned
+    );
+}
+
+#[test]
+fn row_limit_guards_unbounded_projections() {
+    let mut s = Session::with_hosting(tiny_db(500), HostingModel::free());
+    s.row_limit = 100;
+    let r = s.query("SELECT id FROM t").unwrap();
+    assert_eq!(r.rows.len(), 100);
+}
+
+#[test]
+fn where_errors_inside_the_scan_surface_cleanly() {
+    let mut s = Session::with_hosting(tiny_db(10), HostingModel::free());
+    // Division by zero mid-scan must abort with an error, not panic.
+    let err = s.query("SELECT id FROM t WHERE 1 / (id - 5) > 0");
+    assert!(err.is_err());
+}
+
+#[test]
+fn scalar_accessor_rejects_multi_row_results() {
+    let mut s = Session::with_hosting(tiny_db(3), HostingModel::free());
+    assert!(s.query_scalar("SELECT id FROM t").is_err());
+    assert_eq!(
+        s.query_scalar("SELECT COUNT(*) FROM t").unwrap(),
+        Value::I64(3)
+    );
+}
+
+#[test]
+fn stats_expose_cpu_percent_and_rates() {
+    let mut s = Session::with_hosting(tiny_db(2000), HostingModel::free());
+    s.db.store.clear_cache();
+    let r = s.query("SELECT SUM(x) FROM t").unwrap();
+    let st = &r.stats;
+    assert!(st.exec_seconds() >= st.cpu_seconds.min(st.sim_io_seconds));
+    assert!((0.0..=100.0).contains(&st.cpu_percent()));
+    assert!(st.io_mb_per_sec() >= 0.0);
+    assert_eq!(st.rows_scanned, 2000);
+}
+
+#[test]
+fn group_by_with_uda_and_builtin_mix() {
+    let mut db = Database::new();
+    db.create_table(
+        "v",
+        Schema::new(&[("id", ColType::I64), ("g", ColType::I64), ("a", ColType::Blob)]),
+    )
+    .unwrap();
+    for k in 0..12 {
+        let arr = build::short_vector(&[k as f64, -(k as f64)]).unwrap();
+        db.insert(
+            "v",
+            k,
+            &[
+                RowValue::I64(k),
+                RowValue::I64(k % 3),
+                RowValue::Bytes(arr.into_blob()),
+            ],
+        )
+        .unwrap();
+    }
+    let mut s = Session::with_hosting(db, HostingModel::free());
+    let r = s
+        .query("SELECT g, COUNT(*), FloatArrayMax.VectorAvg(a) FROM v GROUP BY g")
+        .unwrap();
+    assert_eq!(r.rows.len(), 3);
+    for row in &r.rows {
+        assert_eq!(row[1], Value::I64(4));
+        let avg = row[2].as_array().unwrap();
+        let vals = avg.to_vec::<f64>().unwrap();
+        assert!((vals[0] + vals[1]).abs() < 1e-12, "components mirror");
+    }
+}
+
+#[test]
+fn variables_persist_across_execute_calls() {
+    let mut s = Session::with_hosting(Database::new(), HostingModel::free());
+    s.execute("DECLARE @x FLOAT = 2.5").unwrap();
+    s.execute("SET @x = @x * 2").unwrap();
+    assert_eq!(s.query_scalar("SELECT @x").unwrap(), Value::F64(5.0));
+    // set_var/var round trip for host-injected values.
+    s.set_var("blob", Value::Bytes(vec![1, 2, 3]));
+    assert_eq!(s.var("BLOB"), Some(&Value::Bytes(vec![1, 2, 3])));
+}
+
+#[test]
+fn empty_table_aggregates() {
+    let mut s = Session::with_hosting(tiny_db(0), HostingModel::free());
+    let r = s
+        .query("SELECT COUNT(*), SUM(x), MIN(x), AVG(x) FROM t")
+        .unwrap();
+    assert_eq!(r.rows[0][0], Value::I64(0));
+    assert_eq!(r.rows[0][1], Value::Null);
+    assert_eq!(r.rows[0][2], Value::Null);
+    assert_eq!(r.rows[0][3], Value::Null);
+}
+
+#[test]
+fn hosting_counters_reset_per_query() {
+    let mut s = Session::new(tiny_db(50));
+    s.execute(
+        "DECLARE @a VARBINARY(100) = FloatArray.Vector_2(1.0, 2.0)",
+    )
+    .unwrap();
+    let r1 = s
+        .query("SELECT SUM(dbo.EmptyFunction(x, 0)) FROM t")
+        .unwrap();
+    assert_eq!(r1.stats.udf_calls, 50);
+    let r2 = s.query("SELECT COUNT(*) FROM t").unwrap();
+    assert_eq!(r2.stats.udf_calls, 0, "counter must reset between queries");
+}
+
+#[test]
+fn sugar_composes_with_group_by() {
+    let mut db = Database::new();
+    db.create_table(
+        "m",
+        Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]),
+    )
+    .unwrap();
+    for k in 0..8 {
+        let arr = build::short_vector(&[k as f64, (k * k) as f64]).unwrap();
+        db.insert("m", k, &[RowValue::I64(k), RowValue::Bytes(arr.into_blob())])
+            .unwrap();
+    }
+    let mut s = Session::with_hosting(db, HostingModel::free());
+    let types = sqlarray::engine::SugarTypes::new();
+    let r = s
+        .query_sugar("SELECT id % 2, SUM(v[1]) FROM m GROUP BY id % 2", &types)
+        .unwrap();
+    assert_eq!(r.rows.len(), 2);
+    let even: f64 = [0.0f64, 4.0, 16.0, 36.0].iter().sum();
+    let odd: f64 = [1.0f64, 9.0, 25.0, 49.0].iter().sum();
+    assert_eq!(r.rows[0][1], Value::F64(even));
+    assert_eq!(r.rows[1][1], Value::F64(odd));
+}
