@@ -4,9 +4,9 @@
 //! paper found the latter "prohibitive".
 
 use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_core::{ElementType, StorageClass};
 use sqlarray_engine::aggregate::{run_uda, ConcatUda, UdaMode, UdaState};
 use sqlarray_engine::Value;
-use sqlarray_core::{ElementType, StorageClass};
 
 fn size_vec(n: i64) -> Value {
     let a = sqlarray_core::build::short_vector(&[n as i32]).unwrap();

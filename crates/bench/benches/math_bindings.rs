@@ -35,7 +35,9 @@ fn bench_math(c: &mut Criterion) {
     // Non-power-of-two (Bluestein path): the 100³ Fourier cube edge of
     // §2.3, as a 1-D case.
     let v100 = sqlarray_core::build::max_vector(
-        &(0..1000).map(|i| (i as f64 * 0.01).cos()).collect::<Vec<_>>(),
+        &(0..1000)
+            .map(|i| (i as f64 * 0.01).cos())
+            .collect::<Vec<_>>(),
     )
     .unwrap();
     group.bench_function("fft_array_1000_bluestein", |b| {

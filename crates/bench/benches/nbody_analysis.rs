@@ -4,8 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sqlarray_nbody::{
-    build_lightcone, friends_of_friends, link_catalogs, power_spectrum,
-    two_point_correlation, DensityGrid, LightconeSpec, Octree, SynthSim,
+    build_lightcone, friends_of_friends, link_catalogs, power_spectrum, two_point_correlation,
+    DensityGrid, LightconeSpec, Octree, SynthSim,
 };
 
 fn bench_nbody(c: &mut Criterion) {

@@ -3,8 +3,8 @@
 //! vs full-blob fetches for max-array subsetting.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sqlarray_core::prelude::*;
 use sqlarray_core::ops::subarray;
+use sqlarray_core::prelude::*;
 use sqlarray_storage::{blob, PageStore};
 
 fn bench_short_vs_max(c: &mut Criterion) {

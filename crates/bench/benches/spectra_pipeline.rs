@@ -3,8 +3,8 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use sqlarray_spectra::{
-    composite, linear_grid, resample, synth_spectrum, synth_survey, SpectralClass,
-    SpectrumIndex, SynthParams,
+    composite, linear_grid, resample, synth_spectrum, synth_survey, SpectralClass, SpectrumIndex,
+    SynthParams,
 };
 
 fn bench_spectra(c: &mut Criterion) {

@@ -7,7 +7,7 @@
 //! ```
 
 use sqlarray_bench::{
-    build_table1_db, run_table1, storage_overhead, rows_from_env, TABLE1_QUERIES, TESTBED_DOP,
+    build_table1_db, rows_from_env, run_table1, storage_overhead, TABLE1_QUERIES, TESTBED_DOP,
 };
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     eprintln!("building Tscalar and Tvector ({rows} rows each)...");
     let mut session = build_table1_db(rows);
 
-    println!("{:<5} {:>14} {:>10} {:>12}   {}", "Query", "Exec time [s]", "CPU [%]", "I/O [MB/s]", "statement");
+    println!(
+        "{:<5} {:>14} {:>10} {:>12}   {}",
+        "Query", "Exec time [s]", "CPU [%]", "I/O [MB/s]", "statement"
+    );
     println!("{}", "-".repeat(100));
     let table = run_table1(&mut session);
     for row in &table {

@@ -156,12 +156,8 @@ pub fn run_table1(session: &mut Session) -> Vec<Table1Row> {
 pub fn storage_overhead(session: &mut Session) -> (f64, f64, f64) {
     let ts = session.db.table("Tscalar").expect("Tscalar").clone();
     let tv = session.db.table("Tvector").expect("Tvector").clone();
-    let s = ts
-        .bytes_per_row(&mut session.db.store)
-        .expect("page count");
-    let v = tv
-        .bytes_per_row(&mut session.db.store)
-        .expect("page count");
+    let s = ts.bytes_per_row(&mut session.db.store).expect("page count");
+    let v = tv.bytes_per_row(&mut session.db.store).expect("page count");
     (s, v, v / s)
 }
 

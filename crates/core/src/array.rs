@@ -54,11 +54,7 @@ impl SqlArray {
     }
 
     /// Builds an array where every element is `value`.
-    pub fn filled<T: Element>(
-        class: StorageClass,
-        dims: &[usize],
-        value: T,
-    ) -> Result<SqlArray> {
+    pub fn filled<T: Element>(class: StorageClass, dims: &[usize], value: T) -> Result<SqlArray> {
         let shape = Shape::new(dims)?;
         let header = Header::new(class, T::TYPE, shape)?;
         let hlen = header.header_len();
@@ -330,8 +326,8 @@ mod tests {
 
     #[test]
     fn from_vec_round_trip() {
-        let a = SqlArray::from_vec(StorageClass::Short, &[5], &[1.0f64, 2.0, 3.0, 4.0, 5.0])
-            .unwrap();
+        let a =
+            SqlArray::from_vec(StorageClass::Short, &[5], &[1.0f64, 2.0, 3.0, 4.0, 5.0]).unwrap();
         assert_eq!(a.rank(), 1);
         assert_eq!(a.count(), 5);
         assert_eq!(a.elem(), ElementType::Float64);
@@ -369,8 +365,7 @@ mod tests {
         // Matrix [[0.1, 0.3], [0.2, 0.4]] stored column-major as
         // 0.1, 0.2, 0.3, 0.4 — matches the paper's Matrix_2 example where
         // Item_2(@m, 1, 0) is the second stored element.
-        let m =
-            SqlArray::from_vec(StorageClass::Short, &[2, 2], &[0.1f64, 0.2, 0.3, 0.4]).unwrap();
+        let m = SqlArray::from_vec(StorageClass::Short, &[2, 2], &[0.1f64, 0.2, 0.3, 0.4]).unwrap();
         assert_eq!(m.item(&[1, 0]).unwrap(), Scalar::F64(0.2));
         assert_eq!(m.item(&[0, 1]).unwrap(), Scalar::F64(0.3));
     }

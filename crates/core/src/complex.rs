@@ -249,8 +249,10 @@ mod tests {
             let theta = k as f64 * std::f64::consts::PI / 8.0;
             let z = Complex64::cis(theta);
             assert!(close(z.abs(), 1.0));
-            assert!(close(z.arg().rem_euclid(2.0 * std::f64::consts::PI),
-                          theta.rem_euclid(2.0 * std::f64::consts::PI)));
+            assert!(close(
+                z.arg().rem_euclid(2.0 * std::f64::consts::PI),
+                theta.rem_euclid(2.0 * std::f64::consts::PI)
+            ));
         }
     }
 
@@ -264,8 +266,14 @@ mod tests {
     fn single_precision_arithmetic() {
         let p = Complex32::new(1.0, 1.0) * Complex32::new(1.0, -1.0);
         assert_eq!(p, Complex32::new(2.0, 0.0));
-        assert_eq!(Complex32::from_c64(Complex64::new(1.0, 2.0)), Complex32::new(1.0, 2.0));
-        assert_eq!(Complex64::from_c32(Complex32::new(1.0, 2.0)), Complex64::new(1.0, 2.0));
+        assert_eq!(
+            Complex32::from_c64(Complex64::new(1.0, 2.0)),
+            Complex32::new(1.0, 2.0)
+        );
+        assert_eq!(
+            Complex64::from_c32(Complex32::new(1.0, 2.0)),
+            Complex64::new(1.0, 2.0)
+        );
     }
 
     #[test]

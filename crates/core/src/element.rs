@@ -373,7 +373,10 @@ mod tests {
         }
         assert_eq!("bigint".parse::<ElementType>().unwrap(), ElementType::Int64);
         assert_eq!("real".parse::<ElementType>().unwrap(), ElementType::Float32);
-        assert_eq!("float".parse::<ElementType>().unwrap(), ElementType::Float64);
+        assert_eq!(
+            "float".parse::<ElementType>().unwrap(),
+            ElementType::Float64
+        );
         assert!("decimal".parse::<ElementType>().is_err());
     }
 

@@ -67,10 +67,7 @@ pub enum ArrayError {
     ShapeMismatch { left: Vec<usize>, right: Vec<usize> },
     /// A numeric conversion is not representable (e.g. complex → real with a
     /// non-zero imaginary part).
-    BadConversion {
-        from: ElementType,
-        to: ElementType,
-    },
+    BadConversion { from: ElementType, to: ElementType },
     /// Failure parsing an array from its string form.
     Parse(String),
     /// An aggregate that requires at least one element saw an empty array,
@@ -125,7 +122,10 @@ impl fmt::Display for ArrayError {
                 "short array needs {bytes} bytes, above the in-page limit of {limit}"
             ),
             ArrayError::IndexRankMismatch { got, rank } => {
-                write!(f, "index has {got} components but the array has rank {rank}")
+                write!(
+                    f,
+                    "index has {got} components but the array has rank {rank}"
+                )
             }
             ArrayError::IndexOutOfBounds { axis, index, size } => write!(
                 f,

@@ -59,11 +59,7 @@ pub fn from_string(s: &str) -> Result<SqlArray> {
 
     let dims: Vec<usize> = s[lbrack + 1..rbrack]
         .split(',')
-        .map(|d| {
-            d.trim()
-                .parse::<usize>()
-                .map_err(|_| bad("bad dimension"))
-        })
+        .map(|d| d.trim().parse::<usize>().map_err(|_| bad("bad dimension")))
         .collect::<Result<_>>()?;
 
     let rest = s[rbrack + 1..].trim();

@@ -176,8 +176,7 @@ impl Header {
                 out[4..8].copy_from_slice(&(dims.len() as u32).to_le_bytes());
                 out[8..16].copy_from_slice(&(self.shape.count() as u64).to_le_bytes());
                 for (slot, &d) in dims.iter().enumerate() {
-                    out[16 + 4 * slot..20 + 4 * slot]
-                        .copy_from_slice(&(d as i32).to_le_bytes());
+                    out[16 + 4 * slot..20 + 4 * slot].copy_from_slice(&(d as i32).to_le_bytes());
                 }
             }
         }
@@ -267,8 +266,7 @@ impl Header {
             let count = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
             let mut dims = Vec::with_capacity(rank);
             for slot in 0..rank {
-                let d =
-                    i32::from_le_bytes(buf[16 + 4 * slot..20 + 4 * slot].try_into().unwrap());
+                let d = i32::from_le_bytes(buf[16 + 4 * slot..20 + 4 * slot].try_into().unwrap());
                 if d <= 0 {
                     return Err(ArrayError::BadDimension {
                         dim: slot,
@@ -338,8 +336,7 @@ mod tests {
 
     #[test]
     fn round_trip_short() {
-        let h =
-            Header::new(StorageClass::Short, ElementType::Int16, shape(&[4, 3, 2])).unwrap();
+        let h = Header::new(StorageClass::Short, ElementType::Int16, shape(&[4, 3, 2])).unwrap();
         let buf = h.encode_vec();
         let d = Header::decode(&buf).unwrap();
         assert_eq!(d, h);
@@ -429,7 +426,10 @@ mod tests {
         let h = Header::new(StorageClass::Max, ElementType::Int32, shape(&[3])).unwrap();
         let mut buf = h.encode_vec();
         buf[4..8].copy_from_slice(&0u32.to_le_bytes());
-        assert!(matches!(Header::decode(&buf), Err(ArrayError::BadRank { .. })));
+        assert!(matches!(
+            Header::decode(&buf),
+            Err(ArrayError::BadRank { .. })
+        ));
     }
 
     #[test]
@@ -439,10 +439,7 @@ mod tests {
         let hm = Header::new(StorageClass::Max, ElementType::Int8, shape(&[2, 2, 2])).unwrap();
         assert_eq!(Header::probe_len(&hm.encode_vec()).unwrap(), 16 + 12);
         // The probe only needs the first 8 bytes for max arrays.
-        assert_eq!(
-            Header::probe_len(&hm.encode_vec()[..8]).unwrap(),
-            16 + 12
-        );
+        assert_eq!(Header::probe_len(&hm.encode_vec()[..8]).unwrap(), 16 + 12);
     }
 
     #[test]

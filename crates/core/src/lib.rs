@@ -44,6 +44,7 @@ pub mod errors;
 pub mod fmt;
 pub mod header;
 pub mod ops;
+pub mod rng;
 pub mod scalar;
 pub mod shape;
 pub mod stream;

@@ -129,7 +129,13 @@ mod tests {
     #[test]
     fn sum_over_matrix_axes() {
         // m = [[1,2,3],[4,5,6]]
-        let m = matrix(StorageClass::Short, 2, 3, &[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0]).unwrap();
+        let m = matrix(
+            StorageClass::Short,
+            2,
+            3,
+            &[1.0f64, 2.0, 3.0, 4.0, 5.0, 6.0],
+        )
+        .unwrap();
         // Reducing axis 0 (rows) leaves the 3 column sums.
         let cols = sum_axis(&m, 0).unwrap();
         assert_eq!(cols.dims(), &[3]);

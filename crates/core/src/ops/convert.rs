@@ -71,10 +71,7 @@ mod tests {
     fn real_to_complex_widens() {
         let a = crate::build::short_vector(&[2.0f64]).unwrap();
         let c = convert_type(&a, ElementType::Complex64).unwrap();
-        assert_eq!(
-            c.item(&[0]).unwrap(),
-            Scalar::C64(Complex64::new(2.0, 0.0))
-        );
+        assert_eq!(c.item(&[0]).unwrap(), Scalar::C64(Complex64::new(2.0, 0.0)));
     }
 
     #[test]
@@ -112,8 +109,8 @@ mod tests {
             convert_class(&m, StorageClass::Short),
             Err(ArrayError::ShortTooLarge { .. })
         ));
-        let deep = SqlArray::from_vec(StorageClass::Max, &[1, 1, 1, 1, 1, 1, 2], &[1i8, 2])
-            .unwrap();
+        let deep =
+            SqlArray::from_vec(StorageClass::Max, &[1, 1, 1, 1, 1, 1, 2], &[1i8, 2]).unwrap();
         assert!(matches!(
             convert_class(&deep, StorageClass::Short),
             Err(ArrayError::BadRank { .. })

@@ -157,11 +157,9 @@ pub fn map_c64(a: &SqlArray, mut f: impl FnMut(Complex64) -> Complex64) -> Resul
 fn promote_header(a: &SqlArray, elem: ElementType) -> Result<Header> {
     match Header::new(a.class(), elem, a.shape().clone()) {
         Ok(h) => Ok(h),
-        Err(ArrayError::ShortTooLarge { .. }) => Header::new(
-            crate::header::StorageClass::Max,
-            elem,
-            a.shape().clone(),
-        ),
+        Err(ArrayError::ShortTooLarge { .. }) => {
+            Header::new(crate::header::StorageClass::Max, elem, a.shape().clone())
+        }
         Err(e) => Err(e),
     }
 }
@@ -211,10 +209,22 @@ mod tests {
     fn add_sub_mul_div() {
         let a = short_vector(&[1.0f64, 2.0, 3.0]).unwrap();
         let b = short_vector(&[4.0f64, 5.0, 6.0]).unwrap();
-        assert_eq!(add(&a, &b).unwrap().to_vec::<f64>().unwrap(), vec![5.0, 7.0, 9.0]);
-        assert_eq!(sub(&b, &a).unwrap().to_vec::<f64>().unwrap(), vec![3.0, 3.0, 3.0]);
-        assert_eq!(mul(&a, &b).unwrap().to_vec::<f64>().unwrap(), vec![4.0, 10.0, 18.0]);
-        assert_eq!(div(&b, &a).unwrap().to_vec::<f64>().unwrap(), vec![4.0, 2.5, 2.0]);
+        assert_eq!(
+            add(&a, &b).unwrap().to_vec::<f64>().unwrap(),
+            vec![5.0, 7.0, 9.0]
+        );
+        assert_eq!(
+            sub(&b, &a).unwrap().to_vec::<f64>().unwrap(),
+            vec![3.0, 3.0, 3.0]
+        );
+        assert_eq!(
+            mul(&a, &b).unwrap().to_vec::<f64>().unwrap(),
+            vec![4.0, 10.0, 18.0]
+        );
+        assert_eq!(
+            div(&b, &a).unwrap().to_vec::<f64>().unwrap(),
+            vec![4.0, 2.5, 2.0]
+        );
     }
 
     #[test]
@@ -249,8 +259,14 @@ mod tests {
     #[test]
     fn scale_and_offset() {
         let a = short_vector(&[1.0f64, -2.0]).unwrap();
-        assert_eq!(scale(&a, 3.0).unwrap().to_vec::<f64>().unwrap(), vec![3.0, -6.0]);
-        assert_eq!(offset(&a, 1.0).unwrap().to_vec::<f64>().unwrap(), vec![2.0, -1.0]);
+        assert_eq!(
+            scale(&a, 3.0).unwrap().to_vec::<f64>().unwrap(),
+            vec![3.0, -6.0]
+        );
+        assert_eq!(
+            offset(&a, 1.0).unwrap().to_vec::<f64>().unwrap(),
+            vec![2.0, -1.0]
+        );
     }
 
     #[test]

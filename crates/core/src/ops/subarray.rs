@@ -17,12 +17,7 @@ use crate::header::Header;
 /// The result keeps the element type and storage class of the input. When
 /// `squeeze` is true, axes of length 1 in the result are dropped (a
 /// 5×1×5 slab becomes a 5×5 matrix; a fully scalar result becomes `[1]`).
-pub fn subarray(
-    a: &SqlArray,
-    offset: &[usize],
-    size: &[usize],
-    squeeze: bool,
-) -> Result<SqlArray> {
+pub fn subarray(a: &SqlArray, offset: &[usize], size: &[usize], squeeze: bool) -> Result<SqlArray> {
     let region = a.shape().validate_subarray(offset, size)?;
     let out_shape = if squeeze { region.squeeze() } else { region };
     let es = a.elem().size();

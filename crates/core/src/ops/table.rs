@@ -232,10 +232,7 @@ mod tests {
         let v = crate::build::short_vector(&[1.0f64]).unwrap();
         assert!(matrix_to_table(&v).is_err());
         let m = matrix(StorageClass::Short, 1, 1, &[5.0f64]).unwrap();
-        assert_eq!(
-            matrix_to_table(&m).unwrap(),
-            vec![(0, 0, Scalar::F64(5.0))]
-        );
+        assert_eq!(matrix_to_table(&m).unwrap(), vec![(0, 0, Scalar::F64(5.0))]);
     }
 
     #[test]
@@ -261,8 +258,7 @@ mod tests {
 
     #[test]
     fn builder_state_round_trip() {
-        let mut b =
-            ConcatBuilder::new(StorageClass::Short, ElementType::Float64, &[2, 2]).unwrap();
+        let mut b = ConcatBuilder::new(StorageClass::Short, ElementType::Float64, &[2, 2]).unwrap();
         b.push(&[0, 1], Scalar::F64(7.0)).unwrap();
         let state = b.serialize_state();
         let mut b2 = ConcatBuilder::deserialize_state(&state).unwrap();

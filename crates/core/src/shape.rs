@@ -123,10 +123,7 @@ impl Shape {
         }
         for axis in 0..self.rank() {
             if size[axis] == 0 {
-                return Err(ArrayError::BadDimension {
-                    dim: axis,
-                    size: 0,
-                });
+                return Err(ArrayError::BadDimension { dim: axis, size: 0 });
             }
             if offset[axis] + size[axis] > self.dims[axis] {
                 return Err(ArrayError::SubarrayOutOfBounds {
@@ -161,11 +158,7 @@ impl Shape {
     /// additional leading axes that span their whole parent dimension —
     /// this is what makes page-aligned blob subsetting read long sequential
     /// ranges instead of many small ones.
-    pub fn region_runs<'a>(
-        &'a self,
-        offset: &'a [usize],
-        size: &'a [usize],
-    ) -> RegionRuns<'a> {
+    pub fn region_runs<'a>(&'a self, offset: &'a [usize], size: &'a [usize]) -> RegionRuns<'a> {
         // Number of leading axes fused into a single contiguous run.
         let mut fused = 1;
         while fused < self.rank() && size[fused - 1] == self.dims[fused - 1] {
@@ -295,10 +288,7 @@ mod tests {
 
     #[test]
     fn squeeze_drops_unit_dims() {
-        assert_eq!(
-            Shape::new(&[1, 5, 1, 3]).unwrap().squeeze().dims(),
-            &[5, 3]
-        );
+        assert_eq!(Shape::new(&[1, 5, 1, 3]).unwrap().squeeze().dims(), &[5, 3]);
         assert_eq!(Shape::new(&[1, 1]).unwrap().squeeze().dims(), &[1]);
         assert_eq!(Shape::new(&[4]).unwrap().squeeze().dims(), &[4]);
     }

@@ -112,11 +112,7 @@ impl<S: ArraySource> ArrayReader<S> {
         let es = self.header.elem.size();
         let hlen = self.header.header_len();
 
-        let out_header = Header::new(
-            self.header.class,
-            self.header.elem,
-            final_shape,
-        )?;
+        let out_header = Header::new(self.header.class, self.header.elem, final_shape)?;
         let out_hlen = out_header.header_len();
         let mut out = vec![0u8; out_header.blob_len()];
         out_header.encode(&mut out);

@@ -104,11 +104,9 @@ impl<T: Element> TypedArray<T> {
         let class = self.inner.class();
         match SqlArray::from_vec(class, self.dims(), &data) {
             Ok(a) => TypedArray::new(a),
-            Err(ArrayError::ShortTooLarge { .. }) => TypedArray::new(SqlArray::from_vec(
-                StorageClass::Max,
-                self.dims(),
-                &data,
-            )?),
+            Err(ArrayError::ShortTooLarge { .. }) => {
+                TypedArray::new(SqlArray::from_vec(StorageClass::Max, self.dims(), &data)?)
+            }
             Err(e) => Err(e),
         }
     }

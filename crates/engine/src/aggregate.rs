@@ -126,10 +126,8 @@ impl ConcatUda {
                 .iter_scalars()
                 .map(|s| s.as_f64().map(|f| f as usize))
                 .collect::<sqlarray_core::Result<_>>()?;
-            self.builder = Some(
-                ConcatBuilder::new(self.class, self.elem, &dims)
-                    .map_err(EngineError::from)?,
-            );
+            self.builder =
+                Some(ConcatBuilder::new(self.class, self.elem, &dims).map_err(EngineError::from)?);
         }
         Ok(self.builder.as_mut().expect("just initialized"))
     }
@@ -350,10 +348,9 @@ mod tests {
     use super::*;
 
     fn size_vec(dims: &[i64]) -> Value {
-        let a = sqlarray_core::build::short_vector(
-            &dims.iter().map(|&d| d as i32).collect::<Vec<_>>(),
-        )
-        .unwrap();
+        let a =
+            sqlarray_core::build::short_vector(&dims.iter().map(|&d| d as i32).collect::<Vec<_>>())
+                .unwrap();
         Value::Bytes(a.into_blob())
     }
 
@@ -365,7 +362,10 @@ mod tests {
         let out = run_uda(&mut state, rows, UdaMode::InMemory).unwrap();
         let a = out.as_array().unwrap();
         assert_eq!(a.dims(), &[2, 3]);
-        assert_eq!(a.to_vec::<f64>().unwrap(), vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(
+            a.to_vec::<f64>().unwrap(),
+            vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]
+        );
     }
 
     #[test]
@@ -423,9 +423,7 @@ mod tests {
         let mut state = VectorAvgUda::new(StorageClass::Short);
         let a1 = sqlarray_core::build::short_vector(&[1.0f64, 2.0]).unwrap();
         let a2 = sqlarray_core::build::short_vector(&[1.0f64, 2.0, 3.0]).unwrap();
-        state
-            .accumulate(&[Value::Bytes(a1.into_blob())])
-            .unwrap();
+        state.accumulate(&[Value::Bytes(a1.into_blob())]).unwrap();
         assert!(state.accumulate(&[Value::Bytes(a2.into_blob())]).is_err());
     }
 

@@ -363,7 +363,12 @@ mod tests {
             &reg,
             &mut h,
             "FloatArrayMax.Subarray",
-            &[Value::Bytes(a.as_blob().to_vec()), offset, size, Value::I64(0)],
+            &[
+                Value::Bytes(a.as_blob().to_vec()),
+                offset,
+                size,
+                Value::I64(0),
+            ],
         );
         let sub = sub.as_array().unwrap();
         assert_eq!(sub.dims(), &[5, 5, 5]);
@@ -429,10 +434,24 @@ mod tests {
             "FloatArray.Vector_4",
             &[1.0, 2.0, 3.0, 4.0].map(Value::F64).to_vec()[..].as_ref(),
         );
-        assert_eq!(call(&reg, &mut h, "FloatArray.Sum", &[a.clone()]), Value::F64(10.0));
-        assert_eq!(call(&reg, &mut h, "FloatArray.Mean", &[a.clone()]), Value::F64(2.5));
-        assert_eq!(call(&reg, &mut h, "FloatArray.Max", &[a.clone()]), Value::F64(4.0));
-        let doubled = call(&reg, &mut h, "FloatArray.Scale", &[a.clone(), Value::F64(2.0)]);
+        assert_eq!(
+            call(&reg, &mut h, "FloatArray.Sum", &[a.clone()]),
+            Value::F64(10.0)
+        );
+        assert_eq!(
+            call(&reg, &mut h, "FloatArray.Mean", &[a.clone()]),
+            Value::F64(2.5)
+        );
+        assert_eq!(
+            call(&reg, &mut h, "FloatArray.Max", &[a.clone()]),
+            Value::F64(4.0)
+        );
+        let doubled = call(
+            &reg,
+            &mut h,
+            "FloatArray.Scale",
+            &[a.clone(), Value::F64(2.0)],
+        );
         assert_eq!(
             call(&reg, &mut h, "FloatArray.Dot", &[a.clone(), doubled]),
             Value::F64(60.0)
@@ -474,8 +493,14 @@ mod tests {
             &[Value::I64(3), Value::I64(4)],
         );
         let z = call(&reg, &mut h, "FloatArray.Zeros", &[dims]);
-        assert_eq!(call(&reg, &mut h, "FloatArray.Rank", &[z.clone()]), Value::I32(2));
-        assert_eq!(call(&reg, &mut h, "FloatArray.Count", &[z.clone()]), Value::I64(12));
+        assert_eq!(
+            call(&reg, &mut h, "FloatArray.Rank", &[z.clone()]),
+            Value::I32(2)
+        );
+        assert_eq!(
+            call(&reg, &mut h, "FloatArray.Count", &[z.clone()]),
+            Value::I64(12)
+        );
         assert_eq!(
             call(&reg, &mut h, "FloatArray.Size", &[z.clone(), Value::I64(1)]),
             Value::I64(4)
@@ -487,10 +512,7 @@ mod tests {
             &[Value::I64(6), Value::I64(2)],
         );
         let reshaped = call(&reg, &mut h, "FloatArray.Reshape", &[z, new_dims]);
-        assert_eq!(
-            reshaped.as_array().unwrap().dims(),
-            &[6, 2]
-        );
+        assert_eq!(reshaped.as_array().unwrap().dims(), &[6, 2]);
     }
 
     #[test]

@@ -203,9 +203,7 @@ impl ItemAcc {
                     AggFunc::Min => {
                         let replace = match min {
                             None => true,
-                            Some(cur) => {
-                                crate::expr::compare(&v, cur)? == std::cmp::Ordering::Less
-                            }
+                            Some(cur) => crate::expr::compare(&v, cur)? == std::cmp::Ordering::Less,
                         };
                         if replace {
                             *min = Some(v);

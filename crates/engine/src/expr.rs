@@ -129,9 +129,10 @@ pub fn eval(expr: &Expr, row: Option<&RowCtx<'_>>, env: &mut EvalEnv<'_>) -> Res
             let row = row.ok_or_else(|| {
                 EngineError::Unknown(format!("column `{name}` outside a FROM context"))
             })?;
-            let idx = row.schema.col_index(name).ok_or_else(|| {
-                EngineError::Unknown(format!("column `{name}`"))
-            })?;
+            let idx = row
+                .schema
+                .col_index(name)
+                .ok_or_else(|| EngineError::Unknown(format!("column `{name}`")))?;
             let v = row::decode_col(row.schema, row.bytes, idx)?;
             Ok(resolve_row_value(v))
         }
@@ -293,18 +294,34 @@ mod tests {
         let e = bin(
             BinOp::Add,
             Expr::Lit(Value::I64(2)),
-            bin(BinOp::Mul, Expr::Lit(Value::I64(3)), Expr::Lit(Value::I64(4))),
+            bin(
+                BinOp::Mul,
+                Expr::Lit(Value::I64(3)),
+                Expr::Lit(Value::I64(4)),
+            ),
         );
         assert_eq!(eval_free(&e).unwrap(), Value::I64(14));
-        let f = bin(BinOp::Div, Expr::Lit(Value::F64(1.0)), Expr::Lit(Value::I64(4)));
+        let f = bin(
+            BinOp::Div,
+            Expr::Lit(Value::F64(1.0)),
+            Expr::Lit(Value::I64(4)),
+        );
         assert_eq!(eval_free(&f).unwrap(), Value::F64(0.25));
-        let z = bin(BinOp::Div, Expr::Lit(Value::I64(1)), Expr::Lit(Value::I64(0)));
+        let z = bin(
+            BinOp::Div,
+            Expr::Lit(Value::I64(1)),
+            Expr::Lit(Value::I64(0)),
+        );
         assert!(eval_free(&z).is_err());
     }
 
     #[test]
     fn comparisons_and_logic() {
-        let lt = bin(BinOp::Lt, Expr::Lit(Value::I64(1)), Expr::Lit(Value::F64(1.5)));
+        let lt = bin(
+            BinOp::Lt,
+            Expr::Lit(Value::I64(1)),
+            Expr::Lit(Value::F64(1.5)),
+        );
         assert_eq!(eval_free(&lt).unwrap(), Value::Bool(true));
         let and = bin(
             BinOp::And,

@@ -219,8 +219,7 @@ mod tests {
         assert_eq!(ft.elem(), ElementType::Complex64);
         assert_eq!(ft.count(), 32);
 
-        let m = SqlArray::from_vec(StorageClass::Short, &[2, 2], &[3.0f64, 0.0, 0.0, 2.0])
-            .unwrap();
+        let m = SqlArray::from_vec(StorageClass::Short, &[2, 2], &[3.0f64, 0.0, 0.0, 2.0]).unwrap();
         let s = reg
             .call(
                 "FloatArray.GesvdS",

@@ -116,9 +116,7 @@ pub fn desugar(src: &str, types: &SugarTypes) -> Result<String> {
                     i += 1;
                 }
                 let ident_start = i;
-                while i < bytes.len()
-                    && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_')
-                {
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
                     i += 1;
                 }
                 let ident = &src[ident_start..i];
@@ -423,8 +421,12 @@ mod tests {
         .unwrap();
         for k in 0..10 {
             let a = sqlarray_core::build::short_vector(&[k as f64, 2.0 * k as f64]).unwrap();
-            db.insert("vecs", k, &[RowValue::I64(k), RowValue::Bytes(a.into_blob())])
-                .unwrap();
+            db.insert(
+                "vecs",
+                k,
+                &[RowValue::I64(k), RowValue::Bytes(a.into_blob())],
+            )
+            .unwrap();
         }
         let mut s = Session::with_hosting(db, crate::hosting::HostingModel::free());
         // Q4 of Table 1, in sugar: SELECT SUM(v[1]) FROM vecs.

@@ -750,10 +750,8 @@ mod tests {
 
     #[test]
     fn lex_and_parse_paper_query4() {
-        let stmts = parse(
-            "SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)",
-        )
-        .unwrap();
+        let stmts =
+            parse("SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector WITH (NOLOCK)").unwrap();
         assert_eq!(stmts.len(), 1);
         let Stmt::Select(s) = &stmts[0] else {
             panic!("expected SELECT");
@@ -773,9 +771,7 @@ mod tests {
     #[test]
     fn count_star() {
         let stmts = parse("SELECT COUNT(*) FROM Tscalar WITH (NOLOCK)").unwrap();
-        let Stmt::Select(s) = &stmts[0] else {
-            panic!()
-        };
+        let Stmt::Select(s) = &stmts[0] else { panic!() };
         assert_eq!(
             s.items[0].expr,
             Expr::Agg {
@@ -802,21 +798,31 @@ mod tests {
     #[test]
     fn select_assignment_item() {
         let stmts = parse("SELECT @a = FloatArrayMax.Concat(@l, ix, v) FROM tbl").unwrap();
-        let Stmt::Select(s) = &stmts[0] else {
-            panic!()
-        };
+        let Stmt::Select(s) = &stmts[0] else { panic!() };
         assert_eq!(s.items[0].assign.as_deref(), Some("a"));
-        assert!(matches!(&s.items[0].expr, Expr::Func { name, .. } if name == "FloatArrayMax.Concat"));
+        assert!(
+            matches!(&s.items[0].expr, Expr::Func { name, .. } if name == "FloatArrayMax.Concat")
+        );
     }
 
     #[test]
     fn operator_precedence() {
         let e = parse_expr("1 + 2 * 3 < 10 AND NOT 0").unwrap();
         // ((1 + (2*3)) < 10) AND (NOT 0)
-        let Expr::Bin { op: BinOp::And, left, .. } = e else {
+        let Expr::Bin {
+            op: BinOp::And,
+            left,
+            ..
+        } = e
+        else {
             panic!()
         };
-        let Expr::Bin { op: BinOp::Lt, left: add, .. } = *left else {
+        let Expr::Bin {
+            op: BinOp::Lt,
+            left: add,
+            ..
+        } = *left
+        else {
             panic!()
         };
         let Expr::Bin { op: BinOp::Add, .. } = *add else {
@@ -826,13 +832,10 @@ mod tests {
 
     #[test]
     fn where_group_by_top_alias() {
-        let stmts = parse(
-            "SELECT TOP 5 id AS ident, SUM(x) FROM t WHERE id % 2 = 0 GROUP BY id % 10",
-        )
-        .unwrap();
-        let Stmt::Select(s) = &stmts[0] else {
-            panic!()
-        };
+        let stmts =
+            parse("SELECT TOP 5 id AS ident, SUM(x) FROM t WHERE id % 2 = 0 GROUP BY id % 10")
+                .unwrap();
+        let Stmt::Select(s) = &stmts[0] else { panic!() };
         assert_eq!(s.top, Some(5));
         assert_eq!(s.items[0].alias.as_deref(), Some("ident"));
         assert!(s.where_clause.is_some());
@@ -842,13 +845,19 @@ mod tests {
     #[test]
     fn literals() {
         assert_eq!(parse_expr("NULL").unwrap(), Expr::Lit(Value::Null));
-        assert_eq!(parse_expr("0x0AFF").unwrap(), Expr::Lit(Value::Bytes(vec![0x0A, 0xFF])));
+        assert_eq!(
+            parse_expr("0x0AFF").unwrap(),
+            Expr::Lit(Value::Bytes(vec![0x0A, 0xFF]))
+        );
         assert_eq!(
             parse_expr("'it''s'").unwrap(),
             Expr::Lit(Value::Str("it's".into()))
         );
         assert_eq!(parse_expr("1.5e2").unwrap(), Expr::Lit(Value::F64(150.0)));
-        assert_eq!(parse_expr("-3").unwrap(), Expr::Neg(Box::new(Expr::Lit(Value::I64(3)))));
+        assert_eq!(
+            parse_expr("-3").unwrap(),
+            Expr::Neg(Box::new(Expr::Lit(Value::I64(3))))
+        );
     }
 
     #[test]

@@ -79,8 +79,7 @@ impl UdfRegistry {
         }
         // Strip a trailing _<digits> (the T-SQL numbered-arity convention).
         if let Some(pos) = lower.rfind('_') {
-            if lower[pos + 1..].chars().all(|c| c.is_ascii_digit())
-                && !lower[pos + 1..].is_empty()
+            if lower[pos + 1..].chars().all(|c| c.is_ascii_digit()) && !lower[pos + 1..].is_empty()
             {
                 return self.funcs.get(&lower[..pos]);
             }

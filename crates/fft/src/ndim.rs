@@ -28,13 +28,7 @@ pub fn fftn(data: &mut [Complex64], dims: &[usize], dir: Direction) {
 }
 
 /// Transforms every length-`n` line along the axis with the given stride.
-fn transform_axis(
-    data: &mut [Complex64],
-    count: usize,
-    n: usize,
-    stride: usize,
-    dir: Direction,
-) {
+fn transform_axis(data: &mut [Complex64], count: usize, n: usize, stride: usize, dir: Direction) {
     let plan = Plan::new(n, dir);
     let mut line = vec![Complex64::ZERO; n];
     let lines = count / n;

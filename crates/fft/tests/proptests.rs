@@ -8,9 +8,13 @@ fn signal(n: usize, seed: u64) -> Vec<Complex64> {
     let mut s = seed | 1;
     (0..n)
         .map(|_| {
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let re = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
-            s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            s = s
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let im = ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0;
             Complex64::new(re, im)
         })

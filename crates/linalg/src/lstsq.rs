@@ -133,7 +133,9 @@ mod tests {
 
     #[test]
     fn svd_and_qr_agree_on_full_rank() {
-        let a = Matrix::from_fn(6, 3, |i, j| ((i as f64 + 1.3) * (j as f64 + 0.7)).sin() + 0.1);
+        let a = Matrix::from_fn(6, 3, |i, j| {
+            ((i as f64 + 1.3) * (j as f64 + 0.7)).sin() + 0.1
+        });
         let b: Vec<f64> = (0..6).map(|i| (i as f64) * 0.7 - 1.0).collect();
         let x1 = lstsq(&a, &b).unwrap();
         let x2 = lstsq_svd(&a, &b, 1e-12);

@@ -39,11 +39,7 @@ impl Matrix {
     /// Builds from a column-major buffer (the layout of an array blob
     /// payload).
     pub fn from_col_major(rows: usize, cols: usize, data: Vec<f64>) -> Matrix {
-        assert_eq!(
-            data.len(),
-            rows * cols,
-            "buffer length must be rows*cols"
-        );
+        assert_eq!(data.len(), rows * cols, "buffer length must be rows*cols");
         Matrix { rows, cols, data }
     }
 

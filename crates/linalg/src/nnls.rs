@@ -22,7 +22,11 @@ pub struct Nnls {
 /// customary default; pass 0 to use it).
 pub fn nnls(a: &Matrix, b: &[f64], max_iter: usize) -> Nnls {
     let n = a.cols();
-    let max_iter = if max_iter == 0 { 3 * n.max(10) } else { max_iter };
+    let max_iter = if max_iter == 0 {
+        3 * n.max(10)
+    } else {
+        max_iter
+    };
     let mut x = vec![0.0f64; n];
     let mut passive = vec![false; n]; // true = in the positive set
 
@@ -65,7 +69,10 @@ pub fn nnls(a: &Matrix, b: &[f64], max_iter: usize) -> Nnls {
                 let mut ax = vec![0.0; a.rows()];
                 blas::gemv(a, &x, &mut ax);
                 let r = blas::nrm2(
-                    &b.iter().zip(&ax).map(|(&bi, &ai)| bi - ai).collect::<Vec<_>>(),
+                    &b.iter()
+                        .zip(&ax)
+                        .map(|(&bi, &ai)| bi - ai)
+                        .collect::<Vec<_>>(),
                 );
                 return Nnls {
                     x,
@@ -147,7 +154,9 @@ mod tests {
         // Synthetic spectrum: b = 0.7*s1 + 0.3*s2 (both templates
         // non-negative); NNLS recovers the weights.
         let s1: Vec<f64> = (0..20).map(|i| ((i as f64) * 0.3).sin().abs()).collect();
-        let s2: Vec<f64> = (0..20).map(|i| ((i as f64) * 0.7).cos().abs() + 0.2).collect();
+        let s2: Vec<f64> = (0..20)
+            .map(|i| ((i as f64) * 0.7).cos().abs() + 0.2)
+            .collect();
         let a = Matrix::from_fn(20, 2, |i, j| if j == 0 { s1[i] } else { s2[i] });
         let b: Vec<f64> = (0..20).map(|i| 0.7 * s1[i] + 0.3 * s2[i]).collect();
         let r = nnls(&a, &b, 0);

@@ -6,7 +6,9 @@ use sqlarray_linalg::{blas, eigh, gesvd, lstsq_svd, nnls, qr, Matrix};
 fn matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
     let mut s = seed | 1;
     Matrix::from_fn(rows, cols, |_, _| {
-        s = s.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
         ((s >> 33) as f64 / (1u64 << 31) as f64) - 1.0
     })
 }

@@ -100,8 +100,7 @@ pub fn friends_of_friends(particles: &[Particle], b: f64, min_members: usize) ->
                     if let Some(others) = grid.get(&nb) {
                         for &i in members {
                             for &j in others {
-                                if periodic_distance(particles[i].pos, particles[j].pos) <= b
-                                {
+                                if periodic_distance(particles[i].pos, particles[j].pos) <= b {
                                     uf.union(i, j);
                                 }
                             }

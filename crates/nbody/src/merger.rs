@@ -24,11 +24,7 @@ pub struct MergerLink {
 /// Links two halo catalogs by shared particle ids: each progenitor points
 /// to the descendant holding the largest share of its members (above
 /// `min_fraction`).
-pub fn link_catalogs(
-    earlier: &[Halo],
-    later: &[Halo],
-    min_fraction: f64,
-) -> Vec<MergerLink> {
+pub fn link_catalogs(earlier: &[Halo], later: &[Halo], min_fraction: f64) -> Vec<MergerLink> {
     // Map particle id -> descendant halo.
     let mut owner: HashMap<i64, usize> = HashMap::new();
     for (j, h) in later.iter().enumerate() {
@@ -132,9 +128,7 @@ mod tests {
         let links = link_catalogs(&earlier, &later, 0.5);
         assert_eq!(links.len(), 2);
         assert!(links.iter().all(|l| l.to == 0));
-        let tree = MergerTree {
-            links: vec![links],
-        };
+        let tree = MergerTree { links: vec![links] };
         assert_eq!(tree.progenitor_counts(0)[&0], 2);
     }
 
@@ -169,7 +163,12 @@ mod tests {
         let links = link_catalogs(&h0, &h1, 0.5);
         // The generator drifts halos coherently: almost every halo should
         // find its descendant with a high shared fraction.
-        assert!(links.len() + 1 >= h0.len(), "{} links for {} halos", links.len(), h0.len());
+        assert!(
+            links.len() + 1 >= h0.len(),
+            "{} links for {} halos",
+            links.len(),
+            h0.len()
+        );
         assert!(links.iter().all(|l| l.fraction > 0.6));
     }
 }

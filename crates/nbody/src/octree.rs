@@ -70,13 +70,7 @@ impl Octree {
         }
     }
 
-    fn build_node(
-        keys: &[u64],
-        start: usize,
-        end: usize,
-        depth: u32,
-        bucket: usize,
-    ) -> OctreeNode {
+    fn build_node(keys: &[u64], start: usize, end: usize, depth: u32, bucket: usize) -> OctreeNode {
         if end - start <= bucket || depth >= KEY_BITS {
             return OctreeNode::Leaf { start, end };
         }
@@ -122,11 +116,7 @@ impl Octree {
         fn walk(n: &OctreeNode) -> usize {
             match n {
                 OctreeNode::Leaf { .. } => 1,
-                OctreeNode::Internal { children, .. } => children
-                    .iter()
-                    .flatten()
-                    .map(walk)
-                    .sum(),
+                OctreeNode::Internal { children, .. } => children.iter().flatten().map(walk).sum(),
             }
         }
         walk(&self.root)
@@ -137,12 +127,9 @@ impl Octree {
         fn walk(n: &OctreeNode) -> usize {
             match n {
                 OctreeNode::Leaf { start, end } => end - start,
-                OctreeNode::Internal { children, .. } => children
-                    .iter()
-                    .flatten()
-                    .map(walk)
-                    .max()
-                    .unwrap_or(0),
+                OctreeNode::Internal { children, .. } => {
+                    children.iter().flatten().map(walk).max().unwrap_or(0)
+                }
             }
         }
         walk(&self.root)
@@ -203,12 +190,7 @@ impl Octree {
     pub fn decimate(&self, factor: usize) -> Vec<(Particle, f64)> {
         assert!(factor >= 1);
         let mut out = Vec::new();
-        fn walk(
-            tree: &Octree,
-            n: &OctreeNode,
-            factor: usize,
-            out: &mut Vec<(Particle, f64)>,
-        ) {
+        fn walk(tree: &Octree, n: &OctreeNode, factor: usize, out: &mut Vec<(Particle, f64)>) {
             match n {
                 OctreeNode::Leaf { start, end } => {
                     let count = end - start;

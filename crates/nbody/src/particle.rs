@@ -6,8 +6,7 @@
 //! the halos, so consecutive snapshots share particle identities — which
 //! is what merger-tree linking needs.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sqlarray_core::rng::{Rng, SeedableRng, StdRng};
 
 /// One simulation particle. The paper dumps "the ID, position and velocity
 /// for each particle" (40 bytes per point per snapshot).
@@ -73,13 +72,12 @@ impl SynthSim {
     pub fn snapshot(&self, step: u32) -> Snapshot {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let dt = step as f64 * 0.01;
-        let mut particles =
-            Vec::with_capacity(self.halos * self.halo_particles + self.background);
+        let mut particles = Vec::with_capacity(self.halos * self.halo_particles + self.background);
         let mut next_id = 0i64;
 
         for _ in 0..self.halos {
             let center = [rng.gen::<f64>(), rng.gen::<f64>(), rng.gen::<f64>()];
-            let drift = [
+            let drift: [f64; 3] = [
                 rng.gen_range(-0.02..0.02),
                 rng.gen_range(-0.02..0.02),
                 rng.gen_range(-0.02..0.02),

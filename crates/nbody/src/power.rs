@@ -25,10 +25,7 @@ pub struct PowerBin {
 pub fn power_spectrum(grid: &DensityGrid) -> Vec<PowerBin> {
     let n = grid.n();
     let delta = grid.overdensity();
-    let mut field: Vec<Complex64> = delta
-        .iter()
-        .map(|&d| Complex64::new(d, 0.0))
-        .collect();
+    let mut field: Vec<Complex64> = delta.iter().map(|&d| Complex64::new(d, 0.0)).collect();
     fftn(&mut field, &[n, n, n], Direction::Forward);
 
     let nyquist = n / 2;
@@ -118,8 +115,7 @@ mod tests {
             for y in 0..n {
                 for x in 0..n {
                     let phase = 2.0 * std::f64::consts::TAU * (x as f64 + 0.5) / n as f64;
-                    let weight =
-                        ((1.0 + 0.8 * phase.cos()) * per_site as f64).round() as usize;
+                    let weight = ((1.0 + 0.8 * phase.cos()) * per_site as f64).round() as usize;
                     for _ in 0..weight {
                         parts.push(Particle {
                             id: 0,

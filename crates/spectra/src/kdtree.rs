@@ -129,10 +129,7 @@ impl KdTree {
         }
         // Prune the far side unless the splitting plane is closer than the
         // current k-th best.
-        let worst = best
-            .last()
-            .map(|n| n.distance)
-            .unwrap_or(f64::INFINITY);
+        let worst = best.last().map(|n| n.distance).unwrap_or(f64::INFINITY);
         if best.len() < k || delta.abs() < worst {
             if let Some(f) = far {
                 self.search(f, query, k, best);

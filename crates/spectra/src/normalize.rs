@@ -164,8 +164,8 @@ mod tests {
         let r = to_rest_frame(&s).unwrap();
         assert!((r.wavelength[0] - 2500.0).abs() < 1e-12);
         assert_eq!(r.redshift, 0.0);
-        let bad = Spectrum::new(vec![1.0, 2.0], vec![1.0; 2], vec![0.0; 2], vec![0; 2], -1.0)
-            .unwrap();
+        let bad =
+            Spectrum::new(vec![1.0, 2.0], vec![1.0; 2], vec![0.0; 2], vec![0; 2], -1.0).unwrap();
         assert!(to_rest_frame(&bad).is_err());
     }
 }

@@ -276,8 +276,7 @@ mod tests {
             .sum::<f64>()
             / flux.len() as f64)
             .sqrt();
-        let level: f64 =
-            (flux.iter().map(|v| v * v).sum::<f64>() / flux.len() as f64).sqrt();
+        let level: f64 = (flux.iter().map(|v| v * v).sum::<f64>() / flux.len() as f64).sqrt();
         assert!(rms < 0.25 * level, "rms {rms} vs level {level}");
     }
 
@@ -300,7 +299,10 @@ mod tests {
     fn build_requires_two_spectra() {
         let grid = linear_grid(4200.0, 8800.0, 16);
         let params = SynthParams::default();
-        let one = vec![(0u64, synth_spectrum(1, SpectralClass::Emission, 0.1, &params))];
+        let one = vec![(
+            0u64,
+            synth_spectrum(1, SpectralClass::Emission, 0.1, &params),
+        )];
         assert!(SpectrumIndex::build(&one, &grid, 2).is_err());
     }
 }

@@ -167,14 +167,7 @@ mod tests {
     #[test]
     fn validation() {
         assert!(Spectrum::new(vec![], vec![], vec![], vec![], 0.0).is_err());
-        assert!(Spectrum::new(
-            vec![1.0, 2.0],
-            vec![1.0],
-            vec![1.0, 1.0],
-            vec![0, 0],
-            0.0
-        )
-        .is_err());
+        assert!(Spectrum::new(vec![1.0, 2.0], vec![1.0], vec![1.0, 1.0], vec![0, 0], 0.0).is_err());
         assert!(Spectrum::new(
             vec![2.0, 1.0],
             vec![1.0, 1.0],

@@ -6,8 +6,7 @@
 //! (bad) pixels.
 
 use crate::spectrum::Spectrum;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sqlarray_core::rng::{Rng, SeedableRng, StdRng};
 
 /// Parameters of the generator.
 #[derive(Debug, Clone)]
@@ -81,7 +80,7 @@ pub fn synth_spectrum(
         SpectralClass::Emission => 1.0,
         SpectralClass::Absorption => -0.6,
     };
-    let sigma_v = 3.0 + rng.gen_range(0.0..2.0); // line width in Å (rest)
+    let sigma_v: f64 = 3.0 + rng.gen_range(0.0..2.0); // line width in Å (rest)
 
     let mut flux = Vec::with_capacity(n);
     for &w in &wavelength {
@@ -167,7 +166,10 @@ mod tests {
             .iter()
             .position(|&w| w >= target)
             .expect("in range");
-        let peak = s.flux[idx - 2..idx + 2].iter().cloned().fold(f64::MIN, f64::max);
+        let peak = s.flux[idx - 2..idx + 2]
+            .iter()
+            .cloned()
+            .fold(f64::MIN, f64::max);
         let continuum_nearby = s.flux[idx + 40];
         assert!(
             peak > continuum_nearby * 1.5,

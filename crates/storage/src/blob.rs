@@ -313,7 +313,7 @@ mod tests {
         let id = write_blob(&mut store, &data).unwrap();
         for (off, len) in [
             (0usize, 10usize),
-            (CHUNK_DATA - 5, 10),        // straddles a chunk boundary
+            (CHUNK_DATA - 5, 10),         // straddles a chunk boundary
             (2 * CHUNK_DATA, CHUNK_DATA), // exactly one chunk
             (data.len() - 7, 7),          // tail
             (1234, 3 * CHUNK_DATA),       // multi-chunk middle

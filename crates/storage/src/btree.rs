@@ -131,9 +131,7 @@ impl BTree {
                 };
                 match self.insert_rec(store, child, key, payload)? {
                     None => Ok(None),
-                    Some((sep, right)) => {
-                        self.insert_internal(store, page, child_slot, sep, right)
-                    }
+                    Some((sep, right)) => self.insert_internal(store, page, child_slot, sep, right),
                 }
             }
             other => Err(StorageError::PageTypeMismatch {
@@ -215,8 +213,8 @@ impl BTree {
         let sep = leaf_key(&right_records[0]);
 
         store.write(page, |bytes| {
-            let mut p = SlottedPage::open(bytes, page_type::BTREE_LEAF, page)
-                .expect("leaf type verified");
+            let mut p =
+                SlottedPage::open(bytes, page_type::BTREE_LEAF, page).expect("leaf type verified");
             p.reset();
             for r in &records {
                 p.push_record(r).expect("half the records fit");

@@ -19,7 +19,11 @@ pub enum StorageError {
     /// A page's type byte does not match the structure reading it.
     PageTypeMismatch { page: u64, expected: u8, got: u8 },
     /// Blob byte range outside the stored length.
-    BlobRangeOutOfBounds { offset: usize, len: usize, total: usize },
+    BlobRangeOutOfBounds {
+        offset: usize,
+        len: usize,
+        total: usize,
+    },
     /// Row bytes do not decode against the table schema.
     RowCorrupt(String),
     /// Schema/value arity or type mismatch on insert.
@@ -33,7 +37,10 @@ impl fmt::Display for StorageError {
                 write!(f, "page {page} out of range (file has {max} pages)")
             }
             StorageError::RecordTooLarge { bytes, limit } => {
-                write!(f, "record of {bytes} bytes exceeds the page limit of {limit}")
+                write!(
+                    f,
+                    "record of {bytes} bytes exceeds the page limit of {limit}"
+                )
             }
             StorageError::BadSlot { slot, count } => {
                 write!(f, "slot {slot} out of range ({count} slots)")
@@ -44,10 +51,7 @@ impl fmt::Display for StorageError {
                 page,
                 expected,
                 got,
-            } => write!(
-                f,
-                "page {page} has type {got:#x}, expected {expected:#x}"
-            ),
+            } => write!(f, "page {page} has type {got:#x}, expected {expected:#x}"),
             StorageError::BlobRangeOutOfBounds { offset, len, total } => write!(
                 f,
                 "blob read [{offset}, {offset}+{len}) exceeds blob of {total} bytes"

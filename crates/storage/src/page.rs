@@ -156,10 +156,7 @@ impl<'a> SlottedPage<'a> {
     pub fn insert_record(&mut self, i: usize, rec: &[u8]) -> Result<()> {
         let count = self.slot_count();
         if i > count {
-            return Err(StorageError::BadSlot {
-                slot: i,
-                count,
-            });
+            return Err(StorageError::BadSlot { slot: i, count });
         }
         if rec.len() > self.free_space() {
             return Err(StorageError::RecordTooLarge {

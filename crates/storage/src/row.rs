@@ -60,10 +60,7 @@ impl Schema {
     /// Builds a schema from `(name, type)` pairs.
     pub fn new(cols: &[(&str, ColType)]) -> Schema {
         Schema {
-            columns: cols
-                .iter()
-                .map(|&(n, t)| Column::new(n, t))
-                .collect(),
+            columns: cols.iter().map(|&(n, t)| Column::new(n, t)).collect(),
         }
     }
 
@@ -112,11 +109,7 @@ const BLOB_LOB: u8 = 1;
 
 /// Encodes a row. Blob values larger than the in-row limit are written to
 /// the LOB store as a side effect.
-pub fn encode_row(
-    store: &mut PageStore,
-    schema: &Schema,
-    values: &[RowValue],
-) -> Result<Vec<u8>> {
+pub fn encode_row(store: &mut PageStore, schema: &Schema, values: &[RowValue]) -> Result<Vec<u8>> {
     if values.len() != schema.columns.len() {
         return Err(StorageError::SchemaMismatch(format!(
             "row has {} values, schema has {} columns",
@@ -179,11 +172,7 @@ pub fn decode_row(schema: &Schema, bytes: &[u8]) -> Result<Vec<RowValue>> {
 
 /// Decodes a single column without materializing the others (the scan
 /// projections of queries 3–5 touch exactly one column per row).
-pub fn decode_col(
-    schema: &Schema,
-    bytes: &[u8],
-    col_idx: usize,
-) -> Result<RowValue> {
+pub fn decode_col(schema: &Schema, bytes: &[u8], col_idx: usize) -> Result<RowValue> {
     if col_idx >= schema.columns.len() {
         return Err(StorageError::SchemaMismatch(format!(
             "column index {col_idx} out of range"
@@ -209,12 +198,7 @@ fn need(bytes: &[u8], off: usize, n: usize, name: &str) -> Result<()> {
     Ok(())
 }
 
-fn decode_value(
-    ctype: ColType,
-    bytes: &[u8],
-    off: usize,
-    name: &str,
-) -> Result<(RowValue, usize)> {
+fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<(RowValue, usize)> {
     match ctype {
         ColType::I64 => {
             need(bytes, off, 8, name)?;
@@ -327,8 +311,7 @@ mod tests {
         let mut store = PageStore::new();
         let schema = Schema::new(&[("v", ColType::Blob)]);
         let payload = vec![0x5A; 20_000];
-        let bytes =
-            encode_row(&mut store, &schema, &[RowValue::Bytes(payload.clone())]).unwrap();
+        let bytes = encode_row(&mut store, &schema, &[RowValue::Bytes(payload.clone())]).unwrap();
         // The row itself stays tiny.
         assert!(bytes.len() < 32);
         match &decode_row(&schema, &bytes).unwrap()[0] {
@@ -344,12 +327,10 @@ mod tests {
     fn inline_limit_is_8000() {
         let mut store = PageStore::new();
         let schema = Schema::new(&[("v", ColType::Blob)]);
-        let at_limit =
-            encode_row(&mut store, &schema, &[RowValue::Bytes(vec![0; 8000])]).unwrap();
+        let at_limit = encode_row(&mut store, &schema, &[RowValue::Bytes(vec![0; 8000])]).unwrap();
         assert_eq!(at_limit[8], BLOB_INLINE); // tag after nothing: offset 0 is the tag
         assert_eq!(at_limit[0], BLOB_INLINE);
-        let over =
-            encode_row(&mut store, &schema, &[RowValue::Bytes(vec![0; 8001])]).unwrap();
+        let over = encode_row(&mut store, &schema, &[RowValue::Bytes(vec![0; 8001])]).unwrap();
         assert_eq!(over[0], BLOB_LOB);
     }
 

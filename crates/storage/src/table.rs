@@ -54,12 +54,7 @@ impl Table {
     }
 
     /// Point lookup of one column.
-    pub fn get_col(
-        &self,
-        store: &mut PageStore,
-        key: i64,
-        col: usize,
-    ) -> Result<Option<RowValue>> {
+    pub fn get_col(&self, store: &mut PageStore, key: i64, col: usize) -> Result<Option<RowValue>> {
         match self.tree.get(store, key)? {
             Some(bytes) => Ok(Some(row::decode_col(&self.schema, &bytes, col)?)),
             None => Ok(None),
@@ -129,12 +124,9 @@ impl Table {
 
     /// Looks up a column index by name, with a schema-style error.
     pub fn require_col(&self, name: &str) -> Result<usize> {
-        self.schema
-            .col_index(name)
-            .ok_or_else(|| StorageError::SchemaMismatch(format!(
-                "table `{}` has no column `{name}`",
-                self.name
-            )))
+        self.schema.col_index(name).ok_or_else(|| {
+            StorageError::SchemaMismatch(format!("table `{}` has no column `{name}`", self.name))
+        })
     }
 }
 

@@ -8,8 +8,7 @@
 //! blob-partitioned interpolation service needs (the substitution argument
 //! in DESIGN.md).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sqlarray_core::rng::{Rng, SeedableRng, StdRng};
 
 /// One Fourier mode: `u · sin(2π k·x + φ)` with `u ⊥ k` (so ∇·v = 0).
 #[derive(Debug, Clone, Copy)]
@@ -45,13 +44,17 @@ impl SyntheticField {
             }
             // Random direction, projected perpendicular to k, with a
             // Kolmogorov-flavoured amplitude ~ k^{-5/6} per component.
-            let raw = [
+            let raw: [f64; 3] = [
                 rng.gen_range(-1.0..1.0),
                 rng.gen_range(-1.0..1.0),
                 rng.gen_range(-1.0..1.0),
             ];
             let dot = (raw[0] * k[0] + raw[1] * k[1] + raw[2] * k[2]) / k2;
-            let mut u = [raw[0] - dot * k[0], raw[1] - dot * k[1], raw[2] - dot * k[2]];
+            let mut u = [
+                raw[0] - dot * k[0],
+                raw[1] - dot * k[1],
+                raw[2] - dot * k[2],
+            ];
             let norm = (u[0] * u[0] + u[1] * u[1] + u[2] * u[2]).sqrt();
             if norm < 1e-9 {
                 continue;
@@ -90,8 +93,7 @@ impl SyntheticField {
     pub fn velocity(&self, pos: [f64; 3]) -> [f64; 3] {
         let mut v = [0.0f64; 3];
         for m in &self.modes {
-            let arg = std::f64::consts::TAU
-                * (m.k[0] * pos[0] + m.k[1] * pos[1] + m.k[2] * pos[2])
+            let arg = std::f64::consts::TAU * (m.k[0] * pos[0] + m.k[1] * pos[1] + m.k[2] * pos[2])
                 + m.phase;
             let s = arg.sin();
             v[0] += m.u[0] * s;

@@ -61,20 +61,13 @@ impl PartitionSpec {
 
     /// Morton key of a cube.
     pub fn cube_key(&self, cube: [usize; 3]) -> i64 {
-        sqlarray_storage::zorder::morton3_encode(
-            cube[0] as u64,
-            cube[1] as u64,
-            cube[2] as u64,
-        ) as i64
+        sqlarray_storage::zorder::morton3_encode(cube[0] as u64, cube[1] as u64, cube[2] as u64)
+            as i64
     }
 
     /// Which cube a grid point belongs to.
     pub fn cube_of_grid_point(&self, g: [usize; 3]) -> [usize; 3] {
-        [
-            g[0] / self.block,
-            g[1] / self.block,
-            g[2] / self.block,
-        ]
+        [g[0] / self.block, g[1] / self.block, g[2] / self.block]
     }
 }
 
@@ -159,10 +152,7 @@ mod tests {
                     .unwrap()
                     .as_f64()
                     .unwrap();
-                assert!(
-                    (stored - expect[c]).abs() < 1e-6,
-                    "component {c} at {g:?}"
-                );
+                assert!((stored - expect[c]).abs() < 1e-6, "component {c} at {g:?}");
             }
         }
     }
@@ -173,11 +163,7 @@ mod tests {
         let spec = PartitionSpec::new(16, 8, 2);
         // Cube [0,0,0]: its low ghost cells sample grid coordinate N-1.
         let blob = build_blob(&field, &spec, [0, 0, 0]);
-        let wrapped = field.sample([
-            (spec.grid_n - 2) as f64 / spec.grid_n as f64,
-            0.0,
-            0.0,
-        ]);
+        let wrapped = field.sample([(spec.grid_n - 2) as f64 / spec.grid_n as f64, 0.0, 0.0]);
         let stored = blob
             .item(&[0, 0, spec.ghost, spec.ghost])
             .unwrap()

@@ -43,8 +43,7 @@ impl TurbulenceDb {
         spec: PartitionSpec,
     ) -> Result<TurbulenceDb> {
         let schema = Schema::new(&[("zindex", ColType::I64), ("v", ColType::Blob)]);
-        let mut table =
-            Table::create(store, "Tturbulence", schema).map_err(ArrayError::from)?;
+        let mut table = Table::create(store, "Tturbulence", schema).map_err(ArrayError::from)?;
         let c = spec.cubes_per_axis();
         let mut keys: Vec<(i64, [usize; 3])> = Vec::with_capacity(c * c * c);
         for x in 0..c {
@@ -148,11 +147,9 @@ impl TurbulenceDb {
                 let stream = BlobStream::open(store, id).map_err(ArrayError::from)?;
                 let mut reader = ArrayReader::open(stream)?;
                 match mode {
-                    FetchMode::PartialRead => reader.subarray(
-                        &[0, local[0], local[1], local[2]],
-                        &[3, w, w, w],
-                        false,
-                    )?,
+                    FetchMode::PartialRead => {
+                        reader.subarray(&[0, local[0], local[1], local[2]], &[3, w, w, w], false)?
+                    }
                     FetchMode::FullBlob => {
                         let full = reader.read_full()?;
                         sqlarray_core::ops::subarray::subarray(
@@ -184,9 +181,7 @@ impl TurbulenceDb {
         let vals = stencil.to_vec::<f32>()?;
         let comp = |c: usize| -> Vec<f64> {
             // Stencil dims [3, w, w, w], column-major: component fastest.
-            (0..w * w * w)
-                .map(|lin| vals[c + 3 * lin] as f64)
-                .collect()
+            (0..w * w * w).map(|lin| vals[c + 3 * lin] as f64).collect()
         };
         let mut out = [0.0f64; 3];
         match scheme {
@@ -265,11 +260,7 @@ mod tests {
         // At exact grid points every scheme reproduces the stored value
         // (up to f32 storage rounding).
         for g in [[0usize, 0, 0], [5, 9, 17], [31, 31, 31], [8, 16, 24]] {
-            let pos = [
-                g[0] as f64 / 32.0,
-                g[1] as f64 / 32.0,
-                g[2] as f64 / 32.0,
-            ];
+            let pos = [g[0] as f64 / 32.0, g[1] as f64 / 32.0, g[2] as f64 / 32.0];
             let truth = field.velocity(pos);
             for scheme in [
                 Scheme::Nearest,
@@ -363,10 +354,7 @@ mod tests {
             .velocity_at(&mut store, pos, Scheme::Lagrange8, FetchMode::FullBlob)
             .unwrap();
         let full = store.stats().bytes_read();
-        assert!(
-            partial * 10 < full,
-            "partial {partial} B vs full {full} B"
-        );
+        assert!(partial * 10 < full, "partial {partial} B vs full {full} B");
     }
 
     #[test]

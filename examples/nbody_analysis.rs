@@ -8,8 +8,8 @@
 
 use sqlarray::engine::{Database, Session, Value};
 use sqlarray::nbody::{
-    build_lightcone, friends_of_friends, link_catalogs, power_spectrum,
-    two_point_correlation, DensityGrid, LightconeSpec, Octree, SynthSim,
+    build_lightcone, friends_of_friends, link_catalogs, power_spectrum, two_point_correlation,
+    DensityGrid, LightconeSpec, Octree, SynthSim,
 };
 
 fn main() {
@@ -22,7 +22,10 @@ fn main() {
     };
     let snap0 = sim.snapshot(0);
     let snap1 = sim.snapshot(1);
-    println!("synthetic simulation: {} particles per snapshot", snap0.particles.len());
+    println!(
+        "synthetic simulation: {} particles per snapshot",
+        snap0.particles.len()
+    );
 
     // --- Octree bucketing (the billion-row reduction of §2.3) -----------
     let tree = Octree::build(snap0.particles.clone(), 512);
@@ -33,31 +36,50 @@ fn main() {
         tree.len()
     );
     let lod = tree.decimate(16);
-    println!("decimated visualization sample: {} weighted points", lod.len());
+    println!(
+        "decimated visualization sample: {} weighted points",
+        lod.len()
+    );
 
     // --- FOF halos + merger links ------------------------------------------
     let h0 = friends_of_friends(&snap0.particles, 0.015, 30);
     let h1 = friends_of_friends(&snap1.particles, 0.015, 30);
-    println!("\nFOF: {} halos at t0 (largest {}), {} at t1", h0.len(), h0[0].size(), h1.len());
+    println!(
+        "\nFOF: {} halos at t0 (largest {}), {} at t1",
+        h0.len(),
+        h0[0].size(),
+        h1.len()
+    );
     let links = link_catalogs(&h0, &h1, 0.5);
-    println!("merger links t0→t1: {} (shared-particle fractions:", links.len());
+    println!(
+        "merger links t0→t1: {} (shared-particle fractions:",
+        links.len()
+    );
     for l in links.iter().take(5) {
-        println!("  halo {} → halo {}: {:.0}% of {} members", l.from, l.to, l.fraction * 100.0, h0[l.from].size());
+        println!(
+            "  halo {} → halo {}: {:.0}% of {} members",
+            l.from,
+            l.to,
+            l.fraction * 100.0,
+            h0[l.from].size()
+        );
     }
     println!("  ...)");
 
     // --- CIC density → power spectrum, through the array engine -------------
     let grid = DensityGrid::assign_cic(&snap0.particles, 32);
     let delta = grid.to_array();
-    println!("\nCIC grid 32^3 packed as a {} array blob ({} bytes)", delta.elem(), delta.as_blob().len());
+    println!(
+        "\nCIC grid 32^3 packed as a {} array blob ({} bytes)",
+        delta.elem(),
+        delta.as_blob().len()
+    );
 
     // The §5.3 path: hand the blob to the in-server FFT UDF.
     let mut session = Session::new(Database::new());
     session.set_var("rho", Value::Bytes(delta.as_blob().to_vec()));
     let dc = session
-        .query_scalar(
-            "SELECT ComplexArrayMax.Item_3(FloatArrayMax.FFTForward(@rho), 0, 0, 0)",
-        )
+        .query_scalar("SELECT ComplexArrayMax.Item_3(FloatArrayMax.FFTForward(@rho), 0, 0, 0)")
         .expect("in-engine FFT");
     if let Value::Bytes(b) = &dc {
         let re = f64::from_le_bytes(b[..8].try_into().unwrap());
@@ -85,7 +107,10 @@ fn main() {
             bin.r_lo, bin.r_hi, bin.xi, bin.pairs
         );
     }
-    assert!(xi[0].xi > 1.0, "clustered field must correlate on small scales");
+    assert!(
+        xi[0].xi > 1.0,
+        "clustered field must correlate on small scales"
+    );
 
     // --- Light cone --------------------------------------------------------------
     let cone = build_lightcone(
@@ -98,8 +123,15 @@ fn main() {
             shell_width: 0.12,
         },
     );
-    println!("\nlight cone: {} particles across 4 look-back shells", cone.len());
+    println!(
+        "\nlight cone: {} particles across 4 look-back shells",
+        cone.len()
+    );
     let receding = cone.iter().filter(|e| e.v_radial > 0.0).count();
-    println!("{} receding / {} approaching (radial Doppler)", receding, cone.len() - receding);
+    println!(
+        "{} receding / {} approaching (radial Doppler)",
+        receding,
+        cone.len() - receding
+    );
     println!("\nnbody_analysis: done");
 }

@@ -40,7 +40,10 @@ fn main() {
              SELECT FloatArrayMax.ToString(@b)",
         )
         .unwrap();
-    println!("Subarray of a reshaped 2x4:               = {}", batch[0].rows[0][0]);
+    println!(
+        "Subarray of a reshaped 2x4:               = {}",
+        batch[0].rows[0][0]
+    );
 
     // --- §5.1: update an item -------------------------------------------
     let updated = session
@@ -105,7 +108,10 @@ fn main() {
         "DECLARE @i VARBINARY(100) = IntArray.Vector_2(1, 2);
          SELECT FloatArray.Item_1(@i, 0)",
     );
-    println!("int blob into FloatArray schema           = {:?}", err.unwrap_err());
+    println!(
+        "int blob into FloatArray schema           = {:?}",
+        err.unwrap_err()
+    );
 
     // --- Table-backed query with the Concat aggregate (§5.1) ----------------
     let mut db = Database::new();
@@ -115,8 +121,12 @@ fn main() {
     )
     .unwrap();
     for k in 0..6 {
-        db.insert("samples", k, &[RowValue::I64(k), RowValue::F64((k * k) as f64)])
-            .unwrap();
+        db.insert(
+            "samples",
+            k,
+            &[RowValue::I64(k), RowValue::F64((k * k) as f64)],
+        )
+        .unwrap();
     }
     let mut session = Session::new(db);
     session
@@ -131,7 +141,10 @@ fn main() {
         "Concat over table rows                    = {}",
         sqlarray::array::fmt::to_string(&assembled)
     );
-    assert_eq!(assembled.to_vec::<f64>().unwrap(), vec![0.0, 1.0, 4.0, 9.0, 16.0, 25.0]);
+    assert_eq!(
+        assembled.to_vec::<f64>().unwrap(),
+        vec![0.0, 1.0, 4.0, 9.0, 16.0, 25.0]
+    );
 
     // --- §8 wishlist: array-notation sugar -----------------------------
     let types = sqlarray::engine::SugarTypes::new();

@@ -7,8 +7,8 @@
 //! ```
 
 use sqlarray::spectra::{
-    composite_by_redshift, linear_grid, synth_spectrum, synth_survey, SpectralClass,
-    SpectrumIndex, SynthParams,
+    composite_by_redshift, linear_grid, synth_spectrum, synth_survey, SpectralClass, SpectrumIndex,
+    SynthParams,
 };
 
 fn main() {
@@ -72,7 +72,13 @@ fn main() {
         if hit.id % 2 == 0 {
             same_class += 1;
         }
-        println!("{:>4} {:>4}   {:<12} {:.5}", rank + 1, hit.id, class, hit.distance);
+        println!(
+            "{:>4} {:>4}   {:<12} {:.5}",
+            rank + 1,
+            hit.id,
+            class,
+            hit.distance
+        );
     }
     println!(
         "\n{} of {} neighbours share the query's class",

@@ -8,9 +8,7 @@
 //! ```
 
 use sqlarray::storage::PageStore;
-use sqlarray::turbulence::{
-    FetchMode, PartitionSpec, Scheme, SyntheticField, TurbulenceDb,
-};
+use sqlarray::turbulence::{FetchMode, PartitionSpec, Scheme, SyntheticField, TurbulenceDb};
 
 fn main() {
     // A 64³ synthetic isotropic field, partitioned into 16³ cubes with

@@ -72,7 +72,11 @@ fn group_by_with_uda_and_builtin_mix() {
     let mut db = Database::new();
     db.create_table(
         "v",
-        Schema::new(&[("id", ColType::I64), ("g", ColType::I64), ("a", ColType::Blob)]),
+        Schema::new(&[
+            ("id", ColType::I64),
+            ("g", ColType::I64),
+            ("a", ColType::Blob),
+        ]),
     )
     .unwrap();
     for k in 0..12 {
@@ -127,10 +131,8 @@ fn empty_table_aggregates() {
 #[test]
 fn hosting_counters_reset_per_query() {
     let mut s = Session::new(tiny_db(50));
-    s.execute(
-        "DECLARE @a VARBINARY(100) = FloatArray.Vector_2(1.0, 2.0)",
-    )
-    .unwrap();
+    s.execute("DECLARE @a VARBINARY(100) = FloatArray.Vector_2(1.0, 2.0)")
+        .unwrap();
     let r1 = s
         .query("SELECT SUM(dbo.EmptyFunction(x, 0)) FROM t")
         .unwrap();
@@ -149,8 +151,12 @@ fn sugar_composes_with_group_by() {
     .unwrap();
     for k in 0..8 {
         let arr = build::short_vector(&[k as f64, (k * k) as f64]).unwrap();
-        db.insert("m", k, &[RowValue::I64(k), RowValue::Bytes(arr.into_blob())])
-            .unwrap();
+        db.insert(
+            "m",
+            k,
+            &[RowValue::I64(k), RowValue::Bytes(arr.into_blob())],
+        )
+        .unwrap();
     }
     let mut s = Session::with_hosting(db, HostingModel::free());
     let types = sqlarray::engine::SugarTypes::new();

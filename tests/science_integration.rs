@@ -26,7 +26,12 @@ fn turbulence_service_round_trip_through_storage() {
         })
         .collect();
     let vels = db
-        .query_particles(&mut store, &particles, Scheme::Lagrange8, FetchMode::PartialRead)
+        .query_particles(
+            &mut store,
+            &particles,
+            Scheme::Lagrange8,
+            FetchMode::PartialRead,
+        )
         .unwrap();
     let mut worst = 0.0f64;
     for (v, p) in vels.iter().zip(&particles) {
@@ -57,7 +62,11 @@ fn spectra_survey_stored_as_blobs_and_searched() {
     let mut db = Database::new();
     db.create_table(
         "spec",
-        Schema::new(&[("id", ColType::I64), ("z", ColType::F64), ("flux", ColType::Blob)]),
+        Schema::new(&[
+            ("id", ColType::I64),
+            ("z", ColType::F64),
+            ("flux", ColType::Blob),
+        ]),
     )
     .unwrap();
     for (i, s) in survey.iter().enumerate() {
@@ -145,18 +154,14 @@ fn octree_buckets_store_as_array_blobs() {
         let end = (cursor + 256).min(parts.len());
         let chunk = &parts[cursor..end];
         let n = chunk.len();
-        let arr = sqlarray::array::SqlArray::from_fn(
-            StorageClass::Max,
-            &[n, 7],
-            |idx| -> f64 {
-                let p = &chunk[idx[0]];
-                match idx[1] {
-                    0 => p.id as f64,
-                    1..=3 => p.pos[idx[1] - 1],
-                    _ => p.vel[idx[1] - 4],
-                }
-            },
-        )
+        let arr = sqlarray::array::SqlArray::from_fn(StorageClass::Max, &[n, 7], |idx| -> f64 {
+            let p = &chunk[idx[0]];
+            match idx[1] {
+                0 => p.id as f64,
+                1..=3 => p.pos[idx[1] - 1],
+                _ => p.vel[idx[1] - 4],
+            }
+        })
         .unwrap();
         db.insert(
             "buckets",

@@ -81,9 +81,7 @@ fn scalar_udfs_inside_where_clauses() {
     let mut s = Session::with_hosting(db, HostingModel::free());
     // Filter on an array aggregate computed per row.
     let r = s
-        .query(
-            "SELECT COUNT(*) FROM spectra WHERE FloatArray.Mean(flux) > 14.9",
-        )
+        .query("SELECT COUNT(*) FROM spectra WHERE FloatArray.Mean(flux) > 14.9")
         .unwrap();
     // Mean of row k's flux = k + 0.075; > 14.9 for k >= 15.
     assert_eq!(r.rows[0][0], Value::I64(15));
@@ -115,9 +113,7 @@ fn parse_errors_and_type_errors_are_reported_not_panicked() {
     let mut s = Session::new(Database::new());
     assert!(s.execute("SELEKT 1").is_err());
     assert!(s.execute("SELECT FloatArray.Item_1(0x00FF, 0)").is_err()); // bad header
-    assert!(s
-        .execute("SELECT FloatArray.Vector_2(1.0, 'two')")
-        .is_err());
+    assert!(s.execute("SELECT FloatArray.Vector_2(1.0, 'two')").is_err());
     // Arity check through the numbered-name convention.
     assert!(s
         .execute(

@@ -10,7 +10,10 @@ use sqlarray_bench::{build_table1_db, run_table1, storage_overhead};
 // runs them explicitly from a debug session).
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "performance shape requires an optimized build")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "performance shape requires an optimized build"
+)]
 fn table1_shape_holds_at_reduced_scale() {
     let mut session = build_table1_db(30_000);
     let rows = run_table1(&mut session);
@@ -48,15 +51,17 @@ fn table1_shape_holds_at_reduced_scale() {
 }
 
 #[test]
-#[cfg_attr(debug_assertions, ignore = "performance shape requires an optimized build")]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "performance shape requires an optimized build"
+)]
 fn clr_call_cost_is_near_two_microseconds() {
     let mut session = build_table1_db(20_000);
     let rows = run_table1(&mut session);
     let q3 = &rows[2];
     let q5 = &rows[4];
     // §7.1: "a cost of about 2 µs per CLR function call".
-    let per_call =
-        (q5.cpu_seconds - q3.cpu_seconds).max(0.0) / q5.udf_calls as f64 * 1e6;
+    let per_call = (q5.cpu_seconds - q3.cpu_seconds).max(0.0) / q5.udf_calls as f64 * 1e6;
     assert!(
         (1.0..5.0).contains(&per_call),
         "empty CLR call cost {per_call:.2} us, expected ~2 us"

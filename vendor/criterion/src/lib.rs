@@ -1,0 +1,210 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! This workspace builds without network access, so the real statistics
+//! engine is replaced by a small adaptive wall-clock timer: each
+//! `bench_function` warms up once, then doubles the iteration count until
+//! the measured batch exceeds a time floor, and reports mean ns/iter. The
+//! API mirrors the subset the `benches/` targets use — `Criterion`,
+//! `benchmark_group`, `Bencher::iter` / `iter_batched`, [`BatchSize`],
+//! [`black_box`], and the `criterion_group!` / `criterion_main!` macros —
+//! so swapping the real crate back in is a manifest-only change.
+
+use std::time::{Duration, Instant};
+
+/// Re-export of `std::hint::black_box`, criterion's optimizer barrier.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// How `iter_batched` amortizes setup cost. The stub runs one routine
+/// call per setup regardless; the variants exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// Fresh setup for every routine invocation.
+    PerIteration,
+    /// A fixed number of batches.
+    NumBatches(u64),
+    /// A fixed number of iterations per batch.
+    NumIterations(u64),
+}
+
+/// Times a closure; handed to the `|b| ...` callback of `bench_function`.
+pub struct Bencher {
+    measured: Option<(u64, Duration)>,
+    budget: Duration,
+}
+
+impl Bencher {
+    fn new(budget: Duration) -> Self {
+        Bencher {
+            measured: None,
+            budget,
+        }
+    }
+
+    /// Measures `routine` by doubling the iteration count until the batch
+    /// runs for at least the sample budget.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        black_box(routine()); // warm-up, and a correctness smoke-run
+        let mut iters: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 24 {
+                self.measured = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+
+    /// Measures `routine` on inputs produced by `setup`, excluding setup
+    /// time from the measurement.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        black_box(routine(setup())); // warm-up
+        let mut iters: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= self.budget || iters >= 1 << 24 {
+                self.measured = Some((iters, elapsed));
+                return;
+            }
+            iters = iters.saturating_mul(2);
+        }
+    }
+}
+
+/// The top-level harness handle, mirroring `criterion::Criterion`.
+pub struct Criterion {
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Keep full `cargo bench` runs quick; raise for steadier numbers.
+        let ms = std::env::var("CRITERION_SAMPLE_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(20u64);
+        Criterion {
+            budget: Duration::from_millis(ms),
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.budget, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        eprintln!("group {name}");
+        BenchmarkGroup {
+            criterion: self,
+            name,
+        }
+    }
+}
+
+/// A named collection of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's sampling is adaptive.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility.
+    pub fn measurement_time(&mut self, _t: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks one function within the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(
+            &format!("{}/{}", self.name, id.into()),
+            self.criterion.budget,
+            f,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, budget: Duration, mut f: F) {
+    let mut b = Bencher::new(budget);
+    f(&mut b);
+    match b.measured {
+        Some((iters, elapsed)) => {
+            let per_iter = elapsed.as_nanos() as f64 / iters as f64;
+            eprintln!(
+                "{id:<48} {:>14} ns/iter  ({iters} iters)",
+                format_ns(per_iter)
+            );
+        }
+        None => eprintln!("{id:<48} (no measurement: Bencher::iter never called)"),
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3}e9", ns / 1e9)
+    } else if ns >= 1000.0 {
+        format!("{:.1}", ns)
+    } else {
+        format!("{:.3}", ns)
+    }
+}
+
+/// Declares a function that runs each listed benchmark target.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` for a `harness = false` bench target.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,65 @@
+//! The case-driving loop behind the `proptest!` macro.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Why a single proptest case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// An assertion failed; the message explains what.
+    Fail(String),
+    /// `prop_assume!` rejected the inputs; the case is discarded, not failed.
+    Reject,
+}
+
+impl TestCaseError {
+    /// Builds a failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+fn fnv1a(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+/// Runs `f` on a sequence of deterministic RNG streams until the
+/// configured number of cases (default 64, override with
+/// `PROPTEST_CASES`) has executed, panicking on the first failure.
+pub fn run<F>(name: &str, mut f: F)
+where
+    F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+{
+    let cases: u64 = std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64);
+    let base = fnv1a(name);
+    let mut executed: u64 = 0;
+    let mut rejected: u64 = 0;
+    let mut case: u64 = 0;
+    while executed < cases {
+        let seed = base ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        let mut rng = StdRng::seed_from_u64(seed);
+        match f(&mut rng) {
+            Ok(()) => executed += 1,
+            Err(TestCaseError::Reject) => {
+                rejected += 1;
+                assert!(
+                    rejected <= cases.saturating_mul(64).max(1024),
+                    "proptest `{name}`: too many cases rejected by prop_assume! \
+                     ({rejected} rejects for {executed} executed cases)"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!("proptest `{name}` failed at case {case} (seed {seed:#x}):\n{msg}")
+            }
+        }
+        case += 1;
+    }
+}
