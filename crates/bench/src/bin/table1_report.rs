@@ -21,23 +21,52 @@ fn main() {
 
     eprintln!("building Tscalar and Tvector ({rows} rows each)...");
     let mut session = build_table1_db(rows);
+    let dop = session.dop();
+    println!(
+        "measured columns: each query runs cold twice, serial (DOP 1) and \
+         parallel (DOP {dop}, from SQLARRAY_DOP/cores);"
+    );
+    println!("the harness asserts both runs return bit-identical results.");
+    println!();
 
     println!(
-        "{:<5} {:>14} {:>10} {:>12}   {}",
-        "Query", "Exec time [s]", "CPU [%]", "I/O [MB/s]", "statement"
+        "{:<3} {:>13} {:>8} {:>11} | {:>11} {:>11} {:>4} {:>8}   {}",
+        "Q",
+        "model exec[s]",
+        "CPU [%]",
+        "I/O [MB/s]",
+        "serial [s]",
+        "par [s]",
+        "DOP",
+        "speedup",
+        "statement"
     );
-    println!("{}", "-".repeat(100));
+    println!("{}", "-".repeat(132));
     let table = run_table1(&mut session);
     for row in &table {
         println!(
-            "{:<5} {:>14.3} {:>10.0} {:>12.0}   {}",
+            "{:<3} {:>13.3} {:>8.0} {:>11.0} | {:>11.3} {:>11.3} {:>4} {:>7.2}x   {}",
             row.query,
             row.exec_seconds,
             row.cpu_percent,
             row.io_mb_per_sec,
+            row.wall_serial_seconds,
+            row.wall_parallel_seconds,
+            row.measured_dop,
+            row.measured_speedup,
             TABLE1_QUERIES[row.query - 1]
         );
     }
+    let best = table
+        .iter()
+        .max_by(|a, b| a.measured_speedup.total_cmp(&b.measured_speedup))
+        .expect("five rows");
+    println!();
+    println!(
+        "best measured parallel speedup: {:.2}x on Q{} at DOP {} \
+         (modelled projection divides CPU by {TESTBED_DOP})",
+        best.measured_speedup, best.query, best.measured_dop
+    );
 
     println!();
     println!("== paper reference (357M rows, Dell PowerVault, SQL Server 2008) ==");

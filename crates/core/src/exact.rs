@@ -1,0 +1,453 @@
+//! An order-independent, exactly rounded `f64` accumulator.
+//!
+//! Parallel aggregation splits a reduction over workers, which changes the
+//! shape of the floating-point reduction tree; with a naive `+=` the result
+//! of `SUM(v1)` would then depend on the degree of parallelism. [`ExactSum`]
+//! sidesteps the problem the way long-accumulator hardware proposals do
+//! (Kulisch accumulation): every addend is expanded into a ~2200-bit
+//! fixed-point register wide enough to hold any finite `f64` exactly, so
+//! addition is genuinely associative and commutative. The final
+//! [`value`](ExactSum::value) is the correctly rounded (nearest-even) `f64`
+//! of the true sum — identical no matter how the inputs were partitioned.
+//!
+//! The engine's built-in `SUM`/`AVG` accumulate through this type, which is
+//! what lets the executor promise bit-identical results for serial and
+//! parallel plans.
+//!
+//! ```
+//! use sqlarray_core::exact::ExactSum;
+//!
+//! let xs = [1e100, 1.0, -1e100, 1e-30];
+//! let mut forward = ExactSum::new();
+//! let mut backward = ExactSum::new();
+//! for x in xs {
+//!     forward.add(x);
+//! }
+//! for x in xs.iter().rev() {
+//!     backward.add(*x);
+//! }
+//! // Naive summation loses the 1.0 in one of the two orders; the exact
+//! // accumulator is order independent and correctly rounded.
+//! assert_eq!(forward.value(), backward.value());
+//! assert_eq!(forward.value(), 1.0 + 1e-30);
+//! ```
+
+/// Number of 64-bit limbs in the fixed-point register.
+///
+/// Finite `f64` values occupy bit positions `0` (2⁻¹⁰⁷⁴, the smallest
+/// subnormal) through `2097` (the top mantissa bit of `f64::MAX`). Another
+/// 64 bits of headroom absorb up to 2⁶⁴ worst-case addends before the sign
+/// bit (the top bit of the last limb) could be disturbed; 34 limbs = 2176
+/// bits covers both.
+const LIMBS: usize = 34;
+
+/// Bit position of 2⁰ inside the register: the exponent of the smallest
+/// subnormal is −1074, so limb 0 / bit 0 represents 2⁻¹⁰⁷⁴.
+const EXP_BIAS: i32 = 1074;
+
+/// An exact accumulator for `f64` addends.
+///
+/// Internally a two's-complement fixed-point integer of 34 × 64 bits plus
+/// out-of-band tracking for non-finite addends (infinities of either
+/// sign, NaN). `Clone`-able, `Send`, and mergeable: [`merge`](Self::merge)
+/// adds two accumulators exactly, so partial sums computed by parallel
+/// workers combine without any rounding at the merge points.
+#[derive(Debug, Clone)]
+pub struct ExactSum {
+    limbs: [u64; LIMBS],
+    pos_inf: u64,
+    neg_inf: u64,
+    nan: bool,
+}
+
+impl Default for ExactSum {
+    fn default() -> Self {
+        ExactSum::new()
+    }
+}
+
+impl ExactSum {
+    /// An empty accumulator (sum of zero addends = `+0.0`).
+    pub fn new() -> ExactSum {
+        ExactSum {
+            limbs: [0u64; LIMBS],
+            pos_inf: 0,
+            neg_inf: 0,
+            nan: false,
+        }
+    }
+
+    /// Adds one `f64` addend, exactly.
+    pub fn add(&mut self, x: f64) {
+        if x == 0.0 {
+            return;
+        }
+        if x.is_nan() {
+            self.nan = true;
+            return;
+        }
+        if x.is_infinite() {
+            if x > 0.0 {
+                self.pos_inf += 1;
+            } else {
+                self.neg_inf += 1;
+            }
+            return;
+        }
+        let bits = x.to_bits();
+        let negative = bits >> 63 == 1;
+        let exp_field = ((bits >> 52) & 0x7FF) as i32;
+        let frac = bits & ((1u64 << 52) - 1);
+        // Mantissa m and exponent e such that |x| = m · 2^(e), with the
+        // register's bit 0 standing for 2^(−EXP_BIAS).
+        let (mantissa, exp) = if exp_field == 0 {
+            (frac, -EXP_BIAS) // subnormal
+        } else {
+            (frac | (1u64 << 52), exp_field - 1075)
+        };
+        let pos = (exp + EXP_BIAS) as usize; // bit position of mantissa bit 0
+        let limb = pos / 64;
+        let shift = pos % 64;
+        let wide = (mantissa as u128) << shift; // ≤ 53 + 63 = 116 bits
+        let lo = wide as u64;
+        let hi = (wide >> 64) as u64;
+        if negative {
+            self.sub_at(limb, lo, hi);
+        } else {
+            self.add_at(limb, lo, hi);
+        }
+    }
+
+    fn add_at(&mut self, limb: usize, lo: u64, hi: u64) {
+        let (s, mut carry) = self.limbs[limb].overflowing_add(lo);
+        self.limbs[limb] = s;
+        let mut i = limb + 1;
+        let mut add = hi;
+        while (carry || add != 0) && i < LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(add);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            self.limbs[i] = s2;
+            carry = c1 || c2;
+            add = 0;
+            i += 1;
+        }
+    }
+
+    fn sub_at(&mut self, limb: usize, lo: u64, hi: u64) {
+        let (s, mut borrow) = self.limbs[limb].overflowing_sub(lo);
+        self.limbs[limb] = s;
+        let mut i = limb + 1;
+        let mut sub = hi;
+        while (borrow || sub != 0) && i < LIMBS {
+            let (s1, b1) = self.limbs[i].overflowing_sub(sub);
+            let (s2, b2) = s1.overflowing_sub(borrow as u64);
+            self.limbs[i] = s2;
+            borrow = b1 || b2;
+            sub = 0;
+            i += 1;
+        }
+    }
+
+    /// Adds another accumulator into this one, exactly. This is the
+    /// parallel-combine step: limb-wise two's-complement addition commutes
+    /// and associates, so any merge tree yields the same register.
+    pub fn merge(&mut self, other: &ExactSum) {
+        let mut carry = false;
+        for i in 0..LIMBS {
+            let (s1, c1) = self.limbs[i].overflowing_add(other.limbs[i]);
+            let (s2, c2) = s1.overflowing_add(carry as u64);
+            self.limbs[i] = s2;
+            carry = c1 || c2;
+        }
+        self.pos_inf += other.pos_inf;
+        self.neg_inf += other.neg_inf;
+        self.nan |= other.nan;
+    }
+
+    /// The correctly rounded (round-to-nearest, ties-to-even) `f64` value
+    /// of the accumulated sum.
+    pub fn value(&self) -> f64 {
+        if self.nan || (self.pos_inf > 0 && self.neg_inf > 0) {
+            return f64::NAN;
+        }
+        if self.pos_inf > 0 {
+            return f64::INFINITY;
+        }
+        if self.neg_inf > 0 {
+            return f64::NEG_INFINITY;
+        }
+        // Read the two's-complement register: sign, then magnitude.
+        let negative = self.limbs[LIMBS - 1] >> 63 == 1;
+        let mut mag = self.limbs;
+        if negative {
+            // mag = -register (two's complement negate).
+            let mut carry = true;
+            for limb in mag.iter_mut() {
+                let (s, c) = (!*limb).overflowing_add(carry as u64);
+                *limb = s;
+                carry = c;
+            }
+        }
+        // Highest set bit.
+        let top = match (0..LIMBS).rev().find(|&i| mag[i] != 0) {
+            Some(i) => i * 64 + 63 - mag[i].leading_zeros() as usize,
+            None => return 0.0,
+        };
+        let exp = top as i32 - EXP_BIAS; // value ≈ 2^exp
+        if top <= 52 {
+            // Entirely within the subnormal/smallest-normal window: the
+            // magnitude is exactly representable, no rounding needed.
+            let v = f64::from_bits(mag[0]);
+            return if negative { -v } else { v };
+        }
+        // Extract the 53-bit mantissa [top-52, top], the guard bit, and the
+        // sticky OR of everything below the guard.
+        let mantissa = extract_bits(&mag, top - 52, 53);
+        let guard = extract_bits(&mag, top - 53, 1) == 1;
+        let sticky = {
+            let mut any = false;
+            let low_bits = top - 53; // number of bits strictly below the guard
+            let full = low_bits / 64;
+            for limb in mag.iter().take(full) {
+                any |= *limb != 0;
+            }
+            let rem = low_bits % 64;
+            if rem > 0 {
+                any |= mag[full] & ((1u64 << rem) - 1) != 0;
+            }
+            any
+        };
+        let mut q = mantissa;
+        let mut e = exp;
+        if guard && (sticky || q & 1 == 1) {
+            q += 1;
+            if q == 1u64 << 53 {
+                q >>= 1;
+                e += 1;
+            }
+        }
+        if e > 1023 {
+            return if negative {
+                f64::NEG_INFINITY
+            } else {
+                f64::INFINITY
+            };
+        }
+        let bits =
+            ((negative as u64) << 63) | (((e + 1023) as u64) << 52) | (q & ((1u64 << 52) - 1));
+        f64::from_bits(bits)
+    }
+
+    /// Size of the fixed-width serialization produced by
+    /// [`to_bytes`](Self::to_bytes).
+    pub const SERIALIZED_LEN: usize = LIMBS * 8 + 17;
+
+    /// Serializes the full register (limbs LE, infinity counters, NaN
+    /// flag) — aggregate states embed this so partial sums survive the
+    /// serialize/merge round trips of the UDA contract without rounding.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(Self::SERIALIZED_LEN);
+        for l in &self.limbs {
+            out.extend_from_slice(&l.to_le_bytes());
+        }
+        out.extend_from_slice(&self.pos_inf.to_le_bytes());
+        out.extend_from_slice(&self.neg_inf.to_le_bytes());
+        out.push(self.nan as u8);
+        out
+    }
+
+    /// Rebuilds an accumulator from [`to_bytes`](Self::to_bytes) output;
+    /// `None` if `buf` is not exactly [`SERIALIZED_LEN`](Self::SERIALIZED_LEN)
+    /// bytes.
+    pub fn from_bytes(buf: &[u8]) -> Option<ExactSum> {
+        if buf.len() != Self::SERIALIZED_LEN {
+            return None;
+        }
+        let mut s = ExactSum::new();
+        for (i, limb) in s.limbs.iter_mut().enumerate() {
+            *limb = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+        }
+        let off = LIMBS * 8;
+        s.pos_inf = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
+        s.neg_inf = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+        s.nan = buf[off + 16] != 0;
+        Some(s)
+    }
+
+    /// True if no finite or non-finite addend has been folded in.
+    pub fn is_zero(&self) -> bool {
+        !self.nan && self.pos_inf == 0 && self.neg_inf == 0 && self.limbs.iter().all(|&l| l == 0)
+    }
+}
+
+/// Reads `count` bits (≤ 64) starting at bit position `pos` from a
+/// little-endian limb array.
+fn extract_bits(limbs: &[u64; LIMBS], pos: usize, count: usize) -> u64 {
+    debug_assert!(count <= 64);
+    let limb = pos / 64;
+    let shift = pos % 64;
+    let mut v = limbs[limb] >> shift;
+    if shift != 0 && limb + 1 < LIMBS {
+        v |= limbs[limb + 1]
+            .checked_shl((64 - shift) as u32)
+            .unwrap_or(0);
+    }
+    if count < 64 {
+        v &= (1u64 << count) - 1;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn exact_of(xs: &[f64]) -> f64 {
+        let mut s = ExactSum::new();
+        for &x in xs {
+            s.add(x);
+        }
+        s.value()
+    }
+
+    #[test]
+    fn matches_naive_on_exact_cases() {
+        assert_eq!(exact_of(&[]), 0.0);
+        assert_eq!(exact_of(&[1.0, 2.0, 3.0]), 6.0);
+        assert_eq!(exact_of(&[0.5, 0.25, -0.75]), 0.0);
+        let ints: Vec<f64> = (0..1000).map(|k| k as f64).collect();
+        assert_eq!(exact_of(&ints), 499_500.0);
+    }
+
+    #[test]
+    fn recovers_catastrophic_cancellation() {
+        assert_eq!(exact_of(&[1e100, 1.0, -1e100]), 1.0);
+        assert_eq!(exact_of(&[1.0, 1e100, -1e100]), 1.0);
+        assert_eq!(exact_of(&[1e308, 1e308, -1e308, -1e308]), 0.0);
+    }
+
+    #[test]
+    fn order_independent_under_permutation() {
+        let xs: Vec<f64> = (0..500)
+            .map(|k| {
+                let t = (k as f64 * 0.7391).sin();
+                t * 10f64.powi((k % 40) as i32 - 20)
+            })
+            .collect();
+        let forward = exact_of(&xs);
+        let mut rev = xs.clone();
+        rev.reverse();
+        assert_eq!(forward.to_bits(), exact_of(&rev).to_bits());
+        // Interleaved order.
+        let mut inter: Vec<f64> = Vec::new();
+        for i in 0..xs.len() / 2 {
+            inter.push(xs[i]);
+            inter.push(xs[xs.len() - 1 - i]);
+        }
+        assert_eq!(forward.to_bits(), exact_of(&inter).to_bits());
+    }
+
+    #[test]
+    fn merge_equals_sequential() {
+        let xs: Vec<f64> = (0..256)
+            .map(|k| ((k * 37 % 101) as f64 - 50.0) * 1e-3)
+            .collect();
+        let total = exact_of(&xs);
+        for split in [1usize, 7, 128, 255] {
+            let mut a = ExactSum::new();
+            let mut b = ExactSum::new();
+            for &x in &xs[..split] {
+                a.add(x);
+            }
+            for &x in &xs[split..] {
+                b.add(x);
+            }
+            a.merge(&b);
+            assert_eq!(a.value().to_bits(), total.to_bits(), "split {split}");
+        }
+    }
+
+    #[test]
+    fn subnormals_sum_exactly() {
+        let tiny = f64::from_bits(3); // 3 · 2⁻¹⁰⁷⁴
+        assert_eq!(exact_of(&[tiny, tiny]), f64::from_bits(6));
+        assert_eq!(exact_of(&[tiny, -tiny]), 0.0);
+        assert_eq!(exact_of(&[f64::MIN_POSITIVE, -tiny]).to_bits(), {
+            f64::MIN_POSITIVE.to_bits() - 3
+        });
+    }
+
+    #[test]
+    fn rounding_is_nearest_even() {
+        // 1 + 2^-53 rounds to 1 (tie to even); 1 + 2^-53 + 2^-100 must
+        // round up because the sticky bit breaks the tie.
+        let ulp_half = (2f64).powi(-53);
+        assert_eq!(exact_of(&[1.0, ulp_half]), 1.0);
+        assert_eq!(
+            exact_of(&[1.0, ulp_half, (2f64).powi(-100)]),
+            1.0 + 2.0 * ulp_half
+        );
+        // Tie with odd mantissa rounds up to the even neighbour.
+        let odd = 1.0 + 2.0 * ulp_half; // mantissa ...01
+        assert_eq!(exact_of(&[odd, ulp_half]), odd + 2.0 * ulp_half);
+    }
+
+    #[test]
+    fn non_finite_addends() {
+        assert!(exact_of(&[1.0, f64::NAN]).is_nan());
+        assert_eq!(exact_of(&[f64::INFINITY, 1.0]), f64::INFINITY);
+        assert_eq!(exact_of(&[f64::NEG_INFINITY, 1e300]), f64::NEG_INFINITY);
+        assert!(exact_of(&[f64::INFINITY, f64::NEG_INFINITY]).is_nan());
+    }
+
+    #[test]
+    fn overflow_saturates_to_infinity() {
+        let mut s = ExactSum::new();
+        for _ in 0..4 {
+            s.add(f64::MAX);
+        }
+        assert_eq!(s.value(), f64::INFINITY);
+        let mut n = ExactSum::new();
+        for _ in 0..4 {
+            n.add(-f64::MAX);
+        }
+        assert_eq!(n.value(), f64::NEG_INFINITY);
+        // ...but cancelling the overflow recovers the exact remainder.
+        s.merge(&n);
+        assert_eq!(s.value(), 0.0);
+        assert!(s.is_zero());
+    }
+
+    #[test]
+    fn negative_totals_round_symmetrically() {
+        let xs = [0.1, 0.2, 0.3];
+        let neg: Vec<f64> = xs.iter().map(|x| -x).collect();
+        assert_eq!(exact_of(&xs), -exact_of(&neg));
+    }
+
+    #[test]
+    fn serialization_round_trips_the_register() {
+        let mut s = ExactSum::new();
+        for x in [1e-300, -2.5, 1e100, f64::INFINITY] {
+            s.add(x);
+        }
+        let buf = s.to_bytes();
+        assert_eq!(buf.len(), ExactSum::SERIALIZED_LEN);
+        let back = ExactSum::from_bytes(&buf).unwrap();
+        assert_eq!(back.value(), s.value());
+        let mut merged = ExactSum::new();
+        merged.merge(&back);
+        merged.add(f64::NEG_INFINITY);
+        assert!(merged.value().is_nan());
+        assert!(ExactSum::from_bytes(&buf[1..]).is_none());
+    }
+
+    #[test]
+    fn matches_serial_fold_for_integral_values() {
+        // Integer-valued f64 sums are exact under naive folding too, so the
+        // two must agree bit for bit.
+        let xs: Vec<f64> = (0..10_000).map(|k| (k % 97) as f64).collect();
+        let naive: f64 = xs.iter().sum();
+        assert_eq!(exact_of(&xs).to_bits(), naive.to_bits());
+    }
+}

@@ -41,9 +41,11 @@ pub mod build;
 pub mod complex;
 pub mod element;
 pub mod errors;
+pub mod exact;
 pub mod fmt;
 pub mod header;
 pub mod ops;
+pub mod parallel;
 pub mod rng;
 pub mod scalar;
 pub mod shape;
@@ -54,6 +56,7 @@ pub use array::SqlArray;
 pub use complex::{Complex32, Complex64};
 pub use element::{Element, ElementType};
 pub use errors::{ArrayError, Result};
+pub use exact::ExactSum;
 pub use header::{Header, StorageClass, SHORT_MAX_BYTES, SHORT_MAX_RANK};
 pub use scalar::Scalar;
 pub use shape::Shape;

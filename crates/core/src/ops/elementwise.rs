@@ -12,7 +12,68 @@ use crate::complex::Complex64;
 use crate::element::ElementType;
 use crate::errors::{ArrayError, Result};
 use crate::header::Header;
+use crate::parallel::{configured_dop, partition_ranges};
 use crate::scalar::Scalar;
+
+/// Arrays with at least this many elements run the chunked parallel path
+/// in [`zip`], [`scale`] and [`offset`] (when the configured DOP is > 1);
+/// smaller arrays are not worth a thread spawn.
+pub const PARALLEL_MIN_ELEMS: usize = 8192;
+
+/// Picks the effective DOP for a kernel over `count` elements.
+fn kernel_dop(count: usize) -> usize {
+    if count >= PARALLEL_MIN_ELEMS {
+        configured_dop()
+    } else {
+        1
+    }
+}
+
+/// Fills `body` (a raw element buffer of `count` × 8-byte `f64` cells) from
+/// `compute(lin)`, fanning contiguous chunks out over `dop` scoped threads.
+/// Each worker writes a disjoint sub-slice, so the result is bit-identical
+/// to the serial loop for any `dop`.
+fn fill_f64(
+    body: &mut [u8],
+    count: usize,
+    dop: usize,
+    compute: &(impl Fn(usize) -> Result<f64> + Sync),
+) -> Result<()> {
+    debug_assert_eq!(body.len(), count * 8);
+    let ranges = partition_ranges(count, dop);
+    if ranges.len() <= 1 {
+        for lin in 0..count {
+            let v = compute(lin)?;
+            body[lin * 8..lin * 8 + 8].copy_from_slice(&v.to_le_bytes());
+        }
+        return Ok(());
+    }
+    let mut worker_errs: Vec<Option<ArrayError>> = Vec::new();
+    std::thread::scope(|s| {
+        let mut rest = &mut *body;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in &ranges {
+            let (mine, tail) = rest.split_at_mut(r.len() * 8);
+            rest = tail;
+            let r = r.clone();
+            handles.push(s.spawn(move || -> Result<()> {
+                for (slot, lin) in r.clone().enumerate() {
+                    let v = compute(lin)?;
+                    mine[slot * 8..slot * 8 + 8].copy_from_slice(&v.to_le_bytes());
+                }
+                Ok(())
+            }));
+        }
+        worker_errs = handles
+            .into_iter()
+            .map(|h| h.join().expect("elementwise worker panicked").err())
+            .collect();
+    });
+    match worker_errs.into_iter().flatten().next() {
+        Some(e) => Err(e),
+        None => Ok(()),
+    }
+}
 
 /// The binary operation of [`zip`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -41,6 +102,13 @@ fn result_type(a: ElementType, b: ElementType) -> ElementType {
 /// result inherits the storage class of `a` (falling back to max if the
 /// widened payload no longer fits in a page).
 pub fn zip(a: &SqlArray, b: &SqlArray, op: BinOp) -> Result<SqlArray> {
+    zip_with_dop(a, b, op, kernel_dop(a.count()))
+}
+
+/// [`zip`] with an explicit degree of parallelism (1 = serial). Results are
+/// bit-identical for every `dop`; [`zip`] picks the DOP from the array size
+/// and the `SQLARRAY_DOP` configuration.
+pub fn zip_with_dop(a: &SqlArray, b: &SqlArray, op: BinOp, dop: usize) -> Result<SqlArray> {
     if a.dims() != b.dims() {
         return Err(ArrayError::ShapeMismatch {
             left: a.dims().to_vec(),
@@ -75,17 +143,17 @@ pub fn zip(a: &SqlArray, b: &SqlArray, op: BinOp) -> Result<SqlArray> {
             Scalar::C64(r).write_le(&mut out[hlen + lin * es..]);
         }
     } else {
-        for lin in 0..a.count() {
+        let count = a.count();
+        fill_f64(&mut out[hlen..hlen + count * 8], count, dop, &|lin| {
             let x = a.item_linear(lin).as_f64()?;
             let y = b.item_linear(lin).as_f64()?;
-            let r = match op {
+            Ok(match op {
                 BinOp::Add => x + y,
                 BinOp::Sub => x - y,
                 BinOp::Mul => x * y,
                 BinOp::Div => x / y,
-            };
-            Scalar::F64(r).write_le(&mut out[hlen + lin * es..]);
-        }
+            })
+        })?;
     }
     SqlArray::from_blob(out)
 }
@@ -111,14 +179,34 @@ pub fn div(a: &SqlArray, b: &SqlArray) -> Result<SqlArray> {
 }
 
 /// Multiplies every element by a real scalar, preserving the element type
-/// family (real stays `float64`, complex stays `complex64`).
+/// family (real stays `float64`, complex stays `complex64`). Large arrays
+/// run chunked over the configured DOP.
 pub fn scale(a: &SqlArray, k: f64) -> Result<SqlArray> {
-    map_f64(a, |v| v * k)
+    affine_with_dop(a, k, 0.0, kernel_dop(a.count()))
 }
 
-/// Adds a real scalar to every element.
+/// Adds a real scalar to every element. Large arrays run chunked over the
+/// configured DOP.
 pub fn offset(a: &SqlArray, k: f64) -> Result<SqlArray> {
-    map_f64(a, |v| v + k)
+    affine_with_dop(a, 1.0, k, kernel_dop(a.count()))
+}
+
+/// `v ↦ v·mul + add` applied elementwise (componentwise for complex
+/// inputs, matching what [`map_f64`] does for a linear map), with the real
+/// path parallelized over `dop` chunks.
+fn affine_with_dop(a: &SqlArray, mul: f64, add: f64, dop: usize) -> Result<SqlArray> {
+    if a.elem().is_complex() {
+        return map_c64(a, |c| Complex64::new(c.re * mul + add, c.im * mul + add));
+    }
+    let header = promote_header(a, ElementType::Float64)?;
+    let hlen = header.header_len();
+    let mut out = vec![0u8; header.blob_len()];
+    header.encode(&mut out);
+    let count = a.count();
+    fill_f64(&mut out[hlen..hlen + count * 8], count, dop, &|lin| {
+        Ok(a.item_linear(lin).as_f64()? * mul + add)
+    })?;
+    SqlArray::from_blob(out)
 }
 
 /// Applies a real function elementwise. Real input → `float64` output;
@@ -297,6 +385,41 @@ mod tests {
         // <i, i> = conj(i)*i = -i*i = 1
         let h = dot_c64(&ca, &cb).unwrap();
         assert!(close(h.re, 1.0) && close(h.im, 0.0));
+    }
+
+    #[test]
+    fn parallel_zip_is_bit_identical_to_serial() {
+        let n = 10_001; // odd, so chunks are non-divisible
+        let xs: Vec<f64> = (0..n).map(|k| (k as f64 * 0.37).sin() * 1e3).collect();
+        let ys: Vec<f64> = (0..n).map(|k| (k as f64 * 0.11).cos() + 2.0).collect();
+        let a = SqlArray::from_vec(StorageClass::Max, &[n], &xs).unwrap();
+        let b = SqlArray::from_vec(StorageClass::Max, &[n], &ys).unwrap();
+        for op in [BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div] {
+            let serial = zip_with_dop(&a, &b, op, 1).unwrap();
+            for dop in [2, 3, 8] {
+                let par = zip_with_dop(&a, &b, op, dop).unwrap();
+                assert_eq!(par.as_blob(), serial.as_blob(), "{op:?} dop {dop}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_scale_and_offset_match_serial() {
+        let n = 9000;
+        let xs: Vec<f64> = (0..n).map(|k| k as f64 * 0.001 - 4.0).collect();
+        let a = SqlArray::from_vec(StorageClass::Max, &[n], &xs).unwrap();
+        let serial_scale = affine_with_dop(&a, 2.5, 0.0, 1).unwrap();
+        let serial_offset = affine_with_dop(&a, 1.0, -1.25, 1).unwrap();
+        for dop in [2, 5] {
+            assert_eq!(
+                affine_with_dop(&a, 2.5, 0.0, dop).unwrap().as_blob(),
+                serial_scale.as_blob()
+            );
+            assert_eq!(
+                affine_with_dop(&a, 1.0, -1.25, dop).unwrap().as_blob(),
+                serial_offset.as_blob()
+            );
+        }
     }
 
     #[test]

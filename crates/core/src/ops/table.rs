@@ -84,6 +84,10 @@ pub struct ConcatBuilder {
     array: SqlArray,
     filled: usize,
     seen: Vec<bool>,
+    /// True once [`push_next`](Self::push_next) has been used: the builder
+    /// is filling linear positions in row-stream order, which changes how
+    /// two partial builders [`merge`](Self::merge).
+    sequential: bool,
 }
 
 impl ConcatBuilder {
@@ -95,6 +99,7 @@ impl ConcatBuilder {
             array,
             filled: 0,
             seen: vec![false; n],
+            sequential: false,
         })
     }
 
@@ -125,7 +130,48 @@ impl ConcatBuilder {
         let idx = self.array.shape().multi_index(lin);
         self.seen[lin] = true;
         self.filled += 1;
+        self.sequential = true;
         self.array.update_item(&idx, value)
+    }
+
+    /// Combines a partial builder produced by a later scan partition into
+    /// this one — the parallel-aggregation combine step.
+    ///
+    /// Indexed builders ([`push`](Self::push)) take the union of filled
+    /// cells; a duplicate cell is an error, exactly as in the serial row
+    /// stream. Sequential builders ([`push_next`](Self::push_next)) append:
+    /// `other`'s first `other.len()` values continue at this builder's
+    /// cursor, so merging partials in partition order reproduces the serial
+    /// scan order bit for bit. Mixing the two modes across partials is
+    /// rejected.
+    pub fn merge(&mut self, other: &ConcatBuilder) -> Result<()> {
+        if other.filled == 0 {
+            return Ok(());
+        }
+        if self.array.shape().dims() != other.array.shape().dims() {
+            return Err(ArrayError::ShapeMismatch {
+                left: self.array.dims().to_vec(),
+                right: other.array.dims().to_vec(),
+            });
+        }
+        if self.filled > 0 && self.sequential != other.sequential {
+            return Err(ArrayError::Parse(
+                "cannot merge sequential and indexed Concat partials".into(),
+            ));
+        }
+        if other.sequential {
+            for lin in 0..other.filled {
+                self.push_next(other.array.item_linear(lin))?;
+            }
+        } else {
+            for (lin, seen) in other.seen.iter().enumerate() {
+                if *seen {
+                    let idx = self.array.shape().multi_index(lin);
+                    self.push(&idx, other.array.item_linear(lin))?;
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Number of rows consumed so far.
@@ -147,7 +193,8 @@ impl ConcatBuilder {
     /// Exists only to model SQL Server's per-row UDA state serialization —
     /// the pathology quantified by experiment E5.
     pub fn serialize_state(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.array.as_blob().len() + self.seen.len() + 8);
+        let mut out = Vec::with_capacity(self.array.as_blob().len() + self.seen.len() + 9);
+        out.push(self.sequential as u8);
         out.extend_from_slice(&(self.filled as u64).to_le_bytes());
         out.extend_from_slice(self.array.as_blob());
         out.extend(self.seen.iter().map(|&b| b as u8));
@@ -157,11 +204,12 @@ impl ConcatBuilder {
     /// Rebuilds a builder from serialized state (the matching
     /// deserialization half of the UDA model).
     pub fn deserialize_state(buf: &[u8]) -> Result<Self> {
-        if buf.len() < 8 {
+        if buf.len() < 9 {
             return Err(ArrayError::Io("truncated builder state".into()));
         }
-        let filled = u64::from_le_bytes(buf[..8].try_into().unwrap()) as usize;
-        let rest = &buf[8..];
+        let sequential = buf[0] != 0;
+        let filled = u64::from_le_bytes(buf[1..9].try_into().unwrap()) as usize;
+        let rest = &buf[9..];
         // The array blob length is self-describing; decode its header to
         // find the split point.
         let header = crate::header::Header::decode(rest)?;
@@ -178,6 +226,7 @@ impl ConcatBuilder {
             array,
             filled,
             seen,
+            sequential,
         })
     }
 }
@@ -267,6 +316,64 @@ mod tests {
         assert_eq!(a.item(&[0, 1]).unwrap(), Scalar::F64(7.0));
         assert_eq!(a.item(&[1, 1]).unwrap(), Scalar::F64(8.0));
         assert_eq!(a.item(&[0, 0]).unwrap(), Scalar::F64(0.0));
+    }
+
+    #[test]
+    fn sequential_merge_appends_in_partition_order() {
+        // Three partial builders, as three scan partitions would produce.
+        let mut parts: Vec<ConcatBuilder> = Vec::new();
+        let splits = [0..4usize, 4..5, 5..12];
+        for r in &splits {
+            let mut b =
+                ConcatBuilder::new(StorageClass::Max, ElementType::Float64, &[4, 3]).unwrap();
+            for i in r.clone() {
+                b.push_next(Scalar::F64(i as f64)).unwrap();
+            }
+            parts.push(b);
+        }
+        let mut merged = parts.remove(0);
+        for p in &parts {
+            merged.merge(p).unwrap();
+        }
+        let mut serial =
+            ConcatBuilder::new(StorageClass::Max, ElementType::Float64, &[4, 3]).unwrap();
+        for i in 0..12 {
+            serial.push_next(Scalar::F64(i as f64)).unwrap();
+        }
+        assert_eq!(merged.finish().as_blob(), serial.finish().as_blob());
+    }
+
+    #[test]
+    fn indexed_merge_unions_cells_and_rejects_duplicates() {
+        let mut a = ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[4]).unwrap();
+        a.push(&[0], Scalar::I32(10)).unwrap();
+        let mut b = ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[4]).unwrap();
+        b.push(&[2], Scalar::I32(30)).unwrap();
+        a.merge(&b).unwrap();
+        assert_eq!(a.len(), 2);
+        let mut dup = ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[4]).unwrap();
+        dup.push(&[0], Scalar::I32(99)).unwrap();
+        assert!(a.merge(&dup).is_err());
+        let arr = a.finish();
+        assert_eq!(arr.item(&[0]).unwrap(), Scalar::I32(10));
+        assert_eq!(arr.item(&[2]).unwrap(), Scalar::I32(30));
+    }
+
+    #[test]
+    fn merge_rejects_mixed_modes_and_shapes() {
+        let mut seq = ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[4]).unwrap();
+        seq.push_next(Scalar::I32(1)).unwrap();
+        let mut idx = ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[4]).unwrap();
+        idx.push(&[3], Scalar::I32(2)).unwrap();
+        assert!(seq.merge(&idx).is_err());
+        let mut other_shape =
+            ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[5]).unwrap();
+        other_shape.push_next(Scalar::I32(7)).unwrap();
+        assert!(seq.merge(&other_shape).is_err());
+        // Merging an empty partial is always a no-op.
+        let empty = ConcatBuilder::new(StorageClass::Short, ElementType::Int32, &[4]).unwrap();
+        seq.merge(&empty).unwrap();
+        assert_eq!(seq.len(), 1);
     }
 
     #[test]

@@ -1,0 +1,143 @@
+//! Degree-of-parallelism configuration and chunked fan-out helpers.
+//!
+//! The whole workspace derives its parallelism from one knob: the
+//! `SQLARRAY_DOP` environment variable when set (clamped to ≥ 1), otherwise
+//! the number of cores the OS reports. Query execution reads it through
+//! `Session::set_dop` / the session default; the elementwise array kernels
+//! read it directly via [`configured_dop`].
+//!
+//! [`partition_ranges`] is the one chunking rule used everywhere — by the
+//! storage layer to split a leaf chain into scan partitions and by the
+//! elementwise kernels to split an element range — so "how work divides"
+//! has a single, property-tested definition: chunks are contiguous, cover
+//! the range exactly, never number more than requested, and differ in
+//! length by at most one.
+
+use std::cell::Cell;
+use std::ops::Range;
+
+/// Environment variable overriding the default degree of parallelism.
+pub const DOP_ENV_VAR: &str = "SQLARRAY_DOP";
+
+thread_local! {
+    /// True while this thread is already a parallel worker — kernels it
+    /// calls must not fan out again.
+    static FORCE_SERIAL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Runs `f` with [`configured_dop`] pinned to 1 on this thread.
+///
+/// A parallel scan worker is itself one lane of a fan-out; if the
+/// expressions it evaluates call the chunked array kernels, letting those
+/// kernels consult the global DOP would nest `dop × dop` threads and
+/// oversubscribe the machine. The query executor wraps each worker's body
+/// in this guard, so kernels inside a scan always run serially — the scan
+/// is the parallel unit.
+pub fn with_serial_kernels<R>(f: impl FnOnce() -> R) -> R {
+    FORCE_SERIAL.with(|s| {
+        let prev = s.replace(true);
+        let out = f();
+        s.set(prev);
+        out
+    })
+}
+
+/// The configured degree of parallelism: 1 inside a
+/// [`with_serial_kernels`] scope, else `SQLARRAY_DOP` if set and ≥ 1,
+/// otherwise [`std::thread::available_parallelism`] (1 when unknown).
+pub fn configured_dop() -> usize {
+    if FORCE_SERIAL.with(|s| s.get()) {
+        return 1;
+    }
+    if let Ok(v) = std::env::var(DOP_ENV_VAR) {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Splits `0..total` into at most `parts` contiguous, non-empty ranges of
+/// near-equal length (the first `total % parts` chunks get one extra
+/// element). `total == 0` yields no ranges; `parts` is clamped to ≥ 1.
+pub fn partition_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = parts.clamp(1, total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for i in 0..parts {
+        let len = base + usize::from(i < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, total);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check(total: usize, parts: usize) {
+        let ranges = partition_ranges(total, parts);
+        if total == 0 {
+            assert!(ranges.is_empty());
+            return;
+        }
+        assert!(!ranges.is_empty());
+        assert!(ranges.len() <= parts.max(1));
+        assert_eq!(ranges[0].start, 0);
+        assert_eq!(ranges.last().unwrap().end, total);
+        for w in ranges.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+        assert!(lens.iter().all(|&l| l > 0));
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        assert!(max - min <= 1, "unbalanced: {lens:?}");
+    }
+
+    #[test]
+    fn covers_edge_shapes() {
+        check(0, 4);
+        check(1, 4); // fewer items than parts
+        check(3, 8);
+        check(7, 3); // non-divisible
+        check(8, 3);
+        check(9, 3); // divisible
+        check(1000, 7);
+        check(5, 0); // parts clamped to 1
+    }
+
+    #[test]
+    fn fewer_parts_than_requested_when_items_are_scarce() {
+        assert_eq!(partition_ranges(2, 8).len(), 2);
+        assert_eq!(partition_ranges(8, 8).len(), 8);
+    }
+
+    #[test]
+    fn dop_is_at_least_one() {
+        assert!(configured_dop() >= 1);
+    }
+
+    #[test]
+    fn serial_kernel_scope_pins_dop_and_restores() {
+        let outer = configured_dop();
+        let (inner, nested) =
+            with_serial_kernels(|| (configured_dop(), with_serial_kernels(configured_dop)));
+        assert_eq!(inner, 1);
+        assert_eq!(nested, 1);
+        assert_eq!(configured_dop(), outer, "guard must restore on exit");
+        // The guard is per thread: a thread spawned inside the scope is
+        // not serialized by it.
+        let from_thread =
+            with_serial_kernels(|| std::thread::scope(|s| s.spawn(configured_dop).join().unwrap()));
+        assert_eq!(from_thread, outer);
+    }
+}

@@ -15,7 +15,7 @@
 
 use crate::value::{EngineError, Result, Value};
 use sqlarray_core::ops::table::ConcatBuilder;
-use sqlarray_core::{ElementType, Scalar, StorageClass};
+use sqlarray_core::{ElementType, ExactSum, Scalar, StorageClass};
 use std::collections::HashMap;
 
 /// How the executor maintains aggregate state between rows.
@@ -37,6 +37,14 @@ pub trait UdaState: Send {
     fn serialize_state(&self) -> Vec<u8>;
     /// Restores the state from its serialization (the `Read` half).
     fn load_state(&mut self, buf: &[u8]) -> Result<()>;
+    /// Combines the serialized state of a *later* scan partition into this
+    /// one — the `Merge()` method of the CLR aggregate contract, which SQL
+    /// Server calls when a parallel plan feeds one group from several
+    /// threads. `other` is the [`serialize_state`](Self::serialize_state)
+    /// output of the partial being folded in; partials are always merged
+    /// in partition (key) order, so order-sensitive aggregates like
+    /// `Concat` see their rows in serial scan order.
+    fn merge_state(&mut self, other: &[u8]) -> Result<()>;
     /// Produces the aggregate result.
     fn terminate(&mut self) -> Result<Value>;
 }
@@ -186,6 +194,23 @@ impl UdaState for ConcatUda {
         Ok(())
     }
 
+    fn merge_state(&mut self, other: &[u8]) -> Result<()> {
+        if other.is_empty() {
+            return Err(EngineError::Storage("empty UDA state".into()));
+        }
+        if other[0] == 0 {
+            return Ok(()); // the other partition saw no rows
+        }
+        let theirs = ConcatBuilder::deserialize_state(&other[1..]).map_err(EngineError::from)?;
+        match &mut self.builder {
+            Some(b) => b.merge(&theirs).map_err(EngineError::from),
+            None => {
+                self.builder = Some(theirs);
+                Ok(())
+            }
+        }
+    }
+
     fn terminate(&mut self) -> Result<Value> {
         match self.builder.take() {
             Some(b) => Ok(Value::Bytes(b.finish().into_blob())),
@@ -200,9 +225,13 @@ fn scalar_from_value(v: &Value, elem: ElementType) -> Result<Scalar> {
 
 /// Elementwise mean of an array column — composite spectra "could be very
 /// easily solved using an aggregate function" (§2.2).
+///
+/// Element sums accumulate in [`ExactSum`] registers, so partial states
+/// built by parallel scan workers merge without rounding: the parallel
+/// `VectorAvg` is bit-identical to the serial one.
 pub struct VectorAvgUda {
     class: StorageClass,
-    sum: Option<Vec<f64>>,
+    sum: Option<Vec<ExactSum>>,
     dims: Vec<usize>,
     count: u64,
 }
@@ -236,7 +265,11 @@ impl UdaState for VectorAvgUda {
         match &mut self.sum {
             None => {
                 self.dims = a.dims().to_vec();
-                self.sum = Some(vals);
+                let mut acc: Vec<ExactSum> = vec![ExactSum::new(); vals.len()];
+                for (s, v) in acc.iter_mut().zip(&vals) {
+                    s.add(*v);
+                }
+                self.sum = Some(acc);
             }
             Some(acc) => {
                 if a.dims() != self.dims.as_slice() {
@@ -247,7 +280,7 @@ impl UdaState for VectorAvgUda {
                     )));
                 }
                 for (s, v) in acc.iter_mut().zip(&vals) {
-                    *s += v;
+                    s.add(*v);
                 }
             }
         }
@@ -264,7 +297,7 @@ impl UdaState for VectorAvgUda {
         }
         if let Some(sum) = &self.sum {
             for v in sum {
-                out.extend_from_slice(&v.to_le_bytes());
+                out.extend_from_slice(&v.to_bytes());
             }
         }
         out
@@ -292,16 +325,45 @@ impl UdaState for VectorAvgUda {
             self.sum = None;
             return Ok(());
         }
-        if buf.len() != off + 8 * n {
+        const REG: usize = ExactSum::SERIALIZED_LEN;
+        if buf.len() != off + REG * n {
             return Err(corrupt());
         }
         let mut sum = Vec::with_capacity(n);
         for k in 0..n {
-            sum.push(f64::from_le_bytes(
-                buf[off + 8 * k..off + 8 * (k + 1)].try_into().unwrap(),
-            ));
+            sum.push(
+                ExactSum::from_bytes(&buf[off + REG * k..off + REG * (k + 1)])
+                    .ok_or_else(corrupt)?,
+            );
         }
         self.sum = Some(sum);
+        Ok(())
+    }
+
+    fn merge_state(&mut self, other: &[u8]) -> Result<()> {
+        let mut theirs = VectorAvgUda::new(self.class);
+        theirs.load_state(other)?;
+        let Some(other_sum) = theirs.sum else {
+            return Ok(()); // the other partition saw no rows
+        };
+        match &mut self.sum {
+            None => {
+                self.dims = theirs.dims;
+                self.sum = Some(other_sum);
+            }
+            Some(acc) => {
+                if theirs.dims != self.dims {
+                    return Err(EngineError::Type(format!(
+                        "VectorAvg merge over mixed shapes: {:?} vs {:?}",
+                        theirs.dims, self.dims
+                    )));
+                }
+                for (s, v) in acc.iter_mut().zip(&other_sum) {
+                    s.merge(v);
+                }
+            }
+        }
+        self.count += theirs.count;
         Ok(())
     }
 
@@ -309,7 +371,7 @@ impl UdaState for VectorAvgUda {
         match self.sum.take() {
             None => Ok(Value::Null),
             Some(sum) => {
-                let mean: Vec<f64> = sum.iter().map(|v| v / self.count as f64).collect();
+                let mean: Vec<f64> = sum.iter().map(|v| v.value() / self.count as f64).collect();
                 let a = match sqlarray_core::SqlArray::from_vec(self.class, &self.dims, &mean) {
                     Ok(a) => a,
                     Err(sqlarray_core::ArrayError::ShortTooLarge { .. }) => {
@@ -425,6 +487,96 @@ mod tests {
         let a2 = sqlarray_core::build::short_vector(&[1.0f64, 2.0, 3.0]).unwrap();
         state.accumulate(&[Value::Bytes(a1.into_blob())]).unwrap();
         assert!(state.accumulate(&[Value::Bytes(a2.into_blob())]).is_err());
+    }
+
+    #[test]
+    fn merge_state_reassembles_partitioned_concat() {
+        // Three partials, as three parallel scan partitions would build.
+        let splits: [std::ops::Range<i64>; 3] = [0..3, 3..4, 4..9];
+        let mut partials: Vec<Box<dyn UdaState>> = splits
+            .iter()
+            .map(|r| {
+                let mut s: Box<dyn UdaState> =
+                    Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Short));
+                for i in r.clone() {
+                    s.accumulate(&[size_vec(&[9]), Value::F64(i as f64 * 1.5)])
+                        .unwrap();
+                }
+                s
+            })
+            .collect();
+        let mut merged = partials.remove(0);
+        for p in &partials {
+            merged.merge_state(&p.serialize_state()).unwrap();
+        }
+        let a = merged.terminate().unwrap();
+        let arr = a.as_array().unwrap();
+        assert_eq!(
+            arr.to_vec::<f64>().unwrap(),
+            (0..9).map(|i| i as f64 * 1.5).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn merge_state_with_empty_partials_is_identity() {
+        let mut s: Box<dyn UdaState> =
+            Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Short));
+        s.accumulate(&[size_vec(&[2]), Value::F64(1.0)]).unwrap();
+        let empty = ConcatUda::new(ElementType::Float64, StorageClass::Short);
+        s.merge_state(&empty.serialize_state()).unwrap();
+        // Empty self adopting a non-empty partial also works.
+        let mut fresh: Box<dyn UdaState> =
+            Box::new(ConcatUda::new(ElementType::Float64, StorageClass::Short));
+        fresh.merge_state(&s.serialize_state()).unwrap();
+        fresh
+            .accumulate(&[size_vec(&[2]), Value::F64(2.0)])
+            .unwrap();
+        let arr = fresh.terminate().unwrap().as_array().unwrap();
+        assert_eq!(arr.to_vec::<f64>().unwrap(), vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn vector_avg_merge_matches_serial() {
+        let rows: Vec<Vec<Value>> = (0..8)
+            .map(|i| {
+                let a = sqlarray_core::build::short_vector(&[i as f64, (i * i) as f64]).unwrap();
+                vec![Value::Bytes(a.into_blob())]
+            })
+            .collect();
+        let mut serial = VectorAvgUda::new(StorageClass::Short);
+        for r in &rows {
+            serial.accumulate(r).unwrap();
+        }
+        let mut left = VectorAvgUda::new(StorageClass::Short);
+        let mut right = VectorAvgUda::new(StorageClass::Short);
+        for r in &rows[..3] {
+            left.accumulate(r).unwrap();
+        }
+        for r in &rows[3..] {
+            right.accumulate(r).unwrap();
+        }
+        left.merge_state(&right.serialize_state()).unwrap();
+        assert_eq!(
+            left.terminate().unwrap(),
+            serial.terminate().unwrap(),
+            "integer-valued partial sums must merge exactly"
+        );
+        // Shape mismatches are rejected at merge time too.
+        let mut a = VectorAvgUda::new(StorageClass::Short);
+        a.accumulate(&[Value::Bytes(
+            sqlarray_core::build::short_vector(&[1.0f64])
+                .unwrap()
+                .into_blob(),
+        )])
+        .unwrap();
+        let mut b = VectorAvgUda::new(StorageClass::Short);
+        b.accumulate(&[Value::Bytes(
+            sqlarray_core::build::short_vector(&[1.0f64, 2.0])
+                .unwrap()
+                .into_blob(),
+        )])
+        .unwrap();
+        assert!(a.merge_state(&b.serialize_state()).is_err());
     }
 
     #[test]

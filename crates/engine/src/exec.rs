@@ -1,5 +1,27 @@
-//! The query executor: clustered-index scans with filters, projections,
-//! built-in aggregates, GROUP BY and user-defined aggregates.
+//! The query executor: partitioned clustered-index scans with filters,
+//! projections, built-in aggregates, GROUP BY and user-defined aggregates,
+//! fanned out over a configurable degree of parallelism.
+//!
+//! ## The parallel pipeline
+//!
+//! Every `FROM` query runs the same plan regardless of DOP:
+//!
+//! 1. [`Table::partition`] splits the clustered index into at most
+//!    `ExecCtx::dop` contiguous leaf-page ranges (key order preserved);
+//! 2. each partition is scanned by a worker — inline on the calling thread
+//!    for one partition, on [`std::thread::scope`] threads otherwise —
+//!    holding its own [`sqlarray_storage::PartitionReader`], a
+//!    [`HostingModel`] fork, and private accumulators;
+//! 3. worker partials merge **in partition order**: projection rows
+//!    concatenate (and truncate to `TOP`), groups combine accumulator by
+//!    accumulator (exact-sum merge for `SUM`/`AVG`, `Merge()`-style state
+//!    merge for UDAs), and per-worker [`IoStats`]/hosting counters fold
+//!    back into the session.
+//!
+//! Results are **bit-identical at every DOP**: partitions cover the scan in
+//! key order, `SUM`/`AVG` accumulate in an order-independent exact
+//! accumulator ([`sqlarray_core::exact::ExactSum`]), and order-sensitive
+//! UDA state merges in partition order.
 
 use crate::aggregate::{UdaMode, UdaRegistry, UdaState};
 use crate::expr::{eval, AggFunc, EvalEnv, Expr, RowCtx};
@@ -7,8 +29,9 @@ use crate::hosting::HostingModel;
 use crate::tsql::{SelectItem, SelectStmt};
 use crate::udf::UdfRegistry;
 use crate::value::{EngineError, Result, Value};
-use sqlarray_storage::{IoStats, PageStore, Table};
-use std::collections::HashMap;
+use sqlarray_core::exact::ExactSum;
+use sqlarray_storage::{IoStats, PageId, PageStore, ScanPartition, Schema, Table};
+use std::collections::{HashMap, HashSet};
 use std::time::Instant;
 
 /// Default cap on rows returned by a projection without `TOP`.
@@ -17,33 +40,58 @@ pub const DEFAULT_ROW_LIMIT: usize = 100_000;
 /// Per-query measurements — the raw numbers behind a Table 1 row.
 #[derive(Debug, Clone)]
 pub struct QueryStats {
-    /// Rows the scan visited (before WHERE).
+    /// Rows the scan visited (before WHERE), summed over workers. Under
+    /// `TOP`-style early termination this can differ between DOPs (each
+    /// worker stops independently); result rows never do.
     pub rows_scanned: u64,
-    /// Managed UDF invocations during the query.
+    /// Managed UDF invocations during the query, summed over workers.
+    /// A non-aggregate select item inside an aggregate query evaluates
+    /// once per worker (each worker primes its own partial, the merge
+    /// keeps the first), so its UDF calls — unlike result rows — can
+    /// scale with DOP.
     pub udf_calls: u64,
-    /// Hosting overhead charged, nanoseconds.
+    /// Hosting overhead charged, nanoseconds, summed over workers.
     pub udf_overhead_ns: u64,
-    /// Wall-clock seconds (≈ CPU seconds: the engine computes in memory).
+    /// Total CPU-busy seconds: the sum of every worker's busy time plus
+    /// the coordinator's non-overlapped setup/merge time. At DOP 1 this
+    /// equals [`wall_seconds`](Self::wall_seconds); at DOP > 1 it exceeds
+    /// the wall clock by (roughly) the parallel speedup factor.
     pub cpu_seconds: f64,
-    /// Page-level I/O performed.
+    /// Measured wall-clock seconds for the whole execution.
+    pub wall_seconds: f64,
+    /// Workers the scan actually used (≤ the session DOP; 1 when the
+    /// table was too small to split or there was no scan).
+    pub dop: usize,
+    /// Page-level I/O performed (partitioning reads + all workers).
     pub io: IoStats,
     /// Seconds the simulated disk needs for that I/O.
     pub sim_io_seconds: f64,
 }
 
 impl QueryStats {
-    /// Execution time under the overlap model: CPU and disk pipelines run
-    /// concurrently, so the slower one bounds the query.
+    /// Execution time under the overlap model.
+    ///
+    /// The engine computes in memory, so real wall time contains no disk
+    /// component; the simulated disk runs as a concurrent pipeline that
+    /// prefetches ahead of the scan, exactly like the read-ahead of the
+    /// paper's testbed. The slower pipeline bounds the query:
+    /// `max(wall_seconds, sim_io_seconds)`. Before DOP > 1 this was
+    /// equivalently `max(cpu, io)`; now that CPU work is spread over
+    /// workers, the *wall* clock — not the summed CPU — is what overlaps
+    /// with the disk.
     pub fn exec_seconds(&self) -> f64 {
-        self.cpu_seconds.max(self.sim_io_seconds)
+        self.wall_seconds.max(self.sim_io_seconds)
     }
 
-    /// CPU utilization in percent, as Table 1 reports it.
+    /// CPU utilization in percent of total core capacity (`dop` cores over
+    /// the execution time), as Table 1 reports it. 100 % means every
+    /// worker was busy for the whole query.
     pub fn cpu_percent(&self) -> f64 {
-        if self.exec_seconds() == 0.0 {
+        let capacity = self.dop.max(1) as f64 * self.exec_seconds();
+        if capacity == 0.0 {
             0.0
         } else {
-            100.0 * self.cpu_seconds / self.exec_seconds()
+            (100.0 * self.cpu_seconds / capacity).min(100.0)
         }
     }
 
@@ -53,6 +101,17 @@ impl QueryStats {
             0.0
         } else {
             self.io.bytes_read() as f64 / (1024.0 * 1024.0) / self.exec_seconds()
+        }
+    }
+
+    /// Measured parallel speedup of the CPU portion: total CPU work done
+    /// per second of wall clock (`cpu_seconds / wall_seconds`). ≈ 1 at
+    /// DOP 1; approaches `dop` for a CPU-bound query that scales.
+    pub fn measured_speedup(&self) -> f64 {
+        if self.wall_seconds == 0.0 {
+            1.0
+        } else {
+            self.cpu_seconds / self.wall_seconds
         }
     }
 }
@@ -103,6 +162,8 @@ pub struct ExecCtx<'a> {
     pub uda_mode: UdaMode,
     /// Row cap for projections without TOP.
     pub row_limit: usize,
+    /// Maximum degree of parallelism for scans (≥ 1).
+    pub dop: usize,
 }
 
 /// Rewrites scalar-function calls that name a registered UDA into
@@ -128,13 +189,16 @@ fn resolve_udas(expr: &Expr, udas: &UdaRegistry) -> Expr {
     }
 }
 
-/// One select-list accumulator.
+/// One select-list accumulator — the partial state a single worker
+/// maintains for one item of one group.
 enum ItemAcc {
     Agg {
         func: AggFunc,
         arg: Option<Expr>,
         count: u64,
-        sum: f64,
+        /// `SUM`/`AVG` accumulate exactly so that partials combine without
+        /// rounding: any partitioning of the rows yields the same result.
+        sum: ExactSum,
         min: Option<Value>,
         max: Option<Value>,
     },
@@ -154,7 +218,7 @@ fn make_acc(item_expr: &Expr, udas: &UdaRegistry) -> Result<ItemAcc> {
             func: *func,
             arg: arg.as_deref().cloned(),
             count: 0,
-            sum: 0.0,
+            sum: ExactSum::new(),
             min: None,
             max: None,
         },
@@ -199,7 +263,7 @@ impl ItemAcc {
                 }
                 *count += 1;
                 match func {
-                    AggFunc::Sum | AggFunc::Avg => *sum += v.as_f64()?,
+                    AggFunc::Sum | AggFunc::Avg => sum.add(v.as_f64()?),
                     AggFunc::Min => {
                         let replace = match min {
                             None => true,
@@ -247,6 +311,66 @@ impl ItemAcc {
         }
     }
 
+    /// Folds the partial state of a *later* partition into this one. Both
+    /// sides were built by [`make_acc`] from the same select item, so the
+    /// variants always line up.
+    fn combine(&mut self, other: ItemAcc) -> Result<()> {
+        match (self, other) {
+            (
+                ItemAcc::Agg {
+                    count,
+                    sum,
+                    min,
+                    max,
+                    ..
+                },
+                ItemAcc::Agg {
+                    count: oc,
+                    sum: os,
+                    min: omin,
+                    max: omax,
+                    ..
+                },
+            ) => {
+                *count += oc;
+                sum.merge(&os);
+                if let Some(ov) = omin {
+                    let replace = match &*min {
+                        None => true,
+                        Some(cur) => crate::expr::compare(&ov, cur)? == std::cmp::Ordering::Less,
+                    };
+                    if replace {
+                        *min = Some(ov);
+                    }
+                }
+                if let Some(ov) = omax {
+                    let replace = match &*max {
+                        None => true,
+                        Some(cur) => crate::expr::compare(&ov, cur)? == std::cmp::Ordering::Greater,
+                    };
+                    if replace {
+                        *max = Some(ov);
+                    }
+                }
+                Ok(())
+            }
+            (ItemAcc::Uda { state, .. }, ItemAcc::Uda { state: os, .. }) => {
+                state.merge_state(&os.serialize_state())
+            }
+            (ItemAcc::Plain { value, .. }, ItemAcc::Plain { value: ov, .. }) => {
+                // The serial semantics keep the first row's value; partials
+                // merge in partition (scan) order, so an earlier Some wins.
+                if value.is_none() {
+                    *value = ov;
+                }
+                Ok(())
+            }
+            _ => Err(EngineError::Type(
+                "mismatched accumulator kinds in parallel combine".into(),
+            )),
+        }
+    }
+
     fn finish(&mut self) -> Result<Value> {
         match self {
             ItemAcc::Agg {
@@ -262,14 +386,14 @@ impl ItemAcc {
                     if *count == 0 {
                         Value::Null
                     } else {
-                        Value::F64(*sum)
+                        Value::F64(sum.value())
                     }
                 }
                 AggFunc::Avg => {
                     if *count == 0 {
                         Value::Null
                     } else {
-                        Value::F64(*sum / *count as f64)
+                        Value::F64(sum.value() / *count as f64)
                     }
                 }
                 AggFunc::Min => min.take().unwrap_or(Value::Null),
@@ -290,6 +414,202 @@ fn item_name(item: &SelectItem, index: usize) -> String {
         Expr::Agg { func, .. } => format!("{func:?}").to_ascii_lowercase(),
         _ => format!("col{index}"),
     }
+}
+
+/// What one scan worker hands back to the coordinator.
+struct WorkerScan {
+    rows_scanned: u64,
+    io: IoStats,
+    touched: Vec<PageId>,
+    calls: u64,
+    charged_ns: u64,
+    busy_seconds: f64,
+    out: WorkerOut,
+}
+
+enum WorkerOut {
+    /// Projection rows, in key order, capped at the limit.
+    Rows(Vec<Vec<Value>>),
+    /// Aggregate groups in first-appearance order, with their key strings.
+    Groups {
+        keys: Vec<String>,
+        accs: Vec<Vec<ItemAcc>>,
+    },
+}
+
+/// Immutable scan context shared by all workers of one query.
+struct ScanJob<'a> {
+    table: &'a Table,
+    schema: &'a Schema,
+    store: &'a PageStore,
+    resident: &'a HashSet<PageId>,
+    items: &'a [SelectItem],
+    where_clause: Option<&'a Expr>,
+    group_by: &'a [Expr],
+    has_aggregate: bool,
+    limit: usize,
+    udfs: &'a UdfRegistry,
+    udas: &'a UdaRegistry,
+    vars: &'a HashMap<String, Value>,
+    uda_mode: UdaMode,
+}
+
+/// Runs one partition to completion on the current thread. Workers share
+/// nothing mutable: each owns its reader, hosting fork, and accumulators.
+/// The body runs under [`sqlarray_core::parallel::with_serial_kernels`]:
+/// a worker is already one lane of the query's fan-out, so any chunked
+/// array kernels its expressions call must not fan out again.
+fn scan_worker(
+    job: &ScanJob<'_>,
+    part: &ScanPartition,
+    hosting: HostingModel,
+) -> Result<WorkerScan> {
+    sqlarray_core::parallel::with_serial_kernels(|| scan_worker_inner(job, part, hosting))
+}
+
+fn scan_worker_inner(
+    job: &ScanJob<'_>,
+    part: &ScanPartition,
+    mut hosting: HostingModel,
+) -> Result<WorkerScan> {
+    let t0 = Instant::now();
+    let mut reader = job.store.reader(job.resident);
+    let mut rows_scanned = 0u64;
+    let mut inner_err: Option<EngineError> = None;
+
+    let out = if job.has_aggregate {
+        let mut group_index: HashMap<String, usize> = HashMap::new();
+        let mut keys: Vec<String> = Vec::new();
+        let mut groups: Vec<Vec<ItemAcc>> = Vec::new();
+        if job.group_by.is_empty() {
+            let accs = job
+                .items
+                .iter()
+                .map(|it| make_acc(&it.expr, job.udas))
+                .collect::<Result<Vec<_>>>()?;
+            groups.push(accs);
+            keys.push(String::new());
+            group_index.insert(String::new(), 0);
+        }
+        {
+            let hosting = &mut hosting;
+            job.table.scan_partition(&mut reader, part, |key, bytes| {
+                rows_scanned += 1;
+                let row = RowCtx {
+                    schema: job.schema,
+                    bytes,
+                    key,
+                };
+                let mut env = EvalEnv {
+                    udfs: job.udfs,
+                    hosting,
+                    vars: job.vars,
+                };
+                let step = (|| -> Result<()> {
+                    if let Some(w) = job.where_clause {
+                        if !eval(w, Some(&row), &mut env)?.is_true() {
+                            return Ok(());
+                        }
+                    }
+                    let gidx = if job.group_by.is_empty() {
+                        0
+                    } else {
+                        let mut key_parts = String::new();
+                        for g in job.group_by.iter() {
+                            let v = eval(g, Some(&row), &mut env)?;
+                            key_parts.push_str(&format!("{v:?}|"));
+                        }
+                        match group_index.get(&key_parts) {
+                            Some(&i) => i,
+                            None => {
+                                let accs = job
+                                    .items
+                                    .iter()
+                                    .map(|it| make_acc(&it.expr, job.udas))
+                                    .collect::<Result<Vec<_>>>()?;
+                                groups.push(accs);
+                                let i = groups.len() - 1;
+                                keys.push(key_parts.clone());
+                                group_index.insert(key_parts, i);
+                                i
+                            }
+                        }
+                    };
+                    for acc in groups[gidx].iter_mut() {
+                        acc.accumulate(&row, &mut env, job.uda_mode)?;
+                    }
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => Ok(true),
+                    Err(e) => {
+                        inner_err = Some(e);
+                        Ok(false)
+                    }
+                }
+            })?;
+        }
+        if let Some(e) = inner_err {
+            return Err(e);
+        }
+        WorkerOut::Groups { keys, accs: groups }
+    } else {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        {
+            let hosting = &mut hosting;
+            job.table.scan_partition(&mut reader, part, |key, bytes| {
+                rows_scanned += 1;
+                if rows.len() >= job.limit {
+                    return Ok(false);
+                }
+                let row = RowCtx {
+                    schema: job.schema,
+                    bytes,
+                    key,
+                };
+                let mut env = EvalEnv {
+                    udfs: job.udfs,
+                    hosting,
+                    vars: job.vars,
+                };
+                let step = (|| -> Result<()> {
+                    if let Some(w) = job.where_clause {
+                        if !eval(w, Some(&row), &mut env)?.is_true() {
+                            return Ok(());
+                        }
+                    }
+                    let mut out = Vec::with_capacity(job.items.len());
+                    for it in job.items.iter() {
+                        out.push(eval(&it.expr, Some(&row), &mut env)?);
+                    }
+                    rows.push(out);
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => Ok(rows.len() < job.limit),
+                    Err(e) => {
+                        inner_err = Some(e);
+                        Ok(false)
+                    }
+                }
+            })?;
+        }
+        if let Some(e) = inner_err {
+            return Err(e);
+        }
+        WorkerOut::Rows(rows)
+    };
+
+    let (io, touched) = reader.finish();
+    Ok(WorkerScan {
+        rows_scanned,
+        io,
+        touched,
+        calls: hosting.calls(),
+        charged_ns: hosting.charged_ns(),
+        busy_seconds: t0.elapsed().as_secs_f64(),
+        out,
+    })
 }
 
 /// Executes one SELECT.
@@ -318,6 +638,8 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
 
     let mut rows_scanned = 0u64;
     let mut rows: Vec<Vec<Value>> = Vec::new();
+    let mut cpu_seconds = 0.0f64;
+    let mut dop_used = 1usize;
 
     match &stmt.from {
         None => {
@@ -339,87 +661,106 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 .cloned()
                 .ok_or_else(|| EngineError::Unknown(format!("table `{table_name}`")))?;
             let schema = table.schema().clone();
+            let parts = table.partition(ctx.store, ctx.dop.max(1))?;
+            let resident = ctx.store.resident_snapshot();
+            let limit = stmt.top.unwrap_or(ctx.row_limit);
+            let job = ScanJob {
+                table: &table,
+                schema: &schema,
+                store: &*ctx.store,
+                resident: &resident,
+                items: &items,
+                where_clause: stmt.where_clause.as_ref(),
+                group_by: &stmt.group_by,
+                has_aggregate,
+                limit,
+                udfs: ctx.udfs,
+                udas: ctx.udas,
+                vars: ctx.vars,
+                uda_mode: ctx.uda_mode,
+            };
 
-            if has_aggregate {
-                // Group key (possibly empty = one global group), insertion
-                // ordered.
-                let mut group_index: HashMap<String, usize> = HashMap::new();
-                let mut groups: Vec<Vec<ItemAcc>> = Vec::new();
-                if stmt.group_by.is_empty() {
-                    let accs = items
+            // Fan the partitions out. One partition runs inline — the
+            // serial plan is literally the parallel plan at width 1, so
+            // both sides of the determinism guarantee share this code.
+            let worker_results: Vec<Result<WorkerScan>> = if parts.len() == 1 {
+                vec![scan_worker(&job, &parts[0], ctx.hosting.fork())]
+            } else {
+                let job_ref = &job;
+                let hosting_ref: &HostingModel = ctx.hosting;
+                std::thread::scope(|s| {
+                    let handles: Vec<_> = parts
                         .iter()
-                        .map(|it| make_acc(&it.expr, ctx.udas))
-                        .collect::<Result<Vec<_>>>()?;
-                    groups.push(accs);
-                    group_index.insert(String::new(), 0);
-                }
+                        .map(|p| s.spawn(move || scan_worker(job_ref, p, hosting_ref.fork())))
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scan worker panicked"))
+                        .collect()
+                })
+            };
+            dop_used = parts.len();
 
-                let udfs = ctx.udfs;
-                let udas = ctx.udas;
-                let vars = ctx.vars;
-                let hosting = &mut *ctx.hosting;
-                let uda_mode = ctx.uda_mode;
-                let group_by = &stmt.group_by;
-                let where_clause = &stmt.where_clause;
-                let items_ref = &items;
-                let mut inner_err: Option<EngineError> = None;
-
-                table.scan_raw(ctx.store, |key, bytes| {
-                    rows_scanned += 1;
-                    let row = RowCtx {
-                        schema: &schema,
-                        bytes,
-                        key,
-                    };
-                    let mut env = EvalEnv {
-                        udfs,
-                        hosting,
-                        vars,
-                    };
-                    let step = (|| -> Result<()> {
-                        if let Some(w) = where_clause {
-                            if !eval(w, Some(&row), &mut env)?.is_true() {
-                                return Ok(());
-                            }
-                        }
-                        let gidx = if group_by.is_empty() {
-                            0
-                        } else {
-                            let mut key_parts = String::new();
-                            for g in group_by.iter() {
-                                let v = eval(g, Some(&row), &mut env)?;
-                                key_parts.push_str(&format!("{v:?}|"));
-                            }
-                            match group_index.get(&key_parts) {
-                                Some(&i) => i,
-                                None => {
-                                    let accs = items_ref
-                                        .iter()
-                                        .map(|it| make_acc(&it.expr, udas))
-                                        .collect::<Result<Vec<_>>>()?;
-                                    groups.push(accs);
-                                    let i = groups.len() - 1;
-                                    group_index.insert(key_parts, i);
-                                    i
-                                }
-                            }
-                        };
-                        for acc in groups[gidx].iter_mut() {
-                            acc.accumulate(&row, &mut env, uda_mode)?;
-                        }
-                        Ok(())
-                    })();
-                    match step {
-                        Ok(()) => Ok(true),
-                        Err(e) => {
-                            inner_err = Some(e);
-                            Ok(false)
+            // Fold every successful worker's counters in first — even when
+            // another worker errored — so the session's I/O, pool, and
+            // hosting accounting stay consistent with each other (work a
+            // worker actually did is recorded; work that failed is not).
+            let mut merged_io = IoStats::default();
+            let mut touched: Vec<PageId> = Vec::new();
+            let mut max_busy = 0.0f64;
+            let mut first_err: Option<EngineError> = None;
+            let mut outs: Vec<WorkerOut> = Vec::new();
+            for wr in worker_results {
+                match wr {
+                    Err(e) => {
+                        if first_err.is_none() {
+                            first_err = Some(e);
                         }
                     }
-                })?;
-                if let Some(e) = inner_err {
-                    return Err(e);
+                    Ok(w) => {
+                        rows_scanned += w.rows_scanned;
+                        merged_io.merge(&w.io);
+                        touched.extend(w.touched);
+                        ctx.hosting.absorb(w.calls, w.charged_ns);
+                        cpu_seconds += w.busy_seconds;
+                        max_busy = max_busy.max(w.busy_seconds);
+                        outs.push(w.out);
+                    }
                 }
+            }
+            ctx.store.absorb_scan(&merged_io, &touched);
+            if let Some(e) = first_err {
+                return Err(e);
+            }
+
+            // Merge partials in partition (key) order.
+            let mut group_index: HashMap<String, usize> = HashMap::new();
+            let mut groups: Vec<Vec<ItemAcc>> = Vec::new();
+            for out in outs {
+                match out {
+                    WorkerOut::Rows(mut r) => {
+                        let room = limit.saturating_sub(rows.len());
+                        r.truncate(room);
+                        rows.extend(r);
+                    }
+                    WorkerOut::Groups { keys, accs } => {
+                        for (key, worker_accs) in keys.into_iter().zip(accs) {
+                            match group_index.get(&key) {
+                                Some(&i) => {
+                                    for (mine, theirs) in groups[i].iter_mut().zip(worker_accs) {
+                                        mine.combine(theirs)?;
+                                    }
+                                }
+                                None => {
+                                    groups.push(worker_accs);
+                                    group_index.insert(key, groups.len() - 1);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            if has_aggregate {
                 for mut accs in groups {
                     let mut out = Vec::with_capacity(accs.len());
                     for acc in accs.iter_mut() {
@@ -427,59 +768,17 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                     }
                     rows.push(out);
                 }
-            } else {
-                let limit = stmt.top.unwrap_or(ctx.row_limit);
-                let udfs = ctx.udfs;
-                let vars = ctx.vars;
-                let hosting = &mut *ctx.hosting;
-                let where_clause = &stmt.where_clause;
-                let items_ref = &items;
-                let mut inner_err: Option<EngineError> = None;
-
-                table.scan_raw(ctx.store, |key, bytes| {
-                    rows_scanned += 1;
-                    if rows.len() >= limit {
-                        return Ok(false);
-                    }
-                    let row = RowCtx {
-                        schema: &schema,
-                        bytes,
-                        key,
-                    };
-                    let mut env = EvalEnv {
-                        udfs,
-                        hosting,
-                        vars,
-                    };
-                    let step = (|| -> Result<()> {
-                        if let Some(w) = where_clause {
-                            if !eval(w, Some(&row), &mut env)?.is_true() {
-                                return Ok(());
-                            }
-                        }
-                        let mut out = Vec::with_capacity(items_ref.len());
-                        for it in items_ref.iter() {
-                            out.push(eval(&it.expr, Some(&row), &mut env)?);
-                        }
-                        rows.push(out);
-                        Ok(())
-                    })();
-                    match step {
-                        Ok(()) => Ok(rows.len() < limit),
-                        Err(e) => {
-                            inner_err = Some(e);
-                            Ok(false)
-                        }
-                    }
-                })?;
-                if let Some(e) = inner_err {
-                    return Err(e);
-                }
             }
+            // Coordinator time not overlapped with the longest worker
+            // (planning, fan-out, merge) is serial CPU work too.
+            cpu_seconds += (t0.elapsed().as_secs_f64() - max_busy).max(0.0);
         }
     }
 
-    let cpu_seconds = t0.elapsed().as_secs_f64();
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    if stmt.from.is_none() {
+        cpu_seconds = wall_seconds;
+    }
     let io = ctx.store.stats().since(&io_before);
     let sim_io_seconds = ctx.store.profile().io_seconds(&io);
 
@@ -506,6 +805,8 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             udf_calls: ctx.hosting.calls(),
             udf_overhead_ns: ctx.hosting.charged_ns(),
             cpu_seconds,
+            wall_seconds,
+            dop: dop_used,
             io,
             sim_io_seconds,
         },

@@ -93,6 +93,25 @@ impl HostingModel {
         black_box(acc);
     }
 
+    /// A fresh model with this model's overhead and calibration but zeroed
+    /// counters — one per parallel scan worker, so each thread spins and
+    /// counts independently without sharing mutable state.
+    pub fn fork(&self) -> HostingModel {
+        HostingModel {
+            overhead_ns: self.overhead_ns,
+            iters_per_ns: self.iters_per_ns,
+            calls: 0,
+            charged_ns: 0,
+        }
+    }
+
+    /// Folds a worker fork's counters back into this model (the combine
+    /// half of [`fork`](Self::fork); no spinning happens here).
+    pub fn absorb(&mut self, calls: u64, charged_ns: u64) {
+        self.calls += calls;
+        self.charged_ns += charged_ns;
+    }
+
     /// Managed calls made so far.
     pub fn calls(&self) -> u64 {
         self.calls

@@ -83,6 +83,8 @@ pub struct Session {
     pub uda_mode: UdaMode,
     /// Row cap for projections without TOP.
     pub row_limit: usize,
+    /// Maximum degree of parallelism for scans (≥ 1).
+    dop: usize,
     vars: HashMap<String, Value>,
 }
 
@@ -108,8 +110,23 @@ impl Session {
             hosting,
             uda_mode: UdaMode::InMemory,
             row_limit: DEFAULT_ROW_LIMIT,
+            dop: sqlarray_core::parallel::configured_dop(),
             vars: HashMap::new(),
         }
+    }
+
+    /// The session's degree of parallelism: how many workers a scan may
+    /// fan out over. Defaults to the `SQLARRAY_DOP` environment variable
+    /// when set, otherwise the number of available cores.
+    pub fn dop(&self) -> usize {
+        self.dop
+    }
+
+    /// Sets the degree of parallelism (clamped to ≥ 1). `set_dop(1)`
+    /// forces serial execution; results are bit-identical at every
+    /// setting.
+    pub fn set_dop(&mut self, dop: usize) {
+        self.dop = dop.max(1);
     }
 
     /// Reads a session variable.
@@ -156,6 +173,7 @@ impl Session {
                             vars: &self.vars,
                             uda_mode: self.uda_mode,
                             row_limit: self.row_limit,
+                            dop: self.dop,
                         };
                         exec_select(&mut ctx, &sel)?
                     };
@@ -396,6 +414,88 @@ mod tests {
         // Cached re-run does less physical I/O.
         let r2 = s.query("SELECT COUNT(*) FROM Tscalar").unwrap();
         assert!(r2.stats.io.pages_read < r.stats.io.pages_read);
+    }
+
+    #[test]
+    fn parallel_execution_matches_serial_bit_for_bit() {
+        // 3000 rows span ~30 leaf pages, so DOP 4 genuinely splits the
+        // scan. Every query class must return identical rows at any DOP.
+        let queries = [
+            "SELECT COUNT(*) FROM Tscalar",
+            "SELECT SUM(v1), AVG(v2), MIN(v3), MAX(v4), COUNT(v5) FROM Tscalar",
+            "SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector",
+            "SELECT id % 3, COUNT(*), SUM(v1) FROM Tscalar GROUP BY id % 3",
+            "SELECT TOP 11 id, v1 + v2 FROM Tscalar WHERE id >= 100",
+            "SELECT id % 2, FloatArrayMax.VectorAvg(v) FROM Tvector GROUP BY id % 2",
+        ];
+        for q in queries {
+            let mut serial = session_with_tables(3000);
+            serial.set_dop(1);
+            let a = serial.query(q).unwrap();
+            assert_eq!(a.stats.dop, 1);
+            for dop in [2, 3, 8] {
+                let mut par = session_with_tables(3000);
+                par.set_dop(dop);
+                let b = par.query(q).unwrap();
+                assert_eq!(a.columns, b.columns);
+                assert_eq!(a.rows, b.rows, "rows differ at dop {dop}: {q}");
+                assert!(b.stats.dop >= 2, "dop {dop} did not fan out: {q}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_stats_merge_workers() {
+        let mut s = session_with_tables(3000);
+        s.set_dop(4);
+        s.db.store.clear_cache();
+        let r = s
+            .query("SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector")
+            .unwrap();
+        assert_eq!(r.stats.rows_scanned, 3000);
+        assert_eq!(r.stats.udf_calls, 3000);
+        assert_eq!(r.stats.dop, 4);
+        assert!(r.stats.io.pages_read > 10);
+        assert!(r.stats.wall_seconds > 0.0);
+        // Summed CPU can never be less than the wall clock by more than
+        // scheduling noise, and cpu_percent stays a percentage.
+        assert!((0.0..=100.0).contains(&r.stats.cpu_percent()));
+        assert!(r.stats.measured_speedup() > 0.0);
+    }
+
+    #[test]
+    fn parallel_scan_errors_propagate() {
+        let mut s = session_with_tables(2000);
+        s.set_dop(4);
+        // Integer division by zero on row id = 500 hits one worker
+        // mid-scan; it must surface as an error, not a panic or a partial
+        // result.
+        let err = s.query("SELECT id / (id - 500) FROM Tscalar");
+        assert!(err.is_err());
+        // The failed query must leave the session's accounting coherent:
+        // the pages its successful workers read are in the pool, and the
+        // next query runs normally with consistent stats.
+        let r = s.query("SELECT COUNT(*) FROM Tscalar").unwrap();
+        assert_eq!(r.rows[0][0], Value::I64(2000));
+        assert_eq!(r.stats.udf_calls, 0);
+        assert!(r.stats.io.logical_reads() > 0);
+    }
+
+    #[test]
+    fn concat_uda_is_order_preserving_under_parallelism() {
+        let mut s = session_with_tables(2000);
+        s.set_dop(5);
+        s.execute(
+            "DECLARE @l VARBINARY(100) = IntArray.Vector_1(2000);\
+             DECLARE @a VARBINARY(MAX);\
+             SELECT @a = FloatArrayMax.Concat(@l, v1) FROM Tscalar",
+        )
+        .unwrap();
+        let a = s.var("a").unwrap().as_array().unwrap();
+        assert_eq!(a.dims(), &[2000]);
+        let vals = a.to_vec::<f64>().unwrap();
+        // v1 of row k is k (session_with_tables fills k + 0·0.25).
+        assert!(vals.iter().enumerate().all(|(k, &v)| v == k as f64));
     }
 
     #[test]

@@ -36,5 +36,5 @@ pub use errors::{Result, StorageError};
 pub use page::{PageId, PAGE_SIZE};
 pub use row::{ColType, Column, RowValue, Schema, INLINE_BLOB_LIMIT};
 pub use stats::{DiskProfile, IoStats};
-pub use store::PageStore;
-pub use table::Table;
+pub use store::{PageStore, PartitionReader};
+pub use table::{ScanPartition, Table};

@@ -49,6 +49,17 @@ impl IoStats {
         }
     }
 
+    /// Adds another counter set into this one — used to fold the
+    /// per-worker [`IoStats`] of a parallel scan back into the store's
+    /// global counters.
+    pub fn merge(&mut self, other: &IoStats) {
+        self.cache_hits += other.cache_hits;
+        self.pages_read += other.pages_read;
+        self.sequential_reads += other.sequential_reads;
+        self.random_reads += other.random_reads;
+        self.pages_written += other.pages_written;
+    }
+
     /// Differences of two snapshots (`self` after, `before` earlier).
     pub fn since(&self, before: &IoStats) -> IoStats {
         IoStats {

@@ -12,6 +12,7 @@ use crate::errors::{Result, StorageError};
 use crate::lru::LruSet;
 use crate::page::{PageId, PAGE_SIZE};
 use crate::stats::{DiskProfile, IoStats};
+use std::collections::HashSet;
 
 /// Default buffer-pool capacity (pages). 4096 pages = 32 MiB, small enough
 /// that the Table 1 scans (hundreds of MB) are disk-bound after a cache
@@ -140,6 +141,113 @@ impl PageStore {
     /// Simulated disk seconds for the I/O performed since `before`.
     pub fn io_seconds_since(&self, before: &IoStats) -> f64 {
         self.profile.io_seconds(&self.stats.since(before))
+    }
+
+    /// A snapshot of the pages currently resident in the buffer pool.
+    ///
+    /// Parallel scans are accounted against this start-of-scan snapshot
+    /// instead of the live LRU: a page resident when the scan starts is a
+    /// cache hit for whichever worker touches it, everything else is a
+    /// physical read. Because each worker owns a disjoint page range, this
+    /// makes the simulated I/O **deterministic and DOP-invariant** — the
+    /// same query produces the same [`IoStats`] at any degree of
+    /// parallelism, which a live shared LRU (racy eviction timing) could
+    /// not guarantee.
+    pub fn resident_snapshot(&self) -> HashSet<PageId> {
+        self.pool.keys_mru_order().into_iter().collect()
+    }
+
+    /// A share-nothing read handle over this store for one scan worker.
+    /// `resident` must be the [`resident_snapshot`](Self::resident_snapshot)
+    /// taken when the scan started.
+    pub fn reader<'a>(&'a self, resident: &'a HashSet<PageId>) -> PartitionReader<'a> {
+        PartitionReader {
+            pages: &self.pages,
+            resident,
+            stats: IoStats::default(),
+            last_physical_read: None,
+            seen: HashSet::new(),
+            touched: Vec::new(),
+        }
+    }
+
+    /// Folds a finished scan back into the store: merges the per-worker
+    /// counters and replays the first-touch page order into the buffer
+    /// pool. Replaying per-worker touch logs in partition order is exactly
+    /// the page order a serial scan would have produced, so the pool ends
+    /// in the same state no matter the DOP.
+    pub fn absorb_scan(&mut self, stats: &IoStats, touched: &[PageId]) {
+        self.stats.merge(stats);
+        for &id in touched {
+            if !self.pool.touch(id) {
+                self.pool.insert(id);
+            }
+        }
+        // A subsequent serial read continues from wherever the scan left
+        // the head; the last touched page is the honest seek position.
+        if let Some(&last) = touched.last() {
+            self.last_physical_read = Some(last);
+        }
+    }
+}
+
+/// A concurrent, share-nothing read path over a [`PageStore`] for one
+/// parallel-scan worker.
+///
+/// Readers borrow the page file immutably (so any number of workers can
+/// read at once from `std::thread::scope` threads) and keep their own
+/// [`IoStats`], sequential/random classification state, and first-touch
+/// log. When the worker finishes, [`finish`](Self::finish) hands the
+/// counters and touch log back so [`PageStore::absorb_scan`] can fold them
+/// into the global accounting in partition order.
+#[derive(Debug)]
+pub struct PartitionReader<'a> {
+    pages: &'a [Box<[u8]>],
+    resident: &'a HashSet<PageId>,
+    stats: IoStats,
+    last_physical_read: Option<PageId>,
+    seen: HashSet<PageId>,
+    touched: Vec<PageId>,
+}
+
+impl<'a> PartitionReader<'a> {
+    /// Reads a page; the slice borrows the page file, not the reader, so
+    /// records can be held while the reader keeps accounting.
+    pub fn read(&mut self, id: PageId) -> Result<&'a [u8]> {
+        let Some(page) = self.pages.get(id as usize) else {
+            return Err(StorageError::PageOutOfRange {
+                page: id,
+                max: self.pages.len() as u64,
+            });
+        };
+        if self.seen.insert(id) {
+            self.touched.push(id);
+            if self.resident.contains(&id) {
+                self.stats.cache_hits += 1;
+            } else {
+                self.stats.pages_read += 1;
+                match self.last_physical_read {
+                    Some(prev) if prev + 1 == id => self.stats.sequential_reads += 1,
+                    _ => self.stats.random_reads += 1,
+                }
+                self.last_physical_read = Some(id);
+            }
+        } else {
+            // Re-read within the same worker: the page is in the pool.
+            self.stats.cache_hits += 1;
+        }
+        Ok(page)
+    }
+
+    /// The counters accumulated so far.
+    pub fn stats(&self) -> IoStats {
+        self.stats
+    }
+
+    /// Consumes the reader, returning its counters and the pages it
+    /// touched, in first-touch order.
+    pub fn finish(self) -> (IoStats, Vec<PageId>) {
+        (self.stats, self.touched)
     }
 }
 

@@ -2,7 +2,7 @@
 //! range reads against slices, and row-codec round trips.
 
 use proptest::prelude::*;
-use sqlarray_storage::{blob, row, BTree, ColType, PageStore, RowValue, Schema};
+use sqlarray_storage::{blob, row, BTree, ColType, PageStore, RowValue, Schema, Table};
 use std::collections::BTreeMap;
 
 proptest! {
@@ -143,5 +143,50 @@ proptest! {
         // Scaling all coordinates down by 2 strips exactly 3 bits.
         let parent = morton3_encode(x >> 1, y >> 1, z >> 1);
         prop_assert_eq!(parent, key >> 3);
+    }
+
+    /// Scan partitions cover exactly the full scan for every table size
+    /// and DOP, including the boundary shapes: empty table, one row,
+    /// fewer rows (or leaves) than DOP, and non-divisible chunk counts.
+    #[test]
+    fn partitions_tile_the_scan(rows in 0i64..4000, dop in 1usize..12) {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        for k in 0..rows {
+            t.insert(&mut store, k, &[RowValue::I64(k), RowValue::F64(k as f64)]).unwrap();
+        }
+        let mut full = Vec::new();
+        t.scan_raw(&mut store, |k, _| { full.push(k); Ok(true) }).unwrap();
+        prop_assert_eq!(full.len() as i64, rows);
+
+        let parts = t.partition(&mut store, dop).unwrap();
+        // Always at least one partition, never more than requested, and
+        // no partition is a useless empty tail when the table has rows.
+        prop_assert!(!parts.is_empty());
+        prop_assert!(parts.len() <= dop);
+        if rows > 0 {
+            prop_assert!(parts.iter().all(|p| !p.is_empty()));
+        }
+        // Leaf counts are balanced to within one page.
+        let lens: Vec<usize> = parts.iter().map(|p| p.leaves().len()).collect();
+        let (min, max) = (lens.iter().min().unwrap(), lens.iter().max().unwrap());
+        prop_assert!(max - min <= 1, "unbalanced partitions: {:?}", lens);
+
+        // Concatenated partition scans equal the full scan, in order.
+        let resident = store.resident_snapshot();
+        let mut seen = Vec::new();
+        for p in &parts {
+            let mut r = store.reader(&resident);
+            t.scan_partition(&mut r, p, |k, _| { seen.push(k); Ok(true) }).unwrap();
+        }
+        prop_assert_eq!(seen, full);
+
+        // Same DOP, same boundaries: partitioning is deterministic.
+        let again = t.partition(&mut store, dop).unwrap();
+        prop_assert_eq!(
+            again.iter().map(|p| p.leaves().to_vec()).collect::<Vec<_>>(),
+            parts.iter().map(|p| p.leaves().to_vec()).collect::<Vec<_>>()
+        );
     }
 }

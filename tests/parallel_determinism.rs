@@ -1,0 +1,110 @@
+//! Parallel execution is an optimization, not a different query: for every
+//! Table 1 query (and the other executor paths — GROUP BY, UDAs, filtered
+//! projections), a parallel plan must return results **bit-identical** to
+//! the serial plan. `SUM`/`AVG` guarantee this by accumulating in
+//! `sqlarray_core::exact::ExactSum` (order-independent, exactly rounded);
+//! ordered merges guarantee it for everything else.
+
+use sqlarray::engine::Value;
+use sqlarray_bench::{build_table1_db_with, rows_bit_identical, TABLE1_QUERIES};
+use sqlarray_engine::HostingModel;
+
+/// One definition of "bit-identical" for the whole workspace: this is the
+/// same `f64`-by-bit-pattern comparison `run_table1_query` enforces on
+/// every report run.
+fn assert_rows_bit_identical(a: &[Vec<Value>], b: &[Vec<Value>], context: &str) {
+    assert!(
+        rows_bit_identical(a, b),
+        "results differ ({context}):\n  serial:   {a:?}\n  parallel: {b:?}"
+    );
+}
+
+#[test]
+fn every_table1_query_is_dop_invariant() {
+    // 5000 rows span dozens of leaf pages: DOP 3/4/8 genuinely split the
+    // scan, with non-divisible chunk sizes at DOP 3.
+    const ROWS: i64 = 5_000;
+    for (qi, sql) in TABLE1_QUERIES.iter().enumerate() {
+        let mut serial = build_table1_db_with(ROWS, HostingModel::free());
+        serial.set_dop(1);
+        let baseline = serial.query(sql).unwrap();
+        assert_eq!(baseline.stats.dop, 1);
+        for dop in [3usize, 4, 8] {
+            let mut par = build_table1_db_with(ROWS, HostingModel::free());
+            par.set_dop(dop);
+            let got = par.query(sql).unwrap();
+            assert!(
+                got.stats.dop > 1,
+                "Q{} did not fan out at dop {dop}",
+                qi + 1
+            );
+            assert_rows_bit_identical(
+                &baseline.rows,
+                &got.rows,
+                &format!("Q{} at dop {dop}", qi + 1),
+            );
+        }
+    }
+}
+
+#[test]
+fn group_by_and_projections_are_dop_invariant() {
+    let queries = [
+        // GROUP BY with exact-sum partials merged across workers.
+        "SELECT id % 7, COUNT(*), SUM(v1), AVG(v3) FROM Tscalar GROUP BY id % 7",
+        // Group keys that straddle partition boundaries.
+        "SELECT id % 2, MIN(v2), MAX(v2) FROM Tscalar GROUP BY id % 2",
+        // Filtered ordered projection with TOP.
+        "SELECT TOP 13 id, v1 * v2 FROM Tscalar WHERE id % 5 = 0",
+        // UDA partial-state merge (VectorAvg partials combine exactly on
+        // these finite inputs).
+        "SELECT id % 2, FloatArrayMax.VectorAvg(v) FROM Tvector GROUP BY id % 2",
+    ];
+    for sql in queries {
+        let mut serial = build_table1_db_with(3_000, HostingModel::free());
+        serial.set_dop(1);
+        let baseline = serial.query(sql).unwrap();
+        for dop in [2usize, 5] {
+            let mut par = build_table1_db_with(3_000, HostingModel::free());
+            par.set_dop(dop);
+            let got = par.query(sql).unwrap();
+            assert_eq!(baseline.columns, got.columns);
+            assert_rows_bit_identical(&baseline.rows, &got.rows, &format!("{sql} at dop {dop}"));
+        }
+    }
+}
+
+#[test]
+fn simulated_io_accounting_is_dop_invariant() {
+    // The start-of-scan residency snapshot makes the simulated disk
+    // deterministic: cold scans read the same pages at any DOP (workers
+    // add at most DOP−1 extra seeks to the classification, never extra
+    // page reads).
+    let sql = "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)";
+    let mut serial = build_table1_db_with(5_000, HostingModel::free());
+    serial.set_dop(1);
+    serial.db.store.clear_cache();
+    let a = serial.query(sql).unwrap();
+    let mut par = build_table1_db_with(5_000, HostingModel::free());
+    par.set_dop(6);
+    par.db.store.clear_cache();
+    let b = par.query(sql).unwrap();
+    assert_eq!(a.stats.io.pages_read, b.stats.io.pages_read);
+    assert_eq!(a.stats.io.logical_reads(), b.stats.io.logical_reads());
+    assert!(b.stats.io.random_reads <= a.stats.io.random_reads + 5);
+}
+
+#[test]
+fn dop_env_override_and_setter_interact_sanely() {
+    let mut s = build_table1_db_with(100, HostingModel::free());
+    // Whatever the environment default, the setter wins and clamps.
+    s.set_dop(0);
+    assert_eq!(s.dop(), 1);
+    s.set_dop(16);
+    assert_eq!(s.dop(), 16);
+    // A 100-row table fits in one leaf page: the scan stays serial even
+    // at DOP 16, and still answers correctly.
+    let r = s.query("SELECT COUNT(*) FROM Tscalar").unwrap();
+    assert_eq!(r.rows[0][0], Value::I64(100));
+    assert_eq!(r.stats.dop, 1);
+}
