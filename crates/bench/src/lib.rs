@@ -50,8 +50,83 @@ pub fn build_table1_db(rows: i64) -> Session {
 }
 
 /// Same as [`build_table1_db`] with an explicit hosting model (e.g.
-/// [`HostingModel::free`] for the native-cost ablation).
+/// [`HostingModel::free`] for the native-cost ablation). Loads through
+/// the parallel bulk-ingest path at the environment-configured DOP — the
+/// resulting layout and accounting are identical at every DOP.
 pub fn build_table1_db_with(rows: i64, hosting: HostingModel) -> Session {
+    build_table1_db_with_dop(rows, hosting, sqlarray_core::parallel::configured_dop()).0
+}
+
+/// What one measured bulk ingest reports: wall-clock plus the
+/// DOP-invariant accounting a parallel load must reproduce exactly.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IngestReport {
+    /// Rows loaded per table.
+    pub rows: i64,
+    /// Encode/leaf-build lanes used.
+    pub dop: usize,
+    /// Measured wall seconds for the two bulk loads (excludes synthetic
+    /// row generation).
+    pub wall_seconds: f64,
+    /// Store counters after the load (simulated; must match serial).
+    pub io: sqlarray_storage::IoStats,
+    /// Pages in the file after the load (must match serial).
+    pub page_count: u64,
+    /// Simulated disk head after the load (must match serial).
+    pub seek_position: Option<u64>,
+}
+
+/// Key-sorted rows ready for `Database::bulk_insert`.
+type KeyedRows = Vec<(i64, Vec<RowValue>)>;
+
+/// Deterministic pseudo-random components, identical across the scalar
+/// and vector representations of each §6.2 row.
+fn table1_components(k: i64) -> [f64; 5] {
+    let mut state = (k as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
+    std::array::from_fn(|_| {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64
+    })
+}
+
+// The two row builders are called one at a time (each table's rows are
+// generated, loaded, and dropped before the next table's are built), so
+// the transient row memory peaks at one table, like the old streaming
+// insert path.
+
+fn tscalar_rows(rows: i64) -> KeyedRows {
+    (0..rows)
+        .map(|k| {
+            let comps = table1_components(k);
+            let mut row = Vec::with_capacity(6);
+            row.push(RowValue::I64(k));
+            row.extend(comps.iter().map(|&c| RowValue::F64(c)));
+            (k, row)
+        })
+        .collect()
+}
+
+fn tvector_rows(rows: i64) -> KeyedRows {
+    (0..rows)
+        .map(|k| {
+            let arr =
+                sqlarray_core::build::short_vector(&table1_components(k)).expect("5-vector fits");
+            (k, vec![RowValue::I64(k), RowValue::Bytes(arr.into_blob())])
+        })
+        .collect()
+}
+
+/// [`build_table1_db_with`] with an explicit ingest DOP, also returning
+/// the measured [`IngestReport`]. Each table bulk-loads in one pass, so
+/// its leaf chain is laid out sequentially on disk exactly as the paper's
+/// 357 M-row `IDENTITY`-style load would leave it.
+pub fn build_table1_db_with_dop(
+    rows: i64,
+    hosting: HostingModel,
+    dop: usize,
+) -> (Session, IngestReport) {
     let store = PageStore::with_pool(4096, DiskProfile::default());
     let mut db = Database::with_store(store);
     db.create_table(
@@ -72,38 +147,33 @@ pub fn build_table1_db_with(rows: i64, hosting: HostingModel) -> Session {
     )
     .expect("fresh database");
 
-    // Deterministic pseudo-random components, identical across tables.
-    // Each table loads in one pass so its leaf chain is laid out
-    // sequentially on disk, as a bulk-loaded clustered index would be —
-    // interleaving the inserts would turn both scans into stride-2
-    // (random) page reads and poison the I/O model.
-    let components = |k: i64| -> [f64; 5] {
-        let mut state = (k as u64).wrapping_mul(0x9E3779B97F4A7C15) | 1;
-        std::array::from_fn(|_| {
-            state ^= state << 13;
-            state ^= state >> 7;
-            state ^= state << 17;
-            (state >> 11) as f64 / (1u64 << 53) as f64
-        })
+    // Time only the bulk loads, not the synthetic row generation; each
+    // table's rows are dropped before the next table's are built.
+    let mut wall_seconds = 0.0f64;
+    {
+        let scalar_rows = tscalar_rows(rows);
+        let t0 = std::time::Instant::now();
+        db.bulk_insert_with_dop("Tscalar", &scalar_rows, dop)
+            .expect("bulk load Tscalar");
+        wall_seconds += t0.elapsed().as_secs_f64();
+    }
+    {
+        let vector_rows = tvector_rows(rows);
+        let t0 = std::time::Instant::now();
+        db.bulk_insert_with_dop("Tvector", &vector_rows, dop)
+            .expect("bulk load Tvector");
+        wall_seconds += t0.elapsed().as_secs_f64();
+    }
+
+    let report = IngestReport {
+        rows,
+        dop,
+        wall_seconds,
+        io: db.store.stats(),
+        page_count: db.store.page_count(),
+        seek_position: db.store.seek_position(),
     };
-    for k in 0..rows {
-        let comps = components(k);
-        let mut scalar_row = Vec::with_capacity(6);
-        scalar_row.push(RowValue::I64(k));
-        scalar_row.extend(comps.iter().map(|&c| RowValue::F64(c)));
-        db.insert("Tscalar", k, &scalar_row).expect("insert");
-    }
-    for k in 0..rows {
-        let comps = components(k);
-        let arr = sqlarray_core::build::short_vector(&comps).expect("5-vector fits");
-        db.insert(
-            "Tvector",
-            k,
-            &[RowValue::I64(k), RowValue::Bytes(arr.into_blob())],
-        )
-        .expect("insert");
-    }
-    Session::with_hosting(db, hosting)
+    (Session::with_hosting(db, hosting), report)
 }
 
 /// The five queries of §6.3, verbatim.
@@ -239,6 +309,20 @@ mod tests {
         assert_eq!(rows[3].udf_calls, 2_000);
         assert_eq!(rows[4].udf_calls, 2_000);
         assert_eq!(rows[2].udf_calls, 0);
+    }
+
+    #[test]
+    fn parallel_ingest_is_dop_invariant() {
+        let (mut s1, serial) = build_table1_db_with_dop(2_000, HostingModel::free(), 1);
+        for dop in [2usize, 8] {
+            let (mut sp, par) = build_table1_db_with_dop(2_000, HostingModel::free(), dop);
+            assert_eq!(par.io, serial.io, "ingest IoStats diverged at dop {dop}");
+            assert_eq!(par.page_count, serial.page_count);
+            assert_eq!(par.seek_position, serial.seek_position);
+            let a = s1.query(TABLE1_QUERIES[2]).unwrap();
+            let b = sp.query(TABLE1_QUERIES[2]).unwrap();
+            assert!(rows_bit_identical(&a.rows, &b.rows));
+        }
     }
 
     #[test]

@@ -126,6 +126,7 @@ macro_rules! complex_impl {
         impl Div for $name {
             type Output = Self;
             #[inline]
+            #[allow(clippy::suspicious_arithmetic_impl)] // z/w = z * w⁻¹
             fn div(self, o: Self) -> Self {
                 self * o.recip()
             }

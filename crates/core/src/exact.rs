@@ -331,7 +331,7 @@ mod tests {
         let xs: Vec<f64> = (0..500)
             .map(|k| {
                 let t = (k as f64 * 0.7391).sin();
-                t * 10f64.powi((k % 40) as i32 - 20)
+                t * 10f64.powi((k % 40) - 20)
             })
             .collect();
         let forward = exact_of(&xs);

@@ -59,6 +59,37 @@ pub fn configured_dop() -> usize {
         .unwrap_or(1)
 }
 
+/// Maps `f` over the contiguous chunks of `0..total` (at most `parts`,
+/// chunked by [`partition_ranges`]) on [`std::thread::scope`] workers,
+/// returning the per-chunk results in chunk order.
+///
+/// With one chunk — `parts == 1`, or `total` too small to split — no
+/// thread is spawned and `f` runs inline, so serial callers pay nothing.
+/// Chunk boundaries depend only on `(total, parts)`, so any chunk-wise
+/// deterministic `f` yields results independent of scheduling. This is
+/// the fan-out used by the value-producing parallel stages (bulk-load row
+/// encoding, leaf-image building); kernels that write into disjoint
+/// sub-slices of a caller buffer (`ops::elementwise`, `fftn`) keep their
+/// own `split_at_mut` loops, which this shape cannot express.
+pub fn scoped_map_ranges<T: Send>(
+    total: usize,
+    parts: usize,
+    f: impl Fn(Range<usize>) -> T + Sync,
+) -> Vec<T> {
+    let ranges = partition_ranges(total, parts);
+    if ranges.len() <= 1 {
+        return ranges.into_iter().map(f).collect();
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("scoped_map_ranges worker panicked"))
+            .collect()
+    })
+}
+
 /// Splits `0..total` into at most `parts` contiguous, non-empty ranges of
 /// near-equal length (the first `total % parts` chunks get one extra
 /// element). `total == 0` yields no ranges; `parts` is clamped to ≥ 1.
@@ -119,6 +150,16 @@ mod tests {
     fn fewer_parts_than_requested_when_items_are_scarce() {
         assert_eq!(partition_ranges(2, 8).len(), 2);
         assert_eq!(partition_ranges(8, 8).len(), 8);
+    }
+
+    #[test]
+    fn scoped_map_ranges_preserves_chunk_order() {
+        for parts in [1usize, 2, 3, 8, 100] {
+            let chunks = scoped_map_ranges(23, parts, |r| r.collect::<Vec<_>>());
+            let flat: Vec<usize> = chunks.into_iter().flatten().collect();
+            assert_eq!(flat, (0..23).collect::<Vec<_>>(), "parts {parts}");
+        }
+        assert!(scoped_map_ranges(0, 4, |r| r.len()).is_empty());
     }
 
     #[test]

@@ -204,10 +204,10 @@ impl<'a> Iterator for RegionRuns<'a> {
         for (axis, stride) in strides.iter().enumerate() {
             start += self.offset[axis] * stride;
         }
-        for axis in self.fused..self.shape.rank() {
-            let i = rem % self.size[axis];
-            rem /= self.size[axis];
-            start += i * strides[axis];
+        for (size, stride) in self.size[self.fused..].iter().zip(&strides[self.fused..]) {
+            let i = rem % size;
+            rem /= size;
+            start += i * stride;
         }
         self.cursor += 1;
         Some((start, self.run_len))

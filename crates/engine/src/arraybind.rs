@@ -313,7 +313,7 @@ mod tests {
             &reg,
             &mut h,
             "FloatArray.Vector_5",
-            &[1.0, 2.0, 3.0, 4.0, 5.0].map(Value::F64).to_vec()[..].as_ref(),
+            [1.0, 2.0, 3.0, 4.0, 5.0].map(Value::F64).to_vec()[..].as_ref(),
         );
         let item = call(&reg, &mut h, "FloatArray.Item_1", &[a, Value::I64(3)]);
         assert_eq!(item, Value::F64(4.0));
@@ -327,7 +327,7 @@ mod tests {
             &reg,
             &mut h,
             "FloatArray.Matrix_2",
-            &[0.1, 0.2, 0.3, 0.4].map(Value::F64).to_vec()[..].as_ref(),
+            [0.1, 0.2, 0.3, 0.4].map(Value::F64).to_vec()[..].as_ref(),
         );
         let item = call(
             &reg,
@@ -351,13 +351,13 @@ mod tests {
             &reg,
             &mut h,
             "IntArray.Vector_3",
-            &[1, 4, 6].map(Value::I64).to_vec()[..].as_ref(),
+            [1, 4, 6].map(Value::I64).to_vec()[..].as_ref(),
         );
         let size = call(
             &reg,
             &mut h,
             "IntArray.Vector_3",
-            &[5, 5, 5].map(Value::I64).to_vec()[..].as_ref(),
+            [5, 5, 5].map(Value::I64).to_vec()[..].as_ref(),
         );
         let sub = call(
             &reg,
@@ -385,7 +385,7 @@ mod tests {
             &reg,
             &mut h,
             "FloatArray.Vector_3",
-            &[1.0, 2.0, 3.0].map(Value::F64).to_vec()[..].as_ref(),
+            [1.0, 2.0, 3.0].map(Value::F64).to_vec()[..].as_ref(),
         );
         let b = call(
             &reg,
@@ -415,7 +415,7 @@ mod tests {
     fn storage_class_mismatch_detected() {
         let (reg, mut h) = setup();
         let short = call(&reg, &mut h, "FloatArray.Vector_1", &[Value::F64(1.0)]);
-        let err = reg.call("FloatArrayMax.Rank", &[short.clone()], &mut h);
+        let err = reg.call("FloatArrayMax.Rank", std::slice::from_ref(&short), &mut h);
         assert!(err.is_err());
         // Conversion fixes it.
         let max = call(&reg, &mut h, "FloatArray.ToMax", &[short]);
@@ -432,18 +432,18 @@ mod tests {
             &reg,
             &mut h,
             "FloatArray.Vector_4",
-            &[1.0, 2.0, 3.0, 4.0].map(Value::F64).to_vec()[..].as_ref(),
+            [1.0, 2.0, 3.0, 4.0].map(Value::F64).to_vec()[..].as_ref(),
         );
         assert_eq!(
-            call(&reg, &mut h, "FloatArray.Sum", &[a.clone()]),
+            call(&reg, &mut h, "FloatArray.Sum", std::slice::from_ref(&a)),
             Value::F64(10.0)
         );
         assert_eq!(
-            call(&reg, &mut h, "FloatArray.Mean", &[a.clone()]),
+            call(&reg, &mut h, "FloatArray.Mean", std::slice::from_ref(&a)),
             Value::F64(2.5)
         );
         assert_eq!(
-            call(&reg, &mut h, "FloatArray.Max", &[a.clone()]),
+            call(&reg, &mut h, "FloatArray.Max", std::slice::from_ref(&a)),
             Value::F64(4.0)
         );
         let doubled = call(
@@ -472,12 +472,17 @@ mod tests {
             "FloatArray.Vector_2",
             &[Value::F64(1.5), Value::F64(-2.5)],
         );
-        let raw = call(&reg, &mut h, "FloatArray.Raw", &[a.clone()]);
+        let raw = call(&reg, &mut h, "FloatArray.Raw", std::slice::from_ref(&a));
         assert_eq!(raw.as_bytes().unwrap().len(), 16);
         let back = call(&reg, &mut h, "FloatArray.Cast", &[raw]);
         assert_eq!(back, a);
 
-        let s = call(&reg, &mut h, "FloatArray.ToString", &[a.clone()]);
+        let s = call(
+            &reg,
+            &mut h,
+            "FloatArray.ToString",
+            std::slice::from_ref(&a),
+        );
         assert_eq!(s, Value::Str("float64[2]{1.5,-2.5}".into()));
         let parsed = call(&reg, &mut h, "FloatArray.Parse", &[s]);
         assert_eq!(parsed, a);
@@ -494,11 +499,11 @@ mod tests {
         );
         let z = call(&reg, &mut h, "FloatArray.Zeros", &[dims]);
         assert_eq!(
-            call(&reg, &mut h, "FloatArray.Rank", &[z.clone()]),
+            call(&reg, &mut h, "FloatArray.Rank", std::slice::from_ref(&z)),
             Value::I32(2)
         );
         assert_eq!(
-            call(&reg, &mut h, "FloatArray.Count", &[z.clone()]),
+            call(&reg, &mut h, "FloatArray.Count", std::slice::from_ref(&z)),
             Value::I64(12)
         );
         assert_eq!(

@@ -11,12 +11,18 @@
 //! 2. each partition is scanned by a worker — inline on the calling thread
 //!    for one partition, on [`std::thread::scope`] threads otherwise —
 //!    holding its own [`sqlarray_storage::PartitionReader`], a
-//!    [`HostingModel`] fork, and private accumulators;
+//!    [`HostingModel`] fork, and private accumulators; every worker read
+//!    touches the **live** sharded buffer pool immediately, while the
+//!    simulated I/O classifies against the start-of-scan residency
+//!    snapshot in [`sqlarray_storage::ScanCtx`];
 //! 3. worker partials merge **in partition order**: projection rows
 //!    concatenate (and truncate to `TOP`), groups combine accumulator by
 //!    accumulator (exact-sum merge for `SUM`/`AVG`, `Merge()`-style state
 //!    merge for UDAs), and per-worker [`IoStats`]/hosting counters fold
-//!    back into the session.
+//!    back through [`sqlarray_storage::PageStore::finish_scan`], which
+//!    stitches the sequential/random classification across partition
+//!    boundaries and advances the simulated disk head to the scan's last
+//!    *physical* read.
 //!
 //! Results are **bit-identical at every DOP**: partitions cover the scan in
 //! key order, `SUM`/`AVG` accumulate in an order-independent exact
@@ -30,8 +36,8 @@ use crate::tsql::{SelectItem, SelectStmt};
 use crate::udf::UdfRegistry;
 use crate::value::{EngineError, Result, Value};
 use sqlarray_core::exact::ExactSum;
-use sqlarray_storage::{IoStats, PageId, PageStore, ScanPartition, Schema, Table};
-use std::collections::{HashMap, HashSet};
+use sqlarray_storage::{IoStats, PageStore, ScanCtx, ScanIo, ScanPartition, Schema, Table};
+use std::collections::HashMap;
 use std::time::Instant;
 
 /// Default cap on rows returned by a projection without `TOP`.
@@ -191,6 +197,10 @@ fn resolve_udas(expr: &Expr, udas: &UdaRegistry) -> Expr {
 
 /// One select-list accumulator — the partial state a single worker
 /// maintains for one item of one group.
+// The `Agg` variant carries an inline `ExactSum` register (~0.3 kB);
+// boxing it would cost a pointer chase on every accumulated row for a
+// structure that only exists once per (group × select item).
+#[allow(clippy::large_enum_variant)]
 enum ItemAcc {
     Agg {
         func: AggFunc,
@@ -416,15 +426,16 @@ fn item_name(item: &SelectItem, index: usize) -> String {
     }
 }
 
-/// What one scan worker hands back to the coordinator.
+/// What one scan worker hands back to the coordinator. Counters are
+/// unconditional (the worker's reads are already in the live pool); a
+/// query-level failure rides in `out`.
 struct WorkerScan {
     rows_scanned: u64,
-    io: IoStats,
-    touched: Vec<PageId>,
+    scan_io: ScanIo,
     calls: u64,
     charged_ns: u64,
     busy_seconds: f64,
-    out: WorkerOut,
+    out: Result<WorkerOut>,
 }
 
 enum WorkerOut {
@@ -442,7 +453,7 @@ struct ScanJob<'a> {
     table: &'a Table,
     schema: &'a Schema,
     store: &'a PageStore,
-    resident: &'a HashSet<PageId>,
+    scan: &'a ScanCtx,
     items: &'a [SelectItem],
     where_clause: Option<&'a Expr>,
     group_by: &'a [Expr],
@@ -462,19 +473,46 @@ struct ScanJob<'a> {
 fn scan_worker(
     job: &ScanJob<'_>,
     part: &ScanPartition,
+    partition_index: u32,
     hosting: HostingModel,
-) -> Result<WorkerScan> {
-    sqlarray_core::parallel::with_serial_kernels(|| scan_worker_inner(job, part, hosting))
+) -> WorkerScan {
+    sqlarray_core::parallel::with_serial_kernels(|| {
+        scan_worker_inner(job, part, partition_index, hosting)
+    })
 }
 
+/// Always returns a [`WorkerScan`], even when the partition body errors:
+/// the worker's reads already landed in the live buffer pool, so its
+/// counters must be handed back unconditionally — otherwise a failed
+/// query would leave the pool warmer than the session's [`IoStats`]
+/// admit. The query-level error rides in [`WorkerScan::out`].
 fn scan_worker_inner(
     job: &ScanJob<'_>,
     part: &ScanPartition,
+    partition_index: u32,
     mut hosting: HostingModel,
-) -> Result<WorkerScan> {
+) -> WorkerScan {
     let t0 = Instant::now();
-    let mut reader = job.store.reader(job.resident);
+    let mut reader = job.store.reader(job.scan, partition_index);
     let mut rows_scanned = 0u64;
+    let out = scan_worker_body(job, part, &mut reader, &mut hosting, &mut rows_scanned);
+    WorkerScan {
+        rows_scanned,
+        scan_io: reader.finish(),
+        calls: hosting.calls(),
+        charged_ns: hosting.charged_ns(),
+        busy_seconds: t0.elapsed().as_secs_f64(),
+        out,
+    }
+}
+
+fn scan_worker_body(
+    job: &ScanJob<'_>,
+    part: &ScanPartition,
+    reader: &mut sqlarray_storage::PartitionReader<'_>,
+    hosting: &mut HostingModel,
+    rows_scanned: &mut u64,
+) -> Result<WorkerOut> {
     let mut inner_err: Option<EngineError> = None;
 
     let out = if job.has_aggregate {
@@ -492,9 +530,9 @@ fn scan_worker_inner(
             group_index.insert(String::new(), 0);
         }
         {
-            let hosting = &mut hosting;
-            job.table.scan_partition(&mut reader, part, |key, bytes| {
-                rows_scanned += 1;
+            let hosting = &mut *hosting;
+            job.table.scan_partition(reader, part, |key, bytes| {
+                *rows_scanned += 1;
                 let row = RowCtx {
                     schema: job.schema,
                     bytes,
@@ -556,9 +594,9 @@ fn scan_worker_inner(
     } else {
         let mut rows: Vec<Vec<Value>> = Vec::new();
         {
-            let hosting = &mut hosting;
-            job.table.scan_partition(&mut reader, part, |key, bytes| {
-                rows_scanned += 1;
+            let hosting = &mut *hosting;
+            job.table.scan_partition(reader, part, |key, bytes| {
+                *rows_scanned += 1;
                 if rows.len() >= job.limit {
                     return Ok(false);
                 }
@@ -599,17 +637,7 @@ fn scan_worker_inner(
         }
         WorkerOut::Rows(rows)
     };
-
-    let (io, touched) = reader.finish();
-    Ok(WorkerScan {
-        rows_scanned,
-        io,
-        touched,
-        calls: hosting.calls(),
-        charged_ns: hosting.charged_ns(),
-        busy_seconds: t0.elapsed().as_secs_f64(),
-        out,
-    })
+    Ok(out)
 }
 
 /// Executes one SELECT.
@@ -662,13 +690,13 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 .ok_or_else(|| EngineError::Unknown(format!("table `{table_name}`")))?;
             let schema = table.schema().clone();
             let parts = table.partition(ctx.store, ctx.dop.max(1))?;
-            let resident = ctx.store.resident_snapshot();
+            let scan = ctx.store.begin_scan();
             let limit = stmt.top.unwrap_or(ctx.row_limit);
             let job = ScanJob {
                 table: &table,
                 schema: &schema,
                 store: &*ctx.store,
-                resident: &resident,
+                scan: &scan,
                 items: &items,
                 where_clause: stmt.where_clause.as_ref(),
                 group_by: &stmt.group_by,
@@ -683,15 +711,18 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             // Fan the partitions out. One partition runs inline — the
             // serial plan is literally the parallel plan at width 1, so
             // both sides of the determinism guarantee share this code.
-            let worker_results: Vec<Result<WorkerScan>> = if parts.len() == 1 {
-                vec![scan_worker(&job, &parts[0], ctx.hosting.fork())]
+            let worker_results: Vec<WorkerScan> = if parts.len() == 1 {
+                vec![scan_worker(&job, &parts[0], 0, ctx.hosting.fork())]
             } else {
                 let job_ref = &job;
                 let hosting_ref: &HostingModel = ctx.hosting;
                 std::thread::scope(|s| {
                     let handles: Vec<_> = parts
                         .iter()
-                        .map(|p| s.spawn(move || scan_worker(job_ref, p, hosting_ref.fork())))
+                        .enumerate()
+                        .map(|(pi, p)| {
+                            s.spawn(move || scan_worker(job_ref, p, pi as u32, hosting_ref.fork()))
+                        })
                         .collect();
                     handles
                         .into_iter()
@@ -700,35 +731,36 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 })
             };
             dop_used = parts.len();
+            drop(scan);
 
-            // Fold every successful worker's counters in first — even when
-            // another worker errored — so the session's I/O, pool, and
-            // hosting accounting stay consistent with each other (work a
-            // worker actually did is recorded; work that failed is not).
-            let mut merged_io = IoStats::default();
-            let mut touched: Vec<PageId> = Vec::new();
+            // Fold every worker's counters in — including those of a
+            // worker whose query body errored — so the session's I/O,
+            // pool, and hosting accounting stay consistent with each
+            // other: the reads a worker performed are already in the live
+            // pool, so they must be in the counters too.
+            let mut scan_ios: Vec<ScanIo> = Vec::new();
             let mut max_busy = 0.0f64;
             let mut first_err: Option<EngineError> = None;
             let mut outs: Vec<WorkerOut> = Vec::new();
-            for wr in worker_results {
-                match wr {
+            for w in worker_results {
+                rows_scanned += w.rows_scanned;
+                scan_ios.push(w.scan_io);
+                ctx.hosting.absorb(w.calls, w.charged_ns);
+                cpu_seconds += w.busy_seconds;
+                max_busy = max_busy.max(w.busy_seconds);
+                match w.out {
+                    Ok(out) => outs.push(out),
                     Err(e) => {
                         if first_err.is_none() {
                             first_err = Some(e);
                         }
                     }
-                    Ok(w) => {
-                        rows_scanned += w.rows_scanned;
-                        merged_io.merge(&w.io);
-                        touched.extend(w.touched);
-                        ctx.hosting.absorb(w.calls, w.charged_ns);
-                        cpu_seconds += w.busy_seconds;
-                        max_busy = max_busy.max(w.busy_seconds);
-                        outs.push(w.out);
-                    }
                 }
             }
-            ctx.store.absorb_scan(&merged_io, &touched);
+            // The live pool already saw every worker touch; this merges
+            // the counters (with cross-partition classification stitching)
+            // and advances the simulated head to the last physical read.
+            ctx.store.finish_scan(scan_ios.iter());
             if let Some(e) = first_err {
                 return Err(e);
             }

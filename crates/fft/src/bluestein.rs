@@ -85,7 +85,7 @@ impl Bluestein {
         }
         fft_pow2(&mut a, &self.fwd);
         for (av, &kv) in a.iter_mut().zip(&self.kernel_spec) {
-            *av = *av * kv;
+            *av *= kv;
         }
         fft_pow2(&mut a, &self.inv);
         let scale = 1.0 / self.m as f64;

@@ -18,6 +18,6 @@ pub mod plan;
 pub mod radix2;
 pub mod real;
 
-pub use ndim::{fftn, ifftn_normalized};
+pub use ndim::{fftn, fftn_with_dop, ifftn_normalized};
 pub use plan::{fft, ifft, Direction, Plan};
 pub use real::{irfft, power_spectrum, rfft};

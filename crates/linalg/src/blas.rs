@@ -60,8 +60,8 @@ pub fn gemv(a: &Matrix, x: &[f64], y: &mut [f64]) {
 pub fn gemv_t(a: &Matrix, x: &[f64], y: &mut [f64]) {
     assert_eq!(a.rows(), x.len());
     assert_eq!(a.cols(), y.len());
-    for j in 0..a.cols() {
-        y[j] = dot(a.col(j), x);
+    for (j, yj) in y.iter_mut().enumerate() {
+        *yj = dot(a.col(j), x);
     }
 }
 

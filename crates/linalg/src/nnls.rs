@@ -44,10 +44,8 @@ pub fn nnls(a: &Matrix, b: &[f64], max_iter: usize) -> Nnls {
         // Pick the most violated constraint among the active (zero) set.
         let mut best = None;
         for j in 0..n {
-            if !passive[j] && w[j] > tol {
-                if best.map(|(_, bw)| w[j] > bw).unwrap_or(true) {
-                    best = Some((j, w[j]));
-                }
+            if !passive[j] && w[j] > tol && best.map(|(_, bw)| w[j] > bw).unwrap_or(true) {
+                best = Some((j, w[j]));
             }
         }
         let Some((j_enter, _)) = best else {
@@ -176,11 +174,11 @@ mod tests {
         let resid: Vec<f64> = b.iter().zip(&ax).map(|(&bi, &ai)| bi - ai).collect();
         let mut w = vec![0.0; 4];
         blas::gemv_t(&a, &resid, &mut w);
-        for j in 0..4 {
+        for (j, &wj) in w.iter().enumerate() {
             if r.x[j] > 1e-8 {
-                assert!(w[j].abs() < 1e-6, "gradient {} at active var {j}", w[j]);
+                assert!(wj.abs() < 1e-6, "gradient {wj} at active var {j}");
             } else {
-                assert!(w[j] < 1e-6, "violated KKT at {j}");
+                assert!(wj < 1e-6, "violated KKT at {j}");
             }
         }
     }

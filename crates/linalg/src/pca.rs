@@ -34,8 +34,8 @@ pub fn fit(data: &Matrix, k: usize) -> Pca {
 
     // Mean-center.
     let mut mean = vec![0.0; d];
-    for j in 0..d {
-        mean[j] = data.col(j).iter().sum::<f64>() / n as f64;
+    for (j, m) in mean.iter_mut().enumerate() {
+        *m = data.col(j).iter().sum::<f64>() / n as f64;
     }
     let centered = Matrix::from_fn(n, d, |i, j| data.get(i, j) - mean[j]);
 
@@ -115,8 +115,8 @@ mod tests {
         Matrix::from_fn(n, d, |_, _| 0.0).clone_with(|m| {
             for i in 0..n {
                 let t = r() * 10.0;
-                for j in 0..d {
-                    m.set(i, j, t * dir[j] + noise * r());
+                for (j, &dj) in dir.iter().enumerate() {
+                    m.set(i, j, t * dj + noise * r());
                 }
             }
         })

@@ -104,8 +104,8 @@ pub fn solve_upper(r: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
             return None;
         }
         let mut s = x[i];
-        for j in i + 1..n {
-            s -= r.get(i, j) * x[j];
+        for (j, &xj) in x.iter().enumerate().skip(i + 1) {
+            s -= r.get(i, j) * xj;
         }
         x[i] = s / d;
     }

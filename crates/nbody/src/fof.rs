@@ -206,7 +206,7 @@ mod tests {
         assert_eq!(halos.len(), 1, "pair across the boundary must link");
         // Center of mass sits on the boundary, not at 0.5.
         let cx = halos[0].center[0];
-        assert!(cx > 0.99 || cx < 0.01, "center {cx}");
+        assert!(!(0.01..=0.99).contains(&cx), "center {cx}");
     }
 
     #[test]

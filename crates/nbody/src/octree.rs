@@ -80,13 +80,13 @@ impl Octree {
         let octant_of = |k: u64| ((k >> shift) & 0b111) as usize;
         let mut children: [Option<OctreeNode>; 8] = Default::default();
         let mut cursor = start;
-        for oct in 0..8 {
+        for (oct, child) in children.iter_mut().enumerate() {
             let begin = cursor;
             while cursor < end && octant_of(keys[cursor]) == oct {
                 cursor += 1;
             }
             if cursor > begin {
-                children[oct] = Some(Self::build_node(keys, begin, cursor, depth + 1, bucket));
+                *child = Some(Self::build_node(keys, begin, cursor, depth + 1, bucket));
             }
         }
         debug_assert_eq!(cursor, end);

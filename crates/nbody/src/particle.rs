@@ -196,7 +196,7 @@ mod tests {
         // vectors roughly agree (same drift).
         let d = |a: &Particle, b: &Particle| {
             let mut out = [0.0f64; 3];
-            for k in 0..3 {
+            for (k, o) in out.iter_mut().enumerate() {
                 let mut delta = b.pos[k] - a.pos[k];
                 if delta > 0.5 {
                     delta -= 1.0;
@@ -204,7 +204,7 @@ mod tests {
                 if delta < -0.5 {
                     delta += 1.0;
                 }
-                out[k] = delta;
+                *o = delta;
             }
             out
         };

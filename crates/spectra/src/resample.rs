@@ -168,7 +168,7 @@ mod tests {
         let grid = linear_grid(4005.0, 4015.0, 6);
         let r = resample(&s, &grid).unwrap();
         // The bins overlapping source bin 10 (λ≈4010) are flagged.
-        assert!(r.flags.iter().any(|&f| f == 3));
+        assert!(r.flags.contains(&3));
         // Bins far from it are clean.
         assert_eq!(r.flags[0], 0);
     }

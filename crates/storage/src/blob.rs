@@ -363,7 +363,7 @@ mod tests {
         let mut store = PageStore::new();
         let data = pattern(1200 * CHUNK_DATA);
         let id = write_blob(&mut store, &data).unwrap();
-        assert!(1200 > ROOT_DIRECT);
+        const _: () = assert!(1200 > ROOT_DIRECT);
         assert_eq!(read_blob(&mut store, id).unwrap(), data);
         // Check a read that lands entirely in the chained region.
         let off = 1100 * CHUNK_DATA + 17;

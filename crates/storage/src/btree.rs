@@ -22,6 +22,11 @@ use crate::store::PageStore;
 /// beyond this move their blobs out of page — see `sqlarray-storage::row`.
 pub const MAX_PAYLOAD: usize = SlottedPage::max_record() - 8;
 
+/// Leaves built per parallel round of [`BTree::bulk_build`]: bounds the
+/// transient page-image memory to ~8 MiB per round while keeping each
+/// worker's run long enough to amortize the thread spawn.
+pub const BULK_BUILD_BATCH_LEAVES: usize = 1024;
+
 /// A clustered B+tree.
 #[derive(Debug, Clone)]
 pub struct BTree {
@@ -59,6 +64,24 @@ fn encode_internal(key: i64, child: PageId) -> [u8; 16] {
 /// Result of inserting into a subtree: the separator and new right sibling
 /// when the child split.
 type SplitInfo = Option<(i64, PageId)>;
+
+/// Validates the bulk-load key contract (strictly increasing) — shared by
+/// [`BTree::bulk_build`] and `Table::bulk_load`, which must check *before*
+/// its LOB spill pre-pass mutates the store.
+pub(crate) fn validate_bulk_key_order(keys: impl Iterator<Item = i64>) -> Result<()> {
+    let mut prev: Option<i64> = None;
+    for key in keys {
+        if let Some(p) = prev {
+            if key <= p {
+                return Err(StorageError::BulkLoad(format!(
+                    "keys must be strictly increasing (key {key} follows {p})"
+                )));
+            }
+        }
+        prev = Some(key);
+    }
+    Ok(())
+}
 
 impl BTree {
     /// Creates an empty tree (a single empty leaf).
@@ -296,6 +319,162 @@ impl BTree {
             }
         })?;
         Ok(Some((up_key, right)))
+    }
+
+    /// Builds a clustered tree bottom-up from pre-encoded leaf records
+    /// with strictly increasing keys — the bulk-load fast path.
+    ///
+    /// Page breaks are computed with the same greedy fill rule the
+    /// append-optimized insert path converges to, so a bulk-built tree
+    /// packs its leaves like a monotone `IDENTITY` load. Leaf page
+    /// *images* are then built on up to `dop` worker threads (contiguous
+    /// leaf ranges, pure CPU — no store access), appended to the store in
+    /// page order, and the internal levels are assembled on top. Because
+    /// the images and the append order are fully determined by the
+    /// entries, the resulting file layout, page bytes, pool state and
+    /// [`crate::IoStats`] are **identical at every `dop`**.
+    ///
+    /// `recycle_first_leaf` lets the caller donate an existing page to
+    /// serve as the first leaf instead of allocating a fresh one —
+    /// `Table::bulk_load` passes the empty table's root leaf so no page is
+    /// orphaned; leaves 1.. are still appended contiguously at the end of
+    /// the file.
+    pub fn bulk_build(
+        store: &mut PageStore,
+        entries: &[(i64, Vec<u8>)],
+        dop: usize,
+        recycle_first_leaf: Option<PageId>,
+    ) -> Result<BTree> {
+        validate_bulk_key_order(entries.iter().map(|(k, _)| *k))?;
+        BTree::bulk_build_prevalidated(store, entries, dop, recycle_first_leaf)
+    }
+
+    /// [`bulk_build`](Self::bulk_build) minus the key-order pass, for
+    /// callers that already validated (`Table::bulk_load` checks keys
+    /// *before* its LOB spill pre-pass mutates the store; re-checking here
+    /// would make every ingest scan the key column twice).
+    pub(crate) fn bulk_build_prevalidated(
+        store: &mut PageStore,
+        entries: &[(i64, Vec<u8>)],
+        dop: usize,
+        recycle_first_leaf: Option<PageId>,
+    ) -> Result<BTree> {
+        if entries.is_empty() {
+            return BTree::create(store);
+        }
+        debug_assert!(validate_bulk_key_order(entries.iter().map(|(k, _)| *k)).is_ok());
+        // Greedy page breaks: a record of `len` payload bytes costs
+        // 8 (key) + len record bytes + 4 slot bytes out of the
+        // PAGE_SIZE − PAGE_HEADER_LEN byte budget — exactly the
+        // `SlottedPage::free_space` admission rule.
+        let budget = PAGE_SIZE - crate::page::PAGE_HEADER_LEN;
+        let mut leaf_ranges: Vec<std::ops::Range<usize>> = Vec::new();
+        let mut start = 0usize;
+        let mut used = 0usize;
+        for (i, (_, payload)) in entries.iter().enumerate() {
+            if payload.len() > MAX_PAYLOAD {
+                return Err(StorageError::RecordTooLarge {
+                    bytes: payload.len(),
+                    limit: MAX_PAYLOAD,
+                });
+            }
+            let cost = 8 + payload.len() + crate::page::SLOT_LEN;
+            if used + cost > budget {
+                leaf_ranges.push(start..i);
+                start = i;
+                used = 0;
+            }
+            used += cost;
+        }
+        leaf_ranges.push(start..entries.len());
+
+        // Build the leaf page images in parallel and append them in page
+        // order. Building proceeds in bounded *batches* of leaves so the
+        // transient image memory is O(batch), not O(table); within a
+        // batch, each worker owns a contiguous run of leaves and writes
+        // every image into its own buffer. Batching changes neither the
+        // image bytes nor the append order, so the layout stays identical
+        // at every `dop` (and to an unbatched build).
+        let n_leaves = leaf_ranges.len();
+        let base = store.page_count();
+        // Page id of leaf `i`: the recycled page (if any) is leaf 0, the
+        // rest append contiguously at the end of the file.
+        let leaf_page = move |i: usize| -> PageId {
+            match recycle_first_leaf {
+                Some(r) if i == 0 => r,
+                Some(_) => base + i as PageId - 1,
+                None => base + i as PageId,
+            }
+        };
+        let first_leaf = leaf_page(0);
+        let build_leaf = |leaf_idx: usize| -> Box<[u8]> {
+            let mut bytes = vec![0u8; PAGE_SIZE].into_boxed_slice();
+            let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+            for (key, payload) in &entries[leaf_ranges[leaf_idx].clone()] {
+                p.push_record(&encode_leaf(*key, payload))
+                    .expect("greedy page break fits");
+            }
+            if leaf_idx + 1 < n_leaves {
+                p.set_next_page(Some(leaf_page(leaf_idx + 1)));
+            }
+            bytes
+        };
+        for batch_start in (0..n_leaves).step_by(BULK_BUILD_BATCH_LEAVES) {
+            let batch_len = BULK_BUILD_BATCH_LEAVES.min(n_leaves - batch_start);
+            let images: Vec<Box<[u8]>> =
+                sqlarray_core::parallel::scoped_map_ranges(batch_len, dop.max(1), |r| {
+                    (batch_start + r.start..batch_start + r.end)
+                        .map(&build_leaf)
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            // Append (counts one write per page, all pool-resident like
+            // any freshly produced page).
+            for (offset, image) in images.into_iter().enumerate() {
+                let leaf_idx = batch_start + offset;
+                let id = match recycle_first_leaf {
+                    Some(r) if leaf_idx == 0 => r,
+                    _ => store.allocate(),
+                };
+                debug_assert_eq!(id, leaf_page(leaf_idx));
+                store.write(id, |bytes| bytes.copy_from_slice(&image))?;
+            }
+        }
+
+        // Assemble the internal levels bottom-up. Each internal record
+        // costs 16 + 4 slot bytes; the leftmost child rides in the link.
+        let children_per_internal = 1 + budget / (16 + crate::page::SLOT_LEN);
+        let mut level: Vec<(i64, PageId)> = leaf_ranges
+            .iter()
+            .enumerate()
+            .map(|(i, r)| (entries[r.start].0, leaf_page(i)))
+            .collect();
+        let mut depth = 1u32;
+        while level.len() > 1 {
+            let mut next_level = Vec::with_capacity(level.len() / children_per_internal + 1);
+            for run in level.chunks(children_per_internal) {
+                let id = store.allocate();
+                store.write(id, |bytes| {
+                    let mut p = SlottedPage::init(bytes, page_type::BTREE_INTERNAL);
+                    p.set_next_page(Some(run[0].1)); // leftmost child
+                    for &(key, child) in &run[1..] {
+                        p.push_record(&encode_internal(key, child))
+                            .expect("internal run sized to fit");
+                    }
+                })?;
+                next_level.push((run[0].0, id));
+            }
+            level = next_level;
+            depth += 1;
+        }
+        Ok(BTree {
+            root: level[0].1,
+            first_leaf,
+            len: entries.len() as u64,
+            depth,
+        })
     }
 
     /// Point lookup; returns the payload when the key exists.
@@ -586,7 +765,7 @@ mod tests {
         // mod 2^k.
         let n = 4000i64;
         for i in 0..n {
-            let k = (i * 2654435761 % 4096) as i64 * 100000 + i;
+            let k = (i * 2654435761 % 4096) * 100000 + i;
             t.insert(&mut store, k, &k.to_le_bytes()).unwrap();
         }
         let mut last = i64::MIN;

@@ -26,6 +26,8 @@ pub enum StorageError {
     },
     /// Row bytes do not decode against the table schema.
     RowCorrupt(String),
+    /// Bulk-load precondition violated (unsorted keys, non-empty target).
+    BulkLoad(String),
     /// Schema/value arity or type mismatch on insert.
     SchemaMismatch(String),
 }
@@ -57,6 +59,7 @@ impl fmt::Display for StorageError {
                 "blob read [{offset}, {offset}+{len}) exceeds blob of {total} bytes"
             ),
             StorageError::RowCorrupt(msg) => write!(f, "row corrupt: {msg}"),
+            StorageError::BulkLoad(msg) => write!(f, "bulk load: {msg}"),
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
         }
     }

@@ -5,10 +5,12 @@
 //! al., EDBT 2011, §3.3):
 //!
 //! * 8192-byte slotted pages ([`page`]);
-//! * a buffer pool with LRU replacement and complete I/O accounting,
-//!   including a sequential/random classification and a simulated disk
-//!   cost model ([`store`], [`stats`]);
-//! * clustered B+trees with append-optimized splits ([`btree`]);
+//! * a live, concurrent buffer pool — a lock-striped sharded LRU ordered
+//!   by deterministic logical stamps ([`pool`]) — with complete I/O
+//!   accounting, including a sequential/random classification and a
+//!   simulated disk cost model ([`store`], [`stats`]);
+//! * clustered B+trees with append-optimized splits and a parallel
+//!   bulk-build path ([`btree`]);
 //! * in-row vs out-of-page blob storage with a streamed, partial-read LOB
 //!   interface that plugs straight into `sqlarray_core::stream` ([`blob`]);
 //! * schema-driven row encoding and clustered tables ([`row`], [`table`]).
@@ -24,6 +26,7 @@ pub mod btree;
 pub mod errors;
 pub mod lru;
 pub mod page;
+pub mod pool;
 pub mod row;
 pub mod stats;
 pub mod store;
@@ -34,7 +37,8 @@ pub use blob::{BlobId, BlobStream};
 pub use btree::BTree;
 pub use errors::{Result, StorageError};
 pub use page::{PageId, PAGE_SIZE};
+pub use pool::ShardedLruPool;
 pub use row::{ColType, Column, RowValue, Schema, INLINE_BLOB_LIMIT};
 pub use stats::{DiskProfile, IoStats};
-pub use store::{PageStore, PartitionReader};
+pub use store::{PageStore, PartitionReader, ScanCtx, ScanIo};
 pub use table::{ScanPartition, Table};

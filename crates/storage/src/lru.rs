@@ -1,9 +1,16 @@
-//! A fixed-capacity LRU set over page ids, used by the buffer pool.
+//! A fixed-capacity LRU set over page ids: the simple, sequential
+//! arrival-ordered reference implementation.
 //!
 //! Implemented as a slab-backed doubly linked list plus a hash map, giving
 //! O(1) touch/insert/evict. Only membership is tracked — page bytes live in
 //! the page file — which is all the cost model needs to decide whether a
 //! logical read hits the pool or goes to disk.
+//!
+//! The live buffer pool in [`crate::store::PageStore`] is the concurrent,
+//! stamp-ordered [`crate::pool::ShardedLruPool`]; `LruSet` stays as the
+//! single-threaded building block for anything that needs plain recency
+//! semantics (and as the behavioral reference the pool's model tests are
+//! written against).
 
 use std::collections::HashMap;
 
@@ -68,10 +75,17 @@ impl LruSet {
         }
     }
 
-    /// Inserts a key (must not be resident; callers use [`LruSet::touch`] first).
-    /// Returns the evicted key, if the set was full.
+    /// Inserts a key, returning the evicted key if the set was full.
+    ///
+    /// Inserting a key that is already resident degrades to a
+    /// [`touch`](LruSet::touch): the key is promoted to most-recently-used
+    /// and nothing is evicted. (Before this was defined behavior, a
+    /// duplicate insert in a release build corrupted the intrusive list —
+    /// the map kept a stale node index and the old node stayed linked.)
     pub fn insert(&mut self, key: u64) -> Option<u64> {
-        debug_assert!(!self.map.contains_key(&key));
+        if self.touch(key) {
+            return None;
+        }
         let evicted = if self.map.len() >= self.capacity {
             let victim = self.tail;
             debug_assert_ne!(victim, NIL);
@@ -230,14 +244,29 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_insert_degrades_to_touch() {
+        let mut lru = LruSet::new(3);
+        lru.insert(1);
+        lru.insert(2);
+        lru.insert(3);
+        // 1 is LRU; re-inserting it must promote, not corrupt or evict.
+        assert_eq!(lru.insert(1), None);
+        assert_eq!(lru.len(), 3);
+        assert_eq!(lru.keys_mru_order(), vec![1, 3, 2]);
+        // The next eviction claims 2, proving the list stayed coherent.
+        assert_eq!(lru.insert(4), Some(2));
+        assert_eq!(lru.keys_mru_order(), vec![4, 1, 3]);
+    }
+
+    #[test]
     fn heavy_churn_is_consistent() {
         let mut lru = LruSet::new(64);
         for round in 0..10u64 {
             for k in 0..256u64 {
                 let key = (k * 7 + round) % 512;
-                if !lru.touch(key) {
-                    lru.insert(key);
-                }
+                // Blind insert (no touch-first protocol): duplicates must
+                // degrade to touches without corrupting the list.
+                lru.insert(key);
                 assert!(lru.len() <= 64);
             }
         }

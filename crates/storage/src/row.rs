@@ -110,6 +110,63 @@ const BLOB_LOB: u8 = 1;
 /// Encodes a row. Blob values larger than the in-row limit are written to
 /// the LOB store as a side effect.
 pub fn encode_row(store: &mut PageStore, schema: &Schema, values: &[RowValue]) -> Result<Vec<u8>> {
+    encode_row_impl(Some(store), schema, values)
+}
+
+/// Encodes a row **without** touching the store — the pure-CPU path the
+/// parallel bulk loader fans out over worker threads. Oversized blob
+/// values are an error here; [`Table::bulk_load`](crate::Table::bulk_load)
+/// spills them to the LOB store in a serial pre-pass (replacing them with
+/// [`RowValue::LobRef`]) before handing rows to the workers.
+pub fn encode_row_inline(schema: &Schema, values: &[RowValue]) -> Result<Vec<u8>> {
+    encode_row_impl(None, schema, values)
+}
+
+/// Computes the encoded length of a row **without encoding it** (and
+/// without touching any store), validating arity and column types along
+/// the way. Oversized blob values are costed as LOB pointers (17 bytes),
+/// matching what [`encode_row`] produces after spilling — this is the
+/// bulk loader's pre-flight check, run before any store mutation.
+///
+/// Kept adjacent to [`encode_row_impl`] because the two must agree
+/// byte-for-byte; `encoded_len_matches_encoding` pins that.
+pub fn encoded_len(schema: &Schema, values: &[RowValue]) -> Result<usize> {
+    if values.len() != schema.columns.len() {
+        return Err(StorageError::SchemaMismatch(format!(
+            "row has {} values, schema has {} columns",
+            values.len(),
+            schema.columns.len()
+        )));
+    }
+    let mut len = 0usize;
+    for (col, val) in schema.columns.iter().zip(values) {
+        len += match (col.ctype, val) {
+            (ColType::I64, RowValue::I64(_)) | (ColType::F64, RowValue::F64(_)) => 8,
+            (ColType::I32, RowValue::I32(_)) | (ColType::F32, RowValue::F32(_)) => 4,
+            (ColType::Blob, RowValue::Bytes(b)) => {
+                if b.len() <= INLINE_BLOB_LIMIT {
+                    3 + b.len()
+                } else {
+                    17
+                }
+            }
+            (ColType::Blob, RowValue::LobRef(..)) => 17,
+            (t, v) => {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column `{}` of type {t:?} cannot store {v:?}",
+                    col.name
+                )))
+            }
+        };
+    }
+    Ok(len)
+}
+
+fn encode_row_impl(
+    mut store: Option<&mut PageStore>,
+    schema: &Schema,
+    values: &[RowValue],
+) -> Result<Vec<u8>> {
     if values.len() != schema.columns.len() {
         return Err(StorageError::SchemaMismatch(format!(
             "row has {} values, schema has {} columns",
@@ -130,6 +187,14 @@ pub fn encode_row(store: &mut PageStore, schema: &Schema, values: &[RowValue]) -
                     out.extend_from_slice(&(b.len() as u16).to_le_bytes());
                     out.extend_from_slice(b);
                 } else {
+                    let Some(store) = store.as_deref_mut() else {
+                        return Err(StorageError::SchemaMismatch(format!(
+                            "column `{}`: {}-byte blob exceeds the in-row limit and no \
+                             LOB store is available on this encoding path",
+                            col.name,
+                            b.len()
+                        )));
+                    };
                     let id = blob::write_blob(store, b)?;
                     out.push(BLOB_LOB);
                     out.extend_from_slice(&id.to_le_bytes());
@@ -290,6 +355,35 @@ mod tests {
             ("v", ColType::Blob),
             ("n", ColType::I32),
         ])
+    }
+
+    #[test]
+    fn encoded_len_matches_encoding() {
+        let mut store = PageStore::new();
+        let schema = test_schema();
+        for blob_len in [0usize, 3, INLINE_BLOB_LIMIT, INLINE_BLOB_LIMIT + 1, 20_000] {
+            let row = vec![
+                RowValue::I64(42),
+                RowValue::F64(2.5),
+                RowValue::Bytes(vec![7; blob_len]),
+                RowValue::I32(-7),
+            ];
+            let predicted = encoded_len(&schema, &row).unwrap();
+            let bytes = encode_row(&mut store, &schema, &row).unwrap();
+            assert_eq!(predicted, bytes.len(), "blob_len {blob_len}");
+        }
+        // Arity and type mismatches are caught without a store.
+        assert!(encoded_len(&schema, &[RowValue::I64(1)]).is_err());
+        assert!(encoded_len(
+            &schema,
+            &[
+                RowValue::F64(1.0),
+                RowValue::F64(1.0),
+                RowValue::Bytes(vec![]),
+                RowValue::I32(0),
+            ],
+        )
+        .is_err());
     }
 
     #[test]

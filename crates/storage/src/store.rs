@@ -1,5 +1,6 @@
-//! The page store: an in-memory "disk" of 8 kB pages fronted by a buffer
-//! pool with LRU replacement and full I/O accounting.
+//! The page store: an in-memory "disk" of 8 kB pages fronted by a live,
+//! concurrent buffer pool with sharded-LRU replacement and full I/O
+//! accounting.
 //!
 //! All structures (B-trees, blob streams, tables) read and write through
 //! [`PageStore`], so the counters in [`IoStats`]
@@ -7,12 +8,27 @@
 //! LOB fetch would generate, and the
 //! [`DiskProfile`] converts them into simulated
 //! disk seconds.
+//!
+//! ## Serial path vs. scan path
+//!
+//! Serial accesses (`read`/`write`/`allocate`, `&mut self`) consult the
+//! live pool directly. Parallel scans split the work: each worker holds a
+//! [`PartitionReader`] that touches the **live pool as it reads** (so
+//! concurrent readers and writers observe true residency immediately)
+//! while classifying its I/O for the *cost model* against the
+//! start-of-scan residency snapshot in [`ScanCtx`] — which keeps the
+//! simulated [`IoStats`] deterministic and DOP-invariant even though the
+//! pool itself is shared live. [`PageStore::finish_scan`] folds the
+//! per-worker counters back in partition order, fixing up the
+//! sequential/random classification across partition boundaries so the
+//! merged counters equal a serial scan's exactly.
 
 use crate::errors::{Result, StorageError};
-use crate::lru::LruSet;
 use crate::page::{PageId, PAGE_SIZE};
+use crate::pool::{pool_stamp, PoolStamp, ShardedLruPool};
 use crate::stats::{DiskProfile, IoStats};
 use std::collections::HashSet;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default buffer-pool capacity (pages). 4096 pages = 32 MiB, small enough
 /// that the Table 1 scans (hundreds of MB) are disk-bound after a cache
@@ -22,7 +38,10 @@ pub const DEFAULT_POOL_PAGES: usize = 4096;
 /// The page file plus its buffer pool.
 pub struct PageStore {
     pages: Vec<Box<[u8]>>,
-    pool: LruSet,
+    pool: ShardedLruPool,
+    /// Logical clock behind every pool stamp: serial touches take a fresh
+    /// epoch each, a parallel scan takes one epoch for all its workers.
+    clock: AtomicU64,
     stats: IoStats,
     profile: DiskProfile,
     last_physical_read: Option<PageId>,
@@ -49,7 +68,8 @@ impl PageStore {
     pub fn with_pool(pool_pages: usize, profile: DiskProfile) -> PageStore {
         PageStore {
             pages: Vec::new(),
-            pool: LruSet::new(pool_pages),
+            pool: ShardedLruPool::new(pool_pages),
+            clock: AtomicU64::new(1),
             stats: IoStats::default(),
             profile,
             last_physical_read: None,
@@ -66,14 +86,23 @@ impl PageStore {
         self.page_count() * PAGE_SIZE as u64
     }
 
+    /// The live buffer pool (resident-set inspection for tests/tools).
+    pub fn pool(&self) -> &ShardedLruPool {
+        &self.pool
+    }
+
+    /// A fresh serial stamp: a new epoch, higher than every stamp issued
+    /// before it.
+    fn serial_stamp(&self) -> PoolStamp {
+        pool_stamp(self.clock.fetch_add(1, Ordering::Relaxed), 0, 0)
+    }
+
     /// Allocates a zeroed page and returns its id. The fresh page is
     /// resident in the pool (it was just produced in memory).
     pub fn allocate(&mut self) -> PageId {
         let id = self.pages.len() as PageId;
         self.pages.push(vec![0u8; PAGE_SIZE].into_boxed_slice());
-        if !self.pool.touch(id) {
-            self.pool.insert(id);
-        }
+        self.pool.touch_or_insert(id, self.serial_stamp());
         id
     }
 
@@ -100,16 +129,18 @@ impl PageStore {
                 max: self.pages.len() as u64,
             });
         }
-        if self.pool.touch(id) {
+        if self.pool.touch_or_insert(id, self.serial_stamp()) {
             self.stats.cache_hits += 1;
         } else {
             self.stats.pages_read += 1;
             match self.last_physical_read {
-                Some(prev) if prev + 1 == id => self.stats.sequential_reads += 1,
+                // `checked_add`: `prev` can be `u64::MAX`-adjacent in
+                // synthetic tests; a plain `prev + 1` overflows in debug
+                // builds.
+                Some(prev) if prev.checked_add(1) == Some(id) => self.stats.sequential_reads += 1,
                 _ => self.stats.random_reads += 1,
             }
             self.last_physical_read = Some(id);
-            self.pool.insert(id);
         }
         Ok(())
     }
@@ -133,6 +164,12 @@ impl PageStore {
         self.last_physical_read = None;
     }
 
+    /// The simulated disk head: the last page physically read. Cache hits
+    /// never move it — only actual (simulated) platter traffic does.
+    pub fn seek_position(&self) -> Option<PageId> {
+        self.last_physical_read
+    }
+
     /// The disk cost model in effect.
     pub fn profile(&self) -> DiskProfile {
         self.profile
@@ -143,52 +180,104 @@ impl PageStore {
         self.profile.io_seconds(&self.stats.since(before))
     }
 
-    /// A snapshot of the pages currently resident in the buffer pool.
+    /// Opens a scan: takes the start-of-scan residency snapshot the cost
+    /// model classifies against, and claims one pool epoch that all of the
+    /// scan's workers stamp their live-pool touches with.
     ///
-    /// Parallel scans are accounted against this start-of-scan snapshot
-    /// instead of the live LRU: a page resident when the scan starts is a
-    /// cache hit for whichever worker touches it, everything else is a
-    /// physical read. Because each worker owns a disjoint page range, this
-    /// makes the simulated I/O **deterministic and DOP-invariant** — the
-    /// same query produces the same [`IoStats`] at any degree of
-    /// parallelism, which a live shared LRU (racy eviction timing) could
-    /// not guarantee.
-    pub fn resident_snapshot(&self) -> HashSet<PageId> {
-        self.pool.keys_mru_order().into_iter().collect()
+    /// The snapshot is what keeps the **simulated** I/O deterministic and
+    /// DOP-invariant: a page resident when the scan starts is a cache hit
+    /// for whichever worker touches it, everything else is a physical
+    /// read — regardless of how the live pool (shared by all workers,
+    /// evicting concurrently) happens to interleave. The live pool still
+    /// sees every touch immediately, stamped `(epoch, partition, seq)`,
+    /// so its end state is *also* DOP-invariant (see
+    /// [`ShardedLruPool`]) without any replay.
+    pub fn begin_scan(&self) -> ScanCtx {
+        ScanCtx {
+            resident: self.pool.resident_set(),
+            epoch: self.clock.fetch_add(1, Ordering::Relaxed),
+        }
     }
 
-    /// A share-nothing read handle over this store for one scan worker.
-    /// `resident` must be the [`resident_snapshot`](Self::resident_snapshot)
-    /// taken when the scan started.
-    pub fn reader<'a>(&'a self, resident: &'a HashSet<PageId>) -> PartitionReader<'a> {
+    /// A share-nothing read handle over this store for scan worker
+    /// `partition` (its index in partition order) of the scan opened by
+    /// `scan`.
+    pub fn reader<'a>(&'a self, scan: &'a ScanCtx, partition: u32) -> PartitionReader<'a> {
         PartitionReader {
             pages: &self.pages,
-            resident,
+            pool: &self.pool,
+            resident: &scan.resident,
+            epoch: scan.epoch,
+            partition,
+            seq: 0,
             stats: IoStats::default(),
+            first_physical_read: None,
             last_physical_read: None,
             seen: HashSet::new(),
-            touched: Vec::new(),
         }
     }
 
-    /// Folds a finished scan back into the store: merges the per-worker
-    /// counters and replays the first-touch page order into the buffer
-    /// pool. Replaying per-worker touch logs in partition order is exactly
-    /// the page order a serial scan would have produced, so the pool ends
-    /// in the same state no matter the DOP.
-    pub fn absorb_scan(&mut self, stats: &IoStats, touched: &[PageId]) {
-        self.stats.merge(stats);
-        for &id in touched {
-            if !self.pool.touch(id) {
-                self.pool.insert(id);
+    /// Folds a finished scan's per-worker I/O back into the store, in
+    /// partition order. Two fix-ups make the merged counters exactly what
+    /// a serial scan would have recorded:
+    ///
+    /// * each worker classified its first physical read as a seek (it had
+    ///   no predecessor); if that read actually continued the previous
+    ///   partition's (or the pre-scan head's) position, it is reclassified
+    ///   sequential;
+    /// * the disk head advances to the last **physical** read of the scan
+    ///   in partition order — never to a trailing cache hit, which leaves
+    ///   the platter untouched.
+    ///
+    /// The pool needs no attention here: workers touched it live.
+    pub fn finish_scan<'a>(&mut self, parts: impl IntoIterator<Item = &'a ScanIo>) -> IoStats {
+        let mut head = self.last_physical_read;
+        let mut merged = IoStats::default();
+        for part in parts {
+            let mut io = part.io;
+            if let (Some(prev), Some(first)) = (head, part.first_physical_read) {
+                if prev.checked_add(1) == Some(first) && io.random_reads > 0 {
+                    io.random_reads -= 1;
+                    io.sequential_reads += 1;
+                }
             }
+            if part.last_physical_read.is_some() {
+                head = part.last_physical_read;
+            }
+            merged.merge(&io);
         }
-        // A subsequent serial read continues from wherever the scan left
-        // the head; the last touched page is the honest seek position.
-        if let Some(&last) = touched.last() {
-            self.last_physical_read = Some(last);
-        }
+        self.stats.merge(&merged);
+        self.last_physical_read = head;
+        merged
     }
+}
+
+/// Shared context of one scan: the residency snapshot the cost model
+/// classifies against, plus the pool epoch its workers stamp with.
+#[derive(Debug)]
+pub struct ScanCtx {
+    resident: HashSet<PageId>,
+    epoch: u64,
+}
+
+impl ScanCtx {
+    /// The start-of-scan residency snapshot.
+    pub fn resident(&self) -> &HashSet<PageId> {
+        &self.resident
+    }
+}
+
+/// What one scan worker hands back to [`PageStore::finish_scan`]: its
+/// counters plus the physical-read endpoints the coordinator needs to
+/// stitch the sequential/random classification across partitions.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ScanIo {
+    /// The worker's I/O counters (classified against the scan snapshot).
+    pub io: IoStats,
+    /// First page the worker physically read, if any.
+    pub first_physical_read: Option<PageId>,
+    /// Last page the worker physically read, if any.
+    pub last_physical_read: Option<PageId>,
 }
 
 /// A concurrent, share-nothing read path over a [`PageStore`] for one
@@ -196,18 +285,24 @@ impl PageStore {
 ///
 /// Readers borrow the page file immutably (so any number of workers can
 /// read at once from `std::thread::scope` threads) and keep their own
-/// [`IoStats`], sequential/random classification state, and first-touch
-/// log. When the worker finishes, [`finish`](Self::finish) hands the
-/// counters and touch log back so [`PageStore::absorb_scan`] can fold them
-/// into the global accounting in partition order.
+/// [`IoStats`] and sequential/random classification state, while touching
+/// the **live** buffer pool on every read — stamped with the scan's epoch
+/// and this worker's `(partition, sequence)`, the deterministic serial
+/// visit order. When the worker finishes, [`finish`](Self::finish) hands
+/// a [`ScanIo`] back for [`PageStore::finish_scan`] to fold into the
+/// global accounting in partition order.
 #[derive(Debug)]
 pub struct PartitionReader<'a> {
     pages: &'a [Box<[u8]>],
+    pool: &'a ShardedLruPool,
     resident: &'a HashSet<PageId>,
+    epoch: u64,
+    partition: u32,
+    seq: u32,
     stats: IoStats,
+    first_physical_read: Option<PageId>,
     last_physical_read: Option<PageId>,
     seen: HashSet<PageId>,
-    touched: Vec<PageId>,
 }
 
 impl<'a> PartitionReader<'a> {
@@ -220,15 +315,26 @@ impl<'a> PartitionReader<'a> {
                 max: self.pages.len() as u64,
             });
         };
+        // Every logical read touches the live pool immediately — this is
+        // what concurrent writers and other scans observe.
+        let stamp = pool_stamp(self.epoch, self.partition, self.seq);
+        self.seq += 1;
+        self.pool.touch_or_insert(id, stamp);
+        // The *cost model* classifies against the start-of-scan snapshot,
+        // which is what keeps the simulated I/O DOP-invariant.
         if self.seen.insert(id) {
-            self.touched.push(id);
             if self.resident.contains(&id) {
                 self.stats.cache_hits += 1;
             } else {
                 self.stats.pages_read += 1;
                 match self.last_physical_read {
-                    Some(prev) if prev + 1 == id => self.stats.sequential_reads += 1,
+                    Some(prev) if prev.checked_add(1) == Some(id) => {
+                        self.stats.sequential_reads += 1
+                    }
                     _ => self.stats.random_reads += 1,
+                }
+                if self.first_physical_read.is_none() {
+                    self.first_physical_read = Some(id);
                 }
                 self.last_physical_read = Some(id);
             }
@@ -244,10 +350,14 @@ impl<'a> PartitionReader<'a> {
         self.stats
     }
 
-    /// Consumes the reader, returning its counters and the pages it
-    /// touched, in first-touch order.
-    pub fn finish(self) -> (IoStats, Vec<PageId>) {
-        (self.stats, self.touched)
+    /// Consumes the reader, returning its counters and physical-read
+    /// endpoints for [`PageStore::finish_scan`].
+    pub fn finish(self) -> ScanIo {
+        ScanIo {
+            io: self.stats,
+            first_physical_read: self.first_physical_read,
+            last_physical_read: self.last_physical_read,
+        }
     }
 }
 
@@ -393,5 +503,150 @@ mod tests {
             rnd_time > 4.0 * seq_time,
             "random {rnd_time} should dwarf sequential {seq_time}"
         );
+    }
+
+    /// Regression test for the post-scan head drift: a scan whose *last
+    /// touches* are cache hits must leave the simulated head at the last
+    /// **physical** read, not teleported to the last touched page.
+    #[test]
+    fn finish_scan_head_ignores_trailing_cache_hits() {
+        let mut s = PageStore::new();
+        for _ in 0..16 {
+            s.allocate();
+        }
+        s.clear_cache();
+        // Warm pages 14 and 15 so the scan ends in cache hits.
+        s.read(14).unwrap();
+        s.read(15).unwrap();
+        s.reset_stats();
+
+        let scan = s.begin_scan();
+        let mut r = s.reader(&scan, 0);
+        for p in 10..16 {
+            r.read(p).unwrap();
+        }
+        let io = r.finish();
+        assert_eq!(io.io.pages_read, 4); // 10..14 physical
+        assert_eq!(io.io.cache_hits, 2); // 14, 15 resident
+        assert_eq!(io.last_physical_read, Some(13));
+        s.finish_scan([&io]);
+        // The old `absorb_scan` set the head to 15 (the last *touch*),
+        // misclassifying a following read of 16 as sequential.
+        assert_eq!(s.seek_position(), Some(13));
+    }
+
+    /// A scan made of nothing but cache hits must not move the head at
+    /// all.
+    #[test]
+    fn finish_scan_all_hits_leaves_head_alone() {
+        let mut s = PageStore::new();
+        for _ in 0..8 {
+            s.allocate();
+        }
+        s.clear_cache();
+        // Physically read 4..8 (head ends at 7), leaving them resident.
+        for p in 4..8 {
+            s.read(p).unwrap();
+        }
+        assert_eq!(s.seek_position(), Some(7));
+        let scan = s.begin_scan();
+        let mut r = s.reader(&scan, 0);
+        for p in 4..8 {
+            r.read(p).unwrap(); // all resident: pure cache hits
+        }
+        let io = r.finish();
+        assert_eq!(io.io.pages_read, 0);
+        assert_eq!(io.first_physical_read, None);
+        s.finish_scan([&io]);
+        assert_eq!(s.seek_position(), Some(7));
+    }
+
+    /// Partition boundaries must not cost phantom seeks: worker `p`'s
+    /// first physical read is reclassified sequential when it continues
+    /// worker `p−1`'s last physical position, making the merged counters
+    /// exactly serial.
+    #[test]
+    fn finish_scan_stitches_boundary_classification() {
+        let mut s = PageStore::new();
+        for _ in 0..8 {
+            s.allocate();
+        }
+        s.clear_cache();
+        s.reset_stats();
+
+        // Serial baseline over pages 0..8.
+        let scan = s.begin_scan();
+        let mut r = s.reader(&scan, 0);
+        for p in 0..8 {
+            r.read(p).unwrap();
+        }
+        let serial = r.finish();
+        drop(scan);
+        let serial_merged = s.finish_scan([&serial]);
+
+        // Same pages as two partitions.
+        let mut s2 = PageStore::new();
+        for _ in 0..8 {
+            s2.allocate();
+        }
+        s2.clear_cache();
+        s2.reset_stats();
+        let scan = s2.begin_scan();
+        let mut a = s2.reader(&scan, 0);
+        for p in 0..4 {
+            a.read(p).unwrap();
+        }
+        let a = a.finish();
+        let mut b = s2.reader(&scan, 1);
+        for p in 4..8 {
+            b.read(p).unwrap();
+        }
+        let b = b.finish();
+        // Worker b classified page 4 as a seek on its own…
+        assert_eq!(b.io.random_reads, 1);
+        drop(scan);
+        let merged = s2.finish_scan([&a, &b]);
+        // …but the merge stitches it back to sequential.
+        assert_eq!(merged, serial_merged);
+        assert_eq!(s2.stats(), s.stats());
+        assert_eq!(s2.seek_position(), s.seek_position());
+    }
+
+    /// Scan workers touch the live pool as they read: residency is
+    /// immediately visible, and the end state (set *and* recency order)
+    /// matches the serial scan at any worker split.
+    #[test]
+    fn live_pool_state_is_dop_invariant() {
+        let build = |splits: &[std::ops::Range<u64>]| {
+            let mut s = PageStore::with_pool(8, DiskProfile::default());
+            for _ in 0..32 {
+                s.allocate();
+            }
+            s.clear_cache();
+            let scan = s.begin_scan();
+            let ios: Vec<ScanIo> = splits
+                .iter()
+                .enumerate()
+                .map(|(pi, range)| {
+                    let mut r = s.reader(&scan, pi as u32);
+                    for p in range.clone() {
+                        r.read(p).unwrap();
+                    }
+                    r.finish()
+                })
+                .collect();
+            drop(scan);
+            s.finish_scan(ios.iter());
+            (s.pool().keys_mru_order(), s.stats(), s.seek_position())
+        };
+        #[allow(clippy::single_range_in_vec_init)] // one partition covering 0..32
+        let serial = build(&[0..32]);
+        for splits in [
+            vec![0..16, 16..32],
+            vec![0..8, 8..16, 16..24, 24..32],
+            vec![0..5, 5..17, 17..18, 18..32],
+        ] {
+            assert_eq!(build(&splits), serial, "splits {splits:?}");
+        }
     }
 }

@@ -1,10 +1,12 @@
 //! Clustered tables: schema + B-tree + blob store, with storage accounting.
 
+use crate::blob;
 use crate::btree::BTree;
 use crate::errors::{Result, StorageError};
 use crate::page::{page_type, PageId, SlottedRead};
-use crate::row::{self, RowValue, Schema};
+use crate::row::{self, RowValue, Schema, INLINE_BLOB_LIMIT};
 use crate::store::{PageStore, PartitionReader};
+use std::collections::HashMap;
 
 /// One contiguous chunk of a clustered-index scan: a run of leaf pages in
 /// key order, produced by [`Table::partition`] and consumed by
@@ -67,6 +69,102 @@ impl Table {
     pub fn insert(&mut self, store: &mut PageStore, key: i64, values: &[RowValue]) -> Result<()> {
         let bytes = row::encode_row(store, &self.schema, values)?;
         self.tree.insert(store, key, &bytes)
+    }
+
+    /// Bulk-loads an **empty** table from rows sorted by strictly
+    /// increasing key — the parallel ingest path.
+    ///
+    /// The pipeline has four stages:
+    /// 1. *LOB pre-pass* (serial): blob values over the in-row limit are
+    ///    spilled to the LOB store in row order, exactly as row-at-a-time
+    ///    inserts would have written them;
+    /// 2. *row encoding* (parallel, `dop` lanes): each worker encodes a
+    ///    contiguous row range with [`row::encode_row_inline`] — pure CPU,
+    ///    no store access;
+    /// 3. *leaf building* (parallel): [`BTree::bulk_build`] packs the
+    ///    encoded rows into leaf page images on worker threads;
+    /// 4. *append + index build* (serial): images land in the file in page
+    ///    order and the internal levels are assembled on top.
+    ///
+    /// Stages 2–3 are the hot part of an ingest and scale with `dop`;
+    /// stages 1 and 4 mutate the store and stay serial, so the resulting
+    /// layout, pool state and [`crate::IoStats`] are identical at every
+    /// `dop`.
+    pub fn bulk_load(
+        &mut self,
+        store: &mut PageStore,
+        rows: &[(i64, Vec<RowValue>)],
+        dop: usize,
+    ) -> Result<()> {
+        if !self.tree.is_empty() {
+            return Err(StorageError::BulkLoad(format!(
+                "table `{}` is not empty ({} rows)",
+                self.name,
+                self.tree.len()
+            )));
+        }
+        if rows.is_empty() {
+            return Ok(()); // keep the existing (empty) root leaf
+        }
+        // Pre-flight validation, before anything touches the store: a
+        // rejected load must not leave orphaned LOB pages, a warmed pool,
+        // or drifted I/O counters behind. Key order, arity, column types,
+        // and the post-spill record size are all checkable without
+        // encoding a byte.
+        crate::btree::validate_bulk_key_order(rows.iter().map(|(k, _)| *k))?;
+        for (_, values) in rows {
+            let len = row::encoded_len(&self.schema, values)?;
+            if len > crate::btree::MAX_PAYLOAD {
+                return Err(StorageError::RecordTooLarge {
+                    bytes: len,
+                    limit: crate::btree::MAX_PAYLOAD,
+                });
+            }
+        }
+
+        // Stage 1: spill oversized blobs serially (store mutation), so the
+        // parallel encoders never need the store.
+        let oversized =
+            |v: &RowValue| matches!(v, RowValue::Bytes(b) if b.len() > INLINE_BLOB_LIMIT);
+        let mut spilled: HashMap<usize, Vec<RowValue>> = HashMap::new();
+        for (i, (_, values)) in rows.iter().enumerate() {
+            if values.iter().any(oversized) {
+                let mut replaced = values.clone();
+                for v in replaced.iter_mut() {
+                    if oversized(v) {
+                        let RowValue::Bytes(b) = &*v else {
+                            unreachable!()
+                        };
+                        let len = b.len() as u64;
+                        let id = blob::write_blob(store, b)?;
+                        *v = RowValue::LobRef(id, len);
+                    }
+                }
+                spilled.insert(i, replaced);
+            }
+        }
+
+        // Stage 2: encode rows in parallel.
+        let schema = &self.schema;
+        let encode = |i: usize| -> Result<Vec<u8>> {
+            let values = spilled.get(&i).map(Vec::as_slice).unwrap_or(&rows[i].1);
+            row::encode_row_inline(schema, values)
+        };
+        let chunks = sqlarray_core::parallel::scoped_map_ranges(rows.len(), dop.max(1), |r| {
+            r.map(encode).collect::<Result<Vec<_>>>()
+        });
+        let mut payloads: Vec<Vec<u8>> = Vec::with_capacity(rows.len());
+        for chunk in chunks {
+            payloads.extend(chunk?);
+        }
+
+        // Stages 3–4: build the clustered index, recycling the empty
+        // table's root leaf as the first data leaf so no page is orphaned.
+        // Keys were validated above, before the LOB pre-pass.
+        let entries: Vec<(i64, Vec<u8>)> = rows.iter().map(|(k, _)| *k).zip(payloads).collect();
+        self.tree =
+            BTree::bulk_build_prevalidated(store, &entries, dop, Some(self.tree.root_page()))?;
+        Ok(())
     }
 
     /// Point lookup by clustered key, decoding the full row.
@@ -352,10 +450,10 @@ mod tests {
         for dop in [1usize, 2, 3, 7, 64] {
             let parts = t.partition(&mut store, dop).unwrap();
             assert!(!parts.is_empty() && parts.len() <= dop);
-            let resident = store.resident_snapshot();
+            let scan = store.begin_scan();
             let mut seen = Vec::new();
-            for p in &parts {
-                let mut r = store.reader(&resident);
+            for (pi, p) in parts.iter().enumerate() {
+                let mut r = store.reader(&scan, pi as u32);
                 t.scan_partition(&mut r, p, |k, _| {
                     seen.push(k);
                     Ok(true)
@@ -373,17 +471,18 @@ mod tests {
         store.clear_cache();
         let parts = t.partition(&mut store, 4).unwrap();
         assert_eq!(parts.len(), 4);
-        let resident = store.resident_snapshot();
+        let scan = store.begin_scan();
         let shared = &store;
         let table = &t;
-        let resident_ref = &resident;
-        let mut results: Vec<(Vec<i64>, crate::stats::IoStats, Vec<u64>)> = Vec::new();
+        let scan_ref = &scan;
+        let mut results: Vec<(Vec<i64>, crate::store::ScanIo)> = Vec::new();
         std::thread::scope(|s| {
             let handles: Vec<_> = parts
                 .iter()
-                .map(|p| {
+                .enumerate()
+                .map(|(pi, p)| {
                     s.spawn(move || {
-                        let mut r = shared.reader(resident_ref);
+                        let mut r = shared.reader(scan_ref, pi as u32);
                         let mut keys = Vec::new();
                         table
                             .scan_partition(&mut r, p, |k, _| {
@@ -391,26 +490,23 @@ mod tests {
                                 Ok(true)
                             })
                             .unwrap();
-                        let (stats, touched) = r.finish();
-                        (keys, stats, touched)
+                        (keys, r.finish())
                     })
                 })
                 .collect();
             results = handles.into_iter().map(|h| h.join().unwrap()).collect();
         });
-        let merged: Vec<i64> = results.iter().flat_map(|(k, _, _)| k.clone()).collect();
+        let merged: Vec<i64> = results.iter().flat_map(|(k, _)| k.clone()).collect();
         assert_eq!(merged, (0..5000).collect::<Vec<_>>());
         // Per-worker I/O merges to the cold full-scan cost: every leaf
         // page read exactly once, almost all sequentially.
-        let mut io = crate::stats::IoStats::default();
-        for (_, st, _) in &results {
-            io.merge(st);
-        }
+        drop(scan);
+        let ios: Vec<crate::store::ScanIo> = results.iter().map(|(_, io)| *io).collect();
+        let io = store.finish_scan(ios.iter());
         assert_eq!(io.pages_read, t.data_pages(&mut store).unwrap());
         assert_eq!(io.cache_hits, 0);
-        // Each worker seeks once to the start of its partition (and the
-        // chain has occasional gaps where internal pages were allocated),
-        // but the scan must stay sequential-dominated.
+        // The boundary stitching in `finish_scan` removes the per-worker
+        // seeks; only genuine chain gaps remain.
         assert!(
             io.sequential_reads as f64 >= 0.85 * io.pages_read as f64,
             "parallel scan was not sequential: {io:?}"
@@ -418,29 +514,28 @@ mod tests {
     }
 
     #[test]
-    fn absorb_scan_warms_the_pool_like_a_serial_scan() {
+    fn live_pool_is_warm_after_a_parallel_scan() {
         let mut store = PageStore::new();
         let t = vector_table(&mut store, 2000, 5);
         store.clear_cache();
         let parts = t.partition(&mut store, 3).unwrap();
-        let resident = store.resident_snapshot();
-        let mut all_stats = crate::stats::IoStats::default();
-        let mut all_touched = Vec::new();
-        for p in &parts {
-            let mut r = store.reader(&resident);
+        let scan = store.begin_scan();
+        let mut ios = Vec::new();
+        for (pi, p) in parts.iter().enumerate() {
+            let mut r = store.reader(&scan, pi as u32);
             t.scan_partition(&mut r, p, |_, _| Ok(true)).unwrap();
-            let (st, touched) = r.finish();
-            all_stats.merge(&st);
-            all_touched.extend(touched);
+            ios.push(r.finish());
         }
-        store.absorb_scan(&all_stats, &all_touched);
-        // Second pass over the same partitions is now fully cached.
-        let resident = store.resident_snapshot();
+        drop(scan);
+        store.finish_scan(ios.iter());
+        // Workers touched the live pool as they read — no replay step —
+        // so a second pass over the same partitions is fully cached.
+        let scan = store.begin_scan();
         let mut rescan = crate::stats::IoStats::default();
-        for p in &parts {
-            let mut r = store.reader(&resident);
+        for (pi, p) in parts.iter().enumerate() {
+            let mut r = store.reader(&scan, pi as u32);
             t.scan_partition(&mut r, p, |_, _| Ok(true)).unwrap();
-            rescan.merge(&r.finish().0);
+            rescan.merge(&r.finish().io);
         }
         assert_eq!(rescan.pages_read, 0);
         assert!(rescan.cache_hits > 0);
@@ -453,9 +548,9 @@ mod tests {
         let empty = Table::create(&mut store, "E", schema.clone()).unwrap();
         let parts = empty.partition(&mut store, 8).unwrap();
         assert_eq!(parts.len(), 1);
-        let resident = store.resident_snapshot();
+        let scan = store.begin_scan();
         let mut n = 0;
-        let mut r = store.reader(&resident);
+        let mut r = store.reader(&scan, 0);
         empty
             .scan_partition(&mut r, &parts[0], |_, _| {
                 n += 1;
@@ -463,21 +558,190 @@ mod tests {
             })
             .unwrap();
         assert_eq!(n, 0);
+        drop(r);
+        drop(scan);
 
         let mut one = Table::create(&mut store, "O", schema).unwrap();
         one.insert(&mut store, 42, &[RowValue::I64(42), RowValue::F64(1.0)])
             .unwrap();
         let parts = one.partition(&mut store, 8).unwrap();
         assert_eq!(parts.len(), 1, "1 row < DOP collapses to one partition");
-        let resident = store.resident_snapshot();
+        let scan = store.begin_scan();
         let mut keys = Vec::new();
-        let mut r = store.reader(&resident);
+        let mut r = store.reader(&scan, 0);
         one.scan_partition(&mut r, &parts[0], |k, _| {
             keys.push(k);
             Ok(true)
         })
         .unwrap();
         assert_eq!(keys, vec![42]);
+    }
+
+    fn sample_rows(n: i64, dim: usize) -> Vec<(i64, Vec<RowValue>)> {
+        (0..n)
+            .map(|k| {
+                let data: Vec<f64> = (0..dim).map(|i| (k as f64) + i as f64 * 0.1).collect();
+                let arr = sqlarray_core::build::short_vector(&data).unwrap();
+                (k, vec![RowValue::I64(k), RowValue::Bytes(arr.into_blob())])
+            })
+            .collect()
+    }
+
+    #[test]
+    fn bulk_load_matches_row_at_a_time_inserts() {
+        let rows = sample_rows(3000, 5);
+        let mut store_a = PageStore::new();
+        let inserted = vector_table(&mut store_a, 3000, 5);
+
+        let mut store_b = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut bulk = Table::create(&mut store_b, "Tvector", schema).unwrap();
+        bulk.bulk_load(&mut store_b, &rows, 3).unwrap();
+
+        assert_eq!(bulk.row_count(), inserted.row_count());
+        // The greedy bulk packing equals the append-optimized insert
+        // packing: same leaf count, hence same bytes/row.
+        assert_eq!(
+            bulk.data_pages(&mut store_b).unwrap(),
+            inserted.data_pages(&mut store_a).unwrap()
+        );
+        let mut a = Vec::new();
+        inserted
+            .scan_raw(&mut store_a, |k, bytes| {
+                a.push((k, bytes.to_vec()));
+                Ok(true)
+            })
+            .unwrap();
+        let mut b = Vec::new();
+        bulk.scan_raw(&mut store_b, |k, bytes| {
+            b.push((k, bytes.to_vec()));
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(a, b);
+        // Point lookups work through the bulk-built internal levels.
+        for k in [0i64, 1, 1499, 2999] {
+            assert_eq!(
+                bulk.get(&mut store_b, k).unwrap(),
+                inserted.get(&mut store_a, k).unwrap()
+            );
+        }
+        assert_eq!(bulk.get(&mut store_b, 3000).unwrap(), None);
+    }
+
+    #[test]
+    fn bulk_load_layout_and_io_are_dop_invariant() {
+        let rows = sample_rows(4000, 5);
+        let build = |dop: usize| {
+            let mut store = PageStore::new();
+            let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+            let mut t = Table::create(&mut store, "T", schema).unwrap();
+            t.bulk_load(&mut store, &rows, dop).unwrap();
+            let pages = t.data_pages(&mut store).unwrap();
+            let depth = t.index_depth(&mut store).unwrap();
+            (
+                store.page_count(),
+                pages,
+                depth,
+                store.stats(),
+                store.seek_position(),
+                store.pool().keys_mru_order(),
+            )
+        };
+        let serial = build(1);
+        for dop in [2usize, 4, 8] {
+            assert_eq!(build(dop), serial, "dop {dop}");
+        }
+    }
+
+    #[test]
+    fn bulk_load_spills_oversized_blobs() {
+        let big = vec![0xCD; 50_000];
+        let rows: Vec<(i64, Vec<RowValue>)> = (0..30)
+            .map(|k| (k, vec![RowValue::I64(k), RowValue::Bytes(big.clone())]))
+            .collect();
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut t = Table::create(&mut store, "Tlob", schema).unwrap();
+        t.bulk_load(&mut store, &rows, 4).unwrap();
+        assert_eq!(t.data_pages(&mut store).unwrap(), 1);
+        let row = t.get(&mut store, 7).unwrap().unwrap();
+        assert_eq!(row[1].blob_bytes(&mut store).unwrap(), big);
+    }
+
+    #[test]
+    fn bulk_load_rejects_bad_inputs() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        let unsorted = vec![
+            (2i64, vec![RowValue::I64(2), RowValue::F64(0.0)]),
+            (1i64, vec![RowValue::I64(1), RowValue::F64(0.0)]),
+        ];
+        assert!(matches!(
+            t.bulk_load(&mut store, &unsorted, 2),
+            Err(StorageError::BulkLoad(_))
+        ));
+        // Loading into a non-empty table is refused.
+        t.insert(&mut store, 9, &[RowValue::I64(9), RowValue::F64(1.0)])
+            .unwrap();
+        let sorted = vec![(10i64, vec![RowValue::I64(10), RowValue::F64(0.0)])];
+        assert!(matches!(
+            t.bulk_load(&mut store, &sorted, 2),
+            Err(StorageError::BulkLoad(_))
+        ));
+    }
+
+    #[test]
+    fn rejected_bulk_load_leaves_the_store_untouched() {
+        // A batch mixing a LOB-spilling row with a later row whose inline
+        // encoding exceeds the leaf-record limit must fail *before* the
+        // spill pre-pass writes anything: no orphan LOB pages, no counter
+        // drift.
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[
+            ("id", ColType::I64),
+            ("a", ColType::Blob),
+            ("b", ColType::Blob),
+        ]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        let spilling = vec![
+            RowValue::I64(0),
+            RowValue::Bytes(vec![1; 50_000]), // > inline limit: would spill
+            RowValue::Bytes(vec![2; 8]),
+        ];
+        let oversized_inline = vec![
+            RowValue::I64(1),
+            // Both blobs inline (≤ 8000) but together past MAX_PAYLOAD.
+            RowValue::Bytes(vec![3; 8000]),
+            RowValue::Bytes(vec![4; 8000]),
+        ];
+        let rows = vec![(0i64, spilling), (1i64, oversized_inline)];
+        let pages_before = store.page_count();
+        let stats_before = store.stats();
+        assert!(matches!(
+            t.bulk_load(&mut store, &rows, 2),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+        assert_eq!(store.page_count(), pages_before);
+        assert_eq!(store.stats(), stats_before);
+        assert_eq!(t.row_count(), 0);
+    }
+
+    #[test]
+    fn bulk_load_empty_rows_is_a_noop() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        t.bulk_load(&mut store, &[], 4).unwrap();
+        assert_eq!(t.row_count(), 0);
+        let mut n = 0;
+        t.scan_raw(&mut store, |_, _| {
+            n += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(n, 0);
     }
 
     #[test]

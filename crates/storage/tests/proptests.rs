@@ -1,9 +1,66 @@
 //! Property-based tests: the B-tree against a `BTreeMap` model, blob
-//! range reads against slices, and row-codec round trips.
+//! range reads against slices, row-codec round trips, the LRU set against
+//! an ordered-map model, and the scan path's DOP-invariance contract.
 
 use proptest::prelude::*;
-use sqlarray_storage::{blob, row, BTree, ColType, PageStore, RowValue, Schema, Table};
+use sqlarray_storage::lru::LruSet;
+use sqlarray_storage::{
+    blob, row, BTree, ColType, DiskProfile, IoStats, PageStore, RowValue, ScanIo, Schema, Table,
+};
 use std::collections::BTreeMap;
+
+/// Builds a vector table with `rows` rows over a store with a `pool_pages`
+/// buffer pool, for the scan-accounting properties.
+fn scan_fixture(rows: i64, pool_pages: usize) -> (PageStore, Table) {
+    let mut store = PageStore::with_pool(pool_pages, DiskProfile::default());
+    let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+    let mut t = Table::create(&mut store, "T", schema).unwrap();
+    for k in 0..rows {
+        let data: Vec<f64> = (0..5).map(|i| k as f64 + i as f64 * 0.5).collect();
+        let arr = sqlarray_core::build::short_vector(&data).unwrap();
+        t.insert(
+            &mut store,
+            k,
+            &[RowValue::I64(k), RowValue::Bytes(arr.into_blob())],
+        )
+        .unwrap();
+    }
+    (store, t)
+}
+
+/// Runs one partitioned scan at `dop`, interleaving the workers' page
+/// reads according to `schedule` (a deterministic stand-in for arbitrary
+/// thread timing), then folds it back. Returns the merged [`IoStats`].
+fn run_scan(store: &mut PageStore, table: &Table, dop: usize, schedule: &[u8]) -> IoStats {
+    let parts = table.partition(store, dop).unwrap();
+    let scan = store.begin_scan();
+    let mut readers: Vec<_> = (0..parts.len())
+        .map(|pi| store.reader(&scan, pi as u32))
+        .collect();
+    let mut cursors = vec![0usize; parts.len()];
+    let mut step = 0usize;
+    loop {
+        let pending: Vec<usize> = (0..parts.len())
+            .filter(|&pi| cursors[pi] < parts[pi].leaves().len())
+            .collect();
+        if pending.is_empty() {
+            break;
+        }
+        // Pick the next worker to advance from the schedule (wrapping).
+        let pick = pending[schedule
+            .get(step % schedule.len().max(1))
+            .map(|&b| b as usize)
+            .unwrap_or(0)
+            % pending.len()];
+        step += 1;
+        let pid = parts[pick].leaves()[cursors[pick]];
+        readers[pick].read(pid).unwrap();
+        cursors[pick] += 1;
+    }
+    let ios: Vec<ScanIo> = readers.into_iter().map(|r| r.finish()).collect();
+    drop(scan);
+    store.finish_scan(ios.iter())
+}
 
 proptest! {
     /// The clustered B-tree behaves exactly like an ordered map: same
@@ -18,11 +75,11 @@ proptest! {
         for (k, payload) in ops {
             let key = k as i64;
             let inserted = tree.insert(&mut store, key, &payload);
-            if model.contains_key(&key) {
-                prop_assert!(inserted.is_err(), "duplicate accepted");
-            } else {
+            if let std::collections::btree_map::Entry::Vacant(slot) = model.entry(key) {
                 prop_assert!(inserted.is_ok());
-                model.insert(key, payload);
+                slot.insert(payload);
+            } else {
+                prop_assert!(inserted.is_err(), "duplicate accepted");
             }
         }
         prop_assert_eq!(tree.len(), model.len() as u64);
@@ -125,10 +182,10 @@ proptest! {
         let encoded = row::encode_row(&mut store, &schema, &values).unwrap();
         let decoded = row::decode_row(&schema, &encoded).unwrap();
         prop_assert_eq!(&decoded, &values);
-        for col in 0..5 {
+        for (col, value) in values.iter().enumerate() {
             prop_assert_eq!(
-                row::decode_col(&schema, &encoded, col).unwrap(),
-                values[col].clone()
+                &row::decode_col(&schema, &encoded, col).unwrap(),
+                value
             );
         }
     }
@@ -174,10 +231,10 @@ proptest! {
         prop_assert!(max - min <= 1, "unbalanced partitions: {:?}", lens);
 
         // Concatenated partition scans equal the full scan, in order.
-        let resident = store.resident_snapshot();
+        let scan = store.begin_scan();
         let mut seen = Vec::new();
-        for p in &parts {
-            let mut r = store.reader(&resident);
+        for (pi, p) in parts.iter().enumerate() {
+            let mut r = store.reader(&scan, pi as u32);
             t.scan_partition(&mut r, p, |k, _| { seen.push(k); Ok(true) }).unwrap();
         }
         prop_assert_eq!(seen, full);
@@ -187,6 +244,106 @@ proptest! {
         prop_assert_eq!(
             again.iter().map(|p| p.leaves().to_vec()).collect::<Vec<_>>(),
             parts.iter().map(|p| p.leaves().to_vec()).collect::<Vec<_>>()
+        );
+    }
+
+    /// `LruSet` against an ordered-map model under heavy churn of
+    /// *blind* inserts (duplicates included — they must degrade to
+    /// touches), touches, and removes: membership, length, and full
+    /// recency order always agree, and capacity is never exceeded.
+    #[test]
+    fn lru_set_matches_recency_model(
+        capacity in 1usize..24,
+        ops in prop::collection::vec((0u8..3, 0u64..48), 1..400),
+    ) {
+        let mut lru = LruSet::new(capacity);
+        // Model: key -> last-touch tick; recency order = ticks descending.
+        let mut model: BTreeMap<u64, u64> = BTreeMap::new();
+        for (tick, (op, key)) in ops.into_iter().enumerate() {
+            let tick = tick as u64;
+            match op {
+                0 => {
+                    // Blind insert: duplicate degrades to a touch.
+                    let evicted = lru.insert(key);
+                    if model.contains_key(&key) {
+                        prop_assert_eq!(evicted, None);
+                        model.insert(key, tick);
+                    } else {
+                        if model.len() >= capacity {
+                            // Model evicts its least recently used key.
+                            let victim = *model
+                                .iter()
+                                .min_by_key(|(_, &t)| t)
+                                .map(|(k, _)| k)
+                                .unwrap();
+                            prop_assert_eq!(evicted, Some(victim));
+                            model.remove(&victim);
+                        } else {
+                            prop_assert_eq!(evicted, None);
+                        }
+                        model.insert(key, tick);
+                    }
+                }
+                1 => {
+                    let touched = lru.touch(key);
+                    prop_assert_eq!(touched, model.contains_key(&key));
+                    if touched {
+                        model.insert(key, tick);
+                    }
+                }
+                _ => {
+                    let removed = lru.remove(key);
+                    prop_assert_eq!(removed, model.remove(&key).is_some());
+                }
+            }
+            prop_assert!(lru.len() <= capacity);
+            prop_assert_eq!(lru.len(), model.len());
+            // Full recency order agrees.
+            let mut expect: Vec<(u64, u64)> =
+                model.iter().map(|(&k, &t)| (t, k)).collect();
+            expect.sort_unstable_by_key(|&(tick, _)| std::cmp::Reverse(tick));
+            let expect: Vec<u64> = expect.into_iter().map(|(_, k)| k).collect();
+            prop_assert_eq!(lru.keys_mru_order(), expect);
+        }
+    }
+
+    /// The scan-accounting contract (the test that would have caught the
+    /// `absorb_scan` head drift): after **any interleaving** of scans at
+    /// DOP ∈ {1, 2, 4, 8} — worker reads shuffled by an arbitrary
+    /// schedule, caches cleared or kept between scans, pools small enough
+    /// to evict mid-scan — pool residency (set *and* recency order), the
+    /// merged `IoStats`, and the simulated seek position all match the
+    /// all-serial run exactly.
+    #[test]
+    fn scan_accounting_is_dop_invariant(
+        rows in 800i64..2200,
+        pool_choice in 0usize..3,
+        scans in prop::collection::vec((0usize..4, any::<bool>()), 1..4),
+        schedule in prop::collection::vec(any::<u8>(), 1..64),
+    ) {
+        // Pools small enough to evict mid-scan, in both the single-shard
+        // and the 16-way-striped regime.
+        let pool_pages = [16usize, 24, 64][pool_choice];
+        let (mut serial_store, serial_table) = scan_fixture(rows, pool_pages);
+        let (mut par_store, par_table) = scan_fixture(rows, pool_pages);
+        for &(dop_choice, clear) in &scans {
+            let dop = [1usize, 2, 4, 8][dop_choice];
+            if clear {
+                serial_store.clear_cache();
+                par_store.clear_cache();
+            }
+            let a = run_scan(&mut serial_store, &serial_table, 1, &[0]);
+            let b = run_scan(&mut par_store, &par_table, dop, &schedule);
+            // Per-scan merged counters are exactly serial.
+            prop_assert!(a == b, "scan at dop {dop} diverged: {a:?} vs {b:?}");
+        }
+        // End-state: counters, head, and the live pool (residency AND
+        // recency order) are bit-identical to the serial history.
+        prop_assert_eq!(serial_store.stats(), par_store.stats());
+        prop_assert_eq!(serial_store.seek_position(), par_store.seek_position());
+        prop_assert_eq!(
+            serial_store.pool().keys_mru_order(),
+            par_store.pool().keys_mru_order()
         );
     }
 }

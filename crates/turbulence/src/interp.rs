@@ -62,7 +62,7 @@ impl Scheme {
 /// `start`, evaluated at `x` (grid units).
 pub fn lagrange_weights(start: f64, w: usize, x: f64, out: &mut [f64]) {
     debug_assert_eq!(out.len(), w);
-    for i in 0..w {
+    for (i, o) in out.iter_mut().enumerate() {
         let ti = start + i as f64;
         let mut num = 1.0f64;
         let mut den = 1.0f64;
@@ -74,7 +74,7 @@ pub fn lagrange_weights(start: f64, w: usize, x: f64, out: &mut [f64]) {
             num *= x - tj;
             den *= ti - tj;
         }
-        out[i] = num / den;
+        *o = num / den;
     }
 }
 
@@ -115,13 +115,12 @@ fn fc_slope(d_prev: f64, d_next: f64) -> f64 {
 pub fn tensor_apply(cube: &[f64], w: usize, wx: &[f64], wy: &[f64], wz: &[f64]) -> f64 {
     debug_assert_eq!(cube.len(), w * w * w);
     let mut acc = 0.0f64;
-    for k in 0..w {
-        let wzk = wz[k];
+    for (k, &wzk) in wz.iter().enumerate() {
         if wzk == 0.0 {
             continue;
         }
-        for j in 0..w {
-            let wyz = wy[j] * wzk;
+        for (j, &wyj) in wy.iter().enumerate() {
+            let wyz = wyj * wzk;
             if wyz == 0.0 {
                 continue;
             }
@@ -213,7 +212,7 @@ mod tests {
         let f = [0.0, 2.0, 1.0, 3.0];
         for s in 0..=20 {
             let v = pchip_1d(&f, s as f64 / 20.0);
-            assert!(v <= 2.0 + 1e-12 && v >= 1.0 - 1e-12, "overshoot {v}");
+            assert!((1.0 - 1e-12..=2.0 + 1e-12).contains(&v), "overshoot {v}");
         }
     }
 
@@ -245,7 +244,7 @@ mod tests {
         let cube: Vec<f64> = (0..64).map(|l| (l * 7 % 23) as f64).collect();
         // t = 0 lands on node (1,1,1) in each axis.
         let v = pchip_3d(&cube, [0.0, 0.0, 0.0]);
-        let node = 1 + 4 * (1 + 4 * 1);
+        let node = 1 + 4 * (1 + 4);
         assert!((v - cube[node]).abs() < 1e-12);
     }
 

@@ -146,13 +146,13 @@ mod tests {
                 g[2] as f64 / spec.grid_n as f64,
             ];
             let expect = field.sample(pos);
-            for c in 0..4 {
+            for (c, &ec) in expect.iter().enumerate() {
                 let stored = blob
                     .item(&[c, lx + spec.ghost, ly + spec.ghost, lz + spec.ghost])
                     .unwrap()
                     .as_f64()
                     .unwrap();
-                assert!((stored - expect[c]).abs() < 1e-6, "component {c} at {g:?}");
+                assert!((stored - ec).abs() < 1e-6, "component {c} at {g:?}");
             }
         }
     }

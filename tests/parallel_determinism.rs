@@ -77,21 +77,37 @@ fn group_by_and_projections_are_dop_invariant() {
 #[test]
 fn simulated_io_accounting_is_dop_invariant() {
     // The start-of-scan residency snapshot makes the simulated disk
-    // deterministic: cold scans read the same pages at any DOP (workers
-    // add at most DOP−1 extra seeks to the classification, never extra
-    // page reads).
+    // deterministic, and `PageStore::finish_scan` stitches the
+    // sequential/random classification across partition boundaries — so a
+    // cold scan's counters, the simulated head, and the live pool's
+    // recency order are all **exactly** serial at any DOP.
     let sql = "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)";
     let mut serial = build_table1_db_with(5_000, HostingModel::free());
     serial.set_dop(1);
     serial.db.store.clear_cache();
     let a = serial.query(sql).unwrap();
-    let mut par = build_table1_db_with(5_000, HostingModel::free());
-    par.set_dop(6);
-    par.db.store.clear_cache();
-    let b = par.query(sql).unwrap();
-    assert_eq!(a.stats.io.pages_read, b.stats.io.pages_read);
-    assert_eq!(a.stats.io.logical_reads(), b.stats.io.logical_reads());
-    assert!(b.stats.io.random_reads <= a.stats.io.random_reads + 5);
+    for dop in [2usize, 6] {
+        let mut par = build_table1_db_with(5_000, HostingModel::free());
+        par.set_dop(dop);
+        par.db.store.clear_cache();
+        let b = par.query(sql).unwrap();
+        assert_eq!(a.stats.io, b.stats.io, "IoStats diverged at dop {dop}");
+        assert_eq!(
+            a.stats.sim_io_seconds.to_bits(),
+            b.stats.sim_io_seconds.to_bits(),
+            "simulated disk seconds diverged at dop {dop}"
+        );
+        assert_eq!(
+            serial.db.store.seek_position(),
+            par.db.store.seek_position(),
+            "simulated head diverged at dop {dop}"
+        );
+        assert_eq!(
+            serial.db.store.pool().keys_mru_order(),
+            par.db.store.pool().keys_mru_order(),
+            "live pool state diverged at dop {dop}"
+        );
+    }
 }
 
 #[test]
