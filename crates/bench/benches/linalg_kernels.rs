@@ -1,0 +1,57 @@
+//! E9 — parallel, cache-blocked dense linear algebra. Times the three
+//! `gemm` execution strategies (naive jki, cache-blocked serial,
+//! blocked + parallel) and the PCA fit (serial vs parallel Gram build),
+//! the kernels the §2.2 PCA/spectral workloads funnel through. All
+//! variants produce bit-identical results — the determinism tests assert
+//! it; this bench shows what the blocking and the fan-out buy.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_linalg::{blas, pca, Matrix};
+
+fn fixture(n: usize, seed: usize) -> Matrix {
+    Matrix::from_fn(n, n, |i, j| {
+        ((i * 31 + j * 17 + seed) % 61) as f64 / 61.0 - 0.5
+    })
+}
+
+fn bench_linalg(c: &mut Criterion) {
+    let mut group = c.benchmark_group("linalg_kernels");
+    group.sample_size(10);
+
+    for n in [128usize, 256] {
+        let a = fixture(n, 0);
+        let b = fixture(n, 7);
+        group.bench_function(format!("gemm_naive_{n}"), |bch| {
+            bch.iter(|| blas::gemm_naive(std::hint::black_box(&a), std::hint::black_box(&b)))
+        });
+        group.bench_function(format!("gemm_blocked_serial_{n}"), |bch| {
+            bch.iter(|| blas::gemm_with_dop(std::hint::black_box(&a), std::hint::black_box(&b), 1))
+        });
+        for dop in [2usize, 4, 8] {
+            group.bench_function(format!("gemm_blocked_dop{dop}_{n}"), |bch| {
+                bch.iter(|| {
+                    blas::gemm_with_dop(std::hint::black_box(&a), std::hint::black_box(&b), dop)
+                })
+            });
+        }
+    }
+
+    // PCA fit: mean/centering + Gram fan-out vs serial.
+    let data = Matrix::from_fn(1_000, 48, |i, j| {
+        let t = i as f64 * 0.01;
+        (j as f64 + 1.0) * t.sin() + ((i * 7 + j * 3) % 11) as f64 * 0.02
+    });
+    group.bench_function("pca_fit_serial_1000x48_k16", |bch| {
+        bch.iter(|| pca::fit_with_dop(std::hint::black_box(&data), 16, 1))
+    });
+    for dop in [4usize, 8] {
+        group.bench_function(format!("pca_fit_dop{dop}_1000x48_k16"), |bch| {
+            bch.iter(|| pca::fit_with_dop(std::hint::black_box(&data), 16, dop))
+        });
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_linalg);
+criterion_main!(benches);

@@ -7,8 +7,8 @@
 //! ```
 
 use sqlarray_bench::{
-    build_table1_db_with_dop, rows_from_env, run_table1, storage_overhead, TABLE1_QUERIES,
-    TESTBED_DOP,
+    build_table1_db_with_dop, rows_from_env, run_linalg_report, run_table1, storage_overhead,
+    TABLE1_QUERIES, TESTBED_DOP,
 };
 use sqlarray_engine::HostingModel;
 
@@ -126,6 +126,33 @@ fn main() {
     println!(
         "Q2/Q1 execution-time ratio: {:.2} (paper: 25/18 = 1.39)",
         table[1].exec_seconds / q1.exec_seconds
+    );
+
+    // --- linalg kernels: serial vs blocked vs parallel ---------------
+    println!();
+    println!("== linalg kernels (PCA/spectral path, Sec. 2.2) ==");
+    let lr = run_linalg_report(sqlarray_core::parallel::configured_dop());
+    println!(
+        "gemm {n}x{n}: naive {naive:.3} s, blocked {blocked:.3} s ({bx:.2}x), \
+         blocked+parallel {par:.3} s at DOP {dop} ({px:.2}x); results bit-identical",
+        n = lr.gemm_n,
+        naive = lr.gemm_naive_seconds,
+        blocked = lr.gemm_blocked_seconds,
+        bx = lr.gemm_naive_seconds / lr.gemm_blocked_seconds.max(1e-9),
+        par = lr.gemm_parallel_seconds,
+        dop = lr.dop,
+        px = lr.gemm_naive_seconds / lr.gemm_parallel_seconds.max(1e-9),
+    );
+    println!(
+        "pca fit {s}x{f} k={k}: serial {ser:.3} s, parallel {par:.3} s at DOP {dop} \
+         ({x:.2}x); basis bit-identical",
+        s = lr.pca_shape.0,
+        f = lr.pca_shape.1,
+        k = lr.pca_shape.2,
+        ser = lr.pca_serial_seconds,
+        par = lr.pca_parallel_seconds,
+        dop = lr.dop,
+        x = lr.pca_serial_seconds / lr.pca_parallel_seconds.max(1e-9),
     );
 
     // --- §6.2: storage sizes -----------------------------------------

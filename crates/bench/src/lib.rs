@@ -286,6 +286,90 @@ pub fn storage_overhead(session: &mut Session) -> (f64, f64, f64) {
     (s, v, v / s)
 }
 
+/// Measured serial vs blocked/parallel dense-kernel timings for the
+/// report's linalg section. Every variant is asserted bit-identical to
+/// the naive serial result before the numbers are returned.
+#[derive(Debug, Clone)]
+pub struct LinalgReport {
+    /// Square gemm fixture edge (`n × n · n × n`).
+    pub gemm_n: usize,
+    /// Naive jki serial gemm, seconds (best of three).
+    pub gemm_naive_seconds: f64,
+    /// Cache-blocked gemm at DOP 1, seconds.
+    pub gemm_blocked_seconds: f64,
+    /// Cache-blocked gemm at the configured DOP, seconds.
+    pub gemm_parallel_seconds: f64,
+    /// PCA fixture shape (samples, features, retained components).
+    pub pca_shape: (usize, usize, usize),
+    /// PCA fit at DOP 1, seconds.
+    pub pca_serial_seconds: f64,
+    /// PCA fit at the configured DOP, seconds.
+    pub pca_parallel_seconds: f64,
+    /// Lanes the parallel runs used.
+    pub dop: usize,
+}
+
+fn best_of<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = std::time::Instant::now();
+        let r = f();
+        best = best.min(t0.elapsed().as_secs_f64());
+        out = Some(r);
+    }
+    (best, out.expect("at least one rep"))
+}
+
+/// Times the linalg kernels the PCA/spectral workloads funnel through
+/// (§2.2): naive vs cache-blocked vs parallel `gemm`, and serial vs
+/// parallel PCA fit, asserting bit-identical results across all paths —
+/// the linalg counterpart of [`run_table1_query`]'s serial/parallel
+/// split.
+pub fn run_linalg_report(dop: usize) -> LinalgReport {
+    use sqlarray_linalg::{blas, pca, Matrix};
+
+    let n = 512;
+    let a = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 61) as f64 / 61.0 - 0.5);
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 13 + j * 41) % 53) as f64 / 53.0 - 0.5);
+    let (gemm_naive_seconds, c_naive) = best_of(3, || blas::gemm_naive(&a, &b));
+    let (gemm_blocked_seconds, c_blocked) = best_of(3, || blas::gemm_with_dop(&a, &b, 1));
+    let (gemm_parallel_seconds, c_par) = best_of(3, || blas::gemm_with_dop(&a, &b, dop));
+    let bits = |x: &Matrix, y: &Matrix| {
+        x.as_slice()
+            .iter()
+            .zip(y.as_slice())
+            .all(|(p, q)| p.to_bits() == q.to_bits())
+    };
+    assert!(
+        bits(&c_blocked, &c_naive) && bits(&c_par, &c_naive),
+        "blocked/parallel gemm diverged from naive serial"
+    );
+
+    let (samples, features, k) = (2_000, 64, 16);
+    let data = Matrix::from_fn(samples, features, |i, j| {
+        let t = i as f64 * 0.01;
+        (j as f64 + 1.0) * t.sin() + ((i * 7 + j * 3) % 11) as f64 * 0.02
+    });
+    let (pca_serial_seconds, fit_serial) = best_of(2, || pca::fit_with_dop(&data, k, 1));
+    let (pca_parallel_seconds, fit_par) = best_of(2, || pca::fit_with_dop(&data, k, dop));
+    assert!(
+        bits(&fit_par.components, &fit_serial.components),
+        "parallel PCA fit diverged from serial"
+    );
+
+    LinalgReport {
+        gemm_n: n,
+        gemm_naive_seconds,
+        gemm_blocked_seconds,
+        gemm_parallel_seconds,
+        pca_shape: (samples, features, k),
+        pca_serial_seconds,
+        pca_parallel_seconds,
+        dop,
+    }
+}
+
 /// Reads the row-count override from `SQLARRAY_ROWS`.
 pub fn rows_from_env() -> i64 {
     std::env::var("SQLARRAY_ROWS")

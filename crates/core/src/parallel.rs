@@ -69,8 +69,9 @@ pub fn configured_dop() -> usize {
 /// deterministic `f` yields results independent of scheduling. This is
 /// the fan-out used by the value-producing parallel stages (bulk-load row
 /// encoding, leaf-image building); kernels that write into disjoint
-/// sub-slices of a caller buffer (`ops::elementwise`, `fftn`) keep their
-/// own `split_at_mut` loops, which this shape cannot express.
+/// sub-slices of a caller buffer use [`scoped_for_ranges_mut`], the
+/// disjoint-write dual (`ops::elementwise` and `fftn` predate it and
+/// keep equivalent hand-rolled `split_at_mut` loops).
 pub fn scoped_map_ranges<T: Send>(
     total: usize,
     parts: usize,
@@ -88,6 +89,77 @@ pub fn scoped_map_ranges<T: Send>(
             .map(|h| h.join().expect("scoped_map_ranges worker panicked"))
             .collect()
     })
+}
+
+/// Runs `f` over disjoint mutable chunks of `data` on
+/// [`std::thread::scope`] workers.
+///
+/// `data` is viewed as `data.len() / item_len` fixed-size items stored
+/// contiguously (columns of a column-major matrix, rows of a lattice —
+/// any layout where item `i` occupies `data[i*item_len..(i+1)*item_len]`).
+/// The items are split into at most `parts` contiguous ranges by
+/// [`partition_ranges`], and each worker receives `(range, chunk)` where
+/// `chunk` is **exactly** the sub-slice holding the items of `range` —
+/// so `chunk[(i - range.start) * item_len ..]` addresses item `i`.
+///
+/// With one chunk no thread is spawned and `f` runs inline, so serial
+/// callers pay nothing. Chunk boundaries depend only on
+/// `(data.len() / item_len, parts)`; a chunk-wise deterministic `f`
+/// therefore writes the same bytes at every `parts`. This is the
+/// disjoint-write dual of [`scoped_map_ranges`]: use it when workers fill
+/// slices of one caller-owned buffer instead of returning values (the
+/// parallel linalg kernels fan output columns through it).
+///
+/// Panics if `item_len` is zero or does not divide `data.len()`.
+pub fn scoped_for_ranges_mut<T: Send>(
+    data: &mut [T],
+    item_len: usize,
+    parts: usize,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    assert!(item_len > 0, "item_len must be positive");
+    assert_eq!(data.len() % item_len, 0, "data must hold whole items");
+    let ranges = partition_ranges(data.len() / item_len, parts);
+    scoped_for_given_ranges_mut(data, item_len, ranges, f);
+}
+
+/// [`scoped_for_ranges_mut`] with caller-supplied chunk boundaries, for
+/// workloads where equal item counts are not equal work (e.g. the
+/// triangular Gram build balances ranges by area). `ranges` must be
+/// contiguous, start at item 0, and cover every item exactly; keep the
+/// boundaries a pure function of the problem shape and the chunking
+/// stays deterministic.
+pub fn scoped_for_given_ranges_mut<T: Send>(
+    data: &mut [T],
+    item_len: usize,
+    ranges: Vec<Range<usize>>,
+    f: impl Fn(Range<usize>, &mut [T]) + Sync,
+) {
+    assert!(item_len > 0, "item_len must be positive");
+    assert_eq!(data.len() % item_len, 0, "data must hold whole items");
+    let total = data.len() / item_len;
+    let mut expect = 0;
+    for r in &ranges {
+        assert_eq!(r.start, expect, "ranges must be contiguous from item 0");
+        assert!(r.end >= r.start && r.end <= total, "range out of bounds");
+        expect = r.end;
+    }
+    assert_eq!(expect, total, "ranges must cover every item");
+    if ranges.len() <= 1 {
+        if let Some(r) = ranges.into_iter().next() {
+            f(r, data);
+        }
+        return;
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        for r in ranges {
+            let (mine, tail) = rest.split_at_mut(r.len() * item_len);
+            rest = tail;
+            s.spawn(move || f(r, mine));
+        }
+    });
 }
 
 /// Splits `0..total` into at most `parts` contiguous, non-empty ranges of
@@ -160,6 +232,62 @@ mod tests {
             assert_eq!(flat, (0..23).collect::<Vec<_>>(), "parts {parts}");
         }
         assert!(scoped_map_ranges(0, 4, |r| r.len()).is_empty());
+    }
+
+    #[test]
+    fn scoped_for_ranges_mut_covers_items_disjointly() {
+        for parts in [1usize, 2, 3, 8, 100] {
+            // 23 items of 3 elements each; each worker stamps its items
+            // with the item index.
+            let mut data = vec![0usize; 23 * 3];
+            scoped_for_ranges_mut(&mut data, 3, parts, |range, chunk| {
+                for (slot, item) in range.enumerate() {
+                    for v in &mut chunk[slot * 3..(slot + 1) * 3] {
+                        *v = item + 1;
+                    }
+                }
+            });
+            let expect: Vec<usize> = (0..23).flat_map(|i| [i + 1; 3]).collect();
+            assert_eq!(data, expect, "parts {parts}");
+        }
+        // Empty data is a no-op for any item size.
+        scoped_for_ranges_mut(&mut [] as &mut [u8], 4, 3, |_, _| panic!("no items"));
+    }
+
+    #[test]
+    #[should_panic(expected = "whole items")]
+    fn scoped_for_ranges_mut_rejects_ragged_items() {
+        let mut data = [0u8; 7];
+        scoped_for_ranges_mut(&mut data, 3, 2, |_, _| {});
+    }
+
+    #[test]
+    fn scoped_for_given_ranges_mut_accepts_uneven_chunks() {
+        // Work-balanced (uneven) boundaries: 1 + 6 + 3 items.
+        let mut data = vec![0usize; 10 * 2];
+        scoped_for_given_ranges_mut(&mut data, 2, vec![0..1, 1..7, 7..10], |range, chunk| {
+            for (slot, item) in range.enumerate() {
+                chunk[slot * 2] = item;
+                chunk[slot * 2 + 1] = item;
+            }
+        });
+        let expect: Vec<usize> = (0..10).flat_map(|i| [i, i]).collect();
+        assert_eq!(data, expect);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every item")]
+    fn scoped_for_given_ranges_mut_rejects_partial_cover() {
+        let mut data = [0u8; 6];
+        let only_first: Vec<Range<usize>> = std::iter::once(0..2).collect();
+        scoped_for_given_ranges_mut(&mut data, 2, only_first, |_, _| {});
+    }
+
+    #[test]
+    #[should_panic(expected = "contiguous")]
+    fn scoped_for_given_ranges_mut_rejects_gaps() {
+        let mut data = [0u8; 6];
+        scoped_for_given_ranges_mut(&mut data, 2, vec![0..1, 2..3], |_, _| {});
     }
 
     #[test]

@@ -469,7 +469,9 @@ struct ScanJob<'a> {
 /// nothing mutable: each owns its reader, hosting fork, and accumulators.
 /// The body runs under [`sqlarray_core::parallel::with_serial_kernels`]:
 /// a worker is already one lane of the query's fan-out, so any chunked
-/// array kernels its expressions call must not fan out again.
+/// array kernels its expressions call — elementwise ops, `fftn`, and the
+/// dense linalg kernels (`gemm`, SVD, PCA) alike — must not fan out
+/// again.
 fn scan_worker(
     job: &ScanJob<'_>,
     part: &ScanPartition,

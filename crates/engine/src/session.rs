@@ -60,8 +60,10 @@ impl Database {
     /// Bulk-loads an **empty** table from key-sorted rows through the
     /// parallel ingest path, at the environment-configured DOP
     /// (`SQLARRAY_DOP`, else the core count; serial inside
-    /// `parallel::with_serial_kernels`). The resulting layout, pool state
-    /// and I/O accounting are identical at every DOP.
+    /// `parallel::with_serial_kernels` — the same knob the scan
+    /// executor, `fftn`, and the dense linalg kernels read). The
+    /// resulting layout, pool state and I/O accounting are identical at
+    /// every DOP.
     pub fn bulk_insert(&mut self, table: &str, rows: &[(i64, Vec<RowValue>)]) -> Result<()> {
         self.bulk_insert_with_dop(table, rows, sqlarray_core::parallel::configured_dop())
     }

@@ -12,7 +12,9 @@ use crate::qr;
 use crate::svd;
 
 /// Solves `min ‖A·x − b‖₂` via QR. Returns `None` when A is (numerically)
-/// rank deficient — use [`lstsq_svd`] in that case.
+/// rank deficient — use [`lstsq_svd`] in that case. Panics (with the QR
+/// factorization's message) for underdetermined shapes `rows < cols`,
+/// including the 0-row case; those need [`lstsq_svd`] too.
 pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     assert_eq!(a.rows(), b.len(), "rhs length must match rows");
     let f = qr::qr(a);
@@ -23,12 +25,34 @@ pub fn lstsq(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
 }
 
 /// Solves least squares via the SVD pseudo-inverse, dropping singular
-/// values below `rcond * s_max`. Always succeeds (minimum-norm solution).
+/// values below `rcond * s_max` (negative `rcond` is clamped to 0).
+/// Always succeeds with the minimum-norm solution, including for
+/// degenerate systems: zero columns yield an empty solution, zero rows
+/// yield the zero vector, and a rank-0 (all-zero) matrix yields the zero
+/// vector — never NaN.
 pub fn lstsq_svd(a: &Matrix, b: &[f64], rcond: f64) -> Vec<f64> {
     assert_eq!(a.rows(), b.len(), "rhs length must match rows");
+    let n = a.cols();
+    if n == 0 {
+        // No unknowns: the unique (and thus minimum-norm) solution is
+        // the empty vector.
+        return Vec::new();
+    }
+    if a.rows() == 0 {
+        // No equations: every x is a solution; the minimum-norm one is 0.
+        return vec![0.0; n];
+    }
     let f = svd::gesvd(a);
-    let cutoff = rcond * f.s.first().copied().unwrap_or(0.0);
-    let mut utb = vec![0.0; a.cols()];
+    // The rank-revealing coefficient space has min(m, n) = s.len()
+    // dimensions — NOT n. Sizing `utb` by `a.cols()` (as this function
+    // once did) panicked inside `gemv_t` for every wide system, and the
+    // `zip` below silently ignored the excess entries for any caller
+    // that got past it.
+    let rank_dims = f.s.len();
+    assert_eq!(f.u.cols(), rank_dims, "thin U spans the singular values");
+    assert_eq!(f.v.cols(), rank_dims, "thin V spans the singular values");
+    let cutoff = rcond.max(0.0) * f.s.first().copied().unwrap_or(0.0);
+    let mut utb = vec![0.0; rank_dims];
     crate::blas::gemv_t(&f.u, b, &mut utb);
     for (c, &s) in utb.iter_mut().zip(&f.s) {
         if s > cutoff && s > 0.0 {
@@ -37,7 +61,7 @@ pub fn lstsq_svd(a: &Matrix, b: &[f64], rcond: f64) -> Vec<f64> {
             *c = 0.0;
         }
     }
-    let mut x = vec![0.0; a.cols()];
+    let mut x = vec![0.0; n];
     crate::blas::gemv(&f.v, &utb, &mut x);
     x
 }
@@ -129,6 +153,63 @@ mod tests {
         // Unweighted fit is badly off.
         let x_bad = lstsq_svd(&a, &b, 1e-12);
         assert!((x_bad[0] - 3.0).abs() > 1.0);
+    }
+
+    #[test]
+    fn wide_underdetermined_system_gets_minimum_norm_solution() {
+        // Regression: `utb` used to be sized by `a.cols()`, so every
+        // m < n system panicked inside `gemv_t` before producing
+        // anything. x₁ + x₂ = 2 has minimum-norm solution (1, 1).
+        let a = Matrix::from_rows(&[&[1.0, 1.0]]);
+        let x = lstsq_svd(&a, &[2.0], 1e-12);
+        close_vec(&x, &[1.0, 1.0], 1e-10);
+        assert!(residual_norm(&a, &x, &[2.0]) < 1e-10);
+        // 2×4 wide system, exactly satisfiable.
+        let a = Matrix::from_rows(&[&[1.0, 0.0, 1.0, 0.0], &[0.0, 2.0, 0.0, 1.0]]);
+        let b = [3.0, 4.0];
+        let x = lstsq_svd(&a, &b, 1e-12);
+        assert!(residual_norm(&a, &x, &b) < 1e-10);
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn degenerate_shapes_solve_cleanly() {
+        // 0 columns: no unknowns, empty solution — for any row count.
+        assert!(lstsq_svd(&Matrix::zeros(3, 0), &[1.0, 2.0, 3.0], 1e-12).is_empty());
+        assert!(lstsq_svd(&Matrix::zeros(0, 0), &[], 1e-12).is_empty());
+        assert_eq!(lstsq(&Matrix::zeros(0, 0), &[]), Some(Vec::new()));
+        // 0 rows: no equations, minimum-norm solution is the zero vector.
+        assert_eq!(lstsq_svd(&Matrix::zeros(0, 3), &[], 1e-12), vec![0.0; 3]);
+        // Weighted path composes the same degenerate handling.
+        assert_eq!(
+            lstsq_weighted(&Matrix::zeros(0, 2), &[], &[], 1e-12),
+            vec![0.0; 2]
+        );
+    }
+
+    #[test]
+    fn rank_zero_input_yields_zero_vector_not_nan() {
+        // All-zero matrix: s_max = 0, so the cutoff logic must zero
+        // every coefficient instead of dividing 0/0 into NaN.
+        let a = Matrix::zeros(4, 3);
+        let x = lstsq_svd(&a, &[1.0, -2.0, 3.0, 4.0], 1e-12);
+        assert_eq!(x, vec![0.0; 3]);
+        // Negative rcond clamps to 0 rather than resurrecting zero
+        // singular values through a negative cutoff.
+        let x = lstsq_svd(&a, &[1.0, -2.0, 3.0, 4.0], -1.0);
+        assert_eq!(x, vec![0.0; 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rows >= cols")]
+    fn qr_lstsq_rejects_underdetermined_shapes() {
+        let _ = lstsq(&Matrix::zeros(0, 2), &[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "rhs length")]
+    fn lstsq_svd_rejects_rhs_length_mismatch() {
+        let _ = lstsq_svd(&Matrix::zeros(3, 2), &[1.0], 1e-12);
     }
 
     #[test]

@@ -8,6 +8,7 @@
 
 use crate::blas;
 use crate::matrix::Matrix;
+use sqlarray_core::parallel::scoped_for_ranges_mut;
 
 /// The factorization result.
 #[derive(Debug, Clone)]
@@ -18,8 +19,55 @@ pub struct Qr {
     pub r: Matrix,
 }
 
-/// Computes the thin QR of `a` (`m × n`, requires `m ≥ n`).
+/// Applies the Householder reflector `(I − τ·v·vᵀ)` (acting on rows
+/// `k..m`) to columns `lo..hi` of `mat`, fanning disjoint columns over
+/// `dop` workers. Each column's update is an independent dot + axpy
+/// computed exactly as the serial loop computes it, so the result is
+/// bit-identical at any `dop` — this is the Q-application fan-out stage
+/// shared by factorization and Q formation.
+///
+/// The call is gated per reflector: a factorization applies ~2n of
+/// these, and the trailing panel shrinks with every step, so each call
+/// re-checks its own flop count against [`blas::PARALLEL_MIN_WORK`] and
+/// drops to the inline serial path once the panel is too small to repay
+/// a thread spawn.
+fn apply_reflector(
+    mat: &mut Matrix,
+    k: usize,
+    lo: usize,
+    hi: usize,
+    v: &[f64],
+    tau: f64,
+    dop: usize,
+) {
+    let m = mat.rows();
+    let work = 4 * (hi - lo) * (m - k);
+    let dop = if work >= blas::PARALLEL_MIN_WORK {
+        dop
+    } else {
+        1
+    };
+    let panel = &mut mat.as_mut_slice()[lo * m..hi * m];
+    scoped_for_ranges_mut(panel, m, dop, |cols, chunk| {
+        for slot in 0..cols.len() {
+            let cj = &mut chunk[slot * m + k..(slot + 1) * m];
+            let w = blas::dot(v, cj);
+            blas::axpy(-tau * w, v, cj);
+        }
+    });
+}
+
+/// Computes the thin QR of `a` (`m × n`, requires `m ≥ n`), at the
+/// configured DOP. The reflector *construction* is sequential (each
+/// reflector depends on the previous update), but its *application* to
+/// the trailing columns — the O(m·n²) bulk of the work — fans columns
+/// out; the factors are bit-identical to the serial run at any DOP.
 pub fn qr(a: &Matrix) -> Qr {
+    qr_with_dop(a, blas::kernel_dop(2 * a.rows() * a.cols() * a.cols()))
+}
+
+/// [`qr`] with an explicit degree of parallelism (1 = serial).
+pub fn qr_with_dop(a: &Matrix, dop: usize) -> Qr {
     let m = a.rows();
     let n = a.cols();
     assert!(m >= n, "qr requires rows >= cols; transpose first");
@@ -52,11 +100,7 @@ pub fn qr(a: &Matrix) -> Qr {
         let tau = 2.0;
 
         // Apply (I - tau v vᵀ) to the trailing columns.
-        for j in k..n {
-            let cj = &mut work.col_mut(j)[k..];
-            let w = blas::dot(&v, cj);
-            blas::axpy(-tau * w, &v, cj);
-        }
+        apply_reflector(&mut work, k, k, n, &v, tau, dop);
         taus.push((tau, v));
     }
 
@@ -78,11 +122,7 @@ pub fn qr(a: &Matrix) -> Qr {
         if *tau == 0.0 {
             continue;
         }
-        for j in 0..n {
-            let cj = &mut q.col_mut(j)[k..];
-            let w = blas::dot(v, cj);
-            blas::axpy(-tau * w, v, cj);
-        }
+        apply_reflector(&mut q, k, 0, n, v, *tau, dop);
     }
     Qr { q, r }
 }
@@ -91,6 +131,12 @@ pub fn qr(a: &Matrix) -> Qr {
 /// `None` when R is numerically singular — any diagonal below
 /// `ε·max|Rᵢᵢ|`, the same relative criterion LAPACK's condition estimate
 /// would trip on.
+///
+/// Deliberately serial at every DOP: each `x[i]` depends on all the
+/// `x[j]` (j > i) already solved, so a fan-out would have to reorder the
+/// O(n²) accumulation and break the bit-identical contract for no
+/// asymptotic gain — the O(m·n²) factorization above it is where the
+/// threads go.
 pub fn solve_upper(r: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
     let n = r.cols();
     assert_eq!(r.rows(), n);

@@ -11,6 +11,7 @@
 
 use crate::blas;
 use crate::matrix::Matrix;
+use sqlarray_core::parallel::{scoped_for_ranges_mut, scoped_map_ranges};
 
 /// Thin SVD `A = U · diag(s) · Vᵀ`.
 #[derive(Debug, Clone)]
@@ -23,11 +24,23 @@ pub struct Svd {
     pub v: Matrix,
 }
 
-/// Computes the thin SVD of `a` (`m × n`). Handles `m < n` by factoring
-/// the transpose and swapping U and V.
+/// Computes the thin SVD of `a` (`m × n`), at the configured DOP.
+/// Handles `m < n` by factoring the transpose and swapping U and V.
+///
+/// The one-sided Jacobi sweeps are inherently sequential (every rotation
+/// feeds the next pair), but the extraction stage — one `nrm2` per
+/// column, then the permuted, normalized copy-out of U and V — fans
+/// disjoint columns over workers with serial per-column math, so the
+/// factorization is bit-identical to the serial run at any DOP.
 pub fn gesvd(a: &Matrix) -> Svd {
+    gesvd_with_dop(a, blas::kernel_dop(2 * a.rows() * a.cols()))
+}
+
+/// [`gesvd`] with an explicit degree of parallelism (1 = serial) for the
+/// extraction fan-out.
+pub fn gesvd_with_dop(a: &Matrix, dop: usize) -> Svd {
     if a.rows() < a.cols() {
-        let t = gesvd(&a.transpose());
+        let t = gesvd_with_dop(&a.transpose(), dop);
         return Svd {
             u: t.v,
             s: t.s,
@@ -84,33 +97,48 @@ pub fn gesvd(a: &Matrix) -> Svd {
         }
     }
 
-    // Extract singular values (column norms) and normalize U.
+    // Extract singular values (column norms, one serial nrm2 per column,
+    // columns fanned over workers) and sort descending.
     let mut order: Vec<usize> = (0..n).collect();
-    let mut sigma: Vec<f64> = (0..n).map(|j| blas::nrm2(u.col(j))).collect();
+    let sigma: Vec<f64> = scoped_map_ranges(n, dop, |cols| {
+        cols.map(|j| blas::nrm2(u.col(j))).collect::<Vec<f64>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
     order.sort_by(|&i, &j| sigma[j].partial_cmp(&sigma[i]).expect("norms are finite"));
 
+    // Permuted, normalized copy-out: workers own disjoint destination
+    // columns of U and V; each column is a pure function of its source
+    // column and σ, so the output is bit-identical at any DOP.
     let mut u_out = Matrix::zeros(m, n);
     let mut v_out = Matrix::zeros(n, n);
-    let mut s_out = Vec::with_capacity(n);
-    for (dst, &src) in order.iter().enumerate() {
-        let sv = sigma[src];
-        s_out.push(sv);
-        if sv > 0.0 {
-            for i in 0..m {
-                u_out.set(i, dst, u.get(i, src) / sv);
+    // (`.max(1)` keeps the item size legal for 0×0 inputs, whose buffers
+    // are empty anyway.)
+    scoped_for_ranges_mut(u_out.as_mut_slice(), m.max(1), dop, |cols, chunk| {
+        for (slot, dst) in cols.enumerate() {
+            let src = order[dst];
+            let sv = sigma[src];
+            let out = &mut chunk[slot * m..(slot + 1) * m];
+            if sv > 0.0 {
+                for (i, o) in out.iter_mut().enumerate() {
+                    *o = u.get(i, src) / sv;
+                }
             }
-        } else {
-            // Null column: keep a zero vector (caller can re-orthonormalize
-            // if a full basis is required).
-            for i in 0..m {
-                u_out.set(i, dst, 0.0);
+            // else: null column stays the zero vector (caller can
+            // re-orthonormalize if a full basis is required).
+        }
+    });
+    scoped_for_ranges_mut(v_out.as_mut_slice(), n.max(1), dop, |cols, chunk| {
+        for (slot, dst) in cols.enumerate() {
+            let src = order[dst];
+            let out = &mut chunk[slot * n..(slot + 1) * n];
+            for (i, o) in out.iter_mut().enumerate() {
+                *o = v.get(i, src);
             }
         }
-        for i in 0..n {
-            v_out.set(i, dst, v.get(i, src));
-        }
-        sigma[src] = sv;
-    }
+    });
+    let s_out: Vec<f64> = order.iter().map(|&src| sigma[src]).collect();
     Svd {
         u: u_out,
         s: s_out,

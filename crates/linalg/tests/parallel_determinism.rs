@@ -1,0 +1,197 @@
+//! Parallel linalg is an optimization, not a different kernel: every
+//! fan-out path (`gemm`/`gemv`/`gemv_t`/`gram`, the QR reflector
+//! application, the SVD extraction, the PCA fit) must return results
+//! **byte-identical** to the serial path at any DOP — the same contract
+//! the scan executor and `fftn` honour — and must pin to one lane inside
+//! a `parallel::with_serial_kernels` scope. The model-based properties
+//! below drive arbitrary shapes and data through DOP 1/2/4/8 against the
+//! serial model.
+
+use proptest::prelude::*;
+use sqlarray_core::parallel::with_serial_kernels;
+use sqlarray_linalg::{blas, pca, qr_with_dop, Matrix};
+
+/// Byte-level equality: `f64` compares by bit pattern, so `-0.0` vs
+/// `0.0` divergence fails and identical NaNs pass.
+fn bits_equal(a: &[f64], b: &[f64]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn assert_bits_equal(a: &[f64], b: &[f64], context: &str) {
+    assert!(bits_equal(a, b), "{context}: parallel diverged from serial");
+}
+
+/// Strategy: a matrix shape (1..=40 × 1..=24) with data spanning signs,
+/// zeros, and several orders of magnitude — the entries where a changed
+/// accumulation order would show up in the low bits.
+fn matrix_strategy(
+    max_rows: usize,
+    max_cols: usize,
+) -> impl Strategy<Value = (usize, usize, Vec<f64>)> {
+    (1..=max_rows, 1..=max_cols).prop_flat_map(|(m, n)| {
+        (
+            Just(m),
+            Just(n),
+            prop::collection::vec(-1e3f64..1e3, m * n..=m * n),
+        )
+    })
+}
+
+const DOPS: [usize; 4] = [1, 2, 4, 8];
+
+proptest! {
+    /// Blocked/parallel gemm == naive serial gemm, bit for bit, at every
+    /// DOP (the cache-blocked path must preserve the per-element
+    /// accumulation order exactly).
+    #[test]
+    fn gemm_matches_naive_model_at_any_dop(
+        (m, k, a_data) in matrix_strategy(24, 16),
+        n in 1usize..=12,
+        b_seed in any::<u64>(),
+    ) {
+        let a = Matrix::from_col_major(m, k, a_data);
+        // B derived deterministically from the seed, with exact zeros
+        // sprinkled in (the naive path skips them; blocked must too).
+        let mut state = b_seed | 1;
+        let b = Matrix::from_fn(k, n, |_, _| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            if state >> 62 == 0 { 0.0 } else { ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0 }
+        });
+        let want = blas::gemm_naive(&a, &b);
+        for dop in DOPS {
+            let got = blas::gemm_with_dop(&a, &b, dop);
+            prop_assert!(bits_equal(got.as_slice(), want.as_slice()), "gemm dop {}", dop);
+        }
+        // The auto-DOP front door and the serial-kernel scope agree too.
+        prop_assert!(bits_equal(blas::gemm(&a, &b).as_slice(), want.as_slice()));
+        let pinned = with_serial_kernels(|| blas::gemm(&a, &b));
+        prop_assert!(bits_equal(pinned.as_slice(), want.as_slice()));
+    }
+
+    /// gemv / gemv_t / gram against their DOP-1 runs.
+    #[test]
+    fn matvec_and_gram_are_dop_invariant((m, n, data) in matrix_strategy(40, 24)) {
+        let a = Matrix::from_col_major(m, n, data);
+        let x: Vec<f64> = (0..n).map(|i| ((i * 37) % 19) as f64 - 9.0).collect();
+        let xt: Vec<f64> = (0..m).map(|i| ((i * 23) % 17) as f64 - 8.0).collect();
+        let mut y_serial = vec![0.0; m];
+        blas::gemv_with_dop(&a, &x, &mut y_serial, 1);
+        let mut yt_serial = vec![0.0; n];
+        blas::gemv_t_with_dop(&a, &xt, &mut yt_serial, 1);
+        let g_serial = blas::gram_with_dop(&a, 1);
+        for dop in DOPS {
+            let mut y = vec![0.0; m];
+            blas::gemv_with_dop(&a, &x, &mut y, dop);
+            prop_assert!(bits_equal(&y, &y_serial), "gemv dop {}", dop);
+            let mut yt = vec![0.0; n];
+            blas::gemv_t_with_dop(&a, &xt, &mut yt, dop);
+            prop_assert!(bits_equal(&yt, &yt_serial), "gemv_t dop {}", dop);
+            let g = blas::gram_with_dop(&a, dop);
+            prop_assert!(bits_equal(g.as_slice(), g_serial.as_slice()), "gram dop {}", dop);
+        }
+    }
+
+    /// QR factors (and therefore the least-squares solves built on them)
+    /// are bit-identical at every DOP.
+    #[test]
+    fn qr_is_dop_invariant((n, m_extra, data) in matrix_strategy(12, 18)) {
+        // Reshape into rows >= cols: (cols + extra) × cols.
+        let (rows, cols) = (n + m_extra, n.min(data.len() / (n + m_extra)).max(1));
+        let a = Matrix::from_fn(rows, cols, |i, j| data[(j * rows + i) % data.len()]);
+        let serial = qr_with_dop(&a, 1);
+        for dop in [2usize, 4, 8] {
+            let par = qr_with_dop(&a, dop);
+            prop_assert!(bits_equal(par.q.as_slice(), serial.q.as_slice()), "Q dop {}", dop);
+            prop_assert!(bits_equal(par.r.as_slice(), serial.r.as_slice()), "R dop {}", dop);
+        }
+    }
+}
+
+#[test]
+fn qr_above_the_reflector_work_gate_is_dop_invariant() {
+    // The per-reflector gate (4·cols·rows ≥ 64 Ki flops) keeps tiny
+    // panels serial, so the proptest shapes above never actually fan
+    // out. This fixture clears the gate for the early reflectors
+    // (4·64·300 ≈ 77 K) and shrinks through it, exercising the parallel
+    // path, the serial tail, and the transition between them.
+    let a = Matrix::from_fn(300, 64, |i, j| ((i * 13 + j * 29) % 37) as f64 / 37.0 - 0.5);
+    let serial = qr_with_dop(&a, 1);
+    for dop in [2usize, 4, 8] {
+        let par = qr_with_dop(&a, dop);
+        assert_bits_equal(par.q.as_slice(), serial.q.as_slice(), "large Q");
+        assert_bits_equal(par.r.as_slice(), serial.r.as_slice(), "large R");
+    }
+    // Factors are valid too, not just equal: QᵀQ = I and QR = A.
+    let qtq = blas::gram(&serial.q);
+    assert!(qtq.max_abs_diff(&Matrix::identity(64)) < 1e-10);
+    assert!(blas::gemm(&serial.q, &serial.r).max_abs_diff(&a) < 1e-9);
+}
+
+#[test]
+fn pca_fit_is_dop_invariant_including_serial_scope() {
+    // A fixture big enough to clear the parallel work gate (so `fit`'s
+    // front door genuinely fans out) with structure along known
+    // directions plus deterministic noise.
+    let samples = 300;
+    let features = 24;
+    let mut state = 0xC0FFEEu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        ((state >> 33) as f64 / (1u64 << 31) as f64) - 1.0
+    };
+    let data = Matrix::from_fn(samples, features, |i, j| {
+        let t = i as f64 * 0.05;
+        (j as f64 + 1.0) * t.sin() + 0.01 * next()
+    });
+    let k = 6;
+    let serial = pca::fit_with_dop(&data, k, 1);
+    for dop in [2usize, 4, 8] {
+        let par = pca::fit_with_dop(&data, k, dop);
+        assert_bits_equal(&par.mean, &serial.mean, "pca mean");
+        assert_bits_equal(
+            par.components.as_slice(),
+            serial.components.as_slice(),
+            "pca components",
+        );
+        assert_bits_equal(
+            &par.explained_variance,
+            &serial.explained_variance,
+            "pca explained variance",
+        );
+        assert_eq!(
+            par.total_variance.to_bits(),
+            serial.total_variance.to_bits(),
+            "pca total variance"
+        );
+    }
+    // The auto-DOP front door matches, and inside with_serial_kernels it
+    // pins to one lane and still matches.
+    let auto = pca::fit(&data, k);
+    assert_bits_equal(
+        auto.components.as_slice(),
+        serial.components.as_slice(),
+        "auto fit",
+    );
+    let pinned = with_serial_kernels(|| pca::fit(&data, k));
+    assert_bits_equal(
+        pinned.components.as_slice(),
+        serial.components.as_slice(),
+        "fit under with_serial_kernels",
+    );
+}
+
+#[test]
+fn svd_and_reconstruction_are_dop_invariant() {
+    let a = Matrix::from_fn(96, 40, |i, j| ((i * 31 + j * 17) % 23) as f64 - 11.0);
+    let serial = sqlarray_linalg::svd::gesvd_with_dop(&a, 1);
+    for dop in [2usize, 4, 8] {
+        let par = sqlarray_linalg::svd::gesvd_with_dop(&a, dop);
+        assert_bits_equal(&par.s, &serial.s, "singular values");
+        assert_bits_equal(par.u.as_slice(), serial.u.as_slice(), "U");
+        assert_bits_equal(par.v.as_slice(), serial.v.as_slice(), "V");
+    }
+    let auto = sqlarray_linalg::gesvd(&a);
+    assert_bits_equal(auto.u.as_slice(), serial.u.as_slice(), "auto gesvd");
+}

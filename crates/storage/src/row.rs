@@ -128,7 +128,7 @@ pub fn encode_row_inline(schema: &Schema, values: &[RowValue]) -> Result<Vec<u8>
 /// matching what [`encode_row`] produces after spilling — this is the
 /// bulk loader's pre-flight check, run before any store mutation.
 ///
-/// Kept adjacent to [`encode_row_impl`] because the two must agree
+/// Kept adjacent to `encode_row_impl` because the two must agree
 /// byte-for-byte; `encoded_len_matches_encoding` pins that.
 pub fn encoded_len(schema: &Schema, values: &[RowValue]) -> Result<usize> {
     if values.len() != schema.columns.len() {
