@@ -1,0 +1,49 @@
+//! Subarray pushdown vs full materialization over stored LOB arrays.
+//!
+//! Benches the same two query forms `table1_report`'s pushdown section
+//! measures: `Subarray` straight over the `varbinary(max)` column (lazy
+//! LOB value, page-ranged reads of only the intersecting chunk pages) vs
+//! `Subarray` over an identity-`Reshape`d copy (full blob materialized
+//! first), at 1 MB and 16 MB stored arrays. Each iteration runs cold
+//! (buffer pool cleared) so the page savings dominate the measurement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sqlarray_bench::{build_subarray_fixture, rows_bit_identical};
+
+fn bench_subarray_pushdown(c: &mut Criterion) {
+    let mut group = c.benchmark_group("subarray_pushdown");
+    for mb in [1usize, 16] {
+        // One cold correctness pass per size before any timing: the two
+        // query forms must agree bit for bit, so a pushdown regression
+        // fails the bench run itself.
+        {
+            let mut fx = build_subarray_fixture(mb);
+            fx.session.db.store.clear_cache();
+            let push = fx.session.query(&fx.pushdown_sql).expect("pushdown query");
+            fx.session.db.store.clear_cache();
+            let full = fx.session.query(&fx.full_sql).expect("full query");
+            assert!(
+                rows_bit_identical(&push.rows, &full.rows),
+                "pushdown diverged from full materialization at {mb} MB"
+            );
+        }
+        let mut fx = build_subarray_fixture(mb);
+        group.bench_function(format!("pushdown/{mb}MB"), |b| {
+            b.iter(|| {
+                fx.session.db.store.clear_cache();
+                fx.session.query(&fx.pushdown_sql).expect("pushdown query")
+            })
+        });
+        let mut fx = build_subarray_fixture(mb);
+        group.bench_function(format!("full_materialize/{mb}MB"), |b| {
+            b.iter(|| {
+                fx.session.db.store.clear_cache();
+                fx.session.query(&fx.full_sql).expect("full query")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_subarray_pushdown);
+criterion_main!(benches);

@@ -7,8 +7,8 @@
 //! ```
 
 use sqlarray_bench::{
-    build_table1_db_with_dop, rows_from_env, run_linalg_report, run_table1, storage_overhead,
-    TABLE1_QUERIES, TESTBED_DOP,
+    build_table1_db_with_dop, rows_from_env, run_linalg_report, run_subarray_report, run_table1,
+    storage_overhead, TABLE1_QUERIES, TESTBED_DOP,
 };
 use sqlarray_engine::HostingModel;
 
@@ -154,6 +154,24 @@ fn main() {
         dop = lr.dop,
         x = lr.pca_serial_seconds / lr.pca_parallel_seconds.max(1e-9),
     );
+
+    // --- §3.3: subarray pushdown over LOB arrays ---------------------
+    println!();
+    println!("== Subarray pushdown (lazy LOB values, page-ranged reads, Sec. 3.3) ==");
+    for r in run_subarray_report() {
+        println!(
+            "{:>3} MB array, {:.2}% slice: pushdown {} pages / {:.4} s vs full \
+             {} pages / {:.4} s  ({:.0}x fewer pages, {:.1}x faster); results bit-identical",
+            r.mb,
+            r.slice_percent,
+            r.pushdown_pages,
+            r.pushdown_seconds,
+            r.full_pages,
+            r.full_seconds,
+            r.page_factor(),
+            r.full_seconds / r.pushdown_seconds.max(1e-9),
+        );
+    }
 
     // --- §6.2: storage sizes -----------------------------------------
     println!();

@@ -286,6 +286,30 @@ impl Header {
         }
     }
 
+    /// Plans the blob-absolute byte runs covering the rectangular region
+    /// `[offset, offset + size)` — the region → byte-run planner that
+    /// `Subarray` pushdown hands to a vectored source read.
+    ///
+    /// Each run is `(byte_offset, byte_len)` with the header length
+    /// already folded into the offsets; runs are emitted in ascending
+    /// order (reusing [`Shape::region_runs`], so full leading axes fuse
+    /// into long contiguous ranges) and cover exactly the region's
+    /// payload bytes. The region is bounds-checked against the shape.
+    pub fn region_byte_runs(
+        &self,
+        offset: &[usize],
+        size: &[usize],
+    ) -> Result<Vec<(usize, usize)>> {
+        self.shape.validate_subarray(offset, size)?;
+        let es = self.elem.size();
+        let hlen = self.header_len();
+        Ok(self
+            .shape
+            .region_runs(offset, size)
+            .map(|(start, len)| (hlen + start * es, len * es))
+            .collect())
+    }
+
     /// How many leading bytes of a blob must be fetched before
     /// [`decode`](Self::decode) can succeed. For short blobs this is the
     /// whole fixed header; for max blobs the fixed part is enough to learn
@@ -440,6 +464,25 @@ mod tests {
         assert_eq!(Header::probe_len(&hm.encode_vec()).unwrap(), 16 + 12);
         // The probe only needs the first 8 bytes for max arrays.
         assert_eq!(Header::probe_len(&hm.encode_vec()[..8]).unwrap(), 16 + 12);
+    }
+
+    #[test]
+    fn region_byte_runs_cover_the_region_in_order() {
+        let h = Header::new(StorageClass::Max, ElementType::Float64, shape(&[6, 5, 4])).unwrap();
+        let runs = h.region_byte_runs(&[1, 2, 0], &[3, 2, 4]).unwrap();
+        let total: usize = runs.iter().map(|r| r.1).sum();
+        assert_eq!(total, 3 * 2 * 4 * 8);
+        let mut prev_end = h.header_len();
+        for &(off, len) in &runs {
+            assert!(off >= prev_end, "runs out of order or overlapping");
+            assert!(off + len <= h.blob_len());
+            prev_end = off + len;
+        }
+        // Full leading axes fuse into one long run.
+        let fused = h.region_byte_runs(&[0, 0, 1], &[6, 5, 2]).unwrap();
+        assert_eq!(fused, vec![(h.header_len() + 6 * 5 * 8, 6 * 5 * 2 * 8)]);
+        // Bounds are enforced.
+        assert!(h.region_byte_runs(&[4, 0, 0], &[3, 1, 1]).is_err());
     }
 
     #[test]

@@ -1,32 +1,39 @@
 //! Whole-array aggregates.
 //!
 //! The requirements list a "simple T-SQL interface to perform various
-//! aggregate operations over arrays". Real-valued aggregates accumulate in
-//! `f64`; `sum`/`mean` also work on complex arrays (accumulating in
-//! `Complex64`), while order statistics (`min`/`max`) are defined only for
-//! real element types.
+//! aggregate operations over arrays". Real-valued summations accumulate in
+//! [`ExactSum`] — the same order-independent, exactly rounded accumulator
+//! behind the engine's parallel `SUM`/`AVG` — so `agg::sum` over an array
+//! equals a parallel `SUM` over the same values bit for bit, regardless of
+//! element order or partitioning. `sum`/`mean` also work on complex arrays
+//! (accumulating componentwise), while order statistics (`min`/`max`) are
+//! defined only for real element types.
 
 use crate::array::SqlArray;
 use crate::complex::Complex64;
 use crate::element::ElementType;
 use crate::errors::{ArrayError, Result};
+use crate::exact::ExactSum;
 use crate::scalar::Scalar;
 
 /// Sum of all elements. Complex arrays return a complex sum; real arrays a
-/// double.
+/// double. Real (and complex-component) accumulation is exactly rounded.
 pub fn sum(a: &SqlArray) -> Result<Scalar> {
     if a.elem().is_complex() {
-        let mut acc = Complex64::ZERO;
+        let mut re = ExactSum::new();
+        let mut im = ExactSum::new();
         for s in a.iter_scalars() {
-            acc += s.as_c64();
+            let c = s.as_c64();
+            re.add(c.re);
+            im.add(c.im);
         }
-        Ok(Scalar::C64(acc))
+        Ok(Scalar::C64(Complex64::new(re.value(), im.value())))
     } else {
-        let mut acc = 0.0f64;
+        let mut acc = ExactSum::new();
         for s in a.iter_scalars() {
-            acc += s.as_f64()?;
+            acc.add(s.as_f64()?);
         }
-        Ok(Scalar::F64(acc))
+        Ok(Scalar::F64(acc.value()))
     }
 }
 
@@ -61,17 +68,17 @@ pub fn max(a: &SqlArray) -> Result<Scalar> {
 }
 
 /// Population standard deviation (real types only). Computed with the
-/// two-pass algorithm for accuracy.
+/// two-pass algorithm, both passes exactly rounded.
 pub fn stddev(a: &SqlArray) -> Result<Scalar> {
     require_real(a)?;
     let n = a.count() as f64;
     let mu = mean(a)?.as_f64()?;
-    let mut acc = 0.0f64;
+    let mut acc = ExactSum::new();
     for s in a.iter_scalars() {
         let d = s.as_f64()? - mu;
-        acc += d * d;
+        acc.add(d * d);
     }
-    Ok(Scalar::F64((acc / n).sqrt()))
+    Ok(Scalar::F64((acc.value() / n).sqrt()))
 }
 
 /// Number of non-zero elements (all types; complex counts non-zero modulus).
@@ -86,19 +93,20 @@ pub fn count_nonzero(a: &SqlArray) -> usize {
 }
 
 /// Euclidean (L2) norm. Complex arrays use the modulus of each element.
+/// The sum of squares is exactly rounded before the square root.
 pub fn norm2(a: &SqlArray) -> Result<f64> {
-    let mut acc = 0.0f64;
+    let mut acc = ExactSum::new();
     for s in a.iter_scalars() {
         match s {
-            Scalar::C32(c) => acc += c.norm_sqr() as f64,
-            Scalar::C64(c) => acc += c.norm_sqr(),
+            Scalar::C32(c) => acc.add(c.norm_sqr() as f64),
+            Scalar::C64(c) => acc.add(c.norm_sqr()),
             other => {
                 let v = other.as_f64()?;
-                acc += v * v;
+                acc.add(v * v);
             }
         }
     }
-    Ok(acc.sqrt())
+    Ok(acc.value().sqrt())
 }
 
 fn require_real(a: &SqlArray) -> Result<()> {
@@ -111,6 +119,9 @@ fn require_real(a: &SqlArray) -> Result<()> {
     Ok(())
 }
 
+/// Order-statistic fold (`min`/`max`). Unlike the summations above it
+/// carries no rounding — `min`/`max` over `f64` views are exact by
+/// construction — so a plain fold is already order-independent here.
 fn fold_real(a: &SqlArray, init: f64, f: impl Fn(f64, f64) -> f64) -> Result<Scalar> {
     require_real(a)?;
     let mut acc = init;
@@ -135,6 +146,18 @@ mod tests {
         assert!(close(sum(&a).unwrap().as_f64().unwrap(), 10.0));
         assert!(close(mean(&a).unwrap().as_f64().unwrap(), 2.5));
         assert!(close(product(&a).unwrap().as_f64().unwrap(), 24.0));
+    }
+
+    #[test]
+    fn sum_is_exactly_rounded_and_order_independent() {
+        // A cancellation pattern a naive fold loses in one direction —
+        // the same contract the engine's parallel SUM makes.
+        let xs = [1e100, 1.0, -1e100, 1e-30];
+        let fwd = short_vector(&xs).unwrap();
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        let bwd = short_vector(&rev).unwrap();
+        assert_eq!(sum(&fwd).unwrap(), sum(&bwd).unwrap());
+        assert_eq!(sum(&fwd).unwrap(), Scalar::F64(1.0 + 1e-30));
     }
 
     #[test]

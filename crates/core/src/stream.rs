@@ -23,6 +23,36 @@ pub trait ArraySource {
     /// Reads `buf.len()` bytes starting at `offset`. Must fill the whole
     /// buffer or fail.
     fn read_at(&mut self, offset: usize, buf: &mut [u8]) -> Result<()>;
+
+    /// Vectored read: fills `out` with the bytes of `runs` (a sequence of
+    /// `(offset, len)` ranges), run after run. `out` must be exactly the
+    /// runs' total length.
+    ///
+    /// The default implementation issues one [`read_at`](Self::read_at)
+    /// per run. Sources backed by paged storage override it to map the
+    /// whole run set onto the minimal set of pages in one pass — this is
+    /// the hook `Subarray` pushdown reads a region through.
+    fn read_runs(&mut self, runs: &[(usize, usize)], out: &mut [u8]) -> Result<()> {
+        let mut cursor = 0usize;
+        for &(offset, len) in runs {
+            let end = cursor + len;
+            if end > out.len() {
+                return Err(ArrayError::Io(format!(
+                    "vectored read plans more than the {}-byte buffer",
+                    out.len()
+                )));
+            }
+            self.read_at(offset, &mut out[cursor..end])?;
+            cursor = end;
+        }
+        if cursor != out.len() {
+            return Err(ArrayError::Io(format!(
+                "vectored read plans {cursor} bytes into a {}-byte buffer",
+                out.len()
+            )));
+        }
+        Ok(())
+    }
 }
 
 /// The trivial in-memory source (a blob already fetched into RAM).
@@ -97,6 +127,12 @@ impl<S: ArraySource> ArrayReader<S> {
     /// that cover it. Returns a fully materialized array of the same
     /// element type and storage class (squeeze semantics as in
     /// [`crate::ops::subarray`]).
+    ///
+    /// The whole region is planned up front ([`Header::region_byte_runs`])
+    /// and fetched in **one** vectored
+    /// [`read_runs`](ArraySource::read_runs) call, so a paged source can
+    /// coalesce the runs and touch each backing page once — the parent
+    /// payload is never materialized.
     pub fn subarray(
         &mut self,
         offset: &[usize],
@@ -109,24 +145,15 @@ impl<S: ArraySource> ArrayReader<S> {
         } else {
             out_shape.clone()
         };
-        let es = self.header.elem.size();
-        let hlen = self.header.header_len();
 
         let out_header = Header::new(self.header.class, self.header.elem, final_shape)?;
         let out_hlen = out_header.header_len();
         let mut out = vec![0u8; out_header.blob_len()];
         out_header.encode(&mut out);
 
-        let mut cursor = out_hlen;
-        for (start_elem, run_elems) in self.header.shape.region_runs(offset, size) {
-            let byte_off = hlen + start_elem * es;
-            let byte_len = run_elems * es;
-            self.source
-                .read_at(byte_off, &mut out[cursor..cursor + byte_len])?;
-            self.bytes_read += byte_len;
-            cursor += byte_len;
-        }
-        debug_assert_eq!(cursor, out.len());
+        let runs = self.header.region_byte_runs(offset, size)?;
+        self.source.read_runs(&runs, &mut out[out_hlen..])?;
+        self.bytes_read += out.len() - out_hlen;
         SqlArray::from_blob(out)
     }
 

@@ -33,6 +33,21 @@ pub fn schema_name(elem: ElementType, class: StorageClass) -> String {
     }
 }
 
+/// Reverse of [`schema_name`]: resolves a schema identifier back to its
+/// `(element type, storage class)` pair, case-insensitively. Used by the
+/// `Subarray`/`Item` pushdown rewrite to recover the runtime checks a
+/// schema-qualified call implies without materializing the blob.
+pub fn parse_schema(name: &str) -> Option<(ElementType, StorageClass)> {
+    for elem in ElementType::ALL {
+        for class in [StorageClass::Short, StorageClass::Max] {
+            if name.eq_ignore_ascii_case(&schema_name(elem, class)) {
+                return Some((elem, class));
+            }
+        }
+    }
+    None
+}
+
 /// Runtime check that a blob belongs to this schema — the paper's "detect
 /// type mismatches at runtime when the blobs are passed to the wrong
 /// functions" (§3.5).
@@ -74,8 +89,10 @@ fn value_to_scalar(v: &Value, elem: ElementType) -> Result<Scalar> {
 }
 
 /// Decodes an index-vector argument (the paper passes offsets/sizes as
-/// `IntArray.Vector_N(...)` blobs).
-fn index_vector(v: &Value) -> Result<Vec<usize>> {
+/// `IntArray.Vector_N(...)` blobs). Shared with the pushdown rewrite,
+/// which decodes the same offset/size arguments without touching the
+/// target array's payload.
+pub(crate) fn index_vector(v: &Value) -> Result<Vec<usize>> {
     let a = v.as_array()?;
     let mut out = Vec::with_capacity(a.count());
     for s in a.iter_scalars() {

@@ -195,6 +195,63 @@ fn resolve_udas(expr: &Expr, udas: &UdaRegistry) -> Expr {
     }
 }
 
+/// A typed, byte-encoded GROUP BY key: one tag byte per value followed by
+/// that value's canonical little-endian payload.
+///
+/// Replaces the old `format!("{v:?}|")` string keys — no per-row
+/// formatting allocations in the hot scan loop, and no `Debug`-collision
+/// ambiguity (the string `"1"` and the integer `1` now encode
+/// differently; floats key by bit pattern, consistent with the
+/// bit-identity contract).
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+struct GroupKey(Vec<u8>);
+
+impl GroupKey {
+    fn push(&mut self, v: &Value) -> Result<()> {
+        let buf = &mut self.0;
+        match v {
+            Value::Null => buf.push(0),
+            Value::I64(x) => {
+                buf.push(1);
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::I32(x) => {
+                buf.push(2);
+                buf.extend_from_slice(&x.to_le_bytes());
+            }
+            Value::F64(x) => {
+                buf.push(3);
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::F32(x) => {
+                buf.push(4);
+                buf.extend_from_slice(&x.to_bits().to_le_bytes());
+            }
+            Value::Bytes(b) => {
+                buf.push(5);
+                buf.extend_from_slice(&(b.len() as u64).to_le_bytes());
+                buf.extend_from_slice(b);
+            }
+            Value::Str(s) => {
+                buf.push(6);
+                buf.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                buf.extend_from_slice(s.as_bytes());
+            }
+            Value::Bool(b) => {
+                buf.push(7);
+                buf.push(*b as u8);
+            }
+            // Group-key expressions resolve LOBs before encoding; an
+            // unresolved reference reaching this point is a bug upstream,
+            // surfaced as the typed error rather than a silent key.
+            Value::Lob { id, len } => {
+                return Err(EngineError::UnresolvedLob { id: *id, len: *len })
+            }
+        }
+        Ok(())
+    }
+}
+
 /// One select-list accumulator — the partial state a single worker
 /// maintains for one item of one group.
 // The `Agg` variant carries an inline `ExactSum` register (~0.3 kB);
@@ -267,9 +324,17 @@ impl ItemAcc {
                     *count += 1;
                     return Ok(());
                 }
-                let v = v.expect("non-COUNT(*) aggregates have an argument");
+                let mut v = v.expect("non-COUNT(*) aggregates have an argument");
                 if v.is_null() {
                     return Ok(());
+                }
+                // MIN/MAX order blobs bytewise and SUM/AVG need a numeric
+                // view, so a lazy LOB argument behaves exactly like its
+                // inline counterpart: materialize it. COUNT only needs
+                // null-ness (a LOB reference is never NULL) — skip the
+                // read there.
+                if !matches!(func, AggFunc::Count) {
+                    crate::pushdown::resolve_lob_in_place(&mut v, env)?;
                 }
                 *count += 1;
                 match func {
@@ -301,7 +366,11 @@ impl ItemAcc {
             ItemAcc::Uda { args, state, .. } => {
                 let mut argv = Vec::with_capacity(args.len());
                 for a in args.iter() {
-                    argv.push(eval(a, Some(row), env)?);
+                    let mut v = eval(a, Some(row), env)?;
+                    // UDA accumulate bodies take bytes, not references:
+                    // materialize lazy LOB arguments here.
+                    crate::pushdown::resolve_lob_in_place(&mut v, env)?;
+                    argv.push(v);
                 }
                 if uda_mode == UdaMode::StreamSerialized {
                     let buf = state.serialize_state();
@@ -314,7 +383,11 @@ impl ItemAcc {
             }
             ItemAcc::Plain { expr, value } => {
                 if value.is_none() {
-                    *value = Some(eval(expr, Some(row), env)?);
+                    let mut v = eval(expr, Some(row), env)?;
+                    // The value outlives the row scan: materialize lazy
+                    // LOB references while the worker's reader is live.
+                    crate::pushdown::resolve_lob_in_place(&mut v, env)?;
+                    *value = Some(v);
                 }
                 Ok(())
             }
@@ -441,9 +514,10 @@ struct WorkerScan {
 enum WorkerOut {
     /// Projection rows, in key order, capped at the limit.
     Rows(Vec<Vec<Value>>),
-    /// Aggregate groups in first-appearance order, with their key strings.
+    /// Aggregate groups in first-appearance order, with their encoded
+    /// group keys.
     Groups {
-        keys: Vec<String>,
+        keys: Vec<GroupKey>,
         accs: Vec<Vec<ItemAcc>>,
     },
 }
@@ -518,8 +592,8 @@ fn scan_worker_body(
     let mut inner_err: Option<EngineError> = None;
 
     let out = if job.has_aggregate {
-        let mut group_index: HashMap<String, usize> = HashMap::new();
-        let mut keys: Vec<String> = Vec::new();
+        let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
+        let mut keys: Vec<GroupKey> = Vec::new();
         let mut groups: Vec<Vec<ItemAcc>> = Vec::new();
         if job.group_by.is_empty() {
             let accs = job
@@ -528,66 +602,71 @@ fn scan_worker_body(
                 .map(|it| make_acc(&it.expr, job.udas))
                 .collect::<Result<Vec<_>>>()?;
             groups.push(accs);
-            keys.push(String::new());
-            group_index.insert(String::new(), 0);
+            keys.push(GroupKey::default());
+            group_index.insert(GroupKey::default(), 0);
         }
         {
             let hosting = &mut *hosting;
-            job.table.scan_partition(reader, part, |key, bytes| {
-                *rows_scanned += 1;
-                let row = RowCtx {
-                    schema: job.schema,
-                    bytes,
-                    key,
-                };
-                let mut env = EvalEnv {
-                    udfs: job.udfs,
-                    hosting,
-                    vars: job.vars,
-                };
-                let step = (|| -> Result<()> {
-                    if let Some(w) = job.where_clause {
-                        if !eval(w, Some(&row), &mut env)?.is_true() {
-                            return Ok(());
-                        }
-                    }
-                    let gidx = if job.group_by.is_empty() {
-                        0
-                    } else {
-                        let mut key_parts = String::new();
-                        for g in job.group_by.iter() {
-                            let v = eval(g, Some(&row), &mut env)?;
-                            key_parts.push_str(&format!("{v:?}|"));
-                        }
-                        match group_index.get(&key_parts) {
-                            Some(&i) => i,
-                            None => {
-                                let accs = job
-                                    .items
-                                    .iter()
-                                    .map(|it| make_acc(&it.expr, job.udas))
-                                    .collect::<Result<Vec<_>>>()?;
-                                groups.push(accs);
-                                let i = groups.len() - 1;
-                                keys.push(key_parts.clone());
-                                group_index.insert(key_parts, i);
-                                i
+            job.table
+                .scan_partition(reader, part, |reader, key, bytes| {
+                    *rows_scanned += 1;
+                    let row = RowCtx {
+                        schema: job.schema,
+                        bytes,
+                        key,
+                    };
+                    let mut env = EvalEnv {
+                        udfs: job.udfs,
+                        hosting,
+                        vars: job.vars,
+                        lobs: Some(reader),
+                    };
+                    let step = (|| -> Result<()> {
+                        if let Some(w) = job.where_clause {
+                            if !eval(w, Some(&row), &mut env)?.is_true() {
+                                return Ok(());
                             }
                         }
-                    };
-                    for acc in groups[gidx].iter_mut() {
-                        acc.accumulate(&row, &mut env, job.uda_mode)?;
+                        let gidx = if job.group_by.is_empty() {
+                            0
+                        } else {
+                            let mut group_key = GroupKey::default();
+                            for g in job.group_by.iter() {
+                                let mut v = eval(g, Some(&row), &mut env)?;
+                                // Grouping by a LOB column groups by its
+                                // bytes, like any other binary value.
+                                crate::pushdown::resolve_lob_in_place(&mut v, &mut env)?;
+                                group_key.push(&v)?;
+                            }
+                            match group_index.get(&group_key) {
+                                Some(&i) => i,
+                                None => {
+                                    let accs = job
+                                        .items
+                                        .iter()
+                                        .map(|it| make_acc(&it.expr, job.udas))
+                                        .collect::<Result<Vec<_>>>()?;
+                                    groups.push(accs);
+                                    let i = groups.len() - 1;
+                                    keys.push(group_key.clone());
+                                    group_index.insert(group_key, i);
+                                    i
+                                }
+                            }
+                        };
+                        for acc in groups[gidx].iter_mut() {
+                            acc.accumulate(&row, &mut env, job.uda_mode)?;
+                        }
+                        Ok(())
+                    })();
+                    match step {
+                        Ok(()) => Ok(true),
+                        Err(e) => {
+                            inner_err = Some(e);
+                            Ok(false)
+                        }
                     }
-                    Ok(())
-                })();
-                match step {
-                    Ok(()) => Ok(true),
-                    Err(e) => {
-                        inner_err = Some(e);
-                        Ok(false)
-                    }
-                }
-            })?;
+                })?;
         }
         if let Some(e) = inner_err {
             return Err(e);
@@ -597,42 +676,49 @@ fn scan_worker_body(
         let mut rows: Vec<Vec<Value>> = Vec::new();
         {
             let hosting = &mut *hosting;
-            job.table.scan_partition(reader, part, |key, bytes| {
-                *rows_scanned += 1;
-                if rows.len() >= job.limit {
-                    return Ok(false);
-                }
-                let row = RowCtx {
-                    schema: job.schema,
-                    bytes,
-                    key,
-                };
-                let mut env = EvalEnv {
-                    udfs: job.udfs,
-                    hosting,
-                    vars: job.vars,
-                };
-                let step = (|| -> Result<()> {
-                    if let Some(w) = job.where_clause {
-                        if !eval(w, Some(&row), &mut env)?.is_true() {
-                            return Ok(());
+            job.table
+                .scan_partition(reader, part, |reader, key, bytes| {
+                    *rows_scanned += 1;
+                    if rows.len() >= job.limit {
+                        return Ok(false);
+                    }
+                    let row = RowCtx {
+                        schema: job.schema,
+                        bytes,
+                        key,
+                    };
+                    let mut env = EvalEnv {
+                        udfs: job.udfs,
+                        hosting,
+                        vars: job.vars,
+                        lobs: Some(reader),
+                    };
+                    let step = (|| -> Result<()> {
+                        if let Some(w) = job.where_clause {
+                            if !eval(w, Some(&row), &mut env)?.is_true() {
+                                return Ok(());
+                            }
+                        }
+                        let mut out = Vec::with_capacity(job.items.len());
+                        for it in job.items.iter() {
+                            let mut v = eval(&it.expr, Some(&row), &mut env)?;
+                            // The projection boundary is blob-aware: a bare
+                            // `SELECT v` of a LOB column returns the array
+                            // bytes (one ranged read), not a placeholder.
+                            crate::pushdown::resolve_lob_in_place(&mut v, &mut env)?;
+                            out.push(v);
+                        }
+                        rows.push(out);
+                        Ok(())
+                    })();
+                    match step {
+                        Ok(()) => Ok(rows.len() < job.limit),
+                        Err(e) => {
+                            inner_err = Some(e);
+                            Ok(false)
                         }
                     }
-                    let mut out = Vec::with_capacity(job.items.len());
-                    for it in job.items.iter() {
-                        out.push(eval(&it.expr, Some(&row), &mut env)?);
-                    }
-                    rows.push(out);
-                    Ok(())
-                })();
-                match step {
-                    Ok(()) => Ok(rows.len() < job.limit),
-                    Err(e) => {
-                        inner_err = Some(e);
-                        Ok(false)
-                    }
-                }
-            })?;
+                })?;
         }
         if let Some(e) = inner_err {
             return Err(e);
@@ -677,6 +763,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 udfs: ctx.udfs,
                 hosting: ctx.hosting,
                 vars: ctx.vars,
+                lobs: Some(&mut *ctx.store),
             };
             let mut row = Vec::with_capacity(items.len());
             for it in &items {
@@ -768,7 +855,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             }
 
             // Merge partials in partition (key) order.
-            let mut group_index: HashMap<String, usize> = HashMap::new();
+            let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
             let mut groups: Vec<Vec<ItemAcc>> = Vec::new();
             for out in outs {
                 match out {

@@ -106,7 +106,9 @@ pub struct RowCtx<'a> {
     pub key: i64,
 }
 
-/// The evaluation environment: UDF registry, hosting model, variables.
+/// The evaluation environment: UDF registry, hosting model, variables,
+/// and (when evaluating against stored rows) a page reader for resolving
+/// lazy LOB values.
 pub struct EvalEnv<'a> {
     /// Registered scalar functions.
     pub udfs: &'a UdfRegistry,
@@ -114,6 +116,11 @@ pub struct EvalEnv<'a> {
     pub hosting: &'a mut HostingModel,
     /// Session variables.
     pub vars: &'a std::collections::HashMap<String, Value>,
+    /// Page-read access for lazy LOB values ([`Value::Lob`]): a scan
+    /// worker's `PartitionReader` inside a query, the store itself on
+    /// serial paths, `None` where no storage is in scope (LOB references
+    /// then raise [`EngineError::UnresolvedLob`]).
+    pub lobs: Option<&'a mut dyn sqlarray_storage::PageRead>,
 }
 
 /// Evaluates an expression against an optional row.
@@ -141,6 +148,16 @@ pub fn eval(expr: &Expr, row: Option<&RowCtx<'_>>, env: &mut EvalEnv<'_>) -> Res
             for a in args {
                 argv.push(eval(a, row, env)?);
             }
+            // `Subarray`/`Item` over a base LOB column read only the
+            // header prefix plus the pages the region intersects.
+            if let Some(v) = crate::pushdown::try_lob_pushdown(name, &argv, env)? {
+                return Ok(v);
+            }
+            // Every other call materializes lazy LOB arguments with one
+            // full ranged read each — the blob-aware fallback.
+            for v in argv.iter_mut() {
+                crate::pushdown::resolve_lob_in_place(v, env)?;
+            }
             env.udfs.call(name, &argv, env.hosting)
         }
         Expr::Agg { .. } | Expr::UdaCall { .. } => Err(EngineError::Unsupported(
@@ -161,21 +178,33 @@ pub fn eval(expr: &Expr, row: Option<&RowCtx<'_>>, env: &mut EvalEnv<'_>) -> Res
             Ok(Value::Bool(!v.is_true()))
         }
         Expr::Bin { op, left, right } => {
-            let l = eval(left, row, env)?;
-            // Short-circuit logical operators.
+            let mut l = eval(left, row, env)?;
+            // Short-circuit logical operators (truthiness of a LOB is its
+            // length — no resolution needed).
             match op {
                 BinOp::And if !l.is_true() => return Ok(Value::Bool(false)),
                 BinOp::Or if l.is_true() => return Ok(Value::Bool(true)),
                 _ => {}
             }
-            let r = eval(right, row, env)?;
+            let mut r = eval(right, row, env)?;
+            // Comparisons and arithmetic see the same value an inline
+            // blob would present: materialize lazy LOB operands so
+            // `WHERE v = @blob` behaves identically on either side of
+            // the 8 kB in-row limit. AND/OR are excluded — they consume
+            // only truthiness, which a LOB reference answers by length.
+            if !matches!(op, BinOp::And | BinOp::Or) {
+                crate::pushdown::resolve_lob_in_place(&mut l, env)?;
+                crate::pushdown::resolve_lob_in_place(&mut r, env)?;
+            }
             apply_bin(*op, l, r)
         }
     }
 }
 
-/// LOB references surface as their id string unless a blob-aware operator
-/// resolves them; in-row data passes through.
+/// In-row data passes through; out-of-row LOB references surface as lazy
+/// [`Value::Lob`] values, resolved later by a blob-aware consumer (the
+/// pushdown rewrite, the full-read fallback, or the projection boundary)
+/// — never as placeholder strings.
 fn resolve_row_value(v: RowValue) -> Value {
     Value::from(v)
 }
@@ -277,6 +306,7 @@ mod tests {
             udfs: &reg,
             hosting: &mut h,
             vars: &vars,
+            lobs: None,
         };
         eval(expr, None, &mut env)
     }
@@ -375,6 +405,7 @@ mod tests {
             udfs: &reg,
             hosting: &mut h,
             vars: &vars,
+            lobs: None,
         };
         assert_eq!(
             eval(&Expr::Col("x".into()), Some(&row), &mut env).unwrap(),

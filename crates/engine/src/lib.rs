@@ -24,6 +24,7 @@ pub mod exec;
 pub mod expr;
 pub mod hosting;
 pub mod mathfn;
+pub mod pushdown;
 pub mod session;
 pub mod sugar;
 pub mod tsql;

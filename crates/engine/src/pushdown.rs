@@ -1,0 +1,207 @@
+//! Subarray/Item pushdown over lazy LOB array values.
+//!
+//! A stored max array reaches an expression as a lazy [`Value::Lob`]
+//! reference (root-page id + length), not as bytes. This module is the
+//! blob-aware boundary of the evaluator:
+//!
+//! * `try_lob_pushdown` rewrites `XxxArrayMax.Subarray(col, …)` and
+//!   `XxxArrayMax.Item_k(col, …)` over a base LOB column into a
+//!   header-prefix read plus page-ranged payload reads — the paper's §3.3
+//!   claim that the binary stream "supports reading only parts of the
+//!   binary data if the whole array is not required". The parent payload
+//!   is never materialized: a 5×5×5 corner of a multi-megabyte cube costs
+//!   a handful of chunk pages instead of thousands.
+//! * `resolve_lob_in_place` is the fallback for every other consumer: a
+//!   single full ranged read through the same reader, turning the lazy
+//!   reference into ordinary `Value::Bytes` (this is what fixed the old
+//!   `<lob:…>` placeholder-string hole).
+//!
+//! Both paths read through the caller's [`sqlarray_storage::PageRead`] —
+//! the serial store or a parallel scan worker's `PartitionReader` — so
+//! every LOB page touch lands in the live buffer pool with the scan's
+//! logical stamps and classifies into the worker's `IoStats` exactly like
+//! a leaf-page read. Results and counters stay bit-identical to serial at
+//! any DOP.
+
+use crate::arraybind::{index_vector, parse_schema};
+use crate::expr::EvalEnv;
+use crate::udf::strip_numbered_suffix;
+use crate::value::{EngineError, Result, Value};
+use sqlarray_core::stream::ArrayReader;
+use sqlarray_core::{ArrayError, ElementType, StorageClass};
+use sqlarray_storage::{blob, BlobStream};
+
+/// The two function shapes the rewrite recognizes.
+enum PushdownOp {
+    /// `Schema.Subarray(a, offset, size[, squeeze])`.
+    Subarray,
+    /// `Schema.Item_k(a, i0, …, ik-1)`.
+    Item,
+}
+
+/// Recognizes a pushdown-eligible function name, returning the schema's
+/// element type and storage class alongside the operation.
+fn parse_pushdown_name(name: &str) -> Option<(ElementType, StorageClass, PushdownOp)> {
+    let (schema, func) = name.split_once('.')?;
+    let (elem, class) = parse_schema(schema)?;
+    let base = strip_numbered_suffix(func);
+    let op = if base.eq_ignore_ascii_case("Subarray") {
+        PushdownOp::Subarray
+    } else if base.eq_ignore_ascii_case("Item") {
+        PushdownOp::Item
+    } else {
+        return None;
+    };
+    Some((elem, class, op))
+}
+
+/// Attempts the pushdown rewrite for one already-evaluated call.
+///
+/// Returns `Ok(Some(value))` when `name` is a `Subarray`/`Item` call whose
+/// first argument is a lazy LOB reference: the result is then assembled
+/// from a header-prefix read plus the minimal page-ranged payload reads,
+/// with the same runtime type/class/arity checks (and the same managed-
+/// call hosting charge) the bypassed UDF would have applied. Returns
+/// `Ok(None)` when the call is not eligible — the caller falls back to
+/// the ordinary resolve-then-invoke path.
+pub(crate) fn try_lob_pushdown(
+    name: &str,
+    argv: &[Value],
+    env: &mut EvalEnv<'_>,
+) -> Result<Option<Value>> {
+    let Some(&Value::Lob { id, len }) = argv.first() else {
+        return Ok(None);
+    };
+    let Some((elem, class, op)) = parse_pushdown_name(name) else {
+        return Ok(None);
+    };
+    // Mirror the registered arities; on a mismatch fall back so the arity
+    // error is produced by the registry, identically to the full path.
+    let arity_ok = match op {
+        PushdownOp::Subarray => (3..=4).contains(&argv.len()),
+        PushdownOp::Item => (2..=9).contains(&argv.len()),
+    };
+    if !arity_ok {
+        return Ok(None);
+    }
+    // Index arguments that are themselves LOBs (pathological) go through
+    // the materializing fallback instead.
+    if argv[1..].iter().any(|v| matches!(v, Value::Lob { .. })) {
+        return Ok(None);
+    }
+    // The bypassed UDF is a managed function: charge the same hosting
+    // cost so pushdown changes I/O, not the CLR accounting.
+    env.hosting.charge_call();
+    let Some(reader) = env.lobs.as_deref_mut() else {
+        return Err(EngineError::UnresolvedLob { id, len });
+    };
+
+    let stream = BlobStream::open(reader, id)?;
+    let mut arr = ArrayReader::open(stream)?;
+    let header = arr.header().clone();
+    // The runtime checks a schema-qualified call implies (`expect` in
+    // `arraybind`), performed from the header prefix alone.
+    if header.elem != elem {
+        return Err(EngineError::Array(
+            ArrayError::TypeMismatch {
+                expected: elem,
+                got: header.elem,
+            }
+            .to_string(),
+        ));
+    }
+    if header.class != class {
+        return Err(EngineError::Array(
+            ArrayError::StorageClassMismatch {
+                expected_short: class == StorageClass::Short,
+            }
+            .to_string(),
+        ));
+    }
+    // `SqlArray::from_blob` would verify the payload length on the full
+    // path; check it against the stored length without reading payload.
+    if header.blob_len() != len as usize {
+        return Err(EngineError::Array(
+            ArrayError::PayloadSizeMismatch {
+                got: len as usize,
+                need: header.blob_len(),
+            }
+            .to_string(),
+        ));
+    }
+
+    match op {
+        PushdownOp::Subarray => {
+            let offset = index_vector(&argv[1])?;
+            let size = index_vector(&argv[2])?;
+            let squeeze = argv.get(3).map(|v| v.is_true()).unwrap_or(false);
+            let sub = arr.subarray(&offset, &size, squeeze)?;
+            Ok(Some(Value::Bytes(sub.into_blob())))
+        }
+        PushdownOp::Item => {
+            let idx: Vec<usize> = argv[1..]
+                .iter()
+                .map(|v| v.as_index())
+                .collect::<Result<_>>()?;
+            let scalar = arr.item(&idx)?;
+            Ok(Some(Value::from(scalar)))
+        }
+    }
+}
+
+/// Resolves a lazy LOB reference into in-memory bytes with **one** full
+/// ranged read through the evaluation environment's reader — the fallback
+/// for every blob consumer the pushdown rewrite does not cover. Values
+/// that are not LOB references pass through untouched; a LOB reference
+/// with no reader available raises the typed
+/// [`EngineError::UnresolvedLob`].
+pub(crate) fn resolve_lob_in_place(v: &mut Value, env: &mut EvalEnv<'_>) -> Result<()> {
+    let Value::Lob { id, len } = *v else {
+        return Ok(());
+    };
+    let Some(reader) = env.lobs.as_deref_mut() else {
+        return Err(EngineError::UnresolvedLob { id, len });
+    };
+    let bytes = blob::read_blob(reader, id)?;
+    debug_assert_eq!(bytes.len(), len as usize);
+    *v = Value::Bytes(bytes);
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn name_recognition() {
+        assert!(matches!(
+            parse_pushdown_name("FloatArrayMax.Subarray"),
+            Some((
+                ElementType::Float64,
+                StorageClass::Max,
+                PushdownOp::Subarray
+            ))
+        ));
+        assert!(matches!(
+            parse_pushdown_name("intarraymax.item_3"),
+            Some((ElementType::Int32, StorageClass::Max, PushdownOp::Item))
+        ));
+        assert!(matches!(
+            parse_pushdown_name("FloatArray.Item_2"),
+            Some((ElementType::Float64, StorageClass::Short, PushdownOp::Item))
+        ));
+        assert!(parse_pushdown_name("FloatArrayMax.Sum").is_none());
+        assert!(parse_pushdown_name("NoSuchSchema.Subarray").is_none());
+        assert!(parse_pushdown_name("Subarray").is_none());
+        assert!(parse_pushdown_name("FloatArrayMax.Item_x").is_none());
+    }
+
+    #[test]
+    fn suffix_stripping() {
+        // The shared registry convention, exercised from the pushdown side.
+        assert_eq!(strip_numbered_suffix("Item_3"), "Item");
+        assert_eq!(strip_numbered_suffix("Item"), "Item");
+        assert_eq!(strip_numbered_suffix("Item_"), "Item_");
+        assert_eq!(strip_numbered_suffix("Item_x2"), "Item_x2");
+    }
+}

@@ -254,6 +254,7 @@ impl Session {
             udfs: &self.udfs,
             hosting: &mut self.hosting,
             vars: &self.vars,
+            lobs: Some(&mut self.db.store),
         };
         eval(e, None, &mut env)
     }

@@ -10,6 +10,20 @@ use crate::hosting::{CostClass, HostingModel};
 use crate::value::{EngineError, Result, Value};
 use std::collections::HashMap;
 
+/// Strips the T-SQL numbered-arity suffix (`Item_3` → `Item`), the one
+/// definition of the convention — shared by [`UdfRegistry::resolve`] and
+/// the LOB pushdown rewrite so both always agree on which spellings name
+/// the same function. Returns the input unchanged when no suffix exists.
+pub(crate) fn strip_numbered_suffix(name: &str) -> &str {
+    if let Some(pos) = name.rfind('_') {
+        let digits = &name[pos + 1..];
+        if !digits.is_empty() && digits.chars().all(|c| c.is_ascii_digit()) {
+            return &name[..pos];
+        }
+    }
+    name
+}
+
 /// The implementation of a scalar function.
 pub type UdfFn = Box<dyn Fn(&[Value]) -> Result<Value> + Send + Sync>;
 
@@ -77,12 +91,9 @@ impl UdfRegistry {
         if let Some(u) = self.funcs.get(&lower) {
             return Some(u);
         }
-        // Strip a trailing _<digits> (the T-SQL numbered-arity convention).
-        if let Some(pos) = lower.rfind('_') {
-            if lower[pos + 1..].chars().all(|c| c.is_ascii_digit()) && !lower[pos + 1..].is_empty()
-            {
-                return self.funcs.get(&lower[..pos]);
-            }
+        let base = strip_numbered_suffix(&lower);
+        if base.len() != lower.len() {
+            return self.funcs.get(base);
         }
         None
     }

@@ -23,6 +23,22 @@ pub enum Value {
     Str(String),
     /// `bit`.
     Bool(bool),
+    /// A **lazy** reference to an out-of-row `varbinary(max)` value: the
+    /// LOB's root-page id and its byte length, *not* its bytes.
+    ///
+    /// Scanning a LOB column yields this variant instead of materializing
+    /// megabytes per row. Blob-aware consumers resolve it through the scan
+    /// worker's page reader — `Subarray`/`Item` push a region read down to
+    /// the intersecting LOB pages, every other function argument gets one
+    /// full ranged read — and anything non-blob-aware that receives it
+    /// unresolved raises [`EngineError::UnresolvedLob`] instead of the old
+    /// silent `<lob:…>` placeholder string.
+    Lob {
+        /// LOB root-page id.
+        id: u64,
+        /// Total byte length of the stored blob.
+        len: u64,
+    },
 }
 
 /// Engine error type.
@@ -47,6 +63,14 @@ pub enum EngineError {
     Storage(String),
     /// Feature outside the supported T-SQL subset.
     Unsupported(String),
+    /// A lazy LOB reference ([`Value::Lob`]) reached an operator that is
+    /// not blob-aware and no reader was available to resolve it.
+    UnresolvedLob {
+        /// LOB root-page id.
+        id: u64,
+        /// Byte length of the referenced blob.
+        len: u64,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -61,6 +85,11 @@ impl fmt::Display for EngineError {
             EngineError::Array(msg) => write!(f, "array error: {msg}"),
             EngineError::Storage(msg) => write!(f, "storage error: {msg}"),
             EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EngineError::UnresolvedLob { id, len } => write!(
+                f,
+                "unresolved LOB reference (root page {id}, {len} bytes) reached a \
+                 non-blob-aware operator"
+            ),
         }
     }
 }
@@ -83,6 +112,15 @@ impl From<sqlarray_storage::StorageError> for EngineError {
 pub type Result<T> = std::result::Result<T, EngineError>;
 
 impl Value {
+    /// The typed error for a lazy LOB reference hitting a non-blob-aware
+    /// operation, or `None` for every other variant.
+    fn unresolved_lob(&self) -> Option<EngineError> {
+        match self {
+            Value::Lob { id, len } => Some(EngineError::UnresolvedLob { id: *id, len: *len }),
+            _ => None,
+        }
+    }
+
     /// Numeric view as `f64`; NULL and non-numerics fail.
     pub fn as_f64(&self) -> Result<f64> {
         match self {
@@ -91,7 +129,9 @@ impl Value {
             Value::F64(v) => Ok(*v),
             Value::F32(v) => Ok(*v as f64),
             Value::Bool(b) => Ok(*b as i64 as f64),
-            other => Err(EngineError::Type(format!("{other:?} is not numeric"))),
+            other => Err(other
+                .unresolved_lob()
+                .unwrap_or_else(|| EngineError::Type(format!("{other:?} is not numeric")))),
         }
     }
 
@@ -102,7 +142,9 @@ impl Value {
             Value::I32(v) => Ok(*v as i64),
             Value::F64(v) if v.fract() == 0.0 => Ok(*v as i64),
             Value::F32(v) if v.fract() == 0.0 => Ok(*v as i64),
-            other => Err(EngineError::Type(format!("{other:?} is not an integer"))),
+            other => Err(other
+                .unresolved_lob()
+                .unwrap_or_else(|| EngineError::Type(format!("{other:?} is not an integer")))),
         }
     }
 
@@ -112,11 +154,15 @@ impl Value {
         usize::try_from(v).map_err(|_| EngineError::Type(format!("negative index {v}")))
     }
 
-    /// Binary view.
+    /// Binary view. A lazy [`Value::Lob`] has no in-memory bytes — it must
+    /// be resolved through a reader first, so it raises the typed
+    /// [`EngineError::UnresolvedLob`] here.
     pub fn as_bytes(&self) -> Result<&[u8]> {
         match self {
             Value::Bytes(b) => Ok(b),
-            other => Err(EngineError::Type(format!("{other:?} is not binary"))),
+            other => Err(other
+                .unresolved_lob()
+                .unwrap_or_else(|| EngineError::Type(format!("{other:?} is not binary")))),
         }
     }
 
@@ -136,6 +182,7 @@ impl Value {
             Value::F32(v) => *v != 0.0,
             Value::Bytes(b) => !b.is_empty(),
             Value::Str(s) => !s.is_empty(),
+            Value::Lob { len, .. } => *len != 0,
         }
     }
 
@@ -197,9 +244,10 @@ impl From<RowValue> for Value {
             RowValue::F64(x) => Value::F64(x),
             RowValue::F32(x) => Value::F32(x),
             RowValue::Bytes(b) => Value::Bytes(b),
-            // Callers resolve LOBs before converting; an unresolved ref
-            // has no in-row bytes to offer.
-            RowValue::LobRef(id, len) => Value::Str(format!("<lob:{id}:{len}>")),
+            // Out-of-row values stay lazy: the executor resolves them
+            // through the scan worker's reader only when (and only as far
+            // as) an expression actually needs their bytes.
+            RowValue::LobRef(id, len) => Value::Lob { id, len },
         }
     }
 }
@@ -224,6 +272,7 @@ impl fmt::Display for Value {
             }
             Value::Str(s) => write!(f, "'{s}'"),
             Value::Bool(b) => write!(f, "{}", *b as u8),
+            Value::Lob { id, len } => write!(f, "<lob page {id}: {len} bytes>"),
         }
     }
 }
@@ -285,5 +334,31 @@ mod tests {
             Value::from(RowValue::Bytes(vec![1, 2])),
             Value::Bytes(vec![1, 2])
         );
+        // Out-of-row refs convert to the lazy variant, never to a string.
+        assert_eq!(
+            Value::from(RowValue::LobRef(7, 9000)),
+            Value::Lob { id: 7, len: 9000 }
+        );
+    }
+
+    #[test]
+    fn unresolved_lob_errors_are_typed() {
+        let v = Value::Lob { id: 7, len: 9000 };
+        assert!(matches!(
+            v.as_f64(),
+            Err(EngineError::UnresolvedLob { id: 7, len: 9000 })
+        ));
+        assert!(matches!(
+            v.as_bytes(),
+            Err(EngineError::UnresolvedLob { .. })
+        ));
+        assert!(matches!(
+            v.as_array(),
+            Err(EngineError::UnresolvedLob { .. })
+        ));
+        assert!(v.is_true());
+        assert!(!Value::Lob { id: 7, len: 0 }.is_true());
+        let msg = v.as_bytes().unwrap_err().to_string();
+        assert!(msg.contains("unresolved LOB"), "{msg}");
     }
 }

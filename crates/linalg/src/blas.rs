@@ -227,7 +227,7 @@ pub fn gram(a: &Matrix) -> Matrix {
 /// allocation.
 ///
 /// The workload is triangular — column `j` costs `j + 1` dot products —
-/// so the column ranges are cut by **area** ([`triangle_ranges`]), not
+/// so the column ranges are cut by **area** (`triangle_ranges`), not
 /// by column count: equal-count chunks would leave the last worker with
 /// most of the flops and cap the speedup well below the DOP.
 pub fn gram_with_dop(a: &Matrix, dop: usize) -> Matrix {

@@ -19,10 +19,13 @@
 
 use crate::errors::{Result, StorageError};
 use crate::page::{page_type, PageId, PAGE_SIZE};
-use crate::store::PageStore;
+use crate::store::{PageRead, PageStore};
 
 /// Identifier of a blob: its root page.
 pub type BlobId = PageId;
+
+/// One byte range of a blob payload: `(offset, len)`.
+pub type ByteRun = (usize, usize);
 
 /// Payload bytes per chunk page.
 pub const CHUNK_DATA: usize = PAGE_SIZE - 16;
@@ -93,16 +96,11 @@ pub fn write_blob(store: &mut PageStore, data: &[u8]) -> Result<BlobId> {
 }
 
 /// Total length of a blob in bytes.
-pub fn blob_len(store: &mut PageStore, id: BlobId) -> Result<usize> {
-    let bytes = store.read(id)?;
-    if bytes[0] != page_type::BLOB_ROOT {
-        return Err(StorageError::PageTypeMismatch {
-            page: id,
-            expected: page_type::BLOB_ROOT,
-            got: bytes[0],
-        });
-    }
-    Ok(u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize)
+///
+/// Generic over [`PageRead`], so both the serial store and a parallel
+/// scan worker's reader can resolve LOB lengths.
+pub fn blob_len<R: PageRead + ?Sized>(reader: &mut R, id: BlobId) -> Result<usize> {
+    Ok(root_info(reader, id)?.0)
 }
 
 /// Number of pages a blob occupies (root + index chain + chunks), for
@@ -118,8 +116,8 @@ pub fn blob_pages(store: &mut PageStore, id: BlobId) -> Result<u64> {
     Ok(pages)
 }
 
-fn root_info(store: &mut PageStore, id: BlobId) -> Result<(usize, usize)> {
-    let bytes = store.read(id)?;
+fn root_info<R: PageRead + ?Sized>(reader: &mut R, id: BlobId) -> Result<(usize, usize)> {
+    let bytes = reader.read_page(id)?;
     if bytes[0] != page_type::BLOB_ROOT {
         return Err(StorageError::PageTypeMismatch {
             page: id,
@@ -132,131 +130,233 @@ fn root_info(store: &mut PageStore, id: BlobId) -> Result<(usize, usize)> {
     Ok((total, n_chunks))
 }
 
-/// Resolves the page id of chunk `index`, traversing the continuation chain
-/// when needed. Chain pages read through the buffer pool, so repeated
-/// resolution of nearby chunks is cheap (cache hits), mirroring a pinned
-/// LOB root.
-fn chunk_page(store: &mut PageStore, id: BlobId, index: usize) -> Result<PageId> {
-    let (_, n_chunks) = root_info(store, id)?;
-    debug_assert!(index < n_chunks);
-    let direct = if n_chunks <= ROOT_DIRECT {
+/// Number of directly rooted chunk ids for a blob of `n_chunks` chunks.
+fn direct_count(n_chunks: usize) -> usize {
+    if n_chunks <= ROOT_DIRECT {
         n_chunks
     } else {
         ROOT_DIRECT - 1
-    };
-    if index < direct {
-        let bytes = store.read(id)?;
-        return Ok(u64::from_le_bytes(
-            bytes[16 + 8 * index..24 + 8 * index].try_into().unwrap(),
-        ));
     }
-    // Walk the continuation chain.
-    let mut rel = index - direct;
-    let mut page = {
-        let bytes = store.read(id)?;
-        let slot = ROOT_DIRECT - 1;
-        u64::from_le_bytes(bytes[16 + 8 * slot..24 + 8 * slot].try_into().unwrap())
-    };
-    loop {
-        let bytes = store.read(page)?;
+}
+
+/// Resolves the page ids of the (ascending, distinct) chunk indices in
+/// `needed`, returning them in the same order. The root page is read once
+/// and the continuation chain is walked **at most once**, so resolving a
+/// whole region costs `1 + ⌈chained-span/INDEX_IDS⌉` index-page touches
+/// instead of one chain walk per chunk.
+fn resolve_chunk_pages<R: PageRead + ?Sized>(
+    reader: &mut R,
+    id: BlobId,
+    n_chunks: usize,
+    needed: &[usize],
+) -> Result<Vec<PageId>> {
+    debug_assert!(needed.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(needed.last().map_or(true, |&c| c < n_chunks));
+    let direct = direct_count(n_chunks);
+    let mut out = Vec::with_capacity(needed.len());
+    let mut continuation: Option<PageId> = None;
+    {
+        let bytes = reader.read_page(id)?;
+        if bytes[0] != page_type::BLOB_ROOT {
+            return Err(StorageError::PageTypeMismatch {
+                page: id,
+                expected: page_type::BLOB_ROOT,
+                got: bytes[0],
+            });
+        }
+        for &c in needed.iter().take_while(|&&c| c < direct) {
+            out.push(u64::from_le_bytes(
+                bytes[16 + 8 * c..24 + 8 * c].try_into().unwrap(),
+            ));
+        }
+        if needed.last().is_some_and(|&c| c >= direct) {
+            let slot = ROOT_DIRECT - 1;
+            continuation = Some(u64::from_le_bytes(
+                bytes[16 + 8 * slot..24 + 8 * slot].try_into().unwrap(),
+            ));
+        }
+    }
+    // Walk the continuation chain once for the rest.
+    let mut rest = needed.iter().copied().filter(|&c| c >= direct).peekable();
+    let mut base = direct; // first chunk index covered by the current page
+    let mut page = continuation;
+    while rest.peek().is_some() {
+        let Some(pid) = page else {
+            return Err(StorageError::RowCorrupt(
+                "blob index chain shorter than chunk count".into(),
+            ));
+        };
+        let bytes = reader.read_page(pid)?;
         if bytes[0] != page_type::BLOB_INDEX {
             return Err(StorageError::PageTypeMismatch {
-                page,
+                page: pid,
                 expected: page_type::BLOB_INDEX,
                 got: bytes[0],
             });
         }
         let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
-        if rel < count {
-            return Ok(u64::from_le_bytes(
+        while let Some(&c) = rest.peek() {
+            if c >= base + count {
+                break;
+            }
+            let rel = c - base;
+            out.push(u64::from_le_bytes(
                 bytes[16 + 8 * rel..24 + 8 * rel].try_into().unwrap(),
             ));
+            rest.next();
         }
-        rel -= count;
         let next = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
-        if next == u64::MAX {
-            return Err(StorageError::RowCorrupt(
-                "blob index chain shorter than chunk count".into(),
-            ));
-        }
-        page = next;
+        base += count;
+        page = if next == u64::MAX { None } else { Some(next) };
     }
+    Ok(out)
 }
 
 /// Reads `buf.len()` bytes starting at `offset` — the partial-read path.
-/// Only the chunk pages covering the range are touched.
-pub fn read_blob_range(
-    store: &mut PageStore,
+/// Only the chunk pages covering the range are touched. Generic over
+/// [`PageRead`]: scan workers read LOB ranges through their live-pool
+/// [`crate::PartitionReader`] exactly like the serial store path.
+pub fn read_blob_range<R: PageRead + ?Sized>(
+    reader: &mut R,
     id: BlobId,
     offset: usize,
     buf: &mut [u8],
 ) -> Result<()> {
-    let (total, _) = root_info(store, id)?;
-    if offset + buf.len() > total {
-        return Err(StorageError::BlobRangeOutOfBounds {
-            offset,
-            len: buf.len(),
-            total,
-        });
+    let len = buf.len();
+    read_blob_runs(reader, id, &[(offset, len)], buf)
+}
+
+/// Vectored partial read: fetches a set of byte runs into `out` (which
+/// must be exactly the runs' total length), run after run.
+///
+/// This is the page-ranged backbone of `Subarray` pushdown: byte-adjacent
+/// runs are coalesced, the run set is mapped to the minimal set of chunk
+/// pages (root read once, continuation chain walked at most once), and
+/// every page touch goes through `reader` — so the touches land in the
+/// live pool with the caller's stamps and classify into its
+/// [`crate::IoStats`] just like leaf-page reads, keeping parallel scans
+/// bit-identical to serial.
+pub fn read_blob_runs<R: PageRead + ?Sized>(
+    reader: &mut R,
+    id: BlobId,
+    runs: &[ByteRun],
+    out: &mut [u8],
+) -> Result<()> {
+    let (total, n_chunks) = root_info(reader, id)?;
+    let mut need_len = 0usize;
+    for &(offset, len) in runs {
+        if offset + len > total {
+            return Err(StorageError::BlobRangeOutOfBounds { offset, len, total });
+        }
+        need_len += len;
     }
-    if buf.is_empty() {
+    if need_len != out.len() {
+        return Err(StorageError::RowCorrupt(format!(
+            "vectored blob read plans {need_len} bytes into a {}-byte buffer",
+            out.len()
+        )));
+    }
+    if need_len == 0 {
         return Ok(());
     }
-    let first = offset / CHUNK_DATA;
-    let last = (offset + buf.len() - 1) / CHUNK_DATA;
-    let mut written = 0usize;
-    for c in first..=last {
-        let page = chunk_page(store, id, c)?;
-        let chunk_start = c * CHUNK_DATA;
-        let lo = offset.max(chunk_start) - chunk_start;
-        let hi = (offset + buf.len()).min(chunk_start + CHUNK_DATA) - chunk_start;
-        let bytes = store.read(page)?;
-        if bytes[0] != page_type::BLOB_CHUNK {
-            return Err(StorageError::PageTypeMismatch {
-                page,
-                expected: page_type::BLOB_CHUNK,
-                got: bytes[0],
-            });
+
+    // Coalesce byte-adjacent runs: the region planner emits runs in
+    // ascending order, and neighbouring rows of a region often abut.
+    let mut segments: Vec<ByteRun> = Vec::with_capacity(runs.len());
+    for &(offset, len) in runs {
+        if len == 0 {
+            continue;
         }
-        buf[written..written + (hi - lo)].copy_from_slice(&bytes[16 + lo..16 + hi]);
-        written += hi - lo;
+        match segments.last_mut() {
+            Some((seg_off, seg_len)) if *seg_off + *seg_len == offset => *seg_len += len,
+            _ => segments.push((offset, len)),
+        }
     }
-    debug_assert_eq!(written, buf.len());
+
+    // Distinct chunk indices, ascending, then one batched id resolution.
+    let mut needed: Vec<usize> = Vec::new();
+    for &(offset, len) in &segments {
+        for c in offset / CHUNK_DATA..=(offset + len - 1) / CHUNK_DATA {
+            match needed.binary_search(&c) {
+                Ok(_) => {}
+                Err(pos) => needed.insert(pos, c),
+            }
+        }
+    }
+    let pages = resolve_chunk_pages(reader, id, n_chunks, &needed)?;
+    let page_of = |c: usize| pages[needed.binary_search(&c).expect("chunk was planned")];
+
+    let mut cursor = 0usize;
+    for &(offset, len) in &segments {
+        let mut pos = offset;
+        let mut remaining = len;
+        while remaining > 0 {
+            let c = pos / CHUNK_DATA;
+            let lo = pos - c * CHUNK_DATA;
+            let take = (CHUNK_DATA - lo).min(remaining);
+            let page = page_of(c);
+            let bytes = reader.read_page(page)?;
+            if bytes[0] != page_type::BLOB_CHUNK {
+                return Err(StorageError::PageTypeMismatch {
+                    page,
+                    expected: page_type::BLOB_CHUNK,
+                    got: bytes[0],
+                });
+            }
+            out[cursor..cursor + take].copy_from_slice(&bytes[16 + lo..16 + lo + take]);
+            cursor += take;
+            pos += take;
+            remaining -= take;
+        }
+    }
+    debug_assert_eq!(cursor, out.len());
     Ok(())
 }
 
 /// Reads the entire blob.
-pub fn read_blob(store: &mut PageStore, id: BlobId) -> Result<Vec<u8>> {
-    let len = blob_len(store, id)?;
+pub fn read_blob<R: PageRead + ?Sized>(reader: &mut R, id: BlobId) -> Result<Vec<u8>> {
+    let len = blob_len(reader, id)?;
     let mut out = vec![0u8; len];
-    read_blob_range(store, id, 0, &mut out)?;
+    read_blob_range(reader, id, 0, &mut out)?;
     Ok(out)
 }
 
 /// A streamed view over one blob, implementing the array crate's
 /// [`ArraySource`](sqlarray_core::stream::ArraySource) so that
 /// `ArrayReader` can subset max arrays straight off the page store.
-pub struct BlobStream<'a> {
-    store: &'a mut PageStore,
+///
+/// Generic over [`PageRead`]: `BlobStream::open(&mut store, id)` serves
+/// the serial path, `BlobStream::open(&mut partition_reader, id)` gives a
+/// parallel-scan worker the same lazy view through the live pool. The
+/// [`read_runs`](sqlarray_core::stream::ArraySource::read_runs) override
+/// routes a planned region through the vectored [`read_blob_runs`], so a
+/// `Subarray` touches the minimal set of chunk pages.
+pub struct BlobStream<'a, R: PageRead + ?Sized = PageStore> {
+    reader: &'a mut R,
     id: BlobId,
     len: usize,
 }
 
-impl<'a> BlobStream<'a> {
-    /// Opens a stream over blob `id`.
-    pub fn open(store: &'a mut PageStore, id: BlobId) -> Result<BlobStream<'a>> {
-        let len = blob_len(store, id)?;
-        Ok(BlobStream { store, id, len })
+impl<'a, R: PageRead + ?Sized> BlobStream<'a, R> {
+    /// Opens a stream over blob `id` (one root-page read).
+    pub fn open(reader: &'a mut R, id: BlobId) -> Result<BlobStream<'a, R>> {
+        let len = blob_len(reader, id)?;
+        Ok(BlobStream { reader, id, len })
     }
 }
 
-impl sqlarray_core::stream::ArraySource for BlobStream<'_> {
+impl<R: PageRead + ?Sized> sqlarray_core::stream::ArraySource for BlobStream<'_, R> {
     fn blob_len(&self) -> usize {
         self.len
     }
 
     fn read_at(&mut self, offset: usize, buf: &mut [u8]) -> sqlarray_core::Result<()> {
-        read_blob_range(self.store, self.id, offset, buf)
+        read_blob_range(self.reader, self.id, offset, buf)
+            .map_err(|e| sqlarray_core::ArrayError::Io(e.to_string()))
+    }
+
+    fn read_runs(&mut self, runs: &[(usize, usize)], out: &mut [u8]) -> sqlarray_core::Result<()> {
+        read_blob_runs(self.reader, self.id, runs, out)
             .map_err(|e| sqlarray_core::ArrayError::Io(e.to_string()))
     }
 }
@@ -399,6 +499,90 @@ mod tests {
         // full blob.
         let pages = store.stats().pages_read;
         assert!(pages < 80, "streamed subarray touched {pages} pages");
+    }
+
+    #[test]
+    fn vectored_runs_match_scalar_ranges() {
+        let mut store = PageStore::new();
+        let data = pattern(10 * CHUNK_DATA + 77);
+        let id = write_blob(&mut store, &data).unwrap();
+        let runs = [
+            (5usize, 100usize),
+            (105, 50), // adjacent to the previous run: coalesces
+            (CHUNK_DATA - 3, 10),
+            (3 * CHUNK_DATA, 2 * CHUNK_DATA),
+            (data.len() - 9, 9),
+        ];
+        let total: usize = runs.iter().map(|r| r.1).sum();
+        let mut out = vec![0u8; total];
+        read_blob_runs(&mut store, id, &runs, &mut out).unwrap();
+        let mut expect = Vec::new();
+        for &(o, l) in &runs {
+            expect.extend_from_slice(&data[o..o + l]);
+        }
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn vectored_runs_touch_minimal_pages() {
+        let mut store = PageStore::new();
+        let data = pattern(1300 * CHUNK_DATA); // > ROOT_DIRECT: chained
+        let id = write_blob(&mut store, &data).unwrap();
+        store.clear_cache();
+        store.reset_stats();
+        // 32 scattered 40-byte runs, one per chunk, in the chained region.
+        let runs: Vec<ByteRun> = (0..32)
+            .map(|i| ((1250 + i) * CHUNK_DATA + 11, 40))
+            .collect();
+        let mut out = vec![0u8; 32 * 40];
+        read_blob_runs(&mut store, id, &runs, &mut out).unwrap();
+        let st = store.stats();
+        // 32 chunk pages + root + the index chain (≤ 2 pages).
+        assert!(st.pages_read <= 32 + 3, "touched {st:?}");
+        for (i, &(o, _)) in runs.iter().enumerate() {
+            assert_eq!(&out[i * 40..(i + 1) * 40], &data[o..o + 40]);
+        }
+    }
+
+    #[test]
+    fn vectored_runs_validate_bounds_and_buffer() {
+        let mut store = PageStore::new();
+        let data = pattern(100);
+        let id = write_blob(&mut store, &data).unwrap();
+        let mut buf = vec![0u8; 10];
+        assert!(matches!(
+            read_blob_runs(&mut store, id, &[(95, 10)], &mut buf),
+            Err(StorageError::BlobRangeOutOfBounds { .. })
+        ));
+        // Planned bytes must equal the output buffer exactly.
+        assert!(read_blob_runs(&mut store, id, &[(0, 5)], &mut buf).is_err());
+        read_blob_runs(&mut store, id, &[(0, 4), (4, 6)], &mut buf).unwrap();
+        assert_eq!(buf, &data[..10]);
+    }
+
+    #[test]
+    fn partition_reader_reads_blobs_through_the_live_pool() {
+        // A scan worker resolves LOBs through its own reader: same bytes,
+        // counters classified into the worker's ScanIo, pool touched live.
+        let mut store = PageStore::new();
+        let data = pattern(3 * CHUNK_DATA);
+        let id = write_blob(&mut store, &data).unwrap();
+        store.clear_cache();
+        store.reset_stats();
+        let scan = store.begin_scan();
+        let mut r = store.reader(&scan, 0);
+        let got = read_blob(&mut r, id).unwrap();
+        assert_eq!(got, data);
+        let io = r.finish();
+        assert_eq!(io.io.pages_read, 4); // root + 3 chunks, cold
+        drop(scan);
+        store.finish_scan([&io]);
+        assert_eq!(store.stats().pages_read, 4);
+        // The pages are now resident: a serial re-read is all cache hits.
+        let before = store.stats();
+        let again = read_blob(&mut store, id).unwrap();
+        assert_eq!(again, data);
+        assert_eq!(store.stats().since(&before).pages_read, 0);
     }
 
     #[test]

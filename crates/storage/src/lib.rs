@@ -12,7 +12,10 @@
 //! * clustered B+trees with append-optimized splits and a parallel
 //!   bulk-build path ([`btree`]);
 //! * in-row vs out-of-page blob storage with a streamed, partial-read LOB
-//!   interface that plugs straight into `sqlarray_core::stream` ([`blob`]);
+//!   interface that plugs straight into `sqlarray_core::stream` ([`blob`]),
+//!   including a vectored run reader ([`blob::read_blob_runs`]) generic
+//!   over [`store::PageRead`] so parallel-scan workers resolve LOB ranges
+//!   through the live pool;
 //! * schema-driven row encoding and clustered tables ([`row`], [`table`]).
 //!
 //! Everything reads and writes through [`store::PageStore`], so benchmark
@@ -33,12 +36,12 @@ pub mod store;
 pub mod table;
 pub mod zorder;
 
-pub use blob::{BlobId, BlobStream};
+pub use blob::{BlobId, BlobStream, ByteRun};
 pub use btree::BTree;
 pub use errors::{Result, StorageError};
 pub use page::{PageId, PAGE_SIZE};
 pub use pool::ShardedLruPool;
 pub use row::{ColType, Column, RowValue, Schema, INLINE_BLOB_LIMIT};
 pub use stats::{DiskProfile, IoStats};
-pub use store::{PageStore, PartitionReader, ScanCtx, ScanIo};
+pub use store::{PageRead, PageStore, PartitionReader, ScanCtx, ScanIo};
 pub use table::{ScanPartition, Table};

@@ -252,6 +252,32 @@ impl PageStore {
     }
 }
 
+/// Anything that can serve page reads with full pool/I/O accounting: the
+/// serial [`PageStore`] path and a scan worker's [`PartitionReader`] alike.
+///
+/// The blob module's ranged LOB reads are generic over this trait, which is
+/// what lets a parallel-scan worker resolve `varbinary(max)` array values
+/// through the **live** sharded pool — stamped, classified, and folded back
+/// exactly like its leaf-page reads — instead of requiring `&mut PageStore`
+/// (and thus serialization) for every out-of-row access.
+pub trait PageRead {
+    /// Reads one page through the buffer pool, touching recency and
+    /// classifying the access in this reader's [`IoStats`].
+    fn read_page(&mut self, id: PageId) -> Result<&[u8]>;
+}
+
+impl PageRead for PageStore {
+    fn read_page(&mut self, id: PageId) -> Result<&[u8]> {
+        self.read(id)
+    }
+}
+
+impl PageRead for PartitionReader<'_> {
+    fn read_page(&mut self, id: PageId) -> Result<&[u8]> {
+        self.read(id)
+    }
+}
+
 /// Shared context of one scan: the residency snapshot the cost model
 /// classifies against, plus the pool epoch its workers stamp with.
 #[derive(Debug)]

@@ -216,14 +216,20 @@ impl Table {
     }
 
     /// Scans one partition through a worker's [`PartitionReader`]. `f`
-    /// sees `(key, encoded row)` in key order, exactly like
+    /// sees `(reader, key, encoded row)` in key order, exactly like
     /// [`scan_raw`](Self::scan_raw) restricted to the partition, and
     /// returns `true` to keep scanning.
+    ///
+    /// The reader is handed *into* the callback (leaf-page bytes borrow
+    /// the page file, not the reader) so a row visitor can resolve the
+    /// row's out-of-row LOB values through the same live-pool, snapshot-
+    /// classified read path as the leaf pages — interleaved exactly as a
+    /// serial scan would interleave them.
     pub fn scan_partition(
         &self,
         reader: &mut PartitionReader<'_>,
         part: &ScanPartition,
-        mut f: impl FnMut(i64, &[u8]) -> Result<bool>,
+        mut f: impl FnMut(&mut PartitionReader<'_>, i64, &[u8]) -> Result<bool>,
     ) -> Result<()> {
         for &pid in &part.leaves {
             let bytes = reader.read(pid)?;
@@ -231,7 +237,7 @@ impl Table {
             for i in 0..v.slot_count() {
                 let rec = v.record(i)?;
                 let key = i64::from_le_bytes(rec[..8].try_into().expect("leaf record has a key"));
-                if !f(key, &rec[8..])? {
+                if !f(reader, key, &rec[8..])? {
                     return Ok(());
                 }
             }
@@ -454,7 +460,7 @@ mod tests {
             let mut seen = Vec::new();
             for (pi, p) in parts.iter().enumerate() {
                 let mut r = store.reader(&scan, pi as u32);
-                t.scan_partition(&mut r, p, |k, _| {
+                t.scan_partition(&mut r, p, |_, k, _| {
                     seen.push(k);
                     Ok(true)
                 })
@@ -485,7 +491,7 @@ mod tests {
                         let mut r = shared.reader(scan_ref, pi as u32);
                         let mut keys = Vec::new();
                         table
-                            .scan_partition(&mut r, p, |k, _| {
+                            .scan_partition(&mut r, p, |_, k, _| {
                                 keys.push(k);
                                 Ok(true)
                             })
@@ -523,7 +529,7 @@ mod tests {
         let mut ios = Vec::new();
         for (pi, p) in parts.iter().enumerate() {
             let mut r = store.reader(&scan, pi as u32);
-            t.scan_partition(&mut r, p, |_, _| Ok(true)).unwrap();
+            t.scan_partition(&mut r, p, |_, _, _| Ok(true)).unwrap();
             ios.push(r.finish());
         }
         drop(scan);
@@ -534,7 +540,7 @@ mod tests {
         let mut rescan = crate::stats::IoStats::default();
         for (pi, p) in parts.iter().enumerate() {
             let mut r = store.reader(&scan, pi as u32);
-            t.scan_partition(&mut r, p, |_, _| Ok(true)).unwrap();
+            t.scan_partition(&mut r, p, |_, _, _| Ok(true)).unwrap();
             rescan.merge(&r.finish().io);
         }
         assert_eq!(rescan.pages_read, 0);
@@ -552,7 +558,7 @@ mod tests {
         let mut n = 0;
         let mut r = store.reader(&scan, 0);
         empty
-            .scan_partition(&mut r, &parts[0], |_, _| {
+            .scan_partition(&mut r, &parts[0], |_, _, _| {
                 n += 1;
                 Ok(true)
             })
@@ -569,7 +575,7 @@ mod tests {
         let scan = store.begin_scan();
         let mut keys = Vec::new();
         let mut r = store.reader(&scan, 0);
-        one.scan_partition(&mut r, &parts[0], |k, _| {
+        one.scan_partition(&mut r, &parts[0], |_, k, _| {
             keys.push(k);
             Ok(true)
         })

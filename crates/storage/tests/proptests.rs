@@ -235,7 +235,7 @@ proptest! {
         let mut seen = Vec::new();
         for (pi, p) in parts.iter().enumerate() {
             let mut r = store.reader(&scan, pi as u32);
-            t.scan_partition(&mut r, p, |k, _| { seen.push(k); Ok(true) }).unwrap();
+            t.scan_partition(&mut r, p, |_, k, _| { seen.push(k); Ok(true) }).unwrap();
         }
         prop_assert_eq!(seen, full);
 
