@@ -5,6 +5,7 @@
 //! benches in `benches/` time the same code paths. See EXPERIMENTS.md for
 //! the experiment ↔ paper index.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use sqlarray_engine::{Database, HostingModel, Session, Value};

@@ -226,7 +226,7 @@ impl SqlArray {
     pub fn elements<T: Element>(&self) -> Result<Cow<'_, [T]>> {
         self.expect_type::<T>()?;
         let payload = self.payload();
-        debug_assert_eq!(payload.len(), self.count() * T::SIZE);
+        assert_eq!(payload.len(), self.count() * T::SIZE);
         // SAFETY: `align_to` splits the byte slice into a maximal aligned
         // middle. All eight element types are plain-old-data with no
         // invalid bit patterns at the byte level (verified by the

@@ -265,11 +265,11 @@ impl ExactSum {
         }
         let mut s = ExactSum::new();
         for (i, limb) in s.limbs.iter_mut().enumerate() {
-            *limb = u64::from_le_bytes(buf[i * 8..i * 8 + 8].try_into().unwrap());
+            *limb = crate::le::u64_at(buf, i * 8);
         }
         let off = LIMBS * 8;
-        s.pos_inf = u64::from_le_bytes(buf[off..off + 8].try_into().unwrap());
-        s.neg_inf = u64::from_le_bytes(buf[off + 8..off + 16].try_into().unwrap());
+        s.pos_inf = crate::le::u64_at(buf, off);
+        s.neg_inf = crate::le::u64_at(buf, off + 8);
         s.nan = buf[off + 16] != 0;
         Some(s)
     }
@@ -283,7 +283,7 @@ impl ExactSum {
 /// Reads `count` bits (≤ 64) starting at bit position `pos` from a
 /// little-endian limb array.
 fn extract_bits(limbs: &[u64; LIMBS], pos: usize, count: usize) -> u64 {
-    debug_assert!(count <= 64);
+    assert!(count <= 64);
     let limb = pos / 64;
     let shift = pos % 64;
     let mut v = limbs[limb] >> shift;

@@ -221,10 +221,10 @@ impl Header {
                     max: SHORT_MAX_RANK,
                 });
             }
-            let count = u64::from_le_bytes(buf[4..12].try_into().unwrap()) as usize;
+            let count = crate::le::u64_at(buf, 4) as usize;
             let mut dims = Vec::with_capacity(rank);
             for slot in 0..rank {
-                let d = i16::from_le_bytes(buf[12 + 2 * slot..14 + 2 * slot].try_into().unwrap());
+                let d = crate::le::i16_at(buf, 12 + 2 * slot);
                 if d <= 0 {
                     return Err(ArrayError::BadDimension {
                         dim: slot,
@@ -249,7 +249,7 @@ impl Header {
                     need: MAX_FIXED_HEADER_LEN,
                 });
             }
-            let rank = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+            let rank = crate::le::u32_at(buf, 4) as usize;
             if rank == 0 {
                 return Err(ArrayError::BadRank {
                     rank,
@@ -263,10 +263,10 @@ impl Header {
                     need,
                 });
             }
-            let count = u64::from_le_bytes(buf[8..16].try_into().unwrap()) as usize;
+            let count = crate::le::u64_at(buf, 8) as usize;
             let mut dims = Vec::with_capacity(rank);
             for slot in 0..rank {
-                let d = i32::from_le_bytes(buf[16 + 4 * slot..20 + 4 * slot].try_into().unwrap());
+                let d = crate::le::i32_at(buf, 16 + 4 * slot);
                 if d <= 0 {
                     return Err(ArrayError::BadDimension {
                         dim: slot,
@@ -327,7 +327,7 @@ impl Header {
                     need: 8,
                 });
             }
-            let rank = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+            let rank = crate::le::u32_at(buf, 4) as usize;
             Ok(MAX_FIXED_HEADER_LEN + 4 * rank)
         }
     }

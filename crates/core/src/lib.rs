@@ -44,6 +44,7 @@ pub mod errors;
 pub mod exact;
 pub mod fmt;
 pub mod header;
+pub mod le;
 pub mod ops;
 pub mod parallel;
 pub mod rng;

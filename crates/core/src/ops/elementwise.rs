@@ -12,7 +12,7 @@ use crate::complex::Complex64;
 use crate::element::ElementType;
 use crate::errors::{ArrayError, Result};
 use crate::header::Header;
-use crate::parallel::{configured_dop, partition_ranges};
+use crate::parallel::{configured_dop, scoped_try_for_ranges_mut};
 use crate::scalar::Scalar;
 
 /// Arrays with at least this many elements run the chunked parallel path
@@ -30,49 +30,24 @@ fn kernel_dop(count: usize) -> usize {
 }
 
 /// Fills `body` (a raw element buffer of `count` × 8-byte `f64` cells) from
-/// `compute(lin)`, fanning contiguous chunks out over `dop` scoped threads.
-/// Each worker writes a disjoint sub-slice, so the result is bit-identical
-/// to the serial loop for any `dop`.
+/// `compute(lin)`, fanning contiguous chunks out through
+/// [`scoped_try_for_ranges_mut`]. Each worker writes a disjoint sub-slice
+/// and the first error is reported in chunk order, so the result is
+/// bit-identical to the serial loop for any `dop`.
 fn fill_f64(
     body: &mut [u8],
     count: usize,
     dop: usize,
     compute: &(impl Fn(usize) -> Result<f64> + Sync),
 ) -> Result<()> {
-    debug_assert_eq!(body.len(), count * 8);
-    let ranges = partition_ranges(count, dop);
-    if ranges.len() <= 1 {
-        for lin in 0..count {
+    assert_eq!(body.len(), count * 8);
+    scoped_try_for_ranges_mut(body, 8, dop, |r, chunk| {
+        for (slot, lin) in r.enumerate() {
             let v = compute(lin)?;
-            body[lin * 8..lin * 8 + 8].copy_from_slice(&v.to_le_bytes());
+            chunk[slot * 8..slot * 8 + 8].copy_from_slice(&v.to_le_bytes());
         }
-        return Ok(());
-    }
-    let mut worker_errs: Vec<Option<ArrayError>> = Vec::new();
-    std::thread::scope(|s| {
-        let mut rest = &mut *body;
-        let mut handles = Vec::with_capacity(ranges.len());
-        for r in &ranges {
-            let (mine, tail) = rest.split_at_mut(r.len() * 8);
-            rest = tail;
-            let r = r.clone();
-            handles.push(s.spawn(move || -> Result<()> {
-                for (slot, lin) in r.clone().enumerate() {
-                    let v = compute(lin)?;
-                    mine[slot * 8..slot * 8 + 8].copy_from_slice(&v.to_le_bytes());
-                }
-                Ok(())
-            }));
-        }
-        worker_errs = handles
-            .into_iter()
-            .map(|h| h.join().expect("elementwise worker panicked").err())
-            .collect();
-    });
-    match worker_errs.into_iter().flatten().next() {
-        Some(e) => Err(e),
-        None => Ok(()),
-    }
+        Ok(())
+    })
 }
 
 /// The binary operation of [`zip`].

@@ -34,7 +34,7 @@ pub fn subarray(a: &SqlArray, offset: &[usize], size: &[usize], squeeze: bool) -
         out[cursor..cursor + run_elems * es].copy_from_slice(&payload[src]);
         cursor += run_elems * es;
     }
-    debug_assert_eq!(cursor, out.len());
+    assert_eq!(cursor, out.len());
     SqlArray::from_blob(out)
 }
 

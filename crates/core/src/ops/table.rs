@@ -208,7 +208,7 @@ impl ConcatBuilder {
             return Err(ArrayError::Io("truncated builder state".into()));
         }
         let sequential = buf[0] != 0;
-        let filled = u64::from_le_bytes(buf[1..9].try_into().unwrap()) as usize;
+        let filled = crate::le::u64_at(buf, 1) as usize;
         let rest = &buf[9..];
         // The array blob length is self-describing; decode its header to
         // find the split point.

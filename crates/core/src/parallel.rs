@@ -68,10 +68,10 @@ pub fn configured_dop() -> usize {
 /// Chunk boundaries depend only on `(total, parts)`, so any chunk-wise
 /// deterministic `f` yields results independent of scheduling. This is
 /// the fan-out used by the value-producing parallel stages (bulk-load row
-/// encoding, leaf-image building); kernels that write into disjoint
-/// sub-slices of a caller buffer use [`scoped_for_ranges_mut`], the
-/// disjoint-write dual (`ops::elementwise` and `fftn` predate it and
-/// keep equivalent hand-rolled `split_at_mut` loops).
+/// encoding, leaf-image building, scan workers); kernels that write into
+/// disjoint sub-slices of a caller buffer use [`scoped_for_ranges_mut`]
+/// (or [`scoped_try_for_ranges_mut`] when they can fail), the
+/// disjoint-write duals.
 pub fn scoped_map_ranges<T: Send>(
     total: usize,
     parts: usize,
@@ -86,6 +86,7 @@ pub fn scoped_map_ranges<T: Send>(
         let handles: Vec<_> = ranges.into_iter().map(|r| s.spawn(move || f(r))).collect();
         handles
             .into_iter()
+            // lint:allow(L005, reason = "join only fails when the worker panicked; re-raising the panic is the correct propagation, there is no error value to return")
             .map(|h| h.join().expect("scoped_map_ranges worker panicked"))
             .collect()
     })
@@ -121,6 +122,53 @@ pub fn scoped_for_ranges_mut<T: Send>(
     assert_eq!(data.len() % item_len, 0, "data must hold whole items");
     let ranges = partition_ranges(data.len() / item_len, parts);
     scoped_for_given_ranges_mut(data, item_len, ranges, f);
+}
+
+/// Fallible [`scoped_for_ranges_mut`]: each worker returns
+/// `Result<(), E>`, and the first error **in chunk order** (not
+/// completion order) is returned, so the reported error is deterministic
+/// at any `parts`. Every worker runs to completion even when an earlier
+/// chunk fails — the write side stays identical to the infallible
+/// helper; only the returned `Result` differs.
+///
+/// This is the sanctioned fan-out for kernels that both fill disjoint
+/// slices of a caller buffer and can fail per element (the elementwise
+/// array kernels evaluate user expressions that may divide by zero or
+/// overflow a cast).
+pub fn scoped_try_for_ranges_mut<T: Send, E: Send>(
+    data: &mut [T],
+    item_len: usize,
+    parts: usize,
+    f: impl Fn(Range<usize>, &mut [T]) -> Result<(), E> + Sync,
+) -> Result<(), E> {
+    assert!(item_len > 0, "item_len must be positive");
+    assert_eq!(data.len() % item_len, 0, "data must hold whole items");
+    let ranges = partition_ranges(data.len() / item_len, parts);
+    if ranges.len() <= 1 {
+        return match ranges.into_iter().next() {
+            Some(r) => f(r, data),
+            None => Ok(()),
+        };
+    }
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut rest = data;
+        let mut handles = Vec::with_capacity(ranges.len());
+        for r in ranges {
+            let (mine, tail) = rest.split_at_mut(r.len() * item_len);
+            rest = tail;
+            handles.push(s.spawn(move || f(r, mine)));
+        }
+        let mut first_err = Ok(());
+        for h in handles {
+            // lint:allow(L005, reason = "join only fails when the worker panicked; re-raising the panic is the correct propagation, there is no error value to return")
+            let res = h.join().expect("scoped_try_for_ranges_mut worker panicked");
+            if first_err.is_ok() {
+                first_err = res;
+            }
+        }
+        first_err
+    })
 }
 
 /// [`scoped_for_ranges_mut`] with caller-supplied chunk boundaries, for
@@ -179,7 +227,7 @@ pub fn partition_ranges(total: usize, parts: usize) -> Vec<Range<usize>> {
         out.push(start..start + len);
         start += len;
     }
-    debug_assert_eq!(start, total);
+    assert_eq!(start, total);
     out
 }
 

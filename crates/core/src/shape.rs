@@ -97,7 +97,7 @@ impl Shape {
     /// Inverse of [`linear_index`](Self::linear_index): recovers the
     /// multi-index of a linear offset.
     pub fn multi_index(&self, mut linear: usize) -> Vec<usize> {
-        debug_assert!(linear < self.count());
+        assert!(linear < self.count());
         let mut idx = Vec::with_capacity(self.rank());
         for &d in &self.dims {
             idx.push(linear % d);

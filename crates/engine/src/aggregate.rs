@@ -137,6 +137,7 @@ impl ConcatUda {
             self.builder =
                 Some(ConcatBuilder::new(self.class, self.elem, &dims).map_err(EngineError::from)?);
         }
+        // lint:allow(L005, reason = "the branch above just stored Some(builder) whenever the field was None; as_mut cannot observe None here")
         Ok(self.builder.as_mut().expect("just initialized"))
     }
 }
@@ -308,16 +309,15 @@ impl UdaState for VectorAvgUda {
         if buf.len() < 12 {
             return Err(corrupt());
         }
-        self.count = u64::from_le_bytes(buf[..8].try_into().unwrap());
-        let rank = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        self.count = sqlarray_core::le::u64_at(buf, 0);
+        let rank = sqlarray_core::le::u32_at(buf, 8) as usize;
         let mut off = 12;
         self.dims.clear();
         for _ in 0..rank {
             if buf.len() < off + 8 {
                 return Err(corrupt());
             }
-            self.dims
-                .push(u64::from_le_bytes(buf[off..off + 8].try_into().unwrap()) as usize);
+            self.dims.push(sqlarray_core::le::u64_at(buf, off) as usize);
             off += 8;
         }
         let n: usize = self.dims.iter().product();

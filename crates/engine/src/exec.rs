@@ -36,6 +36,7 @@ use crate::tsql::{SelectItem, SelectStmt};
 use crate::udf::UdfRegistry;
 use crate::value::{EngineError, Result, Value};
 use sqlarray_core::exact::ExactSum;
+use sqlarray_core::parallel::scoped_map_ranges;
 use sqlarray_storage::{IoStats, PageStore, ScanCtx, ScanIo, ScanPartition, Schema, Table};
 use std::collections::HashMap;
 use std::time::Instant;
@@ -324,6 +325,7 @@ impl ItemAcc {
                     *count += 1;
                     return Ok(());
                 }
+                // lint:allow(L005, reason = "the planner rejects argument-less aggregates other than COUNT(*) at bind time, and the CountStar arm returned above")
                 let mut v = v.expect("non-COUNT(*) aggregates have an argument");
                 if v.is_null() {
                     return Ok(());
@@ -797,28 +799,22 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 uda_mode: ctx.uda_mode,
             };
 
-            // Fan the partitions out. One partition runs inline — the
-            // serial plan is literally the parallel plan at width 1, so
-            // both sides of the determinism guarantee share this code.
-            let worker_results: Vec<WorkerScan> = if parts.len() == 1 {
-                vec![scan_worker(&job, &parts[0], 0, ctx.hosting.fork())]
-            } else {
-                let job_ref = &job;
-                let hosting_ref: &HostingModel = ctx.hosting;
-                std::thread::scope(|s| {
-                    let handles: Vec<_> = parts
-                        .iter()
-                        .enumerate()
-                        .map(|(pi, p)| {
-                            s.spawn(move || scan_worker(job_ref, p, pi as u32, hosting_ref.fork()))
-                        })
-                        .collect();
-                    handles
-                        .into_iter()
-                        .map(|h| h.join().expect("scan worker panicked"))
-                        .collect()
+            // Fan the partitions out through the workspace helper: one
+            // worker per partition (singleton ranges), and with a single
+            // partition the helper runs inline — the serial plan is
+            // literally the parallel plan at width 1, so both sides of
+            // the determinism guarantee share this code.
+            let job_ref = &job;
+            let hosting_ref: &HostingModel = ctx.hosting;
+            let parts_ref = &parts;
+            let worker_results: Vec<WorkerScan> =
+                scoped_map_ranges(parts.len(), parts.len(), |r| {
+                    r.map(|pi| scan_worker(job_ref, &parts_ref[pi], pi as u32, hosting_ref.fork()))
+                        .collect::<Vec<WorkerScan>>()
                 })
-            };
+                .into_iter()
+                .flatten()
+                .collect();
             dop_used = parts.len();
             drop(scan);
 
@@ -835,6 +831,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 rows_scanned += w.rows_scanned;
                 scan_ios.push(w.scan_io);
                 ctx.hosting.absorb(w.calls, w.charged_ns);
+                // lint:allow(L002, reason = "wall-clock diagnostics, not query results; timing is inherently non-deterministic and outside the bit-identity contract")
                 cpu_seconds += w.busy_seconds;
                 max_busy = max_busy.max(w.busy_seconds);
                 match w.out {
@@ -892,6 +889,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             }
             // Coordinator time not overlapped with the longest worker
             // (planning, fan-out, merge) is serial CPU work too.
+            // lint:allow(L002, reason = "wall-clock diagnostics, not query results; timing is inherently non-deterministic and outside the bit-identity contract")
             cpu_seconds += (t0.elapsed().as_secs_f64() - max_busy).max(0.0);
         }
     }

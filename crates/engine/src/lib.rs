@@ -16,6 +16,7 @@
 //! * user-defined aggregates with the per-row state-serialization mode
 //!   that made the paper abandon UDAs ([`aggregate`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod aggregate;

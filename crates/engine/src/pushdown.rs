@@ -163,7 +163,7 @@ pub(crate) fn resolve_lob_in_place(v: &mut Value, env: &mut EvalEnv<'_>) -> Resu
         return Err(EngineError::UnresolvedLob { id, len });
     };
     let bytes = blob::read_blob(reader, id)?;
-    debug_assert_eq!(bytes.len(), len as usize);
+    assert_eq!(bytes.len(), len as usize);
     *v = Value::Bytes(bytes);
     Ok(())
 }

@@ -240,9 +240,15 @@ impl<'a> Lexer<'a> {
                     if digits.len() % 2 != 0 {
                         digits.insert(0, '0');
                     }
+                    fn nibble(b: u8) -> u8 {
+                        match b {
+                            b'0'..=b'9' => b - b'0',
+                            b'a'..=b'f' => b - b'a' + 10,
+                            _ => b - b'A' + 10,
+                        }
+                    }
                     for pair in digits.as_bytes().chunks(2) {
-                        let s = std::str::from_utf8(pair).expect("hex digits are ascii");
-                        bytes.push(u8::from_str_radix(s, 16).expect("validated hex"));
+                        bytes.push((nibble(pair[0]) << 4) | nibble(pair[1]));
                     }
                     out.push((start, Tok::Hex(bytes)));
                 }

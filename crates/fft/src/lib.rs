@@ -10,6 +10,7 @@
 //! [`plan::Plan::execute`] pays the copy the paper describes, while
 //! [`plan::Plan::execute_inplace`] is the raw kernel.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod bluestein;

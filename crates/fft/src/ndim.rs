@@ -7,15 +7,15 @@
 //!
 //! Lattices of at least [`PARALLEL_MIN_ELEMS`] points run each axis pass
 //! with **row-batch parallelism**: the independent 1-D lines of the axis
-//! are split over `parallel::configured_dop()` workers with the
-//! workspace-wide [`partition_ranges`] chunking rule. Every line is
+//! are fanned over `parallel::configured_dop()` workers through
+//! [`scoped_for_ranges_mut`], the workspace chunking rule. Every line is
 //! transformed by an identical [`Plan`], so the result is bit-identical
 //! to the serial loop at any DOP — and inside a
 //! `parallel::with_serial_kernels` scope (e.g. a scan worker evaluating
 //! FFT UDFs) the configured DOP pins to 1 and the serial path runs.
 
 use crate::plan::{Direction, Plan};
-use sqlarray_core::parallel::{configured_dop, partition_ranges};
+use sqlarray_core::parallel::{configured_dop, scoped_for_ranges_mut};
 use sqlarray_core::Complex64;
 
 /// Lattices with at least this many points run the axis passes on
@@ -69,7 +69,7 @@ fn transform_axis(data: &mut [Complex64], count: usize, n: usize, stride: usize,
     // base = (block * s * n) + offset, offset in [0, s).
     let block_len = stride * n;
     let blocks = count / block_len;
-    debug_assert_eq!(blocks * stride, lines);
+    assert_eq!(blocks * stride, lines);
     for b in 0..blocks {
         for off in 0..stride {
             let base = b * block_len + off;
@@ -85,10 +85,12 @@ fn transform_axis(data: &mut [Complex64], count: usize, n: usize, stride: usize,
 }
 
 /// The parallel axis pass: gather + transform every line into a scratch
-/// lattice (line batches fanned over workers, each line landing in its
-/// own contiguous scratch slot), then scatter back over contiguous output
-/// chunks. Two passes of safe disjoint writes; per-line math identical to
-/// [`transform_axis`], so the result is bit-identical at any `dop`.
+/// lattice (line batches fanned over workers via
+/// [`scoped_for_ranges_mut`], each line landing in its own contiguous
+/// scratch slot), then scatter back over contiguous output chunks. Two
+/// passes of disjoint writes with the workspace chunking rule; per-line
+/// math identical to [`transform_axis`], so the result is bit-identical
+/// at any `dop`.
 fn transform_axis_parallel(
     data: &mut [Complex64],
     count: usize,
@@ -98,43 +100,27 @@ fn transform_axis_parallel(
     dop: usize,
 ) {
     let plan = Plan::new(n, dir);
-    let lines = count / n;
     let block_len = stride * n;
     // Line L = block * stride + offset occupies scratch[L*n .. (L+1)*n].
     let mut scratch = vec![Complex64::ZERO; count];
-    std::thread::scope(|s| {
-        let data_ref: &[Complex64] = data;
-        let plan = &plan;
-        let mut rest = &mut scratch[..];
-        for range in partition_ranges(lines, dop) {
-            let (mine, tail) = rest.split_at_mut(range.len() * n);
-            rest = tail;
-            s.spawn(move || {
-                for (slot, line) in range.enumerate() {
-                    let base = (line / stride) * block_len + line % stride;
-                    let out = &mut mine[slot * n..(slot + 1) * n];
-                    for (k, v) in out.iter_mut().enumerate() {
-                        *v = data_ref[base + k * stride];
-                    }
-                    plan.execute_inplace(out);
-                }
-            });
+    let data_ref: &[Complex64] = data;
+    scoped_for_ranges_mut(&mut scratch, n, dop, |range, mine| {
+        for (slot, line) in range.enumerate() {
+            let base = (line / stride) * block_len + line % stride;
+            let out = &mut mine[slot * n..(slot + 1) * n];
+            for (k, v) in out.iter_mut().enumerate() {
+                *v = data_ref[base + k * stride];
+            }
+            plan.execute_inplace(out);
         }
     });
-    std::thread::scope(|s| {
-        let scratch_ref: &[Complex64] = &scratch;
-        let mut rest = &mut data[..];
-        for range in partition_ranges(count, dop) {
-            let (mine, tail) = rest.split_at_mut(range.len());
-            rest = tail;
-            s.spawn(move || {
-                for (slot, idx) in range.enumerate() {
-                    let block = idx / block_len;
-                    let rem = idx % block_len;
-                    let line = block * stride + rem % stride;
-                    mine[slot] = scratch_ref[line * n + rem / stride];
-                }
-            });
+    let scratch_ref: &[Complex64] = &scratch;
+    scoped_for_ranges_mut(data, 1, dop, |range, mine| {
+        for (slot, idx) in range.enumerate() {
+            let block = idx / block_len;
+            let rem = idx % block_len;
+            let line = block * stride + rem % stride;
+            mine[slot] = scratch_ref[line * n + rem / stride];
         }
     });
 }

@@ -19,6 +19,7 @@
 //! (disjoint-output-column fan-out + serial per-element accumulation
 //! order) and the `*_with_dop` variants the determinism tests sweep.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blas;

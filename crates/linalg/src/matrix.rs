@@ -83,14 +83,14 @@ impl Matrix {
     /// Element accessor.
     #[inline]
     pub fn get(&self, i: usize, j: usize) -> f64 {
-        debug_assert!(i < self.rows && j < self.cols);
+        assert!(i < self.rows && j < self.cols);
         self.data[j * self.rows + i]
     }
 
     /// Element mutator.
     #[inline]
     pub fn set(&mut self, i: usize, j: usize, v: f64) {
-        debug_assert!(i < self.rows && j < self.cols);
+        assert!(i < self.rows && j < self.cols);
         self.data[j * self.rows + i] = v;
     }
 

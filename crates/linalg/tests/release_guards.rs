@@ -1,0 +1,38 @@
+//! Regression tests for guards that must fire in RELEASE builds too.
+//!
+//! `Matrix::get`/`set` index column-major as `data[j * rows + i]`; for a
+//! non-square matrix an out-of-range `(i, j)` can land on an in-bounds
+//! linear index, so the slice bounds check alone does NOT catch it — it
+//! silently reads or writes the wrong element. The guard used to be
+//! `debug_assert!`, i.e. absent exactly in the builds the benchmarks
+//! measure. Run under both profiles (`cargo test` and
+//! `cargo test --release`).
+
+use sqlarray_linalg::Matrix;
+
+#[test]
+#[should_panic]
+fn get_rejects_out_of_range_row_even_when_linear_index_is_in_bounds() {
+    // 2 rows × 3 cols: (i=3, j=0) is out of range, but its linear index
+    // 0*2+3 = 3 < 6 is in bounds — without the guard this reads the
+    // element at (1, 1) instead of panicking.
+    let m = Matrix::from_col_major(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+    let _ = m.get(3, 0);
+}
+
+#[test]
+#[should_panic]
+fn set_rejects_out_of_range_row_even_when_linear_index_is_in_bounds() {
+    // 1 row × 4 cols: (i=2, j=1) is out of range, but its linear index
+    // 1*1+2 = 3 < 4 is in bounds — without the guard this overwrites the
+    // element at (0, 3) instead of panicking.
+    let mut m = Matrix::zeros(1, 4);
+    m.set(2, 1, 9.0);
+}
+
+#[test]
+fn in_range_access_still_works() {
+    let mut m = Matrix::zeros(2, 3);
+    m.set(1, 2, 7.0);
+    assert_eq!(m.get(1, 2), 7.0);
+}

@@ -1,0 +1,7 @@
+// Fixture for L000: suppressions without a reason are themselves
+// findings, and do not suppress anything.
+
+pub fn in_range(offset: u64, len: u64, total_len: u64) -> bool {
+    // lint:allow(L003)
+    offset + len <= total_len
+}

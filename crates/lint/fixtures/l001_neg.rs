@@ -1,0 +1,20 @@
+// Negative fixture for L001: always-on asserts, test-only debug_asserts,
+// and an allowed hot-loop guard are all clean.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub fn hot(idx: usize, n: usize) {
+    // lint:allow(L001, reason = "caller-validated in bulk_build; re-check only")
+    debug_assert!(idx < n);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        debug_assert!(1 + 1 == 2);
+    }
+}

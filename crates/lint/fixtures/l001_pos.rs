@@ -1,0 +1,12 @@
+// Positive fixture for L001: a release-vanishing guard in kernel code.
+// Linted under the pretend path crates/linalg/src/fixture.rs.
+
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+pub fn get(data: &[f64], rows: usize, i: usize, j: usize) -> f64 {
+    debug_assert!(i < rows);
+    data[j * rows + i]
+}

@@ -1,0 +1,18 @@
+// Negative fixture for L002: ExactSum-backed accumulation and integer
+// counters are clean; so is float `+=` outside the aggregation paths.
+
+pub fn sum(values: &[f64]) -> f64 {
+    let mut acc = ExactSum::new();
+    for &v in values {
+        acc.add(v);
+    }
+    acc.value()
+}
+
+pub fn count(values: &[f64]) -> u64 {
+    let mut n: u64 = 0;
+    for _ in values {
+        n += 1;
+    }
+    n
+}

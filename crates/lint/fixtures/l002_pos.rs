@@ -1,0 +1,14 @@
+// Positive fixture for L002: raw f64 accumulation in an aggregation
+// path. Linted under the pretend path crates/core/src/ops/agg.rs.
+
+pub fn sum(values: &[f64]) -> f64 {
+    let mut total = 0.0;
+    for &v in values {
+        total += v;
+    }
+    total
+}
+
+pub fn sum_iter(values: &[f64]) -> f64 {
+    values.iter().copied().sum()
+}

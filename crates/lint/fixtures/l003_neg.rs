@@ -1,0 +1,17 @@
+// Negative fixture for L003: checked/saturating arithmetic, arithmetic
+// on non-sensitive names, and a bounded allow are all clean.
+
+pub fn in_range(offset: u64, len: u64, total_len: u64) -> bool {
+    offset
+        .checked_add(len)
+        .is_some_and(|end| end <= total_len)
+}
+
+pub fn scale(x: u64, y: u64) -> u64 {
+    x * y
+}
+
+pub fn chunk_no(offset: u64, chunk: u64) -> u64 {
+    // lint:allow(L003, reason = "offset <= total checked above; cannot wrap")
+    (offset + chunk - 1) / chunk
+}

@@ -1,0 +1,14 @@
+// Positive fixture for L003: raw arithmetic on offsets/lengths in
+// storage. Linted under the pretend path crates/storage/src/fixture.rs.
+
+pub fn in_range(offset: u64, len: u64, total_len: u64) -> bool {
+    offset + len <= total_len
+}
+
+pub fn advance(byte_off: &mut u64, encoded_len: u64) {
+    *byte_off += encoded_len;
+}
+
+pub fn page_byte(page_id: u64, page_size: u64) -> u64 {
+    page_id * page_size
+}

@@ -1,0 +1,16 @@
+// Negative fixture for L004: fan-out through the sanctioned helpers is
+// clean, and test code may spawn freely.
+
+pub fn fan_out(total: usize, parts: usize) -> Vec<u64> {
+    scoped_map_ranges(total, parts, |r| r.end as u64 - r.start as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn races() {
+        std::thread::scope(|s| {
+            s.spawn(|| {});
+        });
+    }
+}

@@ -1,0 +1,14 @@
+// Positive fixture for L004: direct std::thread fan-out outside
+// core::parallel. Linted under the pretend path crates/engine/src/fixture.rs.
+
+pub fn fan_out(parts: usize) {
+    std::thread::scope(|s| {
+        for _ in 0..parts {
+            s.spawn(|| {});
+        }
+    });
+}
+
+pub fn detach() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,27 @@
+// Negative fixture for L005: `?`-propagation, a parser method that
+// happens to be named `expect` (non-string first argument), test code,
+// and a justified allow are all clean.
+
+pub fn read_page(store: &PageStore, id: u64) -> Result<Page, StorageError> {
+    store.read(id)
+}
+
+impl Parser {
+    fn eat(&mut self) -> Result<(), ParseError> {
+        self.expect(&Tok::RParen, "closing paren")
+    }
+}
+
+pub fn poisoned(m: &std::sync::Mutex<u32>) -> u32 {
+    // lint:allow(L005, reason = "lock poisoning is unrecoverable corruption")
+    *m.lock().expect("shard poisoned")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() {
+        let v: Result<u32, ()> = Ok(1);
+        v.unwrap();
+    }
+}

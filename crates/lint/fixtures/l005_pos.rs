@@ -1,0 +1,10 @@
+// Positive fixture for L005: unwrap/expect on fallible paths in library
+// code. Linted under the pretend path crates/storage/src/fixture.rs.
+
+pub fn read_page(store: &PageStore, id: u64) -> Page {
+    store.read(id).unwrap()
+}
+
+pub fn open_page(bytes: Vec<u8>) -> SlottedPage {
+    SlottedPage::open(bytes).expect("page header corrupt")
+}

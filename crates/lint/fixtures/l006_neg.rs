@@ -1,0 +1,16 @@
+// Negative fixture for L006: one guard at a time (re-acquired per loop
+// iteration) and literal ascending acquisition are both clean.
+
+pub fn touch_each(&self) {
+    for shard in &self.shards {
+        let g = shard.lock().unwrap();
+        g.touch();
+    }
+}
+
+pub fn drain_first_two(&self) {
+    let a = self.shards[0].lock().unwrap();
+    let b = self.shards[1].lock().unwrap();
+    a.drain();
+    b.drain();
+}

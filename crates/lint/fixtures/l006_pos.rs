@@ -1,0 +1,8 @@
+// Positive fixture for L006: two shard guards held with a data-dependent
+// acquisition order. Linted under crates/storage/src/fixture.rs.
+
+pub fn move_entry(&self, from: usize, to: usize, key: u64) {
+    let src = self.shards[from].lock().unwrap();
+    let dst = self.shards[to].lock().unwrap();
+    dst.insert(key, src.remove(key));
+}

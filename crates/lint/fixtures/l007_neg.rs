@@ -1,0 +1,10 @@
+// Negative fixture for L007: the SAFETY comment sits within the ten
+// lines above the unsafe keyword.
+
+pub fn view(payload: &[u8]) -> &[f64] {
+    // SAFETY: payload is produced by Array::to_bytes, which writes
+    // little-endian f64 words at 8-byte alignment; align_to's head and
+    // tail are rejected by the caller when non-empty.
+    let (_, mid, _) = unsafe { payload.align_to::<f64>() };
+    mid
+}

@@ -1,0 +1,6 @@
+// Positive fixture for L007: an unsafe block with no SAFETY comment.
+
+pub fn view(payload: &[u8]) -> &[f64] {
+    let (_, mid, _) = unsafe { payload.align_to::<f64>() };
+    mid
+}

@@ -1,0 +1,229 @@
+//! Workspace walking and the CLI entry logic: finds the workspace root,
+//! enumerates library sources, runs every rule, renders output.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::diag::Finding;
+use crate::rules;
+use crate::source::SourceFile;
+
+/// Path components that never contain library code subject to the rules.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", "tests", "benches", "examples", "fixtures", ".git",
+];
+
+/// Parsed command line.
+#[derive(Debug, Default)]
+pub struct Options {
+    /// Emit one JSON object per finding instead of human text.
+    pub json: bool,
+    /// Exit nonzero if any finding survives suppression.
+    pub deny_all: bool,
+    /// Explicit files/dirs to lint; empty means the whole workspace.
+    pub paths: Vec<PathBuf>,
+}
+
+impl Options {
+    /// Parses `argv[1..]`. Unknown flags are errors.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+        let mut opts = Options::default();
+        for a in args {
+            match a.as_str() {
+                "--format=json" => opts.json = true,
+                "--format=human" => opts.json = false,
+                "--deny-all" => opts.deny_all = true,
+                "--help" | "-h" => return Err(usage()),
+                f if f.starts_with('-') => return Err(format!("unknown flag `{f}`\n{}", usage())),
+                p => opts.paths.push(PathBuf::from(p)),
+            }
+        }
+        Ok(opts)
+    }
+}
+
+fn usage() -> String {
+    "usage: sqlarray-lint [--format=json|human] [--deny-all] [paths…]\n\
+     Lints the workspace's library sources against the repo invariants \
+     (L001–L007). With no paths, walks up to the workspace root and lints \
+     every crate's src/ tree."
+        .to_string()
+}
+
+/// Lints one in-memory source. `path_label` drives crate attribution
+/// (`crates/<name>/src/…`), so tests can lint fixtures under pretend
+/// paths.
+pub fn lint_source(path_label: &str, src: &str) -> Vec<Finding> {
+    let f = SourceFile::parse(path_label, src);
+    rules::run_all(&f)
+}
+
+/// Walks upward from `start` to the directory whose `Cargo.toml` declares
+/// `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut dir = start.to_path_buf();
+    loop {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir);
+            }
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+/// Collects the `.rs` files under `root` that the rules apply to:
+/// everything beneath a `src/` directory, excluding vendored code, test
+/// trees, benches, examples and fixtures. Sorted for deterministic
+/// output.
+pub fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut out = Vec::new();
+    walk(root, &mut out);
+    out.sort();
+    out
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_ref()) || name.starts_with('.') {
+                continue;
+            }
+            walk(&path, out);
+        } else if name.ends_with(".rs") && in_src_tree(&path) {
+            out.push(path);
+        }
+    }
+}
+
+/// True when the path has a `src` component (library code, not build
+/// scripts or top-level test harnesses).
+fn in_src_tree(path: &Path) -> bool {
+    path.components()
+        .any(|c| c.as_os_str().to_string_lossy() == "src")
+}
+
+/// Path rendered workspace-relative with `/` separators, for stable
+/// diagnostics across platforms.
+fn rel_label(root: &Path, path: &Path) -> String {
+    let rel = path.strip_prefix(root).unwrap_or(path);
+    let mut out = String::new();
+    for c in rel.components() {
+        match c {
+            std::path::Component::RootDir => out.push('/'),
+            other => {
+                if !out.is_empty() && !out.ends_with('/') {
+                    out.push('/');
+                }
+                out.push_str(&other.as_os_str().to_string_lossy());
+            }
+        }
+    }
+    out
+}
+
+/// Runs the lint over the requested paths (or the whole workspace) and
+/// returns (findings, files_scanned). IO failures on individual files
+/// are reported to stderr and skipped, never fatal.
+pub fn run(opts: &Options, cwd: &Path) -> (Vec<Finding>, usize) {
+    let root = find_workspace_root(cwd).unwrap_or_else(|| cwd.to_path_buf());
+    let files: Vec<PathBuf> = if opts.paths.is_empty() {
+        collect_sources(&root)
+    } else {
+        let mut v = Vec::new();
+        for p in &opts.paths {
+            let p = if p.is_absolute() {
+                p.clone()
+            } else {
+                cwd.join(p)
+            };
+            if p.is_dir() {
+                v.extend(collect_sources(&p));
+            } else {
+                v.push(p);
+            }
+        }
+        v.sort();
+        v
+    };
+    let mut findings = Vec::new();
+    let mut scanned = 0usize;
+    for path in &files {
+        let src = match fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("sqlarray-lint: skipping {}: {e}", path.display());
+                continue;
+            }
+        };
+        scanned += 1;
+        let label = rel_label(&root, path);
+        findings.extend(lint_source(&label, &src));
+    }
+    (findings, scanned)
+}
+
+/// Renders findings in the requested format and returns the process exit
+/// code: 1 when `--deny-all` and findings survived, 0 otherwise.
+pub fn report(opts: &Options, findings: &[Finding], scanned: usize) -> i32 {
+    if opts.json {
+        println!("[");
+        for (i, f) in findings.iter().enumerate() {
+            let comma = if i + 1 == findings.len() { "" } else { "," };
+            println!("  {}{}", f.render_json(), comma);
+        }
+        println!("]");
+    } else {
+        for f in findings {
+            println!("{}", f.render_human());
+        }
+        println!(
+            "sqlarray-lint: {} finding(s) across {} file(s)",
+            findings.len(),
+            scanned
+        );
+    }
+    if opts.deny_all && !findings.is_empty() {
+        1
+    } else {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_parse_flags_and_paths() {
+        let o = Options::parse(["--format=json", "--deny-all", "crates/storage"].map(String::from))
+            .unwrap();
+        assert!(o.json && o.deny_all);
+        assert_eq!(o.paths, vec![PathBuf::from("crates/storage")]);
+        assert!(Options::parse(["--bogus".to_string()]).is_err());
+    }
+
+    #[test]
+    fn src_tree_filter() {
+        assert!(in_src_tree(Path::new("crates/core/src/ops/agg.rs")));
+        assert!(!in_src_tree(Path::new("crates/core/build.rs")));
+    }
+
+    #[test]
+    fn lint_source_applies_allows() {
+        let dirty = "fn f(offset: usize, len: usize) -> usize { offset + len }";
+        assert_eq!(lint_source("crates/storage/src/x.rs", dirty).len(), 1);
+        let clean = "// lint:allow(L003, reason = \"sum bounded by PAGE_SIZE\")\n\
+                     fn f(offset: usize, len: usize) -> usize { offset + len }";
+        assert!(lint_source("crates/storage/src/x.rs", clean).is_empty());
+    }
+}

@@ -1,0 +1,374 @@
+//! A minimal Rust lexer, just faithful enough that the invariant rules
+//! match **tokens**, not text.
+//!
+//! The rules this crate enforces are defeated the moment a pattern match
+//! fires inside a string literal, a doc comment, or a `#[cfg(test)]`
+//! module — so the lexer's whole job is to classify every byte of a source
+//! file into comment / string / char / lifetime / number / identifier /
+//! punctuation, handling the three constructs that break naive scanners:
+//!
+//! * raw strings `r"…"`, `r#"…"#` (any number of hashes) and their
+//!   byte/C variants `br#"…"#`, `cr"…"`;
+//! * nested block comments `/* a /* b */ c */`;
+//! * char and byte literals (`'a'`, `'\''`, `b'\xFF'`) versus lifetime
+//!   ticks (`'a`, `'_`, `'static`).
+//!
+//! Tokens carry byte spans that partition the input exactly:
+//! concatenating `src[tok.start..tok.end]` over all tokens reproduces the
+//! file byte for byte (property-tested in `tests/lexer_roundtrip.rs`).
+//! Unterminated constructs extend to end of input rather than failing —
+//! a lint must degrade gracefully on files mid-edit.
+
+/// Classification of one source token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Spaces, tabs, newlines (one token per maximal run).
+    Whitespace,
+    /// `// …` including doc comments, excluding the trailing newline.
+    LineComment,
+    /// `/* … */` with arbitrary nesting.
+    BlockComment,
+    /// String literal of any flavour: `"…"`, `r#"…"#`, `b"…"`, `cr"…"`.
+    Str,
+    /// Char or byte-char literal: `'a'`, `'\n'`, `b'x'`.
+    Char,
+    /// Lifetime tick: `'a`, `'_`, `'static`.
+    Lifetime,
+    /// Numeric literal (integer or float, any base, with suffix).
+    Num,
+    /// Identifier or keyword.
+    Ident,
+    /// A single punctuation byte (`+`, `:`, `{` …). Multi-byte operators
+    /// appear as consecutive `Punct` tokens; rules match the sequence.
+    Punct,
+}
+
+/// One lexed token: kind plus the byte span `[start, end)` and the
+/// 1-based line of its first byte.
+#[derive(Debug, Clone, Copy)]
+pub struct Tok {
+    /// Token class.
+    pub kind: TokKind,
+    /// Byte offset of the first byte.
+    pub start: usize,
+    /// Byte offset one past the last byte.
+    pub end: usize,
+    /// 1-based source line of `start`.
+    pub line: u32,
+}
+
+impl Tok {
+    /// The token's text within `src`.
+    pub fn text<'a>(&self, src: &'a str) -> &'a str {
+        &src[self.start..self.end]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lexes `src` into a token stream whose spans partition the input
+/// exactly. Never fails: unterminated strings/comments run to EOF and
+/// bytes that fit no class become single-byte `Punct` tokens.
+pub fn lex(src: &str) -> Vec<Tok> {
+    let b = src.as_bytes();
+    let n = b.len();
+    let mut toks = Vec::new();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let count_lines = |bytes: &[u8]| bytes.iter().filter(|&&c| c == b'\n').count() as u32;
+
+    while i < n {
+        let start = i;
+        let start_line = line;
+        let c = b[i];
+        let kind = if c.is_ascii_whitespace() {
+            while i < n && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            TokKind::Whitespace
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'/' {
+            while i < n && b[i] != b'\n' {
+                i += 1;
+            }
+            TokKind::LineComment
+        } else if c == b'/' && i + 1 < n && b[i + 1] == b'*' {
+            i += 2;
+            let mut depth = 1usize;
+            while i < n && depth > 0 {
+                if b[i] == b'/' && i + 1 < n && b[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if b[i] == b'*' && i + 1 < n && b[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            TokKind::BlockComment
+        } else if c == b'"' {
+            i = scan_cooked_string(b, i + 1);
+            TokKind::Str
+        } else if c == b'\'' {
+            // Lifetime iff the tick is followed by an identifier run that
+            // is *not* closed by another tick ('a> is a lifetime, 'a' is
+            // a char).
+            let mut j = i + 1;
+            if j < n && is_ident_start(b[j]) {
+                let mut k = j + 1;
+                while k < n && is_ident_continue(b[k]) {
+                    k += 1;
+                }
+                if k < n && b[k] == b'\'' {
+                    // 'x' — char literal (only single-char bodies reach
+                    // here, e.g. 'a'; escapes start with backslash).
+                    i = k + 1;
+                    TokKind::Char
+                } else {
+                    i = k;
+                    TokKind::Lifetime
+                }
+            } else {
+                // Char literal with an escape or punctuation body.
+                while j < n {
+                    if b[j] == b'\\' {
+                        j = (j + 2).min(n);
+                    } else if b[j] == b'\'' {
+                        j += 1;
+                        break;
+                    } else {
+                        j += 1;
+                    }
+                }
+                i = j;
+                TokKind::Char
+            }
+        } else if c.is_ascii_digit() {
+            i = scan_number(b, i);
+            TokKind::Num
+        } else if is_ident_start(c) {
+            // Could be a string prefix: r"…", r#"…"#, b"…", b'…', br/cr.
+            if let Some((end, kind)) = scan_prefixed_literal(b, i) {
+                i = end;
+                kind
+            } else {
+                while i < n && is_ident_continue(b[i]) {
+                    i += 1;
+                }
+                TokKind::Ident
+            }
+        } else {
+            i += 1;
+            TokKind::Punct
+        };
+        line += count_lines(&b[start..i]);
+        toks.push(Tok {
+            kind,
+            start,
+            end: i,
+            line: start_line,
+        });
+    }
+    toks
+}
+
+/// Scans a cooked (escaped) string body starting *after* the opening
+/// quote; returns the offset one past the closing quote (or EOF).
+fn scan_cooked_string(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    while i < n {
+        if b[i] == b'\\' {
+            i = (i + 2).min(n);
+        } else if b[i] == b'"' {
+            return i + 1;
+        } else {
+            i += 1;
+        }
+    }
+    i
+}
+
+/// Scans a numeric literal starting at a digit: base prefixes, `_`
+/// separators, a fractional part, exponents with signs (`1e-3`), and
+/// alphanumeric type suffixes all stay in one token.
+fn scan_number(b: &[u8], mut i: usize) -> usize {
+    let n = b.len();
+    let run = |i: &mut usize| {
+        while *i < n {
+            let c = b[*i];
+            if c.is_ascii_alphanumeric() || c == b'_' {
+                *i += 1;
+            } else if (c == b'+' || c == b'-')
+                && *i >= 1
+                && matches!(b[*i - 1], b'e' | b'E')
+                && b.get(*i + 1).is_some_and(|d| d.is_ascii_digit())
+            {
+                // exponent sign: 1e-3, 2.5E+10
+                *i += 1;
+            } else {
+                break;
+            }
+        }
+    };
+    run(&mut i);
+    // Fractional part: a '.' followed by a digit (so `0..n` stays two
+    // tokens and `x.method()` is untouched — numbers can't precede `.m`).
+    if i < n && b[i] == b'.' && b.get(i + 1).is_some_and(|d| d.is_ascii_digit()) {
+        i += 1;
+        run(&mut i);
+    } else if i < n
+        && b[i] == b'.'
+        && !b
+            .get(i + 1)
+            .is_some_and(|&d| d == b'.' || is_ident_start(d))
+    {
+        // Trailing-dot float `1.` (not a range `1..` or field access).
+        i += 1;
+    }
+    i
+}
+
+/// If the identifier starting at `i` is actually a string/char prefix
+/// (`r`, `b`, `br`, `c`, `cr` directly followed by the literal), scans the
+/// whole literal and returns `(end, kind)`.
+fn scan_prefixed_literal(b: &[u8], i: usize) -> Option<(usize, TokKind)> {
+    let n = b.len();
+    // Longest prefix first so `br` isn't read as `b` + junk.
+    for prefix in [&b"br"[..], &b"cr"[..], &b"r"[..], &b"b"[..], &b"c"[..]] {
+        if b[i..].starts_with(prefix) {
+            let j = i + prefix.len();
+            let raw = prefix.ends_with(b"r");
+            if raw {
+                // r"…" or r#…#"…"#…#
+                let mut hashes = 0usize;
+                let mut k = j;
+                while k < n && b[k] == b'#' {
+                    hashes += 1;
+                    k += 1;
+                }
+                if k < n && b[k] == b'"' {
+                    k += 1;
+                    // Scan for `"` followed by `hashes` hashes.
+                    while k < n {
+                        if b[k] == b'"'
+                            && b[k + 1..].len() >= hashes
+                            && b[k + 1..k + 1 + hashes].iter().all(|&h| h == b'#')
+                        {
+                            return Some((k + 1 + hashes, TokKind::Str));
+                        }
+                        k += 1;
+                    }
+                    return Some((n, TokKind::Str));
+                }
+            } else if j < n && b[j] == b'"' {
+                return Some((scan_cooked_string(b, j + 1), TokKind::Str));
+            } else if j < n && b[j] == b'\'' && prefix == b"b" {
+                // b'x' byte literal.
+                let mut k = j + 1;
+                while k < n {
+                    if b[k] == b'\\' {
+                        k = (k + 2).min(n);
+                    } else if b[k] == b'\'' {
+                        return Some((k + 1, TokKind::Char));
+                    } else {
+                        k += 1;
+                    }
+                }
+                return Some((n, TokKind::Char));
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, &str)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .map(|t| (t.kind, t.text(src)))
+            .collect()
+    }
+
+    #[test]
+    fn spans_partition_the_input() {
+        let src = "fn f(x: u8) -> u8 { x + 1 } // done";
+        let toks = lex(src);
+        let mut cat = String::new();
+        let mut pos = 0;
+        for t in &toks {
+            assert_eq!(t.start, pos, "gap before {t:?}");
+            cat.push_str(t.text(src));
+            pos = t.end;
+        }
+        assert_eq!(cat, src);
+    }
+
+    #[test]
+    fn raw_strings_swallow_quotes_and_hashes() {
+        let src = r####"let s = r#"a "quoted" // not a comment"# ; x"####;
+        let k = kinds(src);
+        assert!(k
+            .iter()
+            .any(|(kk, t)| *kk == TokKind::Str && t.contains("not a comment")));
+        assert!(k.iter().any(|(kk, t)| *kk == TokKind::Ident && *t == "x"));
+        assert!(!k.iter().any(|(kk, _)| *kk == TokKind::LineComment));
+    }
+
+    #[test]
+    fn nested_block_comments_close_at_depth_zero() {
+        let src = "a /* x /* y */ z */ b";
+        let k = kinds(src);
+        assert_eq!(k[0], (TokKind::Ident, "a"));
+        assert_eq!(k[1].0, TokKind::BlockComment);
+        assert_eq!(k[2], (TokKind::Ident, "b"));
+    }
+
+    #[test]
+    fn chars_versus_lifetimes() {
+        let k = kinds("'a' 'x 'static '_ '\\'' b'q'");
+        let want = [
+            (TokKind::Char, "'a'"),
+            (TokKind::Lifetime, "'x"),
+            (TokKind::Lifetime, "'static"),
+            (TokKind::Lifetime, "'_"),
+            (TokKind::Char, "'\\''"),
+            (TokKind::Char, "b'q'"),
+        ];
+        assert_eq!(k, want);
+    }
+
+    #[test]
+    fn numbers_keep_ranges_and_exponents_apart() {
+        let k = kinds("0..n 1.5e-3 0xFFu64 1_000");
+        assert_eq!(k[0], (TokKind::Num, "0"));
+        assert_eq!(k[1], (TokKind::Punct, "."));
+        assert_eq!(k[2], (TokKind::Punct, "."));
+        assert_eq!(k[3], (TokKind::Ident, "n"));
+        assert_eq!(k[4], (TokKind::Num, "1.5e-3"));
+        assert_eq!(k[5], (TokKind::Num, "0xFFu64"));
+        assert_eq!(k[6], (TokKind::Num, "1_000"));
+    }
+
+    #[test]
+    fn line_numbers_track_multiline_tokens() {
+        let src = "a\n/* two\nlines */\nb";
+        let toks: Vec<Tok> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokKind::Whitespace)
+            .collect();
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // comment starts on line 2
+        assert_eq!(toks[2].line, 4); // b
+    }
+}

@@ -1,0 +1,33 @@
+//! `sqlarray-lint` — the repo-invariant static-analysis pass.
+//!
+//! The workspace's correctness story rests on a handful of invariants
+//! that ordinary tests exercise but cannot *enforce*: parallel kernels
+//! stay bit-identical to serial at any DOP, real summation routes
+//! through the exactly-rounded accumulator, release builds keep their
+//! correctness guards, and storage arithmetic never wraps. Each of those
+//! has been violated once (see `rules` for the incident table); this
+//! crate makes the whole class mechanical.
+//!
+//! It is deliberately dependency-free: a small hand-rolled lexer
+//! ([`lexer`]) that understands raw strings, nested block comments and
+//! char-vs-lifetime ticks; a per-file context ([`source`]) that strips
+//! `#[cfg(test)]` regions and parses `// lint:allow(L0xx, reason = "…")`
+//! suppressions; token-pattern rules ([`rules`]); and a workspace walker
+//! ([`driver`]).
+//!
+//! ```text
+//! cargo run -p sqlarray-lint -- --deny-all            # CI gate
+//! cargo run -p sqlarray-lint -- --format=json path…   # tooling
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub mod diag;
+pub mod driver;
+pub mod lexer;
+pub mod rules;
+pub mod source;
+
+pub use diag::Finding;
+pub use driver::{lint_source, Options};
+pub use source::SourceFile;

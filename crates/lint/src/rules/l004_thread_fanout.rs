@@ -1,0 +1,45 @@
+//! **L004 — thread fan-out routes through `core::parallel`.**
+//!
+//! `SQLARRAY_DOP`, `Session::set_dop` and `with_serial_kernels` are only
+//! authoritative if every fan-out takes its width from
+//! `parallel::configured_dop` and its chunking from `partition_ranges`.
+//! A stray `std::thread::spawn`/`scope` elsewhere silently escapes the
+//! DOP budget — and inside a scan worker it nests `dop × dop` threads.
+//! All uses of `thread::spawn`/`thread::scope` outside
+//! `core/src/parallel.rs` (the sanctioned wrappers:
+//! `scoped_map_ranges`, `scoped_for_ranges_mut`, …) are flagged.
+
+use crate::diag::Finding;
+use crate::rules::finding_at;
+use crate::source::SourceFile;
+
+/// The one module allowed to touch `std::thread` directly.
+const SANCTIONED: &str = "crates/core/src/parallel.rs";
+
+pub fn check(f: &SourceFile<'_>) -> Vec<Finding> {
+    let mut out = Vec::new();
+    if f.path.ends_with(SANCTIONED) {
+        return out;
+    }
+    for k in 0..f.sig.len().saturating_sub(3) {
+        if f.is_ident(k, "thread")
+            && f.is_punct(k + 1, ":")
+            && f.is_punct(k + 2, ":")
+            && (f.is_ident(k + 3, "spawn") || f.is_ident(k + 3, "scope"))
+            && !f.in_test(f.tok(k).start)
+        {
+            out.push(finding_at(
+                f,
+                "L004",
+                k + 3,
+                format!(
+                    "`thread::{}` outside core::parallel escapes the DOP budget \
+                     (`SQLARRAY_DOP`, `with_serial_kernels`); fan out through \
+                     `parallel::scoped_map_ranges`/`scoped_for_ranges_mut` instead",
+                    f.text(k + 3)
+                ),
+            ));
+        }
+    }
+    out
+}

@@ -1,0 +1,79 @@
+//! The invariant rules. Each is derived from a bug class this repository
+//! has actually shipped (see `ARCHITECTURE.md`, "Invariants & mechanical
+//! enforcement"):
+//!
+//! | rule | invariant | incident |
+//! |------|-----------|----------|
+//! | L001 | correctness guards must survive release builds | PR 4: `debug_assert`-only length checks silently zip-truncated `blas::dot`/`axpy` |
+//! | L002 | real summation goes through `exact::ExactSum` | PR 5: `agg::sum` diverged from parallel `SUM` bit-for-bit |
+//! | L003 | page/offset arithmetic in `storage` is overflow-checked | PR 3: unchecked page arithmetic in the sequential-read classifiers |
+//! | L004 | thread fan-out routes through `core::parallel` | the `SQLARRAY_DOP` / `with_serial_kernels` knobs must stay authoritative |
+//! | L005 | no `unwrap`/`expect` on fallible paths in library code | PR 5: silent `<lob:…>` placeholder replaced by typed `UnresolvedLob` |
+//! | L006 | shard locks are acquired in ascending index order | deadlock class a multi-session server will make real |
+//! | L007 | every `unsafe` block carries a `// SAFETY:` comment | unsafe-audit companion |
+//!
+//! Suppression: `// lint:allow(L00x, reason = "…")` on the finding's line
+//! or the line above. The reason is mandatory; a malformed or reasonless
+//! allow is itself reported as `L000`.
+
+mod l001_debug_assert;
+mod l002_exact_sum;
+mod l003_checked_arith;
+mod l004_thread_fanout;
+mod l005_unwrap;
+mod l006_lock_order;
+mod l007_safety_comment;
+
+use crate::diag::Finding;
+use crate::source::SourceFile;
+
+/// Every rule id this crate knows, in order.
+pub const ALL_RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
+
+/// Builds a [`Finding`] anchored at significant token `k` of `f`.
+pub(crate) fn finding_at(
+    f: &SourceFile<'_>,
+    rule: &'static str,
+    k: usize,
+    message: String,
+) -> Finding {
+    let tok = f.tok(k);
+    Finding {
+        rule,
+        path: f.path.to_string(),
+        line: tok.line,
+        col: f.col(tok.start),
+        message,
+        snippet: f.line_text(tok.line).trim().to_string(),
+    }
+}
+
+/// Runs every rule over one parsed file, applies `lint:allow`
+/// suppressions, and appends `L000` findings for malformed allows.
+pub fn run_all(f: &SourceFile<'_>) -> Vec<Finding> {
+    let mut out: Vec<Finding> = Vec::new();
+    out.extend(l001_debug_assert::check(f));
+    out.extend(l002_exact_sum::check(f));
+    out.extend(l003_checked_arith::check(f));
+    out.extend(l004_thread_fanout::check(f));
+    out.extend(l005_unwrap::check(f));
+    out.extend(l006_lock_order::check(f));
+    out.extend(l007_safety_comment::check(f));
+    out.retain(|d| !f.is_allowed(d.rule, d.line));
+    for bad in &f.bad_allows {
+        out.push(Finding {
+            rule: "L000",
+            path: f.path.to_string(),
+            line: bad.line,
+            col: 1,
+            message: format!(
+                "malformed lint:allow ({}); suppressions require a non-empty reason: \
+                 lint:allow(L0xx, reason = \"…\")",
+                bad.why
+            ),
+            snippet: f.line_text(bad.line).trim().to_string(),
+        });
+    }
+    out.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+    out
+}

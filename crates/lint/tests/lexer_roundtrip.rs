@@ -1,0 +1,119 @@
+//! Property test: lexing any input and re-concatenating the token spans
+//! reproduces the input byte-for-byte — the lexer partitions its input,
+//! whatever it is fed.
+
+use proptest::collection;
+use proptest::prelude::*;
+use sqlarray_lint::lexer::lex;
+
+/// Reassembles a source string from its token spans.
+fn reassemble(src: &str) -> String {
+    lex(src).iter().map(|t| t.text(src)).collect()
+}
+
+fn assert_partitions(src: &str) {
+    let toks = lex(src);
+    let mut at = 0usize;
+    for t in &toks {
+        assert_eq!(
+            t.start, at,
+            "gap/overlap before token at byte {at} in {src:?}"
+        );
+        assert!(t.end > t.start, "empty token at byte {at} in {src:?}");
+        at = t.end;
+    }
+    assert_eq!(at, src.len(), "trailing bytes unlexed in {src:?}");
+    assert_eq!(reassemble(src), src);
+}
+
+/// Fragments covering every tricky lexical corner: raw strings with
+/// hashes, nested block comments, byte/char literals, lifetime ticks,
+/// exponent numbers, range punctuation.
+const FRAGMENTS: &[&str] = &[
+    "r#\"raw \\ no-escape \"inner\" \"#",
+    "br##\"bytes \"# still going\"##",
+    "/* outer /* nested */ still comment */",
+    "// line comment with \"quote\" and /* opener\n",
+    "'a'",
+    "'\\n'",
+    "'\\''",
+    "b'x'",
+    "&'static str",
+    "<'a, 'b>",
+    "1e-3",
+    "2.5E+10",
+    "0x_ff_u64",
+    "0..n",
+    "3.",
+    "1_000_000",
+    "\"cooked \\\" escape\"",
+    "c\"cstr\"",
+    "ident_0",
+    "fn f() -> Result<(), E> { Ok(()) }",
+    "#[cfg(test)]",
+    "x+=1;",
+    "\n",
+    " ",
+    "\t",
+];
+
+#[test]
+fn fragments_roundtrip_individually() {
+    for frag in FRAGMENTS {
+        assert_partitions(frag);
+    }
+}
+
+#[test]
+fn pathological_hand_picked_inputs_roundtrip() {
+    for src in [
+        "",
+        "'",                  // lone tick at EOF
+        "r#\"unterminated",   // unterminated raw string
+        "/* unterminated /*", // unterminated nested comment
+        "\"unterminated",     // unterminated cooked string
+        "1e",                 // exponent marker with no digits
+        "b'",                 // unterminated byte char
+        "𝕏 = π;",             // multi-byte identifiers stay intact
+        "let s = \"//not a comment\"; // real comment",
+    ] {
+        assert_partitions(src);
+    }
+}
+
+proptest! {
+    #[test]
+    fn random_fragment_concatenations_roundtrip(
+        picks in collection::vec(0usize..FRAGMENTS.len(), 0..40usize),
+        seps in collection::vec(0usize..4usize, 0..40usize),
+    ) {
+        let mut src = String::new();
+        for (i, &p) in picks.iter().enumerate() {
+            src.push_str(FRAGMENTS[p]);
+            match seps.get(i) {
+                Some(0) => src.push(' '),
+                Some(1) => src.push('\n'),
+                Some(2) => src.push(';'),
+                _ => {}
+            }
+        }
+        let toks = lex(&src);
+        let mut at = 0usize;
+        for t in &toks {
+            prop_assert_eq!(t.start, at);
+            at = t.end;
+        }
+        prop_assert_eq!(at, src.len());
+        let rebuilt: String = toks.iter().map(|t| t.text(&src)).collect();
+        prop_assert_eq!(rebuilt, src);
+    }
+
+    #[test]
+    fn random_ascii_soup_roundtrips(
+        bytes in collection::vec(32u8..127u8, 0..200usize),
+    ) {
+        let src: String = bytes.iter().map(|&b| b as char).collect();
+        let rebuilt = reassemble(&src);
+        prop_assert_eq!(rebuilt, src);
+    }
+}

@@ -1,0 +1,159 @@
+//! Fixture tests: one positive (rule fires) and one negative (rule stays
+//! silent) source per rule, linted under pretend workspace paths so
+//! crate-scoped rules attribute them correctly.
+
+use sqlarray_lint::lint_source;
+
+/// Rules that fired, in report order.
+fn rules(path: &str, src: &str) -> Vec<&'static str> {
+    lint_source(path, src).iter().map(|f| f.rule).collect()
+}
+
+fn count(path: &str, src: &str, rule: &str) -> usize {
+    rules(path, src).iter().filter(|r| **r == rule).count()
+}
+
+#[test]
+fn l001_flags_debug_assert_in_kernel_code() {
+    let pos = include_str!("../fixtures/l001_pos.rs");
+    assert_eq!(count("crates/linalg/src/fixture.rs", pos, "L001"), 2);
+}
+
+#[test]
+fn l001_silent_on_asserts_tests_and_allows() {
+    let neg = include_str!("../fixtures/l001_neg.rs");
+    assert_eq!(count("crates/linalg/src/fixture.rs", neg, "L001"), 0);
+}
+
+#[test]
+fn l001_out_of_scope_crates_are_exempt() {
+    let pos = include_str!("../fixtures/l001_pos.rs");
+    assert_eq!(count("crates/turbulence/src/fixture.rs", pos, "L001"), 0);
+}
+
+#[test]
+fn l002_flags_raw_float_accumulation_in_agg() {
+    let pos = include_str!("../fixtures/l002_pos.rs");
+    // `total += v` and `.sum()`.
+    assert_eq!(count("crates/core/src/ops/agg.rs", pos, "L002"), 2);
+}
+
+#[test]
+fn l002_silent_on_exactsum_and_integer_counters() {
+    let neg = include_str!("../fixtures/l002_neg.rs");
+    assert_eq!(count("crates/core/src/ops/agg.rs", neg, "L002"), 0);
+}
+
+#[test]
+fn l002_only_watches_aggregation_paths() {
+    let pos = include_str!("../fixtures/l002_pos.rs");
+    assert_eq!(count("crates/core/src/ops/elementwise.rs", pos, "L002"), 0);
+}
+
+#[test]
+fn l003_flags_raw_offset_arithmetic_in_storage() {
+    let pos = include_str!("../fixtures/l003_pos.rs");
+    // `offset + len`, `*byte_off += encoded_len`, `page_id * page_size`.
+    assert_eq!(count("crates/storage/src/fixture.rs", pos, "L003"), 3);
+}
+
+#[test]
+fn l003_silent_on_checked_math_and_allows() {
+    let neg = include_str!("../fixtures/l003_neg.rs");
+    assert_eq!(count("crates/storage/src/fixture.rs", neg, "L003"), 0);
+}
+
+#[test]
+fn l003_only_applies_to_storage() {
+    let pos = include_str!("../fixtures/l003_pos.rs");
+    assert_eq!(count("crates/engine/src/fixture.rs", pos, "L003"), 0);
+}
+
+#[test]
+fn l004_flags_direct_thread_fanout() {
+    let pos = include_str!("../fixtures/l004_pos.rs");
+    assert_eq!(count("crates/engine/src/fixture.rs", pos, "L004"), 2);
+}
+
+#[test]
+fn l004_silent_on_parallel_helpers_and_tests() {
+    let neg = include_str!("../fixtures/l004_neg.rs");
+    assert_eq!(count("crates/engine/src/fixture.rs", neg, "L004"), 0);
+}
+
+#[test]
+fn l004_core_parallel_is_sanctioned() {
+    let pos = include_str!("../fixtures/l004_pos.rs");
+    assert_eq!(count("crates/core/src/parallel.rs", pos, "L004"), 0);
+}
+
+#[test]
+fn l005_flags_unwrap_and_expect_in_library_code() {
+    let pos = include_str!("../fixtures/l005_pos.rs");
+    assert_eq!(count("crates/storage/src/fixture.rs", pos, "L005"), 2);
+}
+
+#[test]
+fn l005_silent_on_propagation_parser_expect_and_allows() {
+    let neg = include_str!("../fixtures/l005_neg.rs");
+    assert_eq!(count("crates/storage/src/fixture.rs", neg, "L005"), 0);
+}
+
+#[test]
+fn l005_app_tier_crates_are_exempt() {
+    let pos = include_str!("../fixtures/l005_pos.rs");
+    assert_eq!(count("crates/turbulence/src/fixture.rs", pos, "L005"), 0);
+}
+
+#[test]
+fn l006_flags_unordered_held_shard_guards() {
+    let pos = include_str!("../fixtures/l006_pos.rs");
+    assert_eq!(count("crates/storage/src/fixture.rs", pos, "L006"), 1);
+}
+
+#[test]
+fn l006_silent_on_single_guard_and_literal_ascending() {
+    let neg = include_str!("../fixtures/l006_neg.rs");
+    assert_eq!(count("crates/storage/src/fixture.rs", neg, "L006"), 0);
+}
+
+#[test]
+fn l007_flags_undocumented_unsafe() {
+    let pos = include_str!("../fixtures/l007_pos.rs");
+    assert_eq!(count("crates/core/src/fixture.rs", pos, "L007"), 1);
+}
+
+#[test]
+fn l007_silent_when_safety_comment_present() {
+    let neg = include_str!("../fixtures/l007_neg.rs");
+    assert_eq!(count("crates/core/src/fixture.rs", neg, "L007"), 0);
+}
+
+#[test]
+fn l000_reasonless_allow_is_reported_and_does_not_suppress() {
+    let src = include_str!("../fixtures/l000_bad_allow.rs");
+    let got = rules("crates/storage/src/fixture.rs", src);
+    assert!(got.contains(&"L000"), "{got:?}");
+    assert!(got.contains(&"L003"), "{got:?}");
+}
+
+#[test]
+fn findings_carry_location_and_snippet() {
+    let pos = include_str!("../fixtures/l003_pos.rs");
+    let f = &lint_source("crates/storage/src/fixture.rs", pos)[0];
+    assert_eq!(f.path, "crates/storage/src/fixture.rs");
+    assert!(f.line > 0 && f.col > 0);
+    assert!(f.snippet.contains("offset + len"), "{}", f.snippet);
+    assert!(f.render_human().contains("fixture.rs"));
+    assert!(f.render_json().starts_with("{\"rule\":\"L003\""));
+}
+
+#[test]
+fn allow_covers_same_line_and_line_below_only() {
+    let same_line =
+        "fn f(offset: u64) -> u64 { offset + 1 } // lint:allow(L003, reason = \"bounded\")";
+    assert_eq!(count("crates/storage/src/x.rs", same_line, "L003"), 0);
+    let too_far =
+        "// lint:allow(L003, reason = \"bounded\")\n\nfn f(offset: u64) -> u64 { offset + 1 }";
+    assert_eq!(count("crates/storage/src/x.rs", too_far, "L003"), 1);
+}

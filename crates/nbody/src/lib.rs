@@ -10,6 +10,7 @@
 //! functions with analytic periodic randoms ([`correlate`]), and
 //! light-cone construction across look-back snapshots ([`lightcone`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cic;

@@ -9,6 +9,7 @@
 //! expansion plus kd-tree similarity search ([`search`], [`kdtree`]) over
 //! synthetic SDSS-like surveys ([`synth`]).
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod composite;

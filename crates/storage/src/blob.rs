@@ -125,8 +125,8 @@ fn root_info<R: PageRead + ?Sized>(reader: &mut R, id: BlobId) -> Result<(usize,
             got: bytes[0],
         });
     }
-    let total = u64::from_le_bytes(bytes[4..12].try_into().unwrap()) as usize;
-    let n_chunks = u32::from_le_bytes(bytes[12..16].try_into().unwrap()) as usize;
+    let total = sqlarray_core::le::u64_at(bytes, 4) as usize;
+    let n_chunks = sqlarray_core::le::u32_at(bytes, 12) as usize;
     Ok((total, n_chunks))
 }
 
@@ -150,8 +150,8 @@ fn resolve_chunk_pages<R: PageRead + ?Sized>(
     n_chunks: usize,
     needed: &[usize],
 ) -> Result<Vec<PageId>> {
-    debug_assert!(needed.windows(2).all(|w| w[0] < w[1]));
-    debug_assert!(needed.last().map_or(true, |&c| c < n_chunks));
+    assert!(needed.windows(2).all(|w| w[0] < w[1]));
+    assert!(needed.last().map_or(true, |&c| c < n_chunks));
     let direct = direct_count(n_chunks);
     let mut out = Vec::with_capacity(needed.len());
     let mut continuation: Option<PageId> = None;
@@ -165,15 +165,11 @@ fn resolve_chunk_pages<R: PageRead + ?Sized>(
             });
         }
         for &c in needed.iter().take_while(|&&c| c < direct) {
-            out.push(u64::from_le_bytes(
-                bytes[16 + 8 * c..24 + 8 * c].try_into().unwrap(),
-            ));
+            out.push(sqlarray_core::le::u64_at(bytes, 16 + 8 * c));
         }
         if needed.last().is_some_and(|&c| c >= direct) {
             let slot = ROOT_DIRECT - 1;
-            continuation = Some(u64::from_le_bytes(
-                bytes[16 + 8 * slot..24 + 8 * slot].try_into().unwrap(),
-            ));
+            continuation = Some(sqlarray_core::le::u64_at(bytes, 16 + 8 * slot));
         }
     }
     // Walk the continuation chain once for the rest.
@@ -194,18 +190,16 @@ fn resolve_chunk_pages<R: PageRead + ?Sized>(
                 got: bytes[0],
             });
         }
-        let count = u32::from_le_bytes(bytes[4..8].try_into().unwrap()) as usize;
+        let count = sqlarray_core::le::u32_at(bytes, 4) as usize;
         while let Some(&c) = rest.peek() {
             if c >= base + count {
                 break;
             }
             let rel = c - base;
-            out.push(u64::from_le_bytes(
-                bytes[16 + 8 * rel..24 + 8 * rel].try_into().unwrap(),
-            ));
+            out.push(sqlarray_core::le::u64_at(bytes, 16 + 8 * rel));
             rest.next();
         }
-        let next = u64::from_le_bytes(bytes[8..16].try_into().unwrap());
+        let next = sqlarray_core::le::u64_at(bytes, 8);
         base += count;
         page = if next == u64::MAX { None } else { Some(next) };
     }
@@ -245,7 +239,9 @@ pub fn read_blob_runs<R: PageRead + ?Sized>(
     let (total, n_chunks) = root_info(reader, id)?;
     let mut need_len = 0usize;
     for &(offset, len) in runs {
-        if offset + len > total {
+        // checked_add: `offset + len` could wrap for a corrupt run and
+        // turn an out-of-range request into a passing bounds check.
+        if offset.checked_add(len).map_or(true, |end| end > total) {
             return Err(StorageError::BlobRangeOutOfBounds { offset, len, total });
         }
         need_len += len;
@@ -276,6 +272,7 @@ pub fn read_blob_runs<R: PageRead + ?Sized>(
     // Distinct chunk indices, ascending, then one batched id resolution.
     let mut needed: Vec<usize> = Vec::new();
     for &(offset, len) in &segments {
+        // lint:allow(L003, reason = "segments merge runs already bounds-checked against total with checked_add above, and len > 0 here, so offset + len - 1 < total cannot wrap")
         for c in offset / CHUNK_DATA..=(offset + len - 1) / CHUNK_DATA {
             match needed.binary_search(&c) {
                 Ok(_) => {}
@@ -284,6 +281,7 @@ pub fn read_blob_runs<R: PageRead + ?Sized>(
         }
     }
     let pages = resolve_chunk_pages(reader, id, n_chunks, &needed)?;
+    // lint:allow(L005, reason = "the planning loop above inserted every chunk index each segment touches into `needed`, so the closure only ever looks up planned chunks")
     let page_of = |c: usize| pages[needed.binary_search(&c).expect("chunk was planned")];
 
     let mut cursor = 0usize;
@@ -309,7 +307,7 @@ pub fn read_blob_runs<R: PageRead + ?Sized>(
             remaining -= take;
         }
     }
-    debug_assert_eq!(cursor, out.len());
+    assert_eq!(cursor, out.len());
     Ok(())
 }
 

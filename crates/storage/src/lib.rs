@@ -22,6 +22,7 @@
 //! harnesses can replay the paper's measurement protocol: clear the cache,
 //! run the query, report bytes moved and simulated disk seconds.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod blob;

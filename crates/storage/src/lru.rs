@@ -88,7 +88,7 @@ impl LruSet {
         }
         let evicted = if self.map.len() >= self.capacity {
             let victim = self.tail;
-            debug_assert_ne!(victim, NIL);
+            assert_ne!(victim, NIL);
             let victim_key = self.nodes[victim].key;
             self.unlink(victim);
             self.map.remove(&victim_key);

@@ -54,7 +54,7 @@ pub struct SlottedPage<'a> {
 impl<'a> SlottedPage<'a> {
     /// Initializes the slotted structure on zeroed bytes.
     pub fn init(bytes: &'a mut [u8], ptype: u8) -> SlottedPage<'a> {
-        debug_assert_eq!(bytes.len(), PAGE_SIZE);
+        assert_eq!(bytes.len(), PAGE_SIZE);
         bytes[0] = ptype;
         bytes[1] = 0;
         bytes[2..4].copy_from_slice(&0u16.to_le_bytes());
@@ -99,7 +99,7 @@ impl<'a> SlottedPage<'a> {
 
     /// Sibling link (next leaf in key order); `u64::MAX` means none.
     pub fn next_page(&self) -> Option<PageId> {
-        let v = u64::from_le_bytes(self.bytes[6..14].try_into().unwrap());
+        let v = sqlarray_core::le::u64_at(self.bytes, 6);
         (v != u64::MAX).then_some(v)
     }
 
@@ -203,6 +203,7 @@ impl<'a> SlottedPage<'a> {
     /// Copies all records out (used when splitting/compacting).
     pub fn all_records(&self) -> Vec<Vec<u8>> {
         (0..self.slot_count())
+            // lint:allow(L005, reason = "i ranges over 0..slot_count(), exactly the domain record() validates; the Err arm is unreachable")
             .map(|i| self.record(i).expect("slot in range").to_vec())
             .collect()
     }
@@ -247,7 +248,7 @@ impl<'a> SlottedRead<'a> {
 
     /// Sibling link; `None` when this is the last page in the chain.
     pub fn next_page(&self) -> Option<PageId> {
-        let v = u64::from_le_bytes(self.bytes[6..14].try_into().unwrap());
+        let v = sqlarray_core::le::u64_at(self.bytes, 6);
         (v != u64::MAX).then_some(v)
     }
 

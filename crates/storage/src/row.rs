@@ -267,22 +267,22 @@ fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<
     match ctype {
         ColType::I64 => {
             need(bytes, off, 8, name)?;
-            let v = i64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let v = sqlarray_core::le::i64_at(bytes, off);
             Ok((RowValue::I64(v), off + 8))
         }
         ColType::I32 => {
             need(bytes, off, 4, name)?;
-            let v = i32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let v = sqlarray_core::le::i32_at(bytes, off);
             Ok((RowValue::I32(v), off + 4))
         }
         ColType::F64 => {
             need(bytes, off, 8, name)?;
-            let v = f64::from_le_bytes(bytes[off..off + 8].try_into().unwrap());
+            let v = sqlarray_core::le::f64_at(bytes, off);
             Ok((RowValue::F64(v), off + 8))
         }
         ColType::F32 => {
             need(bytes, off, 4, name)?;
-            let v = f32::from_le_bytes(bytes[off..off + 4].try_into().unwrap());
+            let v = sqlarray_core::le::f32_at(bytes, off);
             Ok((RowValue::F32(v), off + 4))
         }
         ColType::Blob => {
@@ -290,8 +290,7 @@ fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<
             match bytes[off] {
                 BLOB_INLINE => {
                     need(bytes, off + 1, 2, name)?;
-                    let len =
-                        u16::from_le_bytes(bytes[off + 1..off + 3].try_into().unwrap()) as usize;
+                    let len = sqlarray_core::le::u16_at(bytes, off + 1) as usize;
                     need(bytes, off + 3, len, name)?;
                     Ok((
                         RowValue::Bytes(bytes[off + 3..off + 3 + len].to_vec()),
@@ -300,8 +299,8 @@ fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<
                 }
                 BLOB_LOB => {
                     need(bytes, off + 1, 16, name)?;
-                    let id = u64::from_le_bytes(bytes[off + 1..off + 9].try_into().unwrap());
-                    let len = u64::from_le_bytes(bytes[off + 9..off + 17].try_into().unwrap());
+                    let id = sqlarray_core::le::u64_at(bytes, off + 1);
+                    let len = sqlarray_core::le::u64_at(bytes, off + 9);
                     Ok((RowValue::LobRef(id, len), off + 17))
                 }
                 tag => Err(StorageError::RowCorrupt(format!(
@@ -327,8 +326,7 @@ fn skip_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<us
             match bytes[off] {
                 BLOB_INLINE => {
                     need(bytes, off + 1, 2, name)?;
-                    let len =
-                        u16::from_le_bytes(bytes[off + 1..off + 3].try_into().unwrap()) as usize;
+                    let len = sqlarray_core::le::u16_at(bytes, off + 1) as usize;
                     need(bytes, off + 3, len, name)?;
                     Ok(off + 3 + len)
                 }

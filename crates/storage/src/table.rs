@@ -236,7 +236,12 @@ impl Table {
             let v = SlottedRead::open(bytes, page_type::BTREE_LEAF, pid)?;
             for i in 0..v.slot_count() {
                 let rec = v.record(i)?;
-                let key = i64::from_le_bytes(rec[..8].try_into().expect("leaf record has a key"));
+                if rec.len() < 8 {
+                    return Err(StorageError::RowCorrupt(format!(
+                        "leaf record on page {pid} shorter than its 8-byte key"
+                    )));
+                }
+                let key = sqlarray_core::le::i64_at(rec, 0);
                 if !f(reader, key, &rec[8..])? {
                     return Ok(());
                 }

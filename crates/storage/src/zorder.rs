@@ -39,9 +39,9 @@ fn compact3(v: u64) -> u64 {
 /// 21 bits (≤ 2²¹−1 = 2,097,151 grid cells per axis).
 #[inline]
 pub fn morton3_encode(x: u64, y: u64, z: u64) -> u64 {
-    debug_assert!(x < (1 << MORTON3_BITS));
-    debug_assert!(y < (1 << MORTON3_BITS));
-    debug_assert!(z < (1 << MORTON3_BITS));
+    assert!(x < (1 << MORTON3_BITS));
+    assert!(y < (1 << MORTON3_BITS));
+    assert!(z < (1 << MORTON3_BITS));
     spread3(x) | (spread3(y) << 1) | (spread3(z) << 2)
 }
 

@@ -1,0 +1,41 @@
+//! Regression tests for guards that must fire in RELEASE builds too.
+//!
+//! These asserts used to be `debug_assert!`: compiled out under
+//! `--release`, a wrong-length page buffer or an unsorted chunk list
+//! would silently corrupt data instead of panicking. Run this file under
+//! both profiles (`cargo test` and `cargo test --release`); the
+//! `#[should_panic]` cases are the ones a debug-only guard would let
+//! through.
+
+use sqlarray_storage::page::{page_type, SlottedPage, PAGE_SIZE};
+
+#[test]
+#[should_panic]
+fn slotted_page_init_rejects_short_buffer_even_in_release() {
+    // One byte short: a debug-only guard would let init() write a page
+    // header into a truncated buffer and corrupt the neighboring page.
+    let mut bytes = vec![0u8; PAGE_SIZE - 1];
+    let _ = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+}
+
+#[test]
+#[should_panic]
+fn slotted_page_init_rejects_oversized_buffer_even_in_release() {
+    let mut bytes = vec![0u8; PAGE_SIZE + 1];
+    let _ = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+}
+
+#[test]
+fn slotted_page_init_accepts_exact_page() {
+    let mut bytes = vec![0u8; PAGE_SIZE];
+    let p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+    assert_eq!(p.page_type(), page_type::BTREE_LEAF);
+}
+
+#[test]
+#[should_panic]
+fn morton3_encode_rejects_out_of_range_coordinate_even_in_release() {
+    // 2^21 exceeds the 21-bit budget; spread3 would mask it to 0 and
+    // silently produce the key of the origin cell.
+    let _ = sqlarray_storage::zorder::morton3_encode(1 << 21, 0, 0);
+}

@@ -9,6 +9,7 @@
 //! interpolation ([`interp`]) with either streamed-stencil or whole-blob
 //! fetching — the I/O trade-off experiment E4 measures.
 
+#![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod field;

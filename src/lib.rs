@@ -31,6 +31,8 @@
 //! assert_eq!(v, sqlarray::engine::Value::F64(4.0));
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use sqlarray_core as array;
 pub use sqlarray_engine as engine;
 pub use sqlarray_fft as fft;
