@@ -45,6 +45,74 @@ le_accessor! {
     f64_at -> f64,
 }
 
+macro_rules! le_putter {
+    ($(#[$doc:meta] $name:ident <- $t:ty),+ $(,)?) => {$(
+        #[$doc]
+        #[inline]
+        pub fn $name(buf: &mut [u8], off: usize, v: $t) {
+            const N: usize = std::mem::size_of::<$t>();
+            buf[off..off + N].copy_from_slice(&v.to_le_bytes());
+        }
+    )+};
+}
+
+le_putter! {
+    /// Writes a little-endian `u16` at byte offset `off`.
+    put_u16 <- u16,
+    /// Writes a little-endian `u32` at byte offset `off`.
+    put_u32 <- u32,
+    /// Writes a little-endian `u64` at byte offset `off`.
+    put_u64 <- u64,
+    /// Writes a little-endian `i64` at byte offset `off`.
+    put_i64 <- i64,
+}
+
+macro_rules! le_appender {
+    ($(#[$doc:meta] $name:ident <- $t:ty),+ $(,)?) => {$(
+        #[$doc]
+        #[inline]
+        pub fn $name(out: &mut Vec<u8>, v: $t) {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    )+};
+}
+
+le_appender! {
+    /// Appends a little-endian `u16` to `out`.
+    push_u16 <- u16,
+    /// Appends a little-endian `u32` to `out`.
+    push_u32 <- u32,
+    /// Appends a little-endian `u64` to `out`.
+    push_u64 <- u64,
+    /// Appends a little-endian `i64` to `out`.
+    push_i64 <- i64,
+}
+
+/// Appends a length-prefixed (`u32` LE) byte slice to `out` — the framing
+/// every variable-width field in a WAL record or catalog image uses.
+#[inline]
+pub fn push_bytes(out: &mut Vec<u8>, b: &[u8]) {
+    push_u32(out, b.len() as u32);
+    out.extend_from_slice(b);
+}
+
+/// Reads a length-prefixed (`u32` LE) byte slice at `off`, returning the
+/// slice and the offset just past it, or `None` if `buf` is too short —
+/// the checked counterpart of [`push_bytes`] for decoding images whose
+/// length was *not* validated up front (WAL tails, recovered catalogs).
+#[inline]
+pub fn take_bytes(buf: &[u8], off: usize) -> Option<(&[u8], usize)> {
+    if off + 4 > buf.len() {
+        return None;
+    }
+    let len = u32_at(buf, off) as usize;
+    let end = off.checked_add(4)?.checked_add(len)?;
+    if end > buf.len() {
+        return None;
+    }
+    Some((&buf[off + 4..end], end))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -178,6 +178,60 @@ fn register_schema(reg: &mut UdfRegistry, elem: ElementType, class: StorageClass
         a.update_item(&idx, val)?;
         Ok(blob(a))
     });
+    // The paper's partial-update manipulator (§4.4): write a whole
+    // subarray into `a` at `offset`. When the target is a stored LOB
+    // column, `UPDATE t SET v = Schema.ArrayUpdate(v, @off, @repl)` is
+    // intercepted by the executor and patched in place on the touched
+    // chunk pages; this registered body is the general fallback (in-memory
+    // arguments, multi-dimensional offsets, class conversions).
+    reg.register(&f("ArrayUpdate"), Some(3..=3), move |args| {
+        let mut a = expect(&args[0], elem, class)?;
+        let offset = index_vector(&args[1])?;
+        let b = expect(&args[2], elem, class)?;
+        if offset.len() != a.rank() || b.rank() != a.rank() {
+            return Err(EngineError::Array(
+                sqlarray_core::ArrayError::IndexRankMismatch {
+                    got: if offset.len() != a.rank() {
+                        offset.len()
+                    } else {
+                        b.rank()
+                    },
+                    rank: a.rank(),
+                }
+                .to_string(),
+            ));
+        }
+        for (axis, ((&off, &bd), &ad)) in offset.iter().zip(b.dims()).zip(a.dims()).enumerate() {
+            if off.checked_add(bd).map_or(true, |end| end > ad) {
+                return Err(EngineError::Array(format!(
+                    "ArrayUpdate out of bounds on axis {axis}: offset {off} + size {bd} \
+                     exceeds extent {ad}"
+                )));
+            }
+        }
+        // Odometer over the replacement's index space; `update_item`
+        // handles the target's linearization.
+        if b.count() == 0 {
+            return Ok(blob(a));
+        }
+        let mut idx = vec![0usize; b.rank()];
+        loop {
+            let dst: Vec<usize> = idx.iter().zip(&offset).map(|(&i, &o)| i + o).collect();
+            a.update_item(&dst, b.item(&idx)?)?;
+            let mut axis = 0;
+            loop {
+                if axis == idx.len() {
+                    return Ok(blob(a));
+                }
+                idx[axis] += 1;
+                if idx[axis] < b.dims()[axis] {
+                    break;
+                }
+                idx[axis] = 0;
+                axis += 1;
+            }
+        }
+    });
 
     // --- Structure ------------------------------------------------------
     reg.register(&f("Subarray"), Some(3..=4), move |args| {

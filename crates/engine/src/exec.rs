@@ -32,12 +32,17 @@
 use crate::aggregate::{UdaMode, UdaRegistry, UdaState};
 use crate::expr::{eval, AggFunc, EvalEnv, Expr, RowCtx};
 use crate::hosting::HostingModel;
-use crate::tsql::{SelectItem, SelectStmt};
+use crate::tsql::{DeleteStmt, SelectItem, SelectStmt, UpdateStmt};
 use crate::udf::UdfRegistry;
 use crate::value::{EngineError, Result, Value};
 use sqlarray_core::exact::ExactSum;
 use sqlarray_core::parallel::scoped_map_ranges;
-use sqlarray_storage::{IoStats, PageStore, ScanCtx, ScanIo, ScanPartition, Schema, Table};
+use sqlarray_core::stream::ArrayReader;
+use sqlarray_core::{ElementType, StorageClass};
+use sqlarray_storage::{
+    BlobStream, ColType, Column, IoStats, PageStore, RowValue, ScanCtx, ScanIo, ScanPartition,
+    Schema, Table,
+};
 use std::collections::HashMap;
 use std::time::Instant;
 
@@ -73,6 +78,8 @@ pub struct QueryStats {
     pub io: IoStats,
     /// Seconds the simulated disk needs for that I/O.
     pub sim_io_seconds: f64,
+    /// Rows an UPDATE/DELETE statement changed (0 for SELECT).
+    pub rows_affected: u64,
 }
 
 impl QueryStats {
@@ -155,8 +162,9 @@ impl QueryResult {
 pub struct ExecCtx<'a> {
     /// The page store.
     pub store: &'a mut PageStore,
-    /// Tables by lowercase name.
-    pub tables: &'a HashMap<String, Table>,
+    /// Tables by lowercase name (mutable so UPDATE/DELETE can write the
+    /// changed B-tree geometry back).
+    pub tables: &'a mut HashMap<String, Table>,
     /// Scalar UDFs.
     pub udfs: &'a UdfRegistry,
     /// User-defined aggregates.
@@ -928,7 +936,575 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             dop: dop_used,
             io,
             sim_io_seconds,
+            rows_affected: 0,
         },
         assignments,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// UPDATE / DELETE
+// ---------------------------------------------------------------------------
+//
+// DML runs in two phases so that the WAL byte stream is identical at every
+// DOP:
+//
+// 1. **Match** (parallel, read-only): the same partitioned scan SELECT uses
+//    evaluates the WHERE clause — strictly boolean for DML — and, for
+//    UPDATE, every SET expression against each matching row. Workers hand
+//    back `(clustered key, evaluated values)` in partition order, which is
+//    key order.
+// 2. **Apply** (serial, mutating): rows change through [`Table::update`] /
+//    [`Table::delete`] in key order. Scans never write log records, so all
+//    WAL appends happen here, in a DOP-independent order.
+//
+// `SET v = Schema.ArrayUpdate(v, @offset, @replacement)` on a stored LOB
+// column is the paper's partial-update path: the apply phase patches only
+// the chunk pages the replacement intersects ([`Table::update_col_blob_range`])
+// instead of rewriting the whole chain. Anything the in-place conditions
+// don't cover falls back to the registered `ArrayUpdate` UDF plus a
+// full-row update, so both paths agree on semantics and on errors.
+
+/// One planned SET item: target column index plus how to produce its value.
+struct SetItem {
+    col: usize,
+    plan: SetPlan,
+}
+
+enum SetPlan {
+    /// Evaluate the expression per matched row during the match phase.
+    Eval(Expr),
+    /// `SET col = Schema.ArrayUpdate(col, offset, replacement)` with the
+    /// target column as its own first argument: only `offset` and
+    /// `replacement` are evaluated in the match phase; the stored array is
+    /// never materialized unless the in-place patch conditions fail.
+    ArrayPatch {
+        name: String,
+        elem: ElementType,
+        class: StorageClass,
+        offset: Expr,
+        replacement: Expr,
+    },
+}
+
+/// One SET item's evaluated value for one matched row.
+enum SetValue {
+    Plain(Value),
+    Patch { offset: Value, replacement: Value },
+}
+
+/// What one DML match worker hands back. Counters are unconditional for
+/// the same reason as [`WorkerScan`].
+struct DmlWorker {
+    rows_scanned: u64,
+    scan_io: ScanIo,
+    calls: u64,
+    charged_ns: u64,
+    busy_seconds: f64,
+    out: Result<Vec<(i64, Vec<SetValue>)>>,
+}
+
+/// Immutable match-phase context shared by all workers of one statement.
+struct DmlJob<'a> {
+    table: &'a Table,
+    schema: &'a Schema,
+    store: &'a PageStore,
+    scan: &'a ScanCtx,
+    where_clause: Option<&'a Expr>,
+    sets: &'a [SetItem],
+    kind: &'static str,
+    udfs: &'a UdfRegistry,
+    vars: &'a HashMap<String, Value>,
+}
+
+fn value_kind(v: &Value) -> &'static str {
+    match v {
+        Value::Null => "NULL",
+        Value::I64(_) => "BIGINT",
+        Value::I32(_) => "INT",
+        Value::F64(_) => "FLOAT",
+        Value::F32(_) => "REAL",
+        Value::Bytes(_) => "VARBINARY",
+        Value::Str(_) => "VARCHAR",
+        Value::Bool(_) => "BIT",
+        Value::Lob { .. } => "VARBINARY(MAX)",
+    }
+}
+
+/// DML predicates are strict: unlike SELECT's truthiness coercion, a
+/// WHERE clause that does not evaluate to a boolean is a typed error —
+/// silently coercing would make `WHERE id` delete every non-zero row.
+fn strict_bool(v: Value, kind: &str) -> Result<bool> {
+    match v {
+        Value::Bool(b) => Ok(b),
+        other => Err(EngineError::Type(format!(
+            "{kind} WHERE clause must evaluate to a boolean, got {}",
+            value_kind(&other)
+        ))),
+    }
+}
+
+/// Converts an evaluated SET value into the storage representation the
+/// column holds.
+fn to_row_value(col: &Column, v: Value) -> Result<RowValue> {
+    Ok(match col.ctype {
+        ColType::I64 => RowValue::I64(v.as_i64()?),
+        ColType::I32 => {
+            let x = v.as_i64()?;
+            RowValue::I32(i32::try_from(x).map_err(|_| {
+                EngineError::Type(format!(
+                    "value {x} out of range for INT column `{}`",
+                    col.name
+                ))
+            })?)
+        }
+        ColType::F64 => RowValue::F64(v.as_f64()?),
+        ColType::F32 => RowValue::F32(v.as_f64()? as f32),
+        ColType::Blob => match v {
+            Value::Bytes(b) => RowValue::Bytes(b),
+            // A lazy reference that survived the match phase aliases the
+            // row's own stored chain (`SET v = v`): keep the reference so
+            // `Table::update` keeps the chain.
+            Value::Lob { id, len } => RowValue::LobRef(id, len),
+            other => {
+                return Err(EngineError::Type(format!(
+                    "cannot store {} into binary column `{}`",
+                    value_kind(&other),
+                    col.name
+                )))
+            }
+        },
+    })
+}
+
+/// Recognizes the in-place candidate shape of a SET expression. Anything
+/// else — including an `ArrayUpdate` whose first argument is *not* the
+/// target column itself — evaluates as an ordinary expression.
+fn plan_set_item(col_name: &str, expr: &Expr) -> SetPlan {
+    if let Expr::Func { name, args } = expr {
+        if args.len() == 3 {
+            if let Some((schema_part, func)) = name.rsplit_once('.') {
+                if func.eq_ignore_ascii_case("ArrayUpdate") {
+                    if let Some((elem, class)) = crate::arraybind::parse_schema(schema_part) {
+                        if let Expr::Col(c) = &args[0] {
+                            if c.eq_ignore_ascii_case(col_name) {
+                                return SetPlan::ArrayPatch {
+                                    name: name.clone(),
+                                    elem,
+                                    class,
+                                    offset: args[1].clone(),
+                                    replacement: args[2].clone(),
+                                };
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    SetPlan::Eval(expr.clone())
+}
+
+fn dml_worker(
+    job: &DmlJob<'_>,
+    part: &ScanPartition,
+    partition_index: u32,
+    hosting: HostingModel,
+) -> DmlWorker {
+    sqlarray_core::parallel::with_serial_kernels(|| {
+        dml_worker_inner(job, part, partition_index, hosting)
+    })
+}
+
+fn dml_worker_inner(
+    job: &DmlJob<'_>,
+    part: &ScanPartition,
+    partition_index: u32,
+    mut hosting: HostingModel,
+) -> DmlWorker {
+    let t0 = Instant::now();
+    let mut reader = job.store.reader(job.scan, partition_index);
+    let mut rows_scanned = 0u64;
+    let out = dml_worker_body(job, part, &mut reader, &mut hosting, &mut rows_scanned);
+    DmlWorker {
+        rows_scanned,
+        scan_io: reader.finish(),
+        calls: hosting.calls(),
+        charged_ns: hosting.charged_ns(),
+        busy_seconds: t0.elapsed().as_secs_f64(),
+        out,
+    }
+}
+
+fn dml_worker_body(
+    job: &DmlJob<'_>,
+    part: &ScanPartition,
+    reader: &mut sqlarray_storage::PartitionReader<'_>,
+    hosting: &mut HostingModel,
+    rows_scanned: &mut u64,
+) -> Result<Vec<(i64, Vec<SetValue>)>> {
+    let mut inner_err: Option<EngineError> = None;
+    let mut matched: Vec<(i64, Vec<SetValue>)> = Vec::new();
+    {
+        let hosting = &mut *hosting;
+        job.table
+            .scan_partition(reader, part, |reader, key, bytes| {
+                *rows_scanned += 1;
+                let row = RowCtx {
+                    schema: job.schema,
+                    bytes,
+                    key,
+                };
+                let mut env = EvalEnv {
+                    udfs: job.udfs,
+                    hosting,
+                    vars: job.vars,
+                    lobs: Some(reader),
+                };
+                let step = (|| -> Result<()> {
+                    if let Some(w) = job.where_clause {
+                        if !strict_bool(eval(w, Some(&row), &mut env)?, job.kind)? {
+                            return Ok(());
+                        }
+                    }
+                    let mut vals = Vec::with_capacity(job.sets.len());
+                    for item in job.sets {
+                        match &item.plan {
+                            SetPlan::Eval(e) => {
+                                let mut v = eval(e, Some(&row), &mut env)?;
+                                if let Value::Lob { id, .. } = v {
+                                    // A reference to the target column's own
+                                    // chain passes through (the apply phase
+                                    // keeps it); a reference to any *other*
+                                    // chain is copied here, while the
+                                    // worker's reader is live — two rows
+                                    // must never share a chain, or freeing
+                                    // one corrupts the other.
+                                    let own = matches!(
+                                        sqlarray_storage::row::decode_col(
+                                            job.schema,
+                                            bytes,
+                                            item.col
+                                        )?,
+                                        RowValue::LobRef(cid, _) if cid == id
+                                    );
+                                    if !own {
+                                        crate::pushdown::resolve_lob_in_place(&mut v, &mut env)?;
+                                    }
+                                }
+                                vals.push(SetValue::Plain(v));
+                            }
+                            SetPlan::ArrayPatch {
+                                offset,
+                                replacement,
+                                ..
+                            } => {
+                                let mut off = eval(offset, Some(&row), &mut env)?;
+                                crate::pushdown::resolve_lob_in_place(&mut off, &mut env)?;
+                                let mut repl = eval(replacement, Some(&row), &mut env)?;
+                                crate::pushdown::resolve_lob_in_place(&mut repl, &mut env)?;
+                                vals.push(SetValue::Patch {
+                                    offset: off,
+                                    replacement: repl,
+                                });
+                            }
+                        }
+                    }
+                    matched.push((key, vals));
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => Ok(true),
+                    Err(e) => {
+                        inner_err = Some(e);
+                        Ok(false)
+                    }
+                }
+            })?;
+    }
+    if let Some(e) = inner_err {
+        return Err(e);
+    }
+    Ok(matched)
+}
+
+/// Checks the in-place patch conditions for one `ArrayUpdate` against the
+/// stored value and, when they hold, returns the blob byte offset and raw
+/// payload to splice. `None` means "use the UDF fallback" — every
+/// condition here is also enforced by the fallback, so the two paths
+/// accept and reject the same calls.
+fn try_in_place(
+    store: &mut PageStore,
+    stored: &RowValue,
+    elem: ElementType,
+    class: StorageClass,
+    offset: &Value,
+    replacement: &Value,
+) -> Result<Option<(usize, Vec<u8>)>> {
+    // Only out-of-page chains benefit; in-row blobs re-encode cheaply.
+    let &RowValue::LobRef(id, _) = stored else {
+        return Ok(None);
+    };
+    let Ok(off) = crate::arraybind::index_vector(offset) else {
+        return Ok(None);
+    };
+    let Ok(repl) = replacement.as_array() else {
+        return Ok(None);
+    };
+    // One header-prefix read — the stored payload is never touched.
+    let header = {
+        let stream = BlobStream::open(&mut *store, id)?;
+        ArrayReader::open(stream)?.header().clone()
+    };
+    if header.elem != elem || header.class != class {
+        return Ok(None);
+    }
+    if repl.elem() != elem || repl.class() != class {
+        return Ok(None);
+    }
+    // Rank 1 keeps the byte range contiguous regardless of layout order;
+    // higher ranks go through the odometer fallback.
+    if header.shape.rank() != 1 || off.len() != 1 || repl.rank() != 1 {
+        return Ok(None);
+    }
+    let extent = header.shape.dims()[0];
+    let Some(end) = off[0].checked_add(repl.count()) else {
+        return Ok(None);
+    };
+    if end > extent {
+        return Ok(None);
+    }
+    let byte_off = header.header_len() + off[0] * elem.size();
+    Ok(Some((byte_off, sqlarray_core::ops::cast::raw(&repl))))
+}
+
+/// Materializes a stored value for a UDF-fallback argument.
+fn materialize(store: &mut PageStore, v: RowValue) -> Result<Value> {
+    match v {
+        RowValue::LobRef(id, _) => Ok(Value::Bytes(sqlarray_storage::blob::read_blob(
+            &mut *store,
+            id,
+        )?)),
+        other => Ok(Value::from(other)),
+    }
+}
+
+/// Executes one UPDATE.
+pub fn exec_update(ctx: &mut ExecCtx<'_>, stmt: &UpdateStmt) -> Result<QueryResult> {
+    let lower = stmt.table.to_ascii_lowercase();
+    let table = ctx
+        .tables
+        .get(&lower)
+        .cloned()
+        .ok_or_else(|| EngineError::Unknown(format!("table `{}`", stmt.table)))?;
+    let schema = table.schema().clone();
+    let mut sets: Vec<SetItem> = Vec::with_capacity(stmt.sets.len());
+    for (col_name, expr) in &stmt.sets {
+        let col = schema
+            .col_index(col_name)
+            .ok_or_else(|| EngineError::Unknown(format!("column `{col_name}`")))?;
+        if sets.iter().any(|s| s.col == col) {
+            return Err(EngineError::Unsupported(format!(
+                "column `{col_name}` is set more than once"
+            )));
+        }
+        sets.push(SetItem {
+            col,
+            plan: plan_set_item(col_name, expr),
+        });
+    }
+    exec_dml(
+        ctx,
+        lower,
+        table,
+        schema,
+        stmt.where_clause.as_ref(),
+        sets,
+        "UPDATE",
+    )
+}
+
+/// Executes one DELETE.
+pub fn exec_delete(ctx: &mut ExecCtx<'_>, stmt: &DeleteStmt) -> Result<QueryResult> {
+    let lower = stmt.table.to_ascii_lowercase();
+    let table = ctx
+        .tables
+        .get(&lower)
+        .cloned()
+        .ok_or_else(|| EngineError::Unknown(format!("table `{}`", stmt.table)))?;
+    let schema = table.schema().clone();
+    exec_dml(
+        ctx,
+        lower,
+        table,
+        schema,
+        stmt.where_clause.as_ref(),
+        Vec::new(),
+        "DELETE",
+    )
+}
+
+/// The shared two-phase DML driver: parallel match, serial apply.
+fn exec_dml(
+    ctx: &mut ExecCtx<'_>,
+    lower_name: String,
+    mut table: Table,
+    schema: Schema,
+    where_clause: Option<&Expr>,
+    sets: Vec<SetItem>,
+    kind: &'static str,
+) -> Result<QueryResult> {
+    let io_before = ctx.store.stats();
+    ctx.hosting.reset();
+    let t0 = Instant::now();
+
+    // --- Match phase (parallel, read-only) -----------------------------
+    let parts = table.partition(ctx.store, ctx.dop.max(1))?;
+    let scan = ctx.store.begin_scan();
+    let job = DmlJob {
+        table: &table,
+        schema: &schema,
+        store: &*ctx.store,
+        scan: &scan,
+        where_clause,
+        sets: &sets,
+        kind,
+        udfs: ctx.udfs,
+        vars: ctx.vars,
+    };
+    let job_ref = &job;
+    let hosting_ref: &HostingModel = ctx.hosting;
+    let parts_ref = &parts;
+    let worker_results: Vec<DmlWorker> = scoped_map_ranges(parts.len(), parts.len(), |r| {
+        r.map(|pi| dml_worker(job_ref, &parts_ref[pi], pi as u32, hosting_ref.fork()))
+            .collect::<Vec<DmlWorker>>()
+    })
+    .into_iter()
+    .flatten()
+    .collect();
+    let dop_used = parts.len();
+    drop(scan);
+
+    let mut rows_scanned = 0u64;
+    let mut scan_ios: Vec<ScanIo> = Vec::new();
+    let mut max_busy = 0.0f64;
+    let mut cpu_seconds = 0.0f64;
+    let mut first_err: Option<EngineError> = None;
+    // Concatenating in partition order yields matches in clustered-key
+    // order, so the apply phase — and with it the WAL record stream — is
+    // identical at every DOP.
+    let mut matched: Vec<(i64, Vec<SetValue>)> = Vec::new();
+    for w in worker_results {
+        rows_scanned += w.rows_scanned;
+        scan_ios.push(w.scan_io);
+        ctx.hosting.absorb(w.calls, w.charged_ns);
+        // lint:allow(L002, reason = "wall-clock diagnostics, not query results; timing is inherently non-deterministic and outside the bit-identity contract")
+        cpu_seconds += w.busy_seconds;
+        max_busy = max_busy.max(w.busy_seconds);
+        match w.out {
+            Ok(m) => matched.extend(m),
+            Err(e) => {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+    }
+    ctx.store.finish_scan(scan_ios.iter());
+    if let Some(e) = first_err {
+        return Err(e);
+    }
+
+    // --- Apply phase (serial, key order) -------------------------------
+    let mut rows_affected = 0u64;
+    if kind == "DELETE" {
+        for (key, _) in matched {
+            rows_affected += u64::from(table.delete(ctx.store, key)?);
+        }
+    } else {
+        for (key, vals) in matched {
+            let Some(old) = table.get(ctx.store, key)? else {
+                continue;
+            };
+            let mut new = old.clone();
+            let mut changed_row = false;
+            let mut patches: Vec<(usize, usize, Vec<u8>)> = Vec::new();
+            for (item, sv) in sets.iter().zip(vals) {
+                match sv {
+                    SetValue::Plain(v) => {
+                        new[item.col] = to_row_value(&schema.columns[item.col], v)?;
+                        changed_row = true;
+                    }
+                    SetValue::Patch {
+                        offset,
+                        replacement,
+                    } => {
+                        let SetPlan::ArrayPatch {
+                            name, elem, class, ..
+                        } = &item.plan
+                        else {
+                            unreachable!("Patch values only come from ArrayPatch plans");
+                        };
+                        match try_in_place(
+                            ctx.store,
+                            &old[item.col],
+                            *elem,
+                            *class,
+                            &offset,
+                            &replacement,
+                        )? {
+                            Some((byte_off, payload)) => {
+                                patches.push((item.col, byte_off, payload));
+                            }
+                            None => {
+                                let cur = materialize(ctx.store, old[item.col].clone())?;
+                                let v = ctx.udfs.call(
+                                    name,
+                                    &[cur, offset, replacement],
+                                    ctx.hosting,
+                                )?;
+                                new[item.col] = to_row_value(&schema.columns[item.col], v)?;
+                                changed_row = true;
+                            }
+                        }
+                    }
+                }
+            }
+            // The full-row update goes first: untouched LOB columns pass
+            // their references through, so a subsequent patch addresses
+            // the same chain.
+            if changed_row {
+                table.update(ctx.store, key, &new)?;
+            }
+            for (col, byte_off, payload) in patches {
+                table.update_col_blob_range(ctx.store, key, col, byte_off, &payload)?;
+            }
+            rows_affected += 1;
+        }
+    }
+    // The tree geometry (root, leaf chain, row count) changed: publish the
+    // mutated handle back into the catalog map.
+    ctx.tables.insert(lower_name, table);
+
+    let wall_seconds = t0.elapsed().as_secs_f64();
+    // lint:allow(L002, reason = "wall-clock diagnostics, not query results; timing is inherently non-deterministic and outside the bit-identity contract")
+    cpu_seconds += (wall_seconds - max_busy).max(0.0);
+    let io = ctx.store.stats().since(&io_before);
+    let sim_io_seconds = ctx.store.profile().io_seconds(&io);
+    Ok(QueryResult {
+        columns: Vec::new(),
+        rows: Vec::new(),
+        stats: QueryStats {
+            rows_scanned,
+            udf_calls: ctx.hosting.calls(),
+            udf_overhead_ns: ctx.hosting.charged_ns(),
+            cpu_seconds,
+            wall_seconds,
+            dop: dop_used,
+            io,
+            sim_io_seconds,
+            rows_affected,
+        },
+        assignments: Vec::new(),
     })
 }

@@ -31,6 +31,30 @@ pub enum Stmt {
     },
     /// A `SELECT`.
     Select(SelectStmt),
+    /// An `UPDATE ... SET ... [WHERE ...]`.
+    Update(UpdateStmt),
+    /// A `DELETE FROM ... [WHERE ...]`.
+    Delete(DeleteStmt),
+}
+
+/// A parsed `UPDATE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UpdateStmt {
+    /// Target table.
+    pub table: String,
+    /// `SET col = expr` assignments, in statement order.
+    pub sets: Vec<(String, Expr)>,
+    /// `WHERE` predicate; `None` updates every row.
+    pub where_clause: Option<Expr>,
+}
+
+/// A parsed `DELETE`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeleteStmt {
+    /// Target table.
+    pub table: String,
+    /// `WHERE` predicate; `None` deletes every row.
+    pub where_clause: Option<Expr>,
 }
 
 /// A parsed `SELECT`.
@@ -463,8 +487,55 @@ impl Parser {
         } else if self.peek_keyword("SELECT") {
             self.pos += 1;
             Ok(Stmt::Select(self.select_body()?))
+        } else if self.eat_keyword("UPDATE") {
+            let table = match self.next() {
+                Some(Tok::Ident(t)) => t,
+                _ => return Err(self.error("expected table name after UPDATE")),
+            };
+            if !self.eat_keyword("SET") {
+                return Err(self.error("expected SET after UPDATE <table>"));
+            }
+            let mut sets = Vec::new();
+            loop {
+                let col = match self.next() {
+                    Some(Tok::Ident(c)) => c,
+                    _ => return Err(self.error("expected column name in SET list")),
+                };
+                self.expect(&Tok::Eq, "`=` in SET assignment")?;
+                sets.push((col, self.expr()?));
+                if !self.eat(&Tok::Comma) {
+                    break;
+                }
+            }
+            let where_clause = if self.eat_keyword("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(Stmt::Update(UpdateStmt {
+                table,
+                sets,
+                where_clause,
+            }))
+        } else if self.eat_keyword("DELETE") {
+            if !self.eat_keyword("FROM") {
+                return Err(self.error("expected FROM after DELETE"));
+            }
+            let table = match self.next() {
+                Some(Tok::Ident(t)) => t,
+                _ => return Err(self.error("expected table name after DELETE FROM")),
+            };
+            let where_clause = if self.eat_keyword("WHERE") {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            Ok(Stmt::Delete(DeleteStmt {
+                table,
+                where_clause,
+            }))
         } else {
-            Err(self.error("expected DECLARE, SET or SELECT"))
+            Err(self.error("expected DECLARE, SET, SELECT, UPDATE or DELETE"))
         }
     }
 
@@ -690,7 +761,7 @@ impl Parser {
                 }
                 const RESERVED: &[&str] = &[
                     "SELECT", "FROM", "WHERE", "GROUP", "BY", "TOP", "AS", "WITH", "NOLOCK",
-                    "DECLARE", "SET", "ORDER",
+                    "DECLARE", "SET", "ORDER", "UPDATE", "DELETE",
                 ];
                 if RESERVED.iter().any(|k| first.eq_ignore_ascii_case(k)) {
                     self.pos -= 1;
@@ -880,6 +951,44 @@ mod tests {
         assert!(matches!(err, EngineError::Parse { .. }));
         assert!(parse("FROB x").is_err());
         assert!(parse("SELECT 'unterminated").is_err());
+    }
+
+    #[test]
+    fn update_and_delete_statements() {
+        let stmts = parse(
+            "UPDATE Tvector SET v = FloatArray.Vector_2(1.0, 2.0), id = id + 1 WHERE id > 3;\
+             DELETE FROM Tvector WHERE id = 0;\
+             DELETE FROM Tvector",
+        )
+        .unwrap();
+        assert_eq!(stmts.len(), 3);
+        let Stmt::Update(u) = &stmts[0] else {
+            panic!("expected UPDATE")
+        };
+        assert_eq!(u.table, "Tvector");
+        assert_eq!(u.sets.len(), 2);
+        assert_eq!(u.sets[0].0, "v");
+        assert_eq!(u.sets[1].0, "id");
+        assert!(u.where_clause.is_some());
+        let Stmt::Delete(d) = &stmts[1] else {
+            panic!("expected DELETE")
+        };
+        assert_eq!(d.table, "Tvector");
+        assert!(d.where_clause.is_some());
+        let Stmt::Delete(d2) = &stmts[2] else {
+            panic!("expected DELETE")
+        };
+        assert!(d2.where_clause.is_none());
+    }
+
+    #[test]
+    fn update_delete_syntax_errors() {
+        assert!(parse("UPDATE SET x = 1").is_err()); // SET is reserved: no table
+        assert!(parse("UPDATE t x = 1").is_err());
+        assert!(parse("UPDATE t SET = 1").is_err());
+        assert!(parse("UPDATE t SET x 1").is_err());
+        assert!(parse("DELETE t WHERE x = 1").is_err());
+        assert!(parse("DELETE FROM WHERE x = 1").is_err());
     }
 
     #[test]

@@ -35,13 +35,17 @@ pub const ROOT_DIRECT: usize = (PAGE_SIZE - 16) / 8;
 pub const INDEX_IDS: usize = (PAGE_SIZE - 16) / 8;
 
 /// Writes a blob, returning its id. Zero-length blobs are valid.
+///
+/// Pages come from [`PageStore::allocate_reuse`], so the chunk chain of a
+/// previously [`free_blob`]-ed value is recycled before the file grows —
+/// UPDATE churn on LOB columns stays bounded.
 pub fn write_blob(store: &mut PageStore, data: &[u8]) -> Result<BlobId> {
     let n_chunks = data.len().div_ceil(CHUNK_DATA);
 
     // Write the chunks.
     let mut chunk_ids = Vec::with_capacity(n_chunks);
     for c in 0..n_chunks {
-        let id = store.allocate();
+        let id = store.allocate_reuse();
         let start = c * CHUNK_DATA;
         let end = ((c + 1) * CHUNK_DATA).min(data.len());
         store.write(id, |bytes| {
@@ -63,7 +67,7 @@ pub fn write_blob(store: &mut PageStore, data: &[u8]) -> Result<BlobId> {
         let overflow: Vec<PageId> = chunk_ids[direct..].to_vec();
         let mut next: Option<PageId> = None;
         for chunk_slice in overflow.chunks(INDEX_IDS).rev() {
-            let id = store.allocate();
+            let id = store.allocate_reuse();
             let next_val = next.unwrap_or(u64::MAX);
             store.write(id, |bytes| {
                 bytes[0] = page_type::BLOB_INDEX;
@@ -79,7 +83,7 @@ pub fn write_blob(store: &mut PageStore, data: &[u8]) -> Result<BlobId> {
     }
 
     // Root last, so the blob becomes visible atomically.
-    let root = store.allocate();
+    let root = store.allocate_reuse();
     store.write(root, |bytes| {
         bytes[0] = page_type::BLOB_ROOT;
         bytes[4..12].copy_from_slice(&(data.len() as u64).to_le_bytes());
@@ -114,6 +118,117 @@ pub fn blob_pages(store: &mut PageStore, id: BlobId) -> Result<u64> {
         pages += overflow.div_ceil(INDEX_IDS) as u64;
     }
     Ok(pages)
+}
+
+/// Overwrites `data.len()` bytes of blob `id` starting at `offset`,
+/// touching only the chunk pages the range intersects — the storage half
+/// of the paper's `ArrayUpdate`: a small slice update of a multi-megabyte
+/// array costs a handful of page writes, never a full rewrite.
+///
+/// The blob's length is unchanged and the root page is not rewritten;
+/// ranges past the end are rejected with
+/// [`StorageError::BlobRangeOutOfBounds`]. Returns the number of chunk
+/// pages written.
+pub fn update_blob_range(
+    store: &mut PageStore,
+    id: BlobId,
+    offset: usize,
+    data: &[u8],
+) -> Result<u64> {
+    let (total, n_chunks) = root_info(store, id)?;
+    // checked_add: `offset + len` could wrap and pass a naive bounds check.
+    if offset
+        .checked_add(data.len())
+        .map_or(true, |end| end > total)
+    {
+        return Err(StorageError::BlobRangeOutOfBounds {
+            offset,
+            len: data.len(),
+            total,
+        });
+    }
+    if data.is_empty() {
+        return Ok(0);
+    }
+    // lint:allow(L003, reason = "offset + data.len() was bounds-checked against total with checked_add above and data is non-empty here, so offset + data.len() - 1 cannot wrap")
+    let end = offset + data.len();
+    let needed: Vec<usize> = (offset / CHUNK_DATA..=(end - 1) / CHUNK_DATA).collect();
+    let pages = resolve_chunk_pages(store, id, n_chunks, &needed)?;
+    for (&c, &pid) in needed.iter().zip(&pages) {
+        {
+            let bytes = store.read(pid)?;
+            if bytes[0] != page_type::BLOB_CHUNK {
+                return Err(StorageError::PageTypeMismatch {
+                    page: pid,
+                    expected: page_type::BLOB_CHUNK,
+                    got: bytes[0],
+                });
+            }
+        }
+        let chunk_start = c * CHUNK_DATA;
+        // The overlap of [offset, end) with this chunk, chunk-relative.
+        let lo = offset.max(chunk_start) - chunk_start;
+        let hi = end.min(chunk_start + CHUNK_DATA) - chunk_start;
+        let src = chunk_start + lo - offset;
+        store.write(pid, |bytes| {
+            bytes[16 + lo..16 + hi].copy_from_slice(&data[src..src + (hi - lo)]);
+        })?;
+    }
+    Ok(needed.len() as u64)
+}
+
+/// Frees every page of a blob — chunks, then the index chain, then the
+/// root — returning the number of pages released to the store's free
+/// list. Freed pages are recycled by [`PageStore::allocate_reuse`], so
+/// UPDATE/DELETE churn on LOB columns does not grow the file.
+pub fn free_blob(store: &mut PageStore, id: BlobId) -> Result<u64> {
+    let (_, n_chunks) = root_info(store, id)?;
+    let direct = direct_count(n_chunks);
+    let mut chunks: Vec<PageId> = Vec::with_capacity(n_chunks);
+    let mut continuation: Option<PageId> = None;
+    {
+        let bytes = store.read(id)?;
+        for c in 0..direct {
+            chunks.push(sqlarray_core::le::u64_at(bytes, 16 + 8 * c));
+        }
+        if n_chunks > direct {
+            let slot = ROOT_DIRECT - 1;
+            continuation = Some(sqlarray_core::le::u64_at(bytes, 16 + 8 * slot));
+        }
+    }
+    let mut index_pages: Vec<PageId> = Vec::new();
+    let mut page = continuation;
+    while chunks.len() < n_chunks {
+        let Some(pid) = page else {
+            return Err(StorageError::RowCorrupt(
+                "blob index chain shorter than chunk count".into(),
+            ));
+        };
+        let bytes = store.read(pid)?;
+        if bytes[0] != page_type::BLOB_INDEX {
+            return Err(StorageError::PageTypeMismatch {
+                page: pid,
+                expected: page_type::BLOB_INDEX,
+                got: bytes[0],
+            });
+        }
+        let count = sqlarray_core::le::u32_at(bytes, 4) as usize;
+        let take = count.min(n_chunks - chunks.len());
+        for i in 0..take {
+            chunks.push(sqlarray_core::le::u64_at(bytes, 16 + 8 * i));
+        }
+        let next = sqlarray_core::le::u64_at(bytes, 8);
+        index_pages.push(pid);
+        page = if next == u64::MAX { None } else { Some(next) };
+    }
+    // Chunks first, then the chain, root last: `allocate_reuse` is LIFO,
+    // so the next `write_blob` grabs the root page first.
+    let mut freed = 0u64;
+    for pid in chunks.into_iter().chain(index_pages).chain([id]) {
+        store.free_page(pid)?;
+        freed += 1;
+    }
+    Ok(freed)
 }
 
 fn root_info<R: PageRead + ?Sized>(reader: &mut R, id: BlobId) -> Result<(usize, usize)> {
@@ -581,6 +696,89 @@ mod tests {
         let again = read_blob(&mut store, id).unwrap();
         assert_eq!(again, data);
         assert_eq!(store.stats().since(&before).pages_read, 0);
+    }
+
+    #[test]
+    fn update_range_rewrites_only_touched_chunks() {
+        let mut store = PageStore::new();
+        let mut data = pattern(6 * CHUNK_DATA + 123);
+        let id = write_blob(&mut store, &data).unwrap();
+        let off = 2 * CHUNK_DATA - 5;
+        let patch: Vec<u8> = (0..CHUNK_DATA + 10).map(|i| (i % 7) as u8 ^ 0xAA).collect();
+        let before = store.stats();
+        let touched = update_blob_range(&mut store, id, off, &patch).unwrap();
+        assert_eq!(touched, 3); // straddles chunks 1, 2 and 3
+        assert_eq!(store.stats().since(&before).pages_written, 3);
+        data[off..off + patch.len()].copy_from_slice(&patch);
+        assert_eq!(read_blob(&mut store, id).unwrap(), data);
+    }
+
+    #[test]
+    fn update_range_validates_bounds() {
+        let mut store = PageStore::new();
+        let id = write_blob(&mut store, &pattern(100)).unwrap();
+        assert!(matches!(
+            update_blob_range(&mut store, id, 95, &pattern(10)),
+            Err(StorageError::BlobRangeOutOfBounds { .. })
+        ));
+        // An offset that would wrap `offset + len` must also be rejected.
+        assert!(matches!(
+            update_blob_range(&mut store, id, usize::MAX, &pattern(2)),
+            Err(StorageError::BlobRangeOutOfBounds { .. })
+        ));
+        // Empty updates are no-ops.
+        let before = store.stats();
+        assert_eq!(update_blob_range(&mut store, id, 50, &[]).unwrap(), 0);
+        assert_eq!(store.stats().since(&before).pages_written, 0);
+    }
+
+    #[test]
+    fn small_slice_update_of_16mb_array_is_bounded() {
+        // The paper's ArrayUpdate use case: patch a 0.78 % slice of a
+        // 16 MB array and prove the write cost is proportional to the
+        // slice, not the array.
+        let mut store = PageStore::new();
+        let len = 16 * 1024 * 1024;
+        let data = pattern(len);
+        let id = write_blob(&mut store, &data).unwrap();
+        let slice = vec![0x5Au8; len / 128]; // 0.78 % of the array
+        let before = store.stats();
+        let touched = update_blob_range(&mut store, id, 7 * CHUNK_DATA + 11, &slice).unwrap();
+        let bound = slice.len().div_ceil(CHUNK_DATA) as u64 + 1; // intersecting chunks
+        assert!(touched <= bound, "touched {touched} pages, bound {bound}");
+        assert_eq!(store.stats().since(&before).pages_written, touched);
+        let mut expect = data;
+        expect[7 * CHUNK_DATA + 11..7 * CHUNK_DATA + 11 + slice.len()].copy_from_slice(&slice);
+        assert_eq!(read_blob(&mut store, id).unwrap(), expect);
+    }
+
+    #[test]
+    fn free_blob_releases_every_page_for_reuse() {
+        let mut store = PageStore::new();
+        let data = pattern(3 * CHUNK_DATA + 9);
+        let id = write_blob(&mut store, &data).unwrap();
+        let pages = blob_pages(&mut store, id).unwrap();
+        let count_before = store.page_count();
+        let freed = free_blob(&mut store, id).unwrap();
+        assert_eq!(freed, pages);
+        assert_eq!(store.free_pages().len() as u64, pages);
+        // A same-size rewrite recycles every freed page: no file growth.
+        let id2 = write_blob(&mut store, &data).unwrap();
+        assert_eq!(store.page_count(), count_before);
+        assert_eq!(read_blob(&mut store, id2).unwrap(), data);
+        assert!(store.free_pages().is_empty());
+    }
+
+    #[test]
+    fn free_blob_covers_the_index_chain() {
+        let mut store = PageStore::new();
+        let data = pattern(1100 * CHUNK_DATA); // > ROOT_DIRECT: chained
+        let id = write_blob(&mut store, &data).unwrap();
+        let pages = blob_pages(&mut store, id).unwrap();
+        assert_eq!(pages, 1 + 1100 + 1); // root + chunks + one index page
+        let freed = free_blob(&mut store, id).unwrap();
+        assert_eq!(freed, pages);
+        assert_eq!(store.free_pages().len() as u64, pages);
     }
 
     #[test]

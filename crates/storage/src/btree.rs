@@ -78,6 +78,21 @@ fn insert_sized(p: &mut SlottedPage<'_>, pos: usize, rec: &[u8]) {
     res.expect("caller verified free space");
 }
 
+/// Replaces record `pos` after the caller's explicit size/free-space check.
+fn replace_sized(p: &mut SlottedPage<'_>, pos: usize, rec: &[u8]) {
+    let res = p.replace_record(pos, rec);
+    // lint:allow(L005, reason = "the caller compared the new record size against the old record / page free space immediately before taking the write borrow")
+    res.expect("caller verified replacement fits");
+}
+
+/// Removes slot `pos` that the caller's read of the same page just proved
+/// present.
+fn remove_sized(p: &mut SlottedPage<'_>, pos: usize) {
+    let res = p.remove_slot(pos);
+    // lint:allow(L005, reason = "the caller located pos < slot_count under the same store borrow; the page cannot change in between")
+    res.expect("caller located the slot");
+}
+
 fn encode_leaf(key: i64, payload: &[u8]) -> Vec<u8> {
     let mut rec = Vec::with_capacity(8 + payload.len());
     rec.extend_from_slice(&key.to_le_bytes());
@@ -92,9 +107,13 @@ fn encode_internal(key: i64, child: PageId) -> [u8; 16] {
     rec
 }
 
-/// Result of inserting into a subtree: the separator and new right sibling
-/// when the child split.
-type SplitInfo = Option<(i64, PageId)>;
+/// Result of inserting into a subtree: one `(separator, new right
+/// sibling)` pair per page the child split off, in ascending key order
+/// (empty when the insert fit in place). A leaf holding records close to
+/// [`MAX_PAYLOAD`] can be forced into a three-way split — no single
+/// boundary leaves both halves under a page — so this is a `Vec`, not an
+/// `Option`.
+type SplitInfo = Vec<(i64, PageId)>;
 
 /// Validates the bulk-load key contract (strictly increasing) — shared by
 /// [`BTree::bulk_build`] and `Table::bulk_load`, which must check *before*
@@ -144,6 +163,164 @@ impl BTree {
         self.root
     }
 
+    /// The tree's persistent identity, as serialized into commit-record
+    /// catalogs: `(root, first_leaf, len, depth)`.
+    pub fn parts(&self) -> (PageId, PageId, u64, u32) {
+        (self.root, self.first_leaf, self.len, self.depth)
+    }
+
+    /// Rebuilds the in-memory descriptor from catalog parts — the inverse
+    /// of [`parts`](Self::parts), used by crash recovery. The pages the
+    /// parts point at must already exist in the store (they do after
+    /// replay: the catalog rode in the same commit record as the last
+    /// logged page state).
+    pub fn from_parts(root: PageId, first_leaf: PageId, len: u64, depth: u32) -> BTree {
+        BTree {
+            root,
+            first_leaf,
+            len,
+            depth,
+        }
+    }
+
+    /// Locates the leaf holding `key`'s position: `(leaf page, slot, hit)`
+    /// where `hit` says the key is actually present at that slot.
+    fn locate_leaf(&self, store: &mut PageStore, key: i64) -> Result<(PageId, usize, bool)> {
+        let mut page = self.root;
+        loop {
+            let bytes = store.read(page)?;
+            match bytes[0] {
+                page_type::BTREE_INTERNAL => {
+                    let v = SlottedRead::open(bytes, page_type::BTREE_INTERNAL, page)?;
+                    let (child, _) = descend(&v, key)?;
+                    page = child;
+                }
+                page_type::BTREE_LEAF => {
+                    let v = SlottedRead::open(bytes, page_type::BTREE_LEAF, page)?;
+                    let pos = leaf_lower_bound(&v, key)?;
+                    let hit = pos < v.slot_count() && leaf_key(v.record(pos)?) == key;
+                    return Ok((page, pos, hit));
+                }
+                other => {
+                    return Err(StorageError::PageTypeMismatch {
+                        page,
+                        expected: page_type::BTREE_LEAF,
+                        got: other,
+                    })
+                }
+            }
+        }
+    }
+
+    /// Deletes `key`, returning its payload. Leaf-local maintenance only:
+    /// the slot is removed and later slots shift; a leaf emptied by
+    /// deletes stays in the sibling chain (scans skip zero-slot pages for
+    /// free), matching the lazy-reclamation behavior of a real clustered
+    /// index without rebalancing.
+    pub fn delete(&mut self, store: &mut PageStore, key: i64) -> Result<Vec<u8>> {
+        let (page, pos, hit) = self.locate_leaf(store, key)?;
+        if !hit {
+            return Err(StorageError::KeyNotFound { key });
+        }
+        let old = {
+            let bytes = store.read(page)?;
+            let v = SlottedRead::open(bytes, page_type::BTREE_LEAF, page)?;
+            v.record(pos)?[8..].to_vec()
+        };
+        store.write(page, |bytes| {
+            let mut p = open_verified(bytes, page_type::BTREE_LEAF, page);
+            remove_sized(&mut p, pos);
+        })?;
+        self.len -= 1;
+        Ok(old)
+    }
+
+    /// Replaces `key`'s payload in place, returning the old payload.
+    ///
+    /// Three escalation tiers, each bounded to the touched leaf:
+    /// 1. the new record fits the old slot or the page's free tail —
+    ///    [`SlottedPage::replace_record`], one page write;
+    /// 2. it fits after compacting the page's dead space — reset and
+    ///    re-push, still one page write;
+    /// 3. it genuinely outgrows the leaf — delete + insert, which may
+    ///    split exactly like any insert.
+    pub fn update(&mut self, store: &mut PageStore, key: i64, payload: &[u8]) -> Result<Vec<u8>> {
+        if payload.len() > MAX_PAYLOAD {
+            return Err(StorageError::RecordTooLarge {
+                bytes: payload.len(),
+                limit: MAX_PAYLOAD,
+            });
+        }
+        let (page, pos, hit) = self.locate_leaf(store, key)?;
+        if !hit {
+            return Err(StorageError::KeyNotFound { key });
+        }
+        let rec = encode_leaf(key, payload);
+        enum Tier {
+            InPlace,
+            Compact,
+            Reinsert,
+        }
+        let (old, tier) = {
+            let bytes = store.read(page)?;
+            let v = SlottedRead::open(bytes, page_type::BTREE_LEAF, page)?;
+            let old_rec = v.record(pos)?;
+            let old = old_rec[8..].to_vec();
+            let tier = if rec.len() <= old_rec.len() || rec.len() <= free_space_of(bytes) + 4 {
+                // `+ 4`: replacement reuses the existing slot entry, so the
+                // admission rule is free bytes only, not bytes + slot.
+                Tier::InPlace
+            } else {
+                // Would the record fit if the dead space were compacted
+                // away? Live bytes = all records with `pos` swapped out.
+                let live: usize = (0..v.slot_count())
+                    .map(|i| {
+                        v.record(i).map(|r| {
+                            let len = if i == pos { rec.len() } else { r.len() };
+                            len + crate::page::SLOT_LEN
+                        })
+                    })
+                    .sum::<Result<usize>>()?;
+                if live <= PAGE_SIZE - crate::page::PAGE_HEADER_LEN {
+                    Tier::Compact
+                } else {
+                    Tier::Reinsert
+                }
+            };
+            (old, tier)
+        };
+        match tier {
+            Tier::InPlace => {
+                store.write(page, |bytes| {
+                    let mut p = open_verified(bytes, page_type::BTREE_LEAF, page);
+                    replace_sized(&mut p, pos, &rec);
+                })?;
+            }
+            Tier::Compact => {
+                let mut records = {
+                    let bytes = store.read(page)?;
+                    let v = SlottedRead::open(bytes, page_type::BTREE_LEAF, page)?;
+                    (0..v.slot_count())
+                        .map(|i| v.record(i).map(|r| r.to_vec()))
+                        .collect::<Result<Vec<_>>>()?
+                };
+                records[pos] = rec;
+                store.write(page, |bytes| {
+                    let mut p = open_verified(bytes, page_type::BTREE_LEAF, page);
+                    p.reset();
+                    for r in &records {
+                        push_sized(&mut p, r);
+                    }
+                })?;
+            }
+            Tier::Reinsert => {
+                self.delete(store, key)?;
+                self.insert(store, key, payload)?;
+            }
+        }
+        Ok(old)
+    }
+
     /// Inserts a key/payload pair; duplicate keys are rejected (clustered
     /// primary key semantics).
     pub fn insert(&mut self, store: &mut PageStore, key: i64, payload: &[u8]) -> Result<()> {
@@ -153,14 +330,19 @@ impl BTree {
                 limit: MAX_PAYLOAD,
             });
         }
-        if let Some((sep, right)) = self.insert_rec(store, self.root, key, payload)? {
-            // Root split: grow the tree by one level.
+        let splits = self.insert_rec(store, self.root, key, payload)?;
+        if !splits.is_empty() {
+            // Root split: grow the tree by one level. A leaf root can
+            // split into up to three pages (two separators); the new
+            // internal root trivially holds them.
             let new_root = store.allocate();
             let old_root = self.root;
             store.write(new_root, |bytes| {
                 let mut p = SlottedPage::init(bytes, page_type::BTREE_INTERNAL);
                 p.set_next_page(Some(old_root)); // leftmost child
-                push_sized(&mut p, &encode_internal(sep, right));
+                for &(sep, right) in &splits {
+                    push_sized(&mut p, &encode_internal(sep, right));
+                }
             })?;
             self.root = new_root;
             self.depth += 1;
@@ -185,9 +367,11 @@ impl BTree {
                     let v = SlottedRead::open(bytes, page_type::BTREE_INTERNAL, page)?;
                     descend(&v, key)?
                 };
-                match self.insert_rec(store, child, key, payload)? {
-                    None => Ok(None),
-                    Some((sep, right)) => self.insert_internal(store, page, child_slot, sep, right),
+                let splits = self.insert_rec(store, child, key, payload)?;
+                if splits.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    self.insert_internal(store, page, child_slot, &splits)
                 }
             }
             other => Err(StorageError::PageTypeMismatch {
@@ -225,13 +409,13 @@ impl BTree {
                 let mut p = open_verified(bytes, page_type::BTREE_LEAF, page);
                 insert_sized(&mut p, pos, &rec);
             })?;
-            return Ok(None);
+            return Ok(Vec::new());
         }
 
         // Split. Append optimization: a brand-new rightmost key gets a
         // fresh page of its own.
-        let right = store.allocate();
         if pos == count && at_end_of_chain {
+            let right = store.allocate();
             store.write(right, |bytes| {
                 let mut p = SlottedPage::init(bytes, page_type::BTREE_LEAF);
                 push_sized(&mut p, &rec);
@@ -240,10 +424,15 @@ impl BTree {
                 let mut p = open_verified(bytes, page_type::BTREE_LEAF, page);
                 p.set_next_page(Some(right));
             })?;
-            return Ok(Some((key, right)));
+            return Ok(vec![(key, right)]);
         }
 
-        // General 50/50 split by bytes.
+        // General split by bytes: aim for 50/50, but never hand either
+        // side more than a page can hold. Records run up to a full page
+        // ([`MAX_PAYLOAD`]), so the balanced boundary can overflow one
+        // side — and when a page-wide record sits between page-wide
+        // neighbours, *no* two-way boundary exists and the leaf splits
+        // three ways.
         let (mut records, old_next) = {
             let bytes = store.read(page)?;
             let v = SlottedRead::open(bytes, page_type::BTREE_LEAF, page)?;
@@ -253,35 +442,82 @@ impl BTree {
             (recs, v.next_page())
         };
         records.insert(pos, rec);
-        let total: usize = records.iter().map(|r| r.len() + 4).sum();
+        let usable = PAGE_SIZE - crate::page::PAGE_HEADER_LEN;
+        let sizes: Vec<usize> = records
+            .iter()
+            .map(|r| r.len() + crate::page::SLOT_LEN)
+            .collect();
+        let total: usize = sizes.iter().sum();
         let mut left_bytes = 0usize;
         let mut split_at = records.len();
-        for (i, r) in records.iter().enumerate() {
-            if left_bytes + r.len() + 4 > total / 2 && i > 0 {
+        for (i, s) in sizes.iter().enumerate() {
+            if left_bytes + s > total / 2 && i > 0 {
                 split_at = i;
                 break;
             }
-            left_bytes += r.len() + 4;
+            left_bytes += s;
         }
-        let right_records = records.split_off(split_at);
-        let sep = leaf_key(&right_records[0]);
+        let prefix = |i: usize| sizes[..i].iter().sum::<usize>();
+        let both_fit = |i: usize| prefix(i) <= usable && total - prefix(i) <= usable;
+        if !both_fit(split_at) {
+            // The balanced boundary overflows one side; take the valid
+            // boundary closest to it — `0` is the no-boundary sentinel.
+            split_at = (1..records.len())
+                .filter(|&i| both_fit(i))
+                .min_by_key(|&i| prefix(i).abs_diff(total / 2))
+                .unwrap_or(0);
+        }
+        let groups: Vec<Vec<Vec<u8>>> = if split_at > 0 {
+            let tail = records.split_off(split_at);
+            vec![records, tail]
+        } else {
+            // No two-way boundary fits both sides; pack greedily. The
+            // page held at most one page's worth and gained one record,
+            // so this yields exactly three groups.
+            let mut gs: Vec<Vec<Vec<u8>>> = Vec::new();
+            let mut cur: Vec<Vec<u8>> = Vec::new();
+            let mut cur_bytes = 0usize;
+            for r in records {
+                let s = r.len() + crate::page::SLOT_LEN;
+                if cur_bytes + s > usable && !cur.is_empty() {
+                    gs.push(std::mem::take(&mut cur));
+                    cur_bytes = 0;
+                }
+                cur_bytes += s;
+                cur.push(r);
+            }
+            gs.push(cur);
+            gs
+        };
 
+        let mut iter = groups.into_iter();
+        let first = iter.next().unwrap_or_default();
+        let rest: Vec<Vec<Vec<u8>>> = iter.collect();
+        let pages: Vec<PageId> = rest.iter().map(|_| store.allocate()).collect();
+        let splits: Vec<(i64, PageId)> = rest
+            .iter()
+            .zip(&pages)
+            .map(|(g, &pid)| (leaf_key(&g[0]), pid))
+            .collect();
         store.write(page, |bytes| {
             let mut p = open_verified(bytes, page_type::BTREE_LEAF, page);
             p.reset();
-            for r in &records {
+            for r in &first {
                 push_sized(&mut p, r);
             }
-            p.set_next_page(Some(right));
+            p.set_next_page(pages.first().copied().or(old_next));
         })?;
-        store.write(right, |bytes| {
-            let mut p = SlottedPage::init(bytes, page_type::BTREE_LEAF);
-            for r in &right_records {
-                push_sized(&mut p, r);
-            }
-            p.set_next_page(old_next);
-        })?;
-        Ok(Some((sep, right)))
+        for (gi, (g, &pid)) in rest.iter().zip(&pages).enumerate() {
+            let next = pages.get(gi + 1).copied().or(old_next);
+            store.write(pid, |bytes| {
+                let mut p = SlottedPage::init(bytes, page_type::BTREE_LEAF);
+                for r in g {
+                    push_sized(&mut p, r);
+                }
+                p.set_next_page(next);
+            })?;
+        }
+        Ok(splits)
     }
 
     fn insert_internal(
@@ -289,29 +525,38 @@ impl BTree {
         store: &mut PageStore,
         page: PageId,
         child_slot: InternalPos,
-        sep: i64,
-        right_child: PageId,
+        seps: &[(i64, PageId)],
     ) -> Result<SplitInfo> {
-        // The new separator goes immediately after the slot we descended
-        // through.
+        // The new separators go immediately after the slot we descended
+        // through, in the (ascending) order the child produced them.
         let insert_pos = match child_slot {
             InternalPos::Leftmost => 0,
             InternalPos::Slot(i) => i + 1,
         };
-        let rec = encode_internal(sep, right_child);
+        let recs: Vec<[u8; 16]> = seps
+            .iter()
+            .map(|&(sep, child)| encode_internal(sep, child))
+            .collect();
         let fits = {
             let bytes = store.read(page)?;
-            free_space_of(bytes) >= rec.len()
+            // `free_space_of` already budgets one slot; each extra
+            // record needs its record bytes plus its own slot.
+            let need: usize = recs.iter().map(|r| r.len()).sum::<usize>()
+                + (recs.len() - 1) * crate::page::SLOT_LEN;
+            free_space_of(bytes) >= need
         };
         if fits {
             store.write(page, |bytes| {
                 let mut p = open_verified(bytes, page_type::BTREE_INTERNAL, page);
-                insert_sized(&mut p, insert_pos, &rec);
+                for (i, rec) in recs.iter().enumerate() {
+                    insert_sized(&mut p, insert_pos + i, rec);
+                }
             })?;
-            return Ok(None);
+            return Ok(Vec::new());
         }
 
-        // Split the internal node: middle key moves up.
+        // Split the internal node: middle key moves up. Entries are 16
+        // bytes each, so (unlike leaves) a two-way split always fits.
         let (mut entries, leftmost) = {
             let bytes = store.read(page)?;
             let v = SlottedRead::open(bytes, page_type::BTREE_INTERNAL, page)?;
@@ -320,7 +565,9 @@ impl BTree {
                 .collect::<Result<_>>()?;
             (es, leftmost_child(&v)?)
         };
-        entries.insert(insert_pos, (sep, right_child));
+        for (i, &e) in seps.iter().enumerate() {
+            entries.insert(insert_pos + i, e);
+        }
         let mid = entries.len() / 2;
         let (up_key, up_child) = entries[mid];
         let right_entries: Vec<(i64, PageId)> = entries[mid + 1..].to_vec();
@@ -342,7 +589,7 @@ impl BTree {
                 push_sized(&mut p, &encode_internal(k, c));
             }
         })?;
-        Ok(Some((up_key, right)))
+        Ok(vec![(up_key, right)])
     }
 
     /// Builds a clustered tree bottom-up from pre-encoded leaf records
@@ -879,6 +1126,73 @@ mod tests {
     }
 
     #[test]
+    fn wide_record_split_keeps_both_sides_on_a_page() {
+        // Records wider than half a page: the 50/50 byte boundary would
+        // hand the right side two of them (> PAGE_SIZE); the split must
+        // shift the boundary so both sides fit.
+        let mut store = PageStore::new();
+        let mut t = BTree::create(&mut store).unwrap();
+        t.insert(&mut store, 0, &[0u8; 60]).unwrap();
+        t.insert(&mut store, 2, &vec![2u8; 7000]).unwrap();
+        // Out-of-order so the append optimization can't kick in.
+        t.insert(&mut store, 1, &vec![1u8; 7000]).unwrap();
+        for k in 0..3 {
+            let got = t.get(&mut store, k).unwrap().unwrap();
+            assert!(got.iter().all(|&b| b == k as u8));
+        }
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn page_wide_record_between_wide_neighbours_splits_three_ways() {
+        // Adversarial: two records filling a page exactly, then a
+        // MAX_PAYLOAD record between them. No two-way boundary leaves
+        // both sides under a page, so the leaf must split three ways.
+        let half = (PAGE_SIZE - crate::page::PAGE_HEADER_LEN) / 2 - 12;
+        let mut store = PageStore::new();
+        let mut t = BTree::create(&mut store).unwrap();
+        t.insert(&mut store, 0, &vec![7u8; half]).unwrap();
+        t.insert(&mut store, 2, &vec![9u8; half]).unwrap();
+        t.insert(&mut store, 1, &vec![8u8; MAX_PAYLOAD]).unwrap();
+        assert_eq!(t.get(&mut store, 0).unwrap().unwrap(), vec![7u8; half]);
+        assert_eq!(
+            t.get(&mut store, 1).unwrap().unwrap(),
+            vec![8u8; MAX_PAYLOAD]
+        );
+        assert_eq!(t.get(&mut store, 2).unwrap().unwrap(), vec![9u8; half]);
+        // The leaf chain must still visit every key in order.
+        let mut seen = Vec::new();
+        t.scan(&mut store, |k, _| {
+            seen.push(k);
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn reinsert_update_with_wide_records_survives_splits() {
+        // Regression: `update` (Reinsert tier) of near-page-wide inline
+        // rows used to panic in the leaf split when one side overflowed.
+        let mut store = PageStore::new();
+        let mut t = BTree::create(&mut store).unwrap();
+        for k in 0..6 {
+            t.insert(&mut store, k, &[k as u8; 68]).unwrap();
+        }
+        for k in 0..6 {
+            t.update(&mut store, k, &vec![k as u8; 7300]).unwrap();
+        }
+        for k in (0..6).rev() {
+            t.update(&mut store, k, &vec![k as u8; 6900]).unwrap();
+        }
+        for k in 0..6 {
+            let got = t.get(&mut store, k).unwrap().unwrap();
+            assert_eq!(got.len(), 6900);
+            assert!(got.iter().all(|&b| b == k as u8));
+        }
+    }
+
+    #[test]
     fn oversized_payload_rejected() {
         let mut store = PageStore::new();
         let mut t = BTree::create(&mut store).unwrap();
@@ -907,6 +1221,87 @@ mod tests {
         })
         .unwrap();
         assert_eq!(expected, 3000);
+    }
+
+    #[test]
+    fn delete_removes_and_reports_missing() {
+        let (mut store, mut t) = tree_with(5000, 40);
+        assert_eq!(t.delete(&mut store, 2500).unwrap(), vec![0xCD; 40]);
+        assert_eq!(t.len(), 4999);
+        assert_eq!(t.get(&mut store, 2500).unwrap(), None);
+        assert_eq!(t.get(&mut store, 2499).unwrap().unwrap(), vec![0xCD; 40]);
+        assert!(matches!(
+            t.delete(&mut store, 2500),
+            Err(StorageError::KeyNotFound { key: 2500 })
+        ));
+        // Draining a whole leaf's key range leaves scans consistent.
+        for k in 0..400 {
+            t.delete(&mut store, k).unwrap();
+        }
+        let mut seen = 0u64;
+        let mut last = i64::MIN;
+        t.scan(&mut store, |k, _| {
+            assert!(k > last && k >= 400 && k != 2500);
+            last = k;
+            seen += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(seen, t.len());
+    }
+
+    #[test]
+    fn update_tiers_preserve_scan_order() {
+        let (mut store, mut t) = tree_with(3000, 40);
+        // Tier 1: same-size in-place.
+        assert_eq!(t.update(&mut store, 7, &[1u8; 40]).unwrap(), vec![0xCD; 40]);
+        assert_eq!(t.get(&mut store, 7).unwrap().unwrap(), vec![1u8; 40]);
+        // Tier 1: shrink.
+        t.update(&mut store, 8, &[2u8; 5]).unwrap();
+        assert_eq!(t.get(&mut store, 8).unwrap().unwrap(), vec![2u8; 5]);
+        // Tier 2/3: grow well past the page's free space — full pages from
+        // a sequential load force compaction or reinsert.
+        t.update(&mut store, 9, &[3u8; 4000]).unwrap();
+        assert_eq!(t.get(&mut store, 9).unwrap().unwrap(), vec![3u8; 4000]);
+        assert_eq!(t.len(), 3000);
+        let mut last = i64::MIN;
+        let mut n = 0;
+        t.scan(&mut store, |k, _| {
+            assert!(k > last);
+            last = k;
+            n += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(n, 3000);
+        // Typed errors.
+        assert!(matches!(
+            t.update(&mut store, -1, b"x"),
+            Err(StorageError::KeyNotFound { key: -1 })
+        ));
+        assert!(matches!(
+            t.update(&mut store, 7, &vec![0u8; MAX_PAYLOAD + 1]),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn parts_round_trip_preserves_tree() {
+        let (mut store, t) = tree_with(2000, 30);
+        let (root, first, len, depth) = t.parts();
+        let t2 = BTree::from_parts(root, first, len, depth);
+        assert_eq!(t2.len(), t.len());
+        assert_eq!(
+            t2.get(&mut store, 1234).unwrap(),
+            t.get(&mut store, 1234).unwrap()
+        );
+        let mut n = 0;
+        t2.scan(&mut store, |_, _| {
+            n += 1;
+            Ok(true)
+        })
+        .unwrap();
+        assert_eq!(n, 2000);
     }
 
     #[test]

@@ -30,6 +30,21 @@ pub enum StorageError {
     BulkLoad(String),
     /// Schema/value arity or type mismatch on insert.
     SchemaMismatch(String),
+    /// A page's stored checksum did not match its contents on a cold read.
+    PageCorrupt {
+        page: u64,
+        stored: u32,
+        computed: u32,
+    },
+    /// The write-ahead log ends in an incomplete or checksum-failing
+    /// record at the given byte offset.
+    WalTorn { offset: usize },
+    /// A write-ahead log record decoded to an impossible state (page id
+    /// beyond the replayed file, byte range outside a page); `offset` is
+    /// the record's index in the replayed log.
+    WalCorrupt { offset: usize, msg: String },
+    /// The serialized catalog image in a commit record failed to decode.
+    CatalogCorrupt(String),
 }
 
 impl fmt::Display for StorageError {
@@ -61,6 +76,21 @@ impl fmt::Display for StorageError {
             StorageError::RowCorrupt(msg) => write!(f, "row corrupt: {msg}"),
             StorageError::BulkLoad(msg) => write!(f, "bulk load: {msg}"),
             StorageError::SchemaMismatch(msg) => write!(f, "schema mismatch: {msg}"),
+            StorageError::PageCorrupt {
+                page,
+                stored,
+                computed,
+            } => write!(
+                f,
+                "page {page} corrupt: stored checksum {stored:#010x}, computed {computed:#010x}"
+            ),
+            StorageError::WalTorn { offset } => {
+                write!(f, "write-ahead log torn at byte offset {offset}")
+            }
+            StorageError::WalCorrupt { offset, msg } => {
+                write!(f, "write-ahead log corrupt at record {offset}: {msg}")
+            }
+            StorageError::CatalogCorrupt(msg) => write!(f, "catalog corrupt: {msg}"),
         }
     }
 }

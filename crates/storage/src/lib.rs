@@ -28,6 +28,7 @@
 pub mod blob;
 pub mod btree;
 pub mod errors;
+pub mod fail;
 pub mod lru;
 pub mod page;
 pub mod pool;
@@ -35,14 +36,18 @@ pub mod row;
 pub mod stats;
 pub mod store;
 pub mod table;
+pub mod wal;
 pub mod zorder;
 
 pub use blob::{BlobId, BlobStream, ByteRun};
 pub use btree::BTree;
 pub use errors::{Result, StorageError};
+pub use fail::FailStore;
 pub use page::{PageId, PAGE_SIZE};
 pub use pool::ShardedLruPool;
 pub use row::{ColType, Column, RowValue, Schema, INLINE_BLOB_LIMIT};
 pub use stats::{DiskProfile, IoStats};
-pub use store::{PageRead, PageStore, PartitionReader, ScanCtx, ScanIo};
+pub use store::{
+    DiskImage, FailPlan, PageRead, PageStore, PartitionReader, Recovery, ScanCtx, ScanIo,
+};
 pub use table::{ScanPartition, Table};

@@ -185,6 +185,39 @@ impl<'a> SlottedPage<'a> {
         Ok(i)
     }
 
+    /// Replaces record `i` in place. A record that shrank (or kept its
+    /// size) overwrites its own bytes; one that grew is appended at the
+    /// free offset and the slot repointed (the old bytes become dead space
+    /// until the page is compacted). Fails with
+    /// [`StorageError::RecordTooLarge`] when the grown record does not fit
+    /// the remaining free space — the caller compacts or splits then.
+    pub fn replace_record(&mut self, i: usize, rec: &[u8]) -> Result<()> {
+        let count = self.slot_count();
+        if i >= count {
+            return Err(StorageError::BadSlot { slot: i, count });
+        }
+        let (off, len) = self.slot(i);
+        if rec.len() <= len {
+            self.bytes[off..off + rec.len()].copy_from_slice(rec);
+            self.write_slot(i, off, rec.len());
+            return Ok(());
+        }
+        // Growing: the slot entry itself is already paid for, so the only
+        // cost is the new record bytes.
+        let free = self.slot_dir_start().saturating_sub(self.free_off());
+        if rec.len() > free {
+            return Err(StorageError::RecordTooLarge {
+                bytes: rec.len(),
+                limit: free,
+            });
+        }
+        let new_off = self.free_off();
+        self.bytes[new_off..new_off + rec.len()].copy_from_slice(rec);
+        self.write_slot(i, new_off, rec.len());
+        self.set_free_off(new_off + rec.len());
+        Ok(())
+    }
+
     /// Removes slot `i` (the record bytes become dead space until the page
     /// is compacted by a split).
     pub fn remove_slot(&mut self, i: usize) -> Result<()> {
@@ -364,6 +397,29 @@ mod tests {
         p.push_record(&rec).unwrap();
         assert_eq!(p.record(0).unwrap().len(), SlottedPage::max_record());
         assert_eq!(p.free_space(), 0);
+    }
+
+    #[test]
+    fn replace_record_in_place_and_grown() {
+        let mut bytes = fresh();
+        let mut p = SlottedPage::init(&mut bytes, page_type::BTREE_LEAF);
+        p.push_record(b"aaaa").unwrap();
+        p.push_record(b"bbbb").unwrap();
+        // Shrink in place: same offset, shorter len.
+        p.replace_record(0, b"xy").unwrap();
+        assert_eq!(p.record(0).unwrap(), b"xy");
+        assert_eq!(p.record(1).unwrap(), b"bbbb");
+        // Grow: repointed past the current free offset.
+        p.replace_record(0, b"longer-than-before").unwrap();
+        assert_eq!(p.record(0).unwrap(), b"longer-than-before");
+        assert_eq!(p.record(1).unwrap(), b"bbbb");
+        assert!(p.replace_record(5, b"z").is_err());
+        // Growing past the free space fails typed.
+        let huge = vec![0u8; PAGE_SIZE];
+        assert!(matches!(
+            p.replace_record(0, &huge),
+            Err(StorageError::RecordTooLarge { .. })
+        ));
     }
 
     #[test]

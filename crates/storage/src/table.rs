@@ -167,6 +167,117 @@ impl Table {
         Ok(())
     }
 
+    /// Replaces the row at `key` with `values`, freeing any out-of-page
+    /// LOB chains the new row no longer references. Returns `false` when
+    /// the key does not exist (nothing is written, no blob is spilled).
+    ///
+    /// New oversized blob values spill through the same LOB writer as
+    /// inserts; the pages of the replaced value come back through
+    /// [`blob::free_blob`], so repeated UPDATEs recycle pages instead of
+    /// growing the file.
+    pub fn update(&mut self, store: &mut PageStore, key: i64, values: &[RowValue]) -> Result<bool> {
+        let Some(old) = self.tree.get(store, key)? else {
+            return Ok(false);
+        };
+        let old_vals = row::decode_row(&self.schema, &old)?;
+        let bytes = row::encode_row(store, &self.schema, values)?;
+        self.tree.update(store, key, &bytes)?;
+        // Free LOB chains the new row stopped referencing (a pass-through
+        // `LobRef` keeps its chain — the engine's in-place array-update
+        // path relies on that).
+        let new_vals = row::decode_row(&self.schema, &bytes)?;
+        let kept: Vec<blob::BlobId> = new_vals
+            .iter()
+            .filter_map(|v| match v {
+                RowValue::LobRef(id, _) => Some(*id),
+                _ => None,
+            })
+            .collect();
+        for v in &old_vals {
+            if let RowValue::LobRef(id, _) = v {
+                if !kept.contains(id) {
+                    blob::free_blob(store, *id)?;
+                }
+            }
+        }
+        Ok(true)
+    }
+
+    /// Deletes the row at `key`, freeing its out-of-page LOB chains.
+    /// Returns `false` when the key does not exist.
+    pub fn delete(&mut self, store: &mut PageStore, key: i64) -> Result<bool> {
+        let old = match self.tree.delete(store, key) {
+            Ok(bytes) => bytes,
+            Err(StorageError::KeyNotFound { .. }) => return Ok(false),
+            Err(e) => return Err(e),
+        };
+        for v in row::decode_row(&self.schema, &old)? {
+            if let RowValue::LobRef(id, _) = v {
+                blob::free_blob(store, id)?;
+            }
+        }
+        Ok(true)
+    }
+
+    /// Overwrites `data.len()` bytes of the blob column `col` of row `key`
+    /// starting at byte `offset` — the storage path of the paper's
+    /// `ArrayUpdate`. For an out-of-page value only the intersecting chunk
+    /// pages are rewritten (the leaf row is untouched: id and length are
+    /// unchanged); an in-row value is spliced and the row re-stored.
+    /// Returns the number of pages written.
+    pub fn update_col_blob_range(
+        &mut self,
+        store: &mut PageStore,
+        key: i64,
+        col: usize,
+        offset: usize,
+        data: &[u8],
+    ) -> Result<u64> {
+        let Some(bytes) = self.tree.get(store, key)? else {
+            return Err(StorageError::KeyNotFound { key });
+        };
+        match row::decode_col(&self.schema, &bytes, col)? {
+            RowValue::LobRef(id, _) => blob::update_blob_range(store, id, offset, data),
+            RowValue::Bytes(mut b) => {
+                // checked_add: a wrapping `offset + len` must not pass.
+                let end = offset
+                    .checked_add(data.len())
+                    .filter(|&end| end <= b.len())
+                    .ok_or(StorageError::BlobRangeOutOfBounds {
+                        offset,
+                        len: data.len(),
+                        total: b.len(),
+                    })?;
+                b[offset..end].copy_from_slice(data);
+                let mut vals = row::decode_row(&self.schema, &bytes)?;
+                vals[col] = RowValue::Bytes(b);
+                let enc = row::encode_row(store, &self.schema, &vals)?;
+                self.tree.update(store, key, &enc)?;
+                Ok(1)
+            }
+            other => Err(StorageError::SchemaMismatch(format!(
+                "column {col} of table `{}` holds {other:?}, not a blob",
+                self.name
+            ))),
+        }
+    }
+
+    /// The tree geometry needed to re-open this table from a catalog:
+    /// `(root, first leaf, row count, depth)`.
+    pub fn tree_parts(&self) -> (PageId, PageId, u64, u32) {
+        self.tree.parts()
+    }
+
+    /// Reconstructs a table from its catalog entry — the inverse of
+    /// ([`Self::name`], [`Self::schema`], [`Self::tree_parts`]).
+    pub fn from_parts(name: String, schema: Schema, parts: (PageId, PageId, u64, u32)) -> Table {
+        Table {
+            name,
+            schema,
+            tree: BTree::from_parts(parts.0, parts.1, parts.2, parts.3),
+        }
+    }
+
     /// Point lookup by clustered key, decoding the full row.
     pub fn get(&self, store: &mut PageStore, key: i64) -> Result<Option<Vec<RowValue>>> {
         match self.tree.get(store, key)? {
@@ -753,6 +864,197 @@ mod tests {
         })
         .unwrap();
         assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn delete_removes_rows_and_frees_lob_chains() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        let big = vec![0xEE; 60_000];
+        for k in 0..10 {
+            t.insert(
+                &mut store,
+                k,
+                &[RowValue::I64(k), RowValue::Bytes(big.clone())],
+            )
+            .unwrap();
+        }
+        assert!(store.free_pages().is_empty());
+        assert!(t.delete(&mut store, 4).unwrap());
+        assert_eq!(t.row_count(), 9);
+        assert_eq!(t.get(&mut store, 4).unwrap(), None);
+        // The deleted row's LOB chain (root + 8 chunks) is on the free list.
+        assert_eq!(store.free_pages().len(), 9);
+        // Deleting a missing key reports false and frees nothing.
+        assert!(!t.delete(&mut store, 4).unwrap());
+        assert_eq!(store.free_pages().len(), 9);
+        // Remaining rows are intact.
+        let row = t.get(&mut store, 5).unwrap().unwrap();
+        assert_eq!(row[1].blob_bytes(&mut store).unwrap(), big);
+    }
+
+    #[test]
+    fn update_recycles_lob_pages() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        let big = vec![0x11; 60_000];
+        t.insert(&mut store, 1, &[RowValue::I64(1), RowValue::Bytes(big)])
+            .unwrap();
+        // Replace the LOB with a same-size value. The new chain is written
+        // before the old one is freed (crash safety), so the first UPDATE
+        // grows the file by one chain — and every later one recycles it.
+        let newer = vec![0x22; 60_000];
+        assert!(t
+            .update(
+                &mut store,
+                1,
+                &[RowValue::I64(1), RowValue::Bytes(newer.clone())]
+            )
+            .unwrap());
+        let steady = store.page_count();
+        for _ in 0..3 {
+            assert!(t
+                .update(
+                    &mut store,
+                    1,
+                    &[RowValue::I64(1), RowValue::Bytes(newer.clone())]
+                )
+                .unwrap());
+        }
+        assert_eq!(store.page_count(), steady);
+        let row = t.get(&mut store, 1).unwrap().unwrap();
+        assert_eq!(row[1].blob_bytes(&mut store).unwrap(), newer);
+        // Updating a missing key writes nothing.
+        assert!(!t
+            .update(
+                &mut store,
+                2,
+                &[RowValue::I64(2), RowValue::Bytes(vec![1; 9000])]
+            )
+            .unwrap());
+        assert_eq!(store.page_count(), steady);
+    }
+
+    #[test]
+    fn update_shrinks_lob_to_inline_and_back() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        t.insert(
+            &mut store,
+            1,
+            &[RowValue::I64(1), RowValue::Bytes(vec![9; 40_000])],
+        )
+        .unwrap();
+        // LOB → inline: the chain is freed.
+        let small = vec![5u8; 100];
+        assert!(t
+            .update(
+                &mut store,
+                1,
+                &[RowValue::I64(1), RowValue::Bytes(small.clone())]
+            )
+            .unwrap());
+        assert!(!store.free_pages().is_empty());
+        assert_eq!(
+            t.get(&mut store, 1).unwrap().unwrap()[1],
+            RowValue::Bytes(small)
+        );
+        // Inline → LOB again: freed pages are recycled.
+        let grown = vec![6u8; 40_000];
+        let pages = store.page_count();
+        assert!(t
+            .update(
+                &mut store,
+                1,
+                &[RowValue::I64(1), RowValue::Bytes(grown.clone())]
+            )
+            .unwrap());
+        assert_eq!(store.page_count(), pages);
+        let row = t.get(&mut store, 1).unwrap().unwrap();
+        assert_eq!(row[1].blob_bytes(&mut store).unwrap(), grown);
+    }
+
+    #[test]
+    fn blob_range_update_touches_only_intersecting_pages() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        let mut big: Vec<u8> = (0..200_000).map(|i| (i % 251) as u8).collect();
+        t.insert(
+            &mut store,
+            1,
+            &[RowValue::I64(1), RowValue::Bytes(big.clone())],
+        )
+        .unwrap();
+        let before = store.stats();
+        let patch = vec![0xF0u8; 1000];
+        let touched = t
+            .update_col_blob_range(&mut store, 1, 1, 10_000, &patch)
+            .unwrap();
+        assert!(touched <= 2, "1000-byte patch touched {touched} pages");
+        assert_eq!(store.stats().since(&before).pages_written, touched);
+        big[10_000..11_000].copy_from_slice(&patch);
+        let row = t.get(&mut store, 1).unwrap().unwrap();
+        assert_eq!(row[1].blob_bytes(&mut store).unwrap(), big);
+        // The leaf row is untouched: same LobRef id and length.
+        assert!(matches!(row[1], RowValue::LobRef(_, 200_000)));
+    }
+
+    #[test]
+    fn blob_range_update_splices_inline_values() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[("id", ColType::I64), ("v", ColType::Blob)]);
+        let mut t = Table::create(&mut store, "T", schema).unwrap();
+        let mut small = vec![1u8; 500];
+        t.insert(
+            &mut store,
+            1,
+            &[RowValue::I64(1), RowValue::Bytes(small.clone())],
+        )
+        .unwrap();
+        t.update_col_blob_range(&mut store, 1, 1, 100, &[9u8; 50])
+            .unwrap();
+        small[100..150].copy_from_slice(&[9u8; 50]);
+        assert_eq!(
+            t.get(&mut store, 1).unwrap().unwrap()[1],
+            RowValue::Bytes(small.clone())
+        );
+        // Out-of-bounds and type errors are typed.
+        assert!(matches!(
+            t.update_col_blob_range(&mut store, 1, 1, 499, &[0; 2]),
+            Err(StorageError::BlobRangeOutOfBounds { .. })
+        ));
+        assert!(matches!(
+            t.update_col_blob_range(&mut store, 1, 0, 0, &[0; 2]),
+            Err(StorageError::SchemaMismatch(_))
+        ));
+        assert!(matches!(
+            t.update_col_blob_range(&mut store, 99, 1, 0, &[0; 2]),
+            Err(StorageError::KeyNotFound { key: 99 })
+        ));
+    }
+
+    #[test]
+    fn table_from_parts_reopens_the_tree() {
+        let mut store = PageStore::new();
+        let t = vector_table(&mut store, 500, 4);
+        let reopened = Table::from_parts(t.name().to_string(), t.schema().clone(), t.tree_parts());
+        assert_eq!(reopened.row_count(), 500);
+        assert_eq!(
+            reopened.get(&mut store, 123).unwrap(),
+            t.get(&mut store, 123).unwrap()
+        );
+        let mut keys = Vec::new();
+        reopened
+            .scan_raw(&mut store, |k, _| {
+                keys.push(k);
+                Ok(true)
+            })
+            .unwrap();
+        assert_eq!(keys.len(), 500);
     }
 
     #[test]
