@@ -7,8 +7,8 @@
 //! ```
 
 use sqlarray_bench::{
-    build_table1_db_with_dop, rows_from_env, run_linalg_report, run_subarray_report, run_table1,
-    storage_overhead, TABLE1_QUERIES, TESTBED_DOP,
+    build_table1_db_with_dop, rows_from_env, run_batch_report, run_linalg_report,
+    run_subarray_report, run_table1, storage_overhead, TABLE1_QUERIES, TESTBED_DOP,
 };
 use sqlarray_engine::HostingModel;
 
@@ -178,6 +178,24 @@ fn main() {
             r.full_seconds,
             r.page_factor(),
             r.full_seconds / r.pushdown_seconds.max(1e-9),
+        );
+    }
+
+    // --- vectorized batch execution ----------------------------------
+    println!();
+    println!("== Vectorized batch execution (columnar batches vs row-at-a-time) ==");
+    println!("each query warm, serial, best of three; bit-identity asserted at DOP 1/2/4/8 first");
+    for r in run_batch_report(&mut session) {
+        println!(
+            "{:<16} row {:.3} s vs batch {:.3} s  ({:.2}x); {} batches, \
+             mean fill {:.0} rows   {}",
+            r.label,
+            r.row_seconds,
+            r.batch_seconds,
+            r.speedup(),
+            r.batches,
+            r.batch_fill,
+            r.sql,
         );
     }
 

@@ -494,6 +494,106 @@ pub fn run_subarray_report() -> Vec<SubarrayReport> {
         .collect()
 }
 
+/// The two vectorized-execution showcase queries over `Tscalar`: one
+/// filter-heavy (selective conjunctive predicate, tiny projection — the
+/// per-row work is predicate evaluation) and one aggregate-heavy (five
+/// aggregates over arithmetic — the per-row work is expression + fold).
+/// Both compile to batch plans and also run on the row interpreter when
+/// batching is disabled, so they measure the same logical work twice.
+pub const BATCH_QUERIES: [(&str, &str); 2] = [
+    (
+        "filter-heavy",
+        "SELECT id, v1 * v2 FROM Tscalar WITH (NOLOCK) \
+         WHERE v1 > 0.5 AND v2 < 0.5 AND v3 > 0.9",
+    ),
+    (
+        "aggregate-heavy",
+        "SELECT COUNT(*), SUM(v1 + v2), MIN(v3), MAX(v4), AVG(v5) \
+         FROM Tscalar WITH (NOLOCK) WHERE v5 > 0.25",
+    ),
+];
+
+/// One row of the vectorized-execution comparison: the same query timed
+/// on the row-at-a-time interpreter (`set_batch_rows(0)`) and on the
+/// default columnar batch pipeline, warm-cache and serial, after the
+/// bit-identity of the two paths was asserted at DOP 1/2/4/8.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// Human label for the workload shape.
+    pub label: &'static str,
+    /// The SQL text measured.
+    pub sql: &'static str,
+    /// Best-of-three warm wall seconds on the row interpreter.
+    pub row_seconds: f64,
+    /// Best-of-three warm wall seconds on the batch pipeline.
+    pub batch_seconds: f64,
+    /// Batches flushed by the batch run.
+    pub batches: u64,
+    /// Mean rows per flushed batch.
+    pub batch_fill: f64,
+}
+
+impl BatchReport {
+    /// Row-path wall time over batch-path wall time (the headline number).
+    pub fn speedup(&self) -> f64 {
+        self.row_seconds / self.batch_seconds.max(1e-9)
+    }
+}
+
+/// Times [`BATCH_QUERIES`] on the row path vs the batch path, serial and
+/// warm (the comparison isolates CPU work, not buffer-pool behaviour).
+/// Before timing, every query is run on both paths at DOP 1/2/4/8 and the
+/// results must be bit-identical — a vectorization divergence panics the
+/// report rather than printing a tainted speedup. The session's DOP and
+/// batch size are restored afterwards.
+pub fn run_batch_report(session: &mut Session) -> Vec<BatchReport> {
+    let (saved_dop, saved_batch) = (session.dop(), session.batch_rows());
+    let mut out = Vec::with_capacity(BATCH_QUERIES.len());
+    for (label, sql) in BATCH_QUERIES {
+        // Correctness gate: serial row baseline vs batch at every DOP.
+        session.set_batch_rows(0);
+        session.set_dop(1);
+        let base = session.query(sql).expect("row-path query");
+        for dop in [1usize, 2, 4, 8] {
+            session.set_batch_rows(sqlarray_core::batch::DEFAULT_BATCH_ROWS);
+            session.set_dop(dop);
+            let got = session.query(sql).expect("batch-path query");
+            assert!(
+                rows_bit_identical(&base.rows, &got.rows),
+                "batch result diverged from row path at DOP {dop} for {sql}"
+            );
+        }
+        session.set_dop(1);
+
+        let time_best = |session: &mut Session| {
+            let mut best = f64::INFINITY;
+            let mut stats = None;
+            for _ in 0..3 {
+                let t0 = std::time::Instant::now();
+                let r = session.query(sql).expect("timed query");
+                best = best.min(t0.elapsed().as_secs_f64());
+                stats = Some(r.stats);
+            }
+            (best, stats.expect("three timed runs"))
+        };
+        session.set_batch_rows(0);
+        let (row_seconds, _) = time_best(session);
+        session.set_batch_rows(sqlarray_core::batch::DEFAULT_BATCH_ROWS);
+        let (batch_seconds, stats) = time_best(session);
+        out.push(BatchReport {
+            label,
+            sql,
+            row_seconds,
+            batch_seconds,
+            batches: stats.batches,
+            batch_fill: stats.batch_fill,
+        });
+    }
+    session.set_dop(saved_dop);
+    session.set_batch_rows(saved_batch);
+    out
+}
+
 /// Reads the row-count override from `SQLARRAY_ROWS`.
 pub fn rows_from_env() -> i64 {
     std::env::var("SQLARRAY_ROWS")

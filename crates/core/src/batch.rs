@@ -1,0 +1,819 @@
+//! Columnar batches for vectorized query execution.
+//!
+//! The executor historically walked one row at a time through a per-row
+//! callback, allocating a boxed value per column — the glue between scan
+//! and kernel dominated, not the kernels. This module provides the shared
+//! column-vector representation and the batch-level kernels the engine's
+//! vectorized pipeline is built on:
+//!
+//! * [`ColVec`] — one typed column of a batch (`i64`/`i32`/`f64`/`f32`/
+//!   `bool`, or blob cells as packed bytes + out-of-row LOB references);
+//! * [`Batch`] — the clustered keys plus the decoded columns of ~1–4K rows;
+//! * [`Validity`] — a null bitmap (one bit per row);
+//! * selection vectors (`Vec<u32>` of in-batch row indices) produced by
+//!   filters and consumed by every downstream kernel;
+//! * arithmetic/comparison/gather/sum kernels with branch-light inner
+//!   loops the compiler can autovectorize.
+//!
+//! Semantics are deliberately *identical* to the engine's row-at-a-time
+//! interpreter: integer arithmetic wraps exactly like the row path's
+//! `wrapping_*` calls, float comparisons report NaN operands to the caller
+//! (the row path raises a typed error there), and every summing path goes
+//! through [`ExactSum`] so results stay bit-identical at any degree of
+//! parallelism.
+
+use crate::exact::ExactSum;
+
+/// Default number of rows per batch.
+///
+/// Batches flush at the first leaf-page boundary at or past this many rows,
+/// so actual fill is slightly above (a leaf holds tens-to-hundreds of rows).
+pub const DEFAULT_BATCH_ROWS: usize = 1024;
+
+// ---------------------------------------------------------------------------
+// Validity bitmaps
+// ---------------------------------------------------------------------------
+
+/// A null bitmap: one bit per row, set = valid (non-null).
+///
+/// Table columns in the engine are currently never null, but kernels accept
+/// an optional validity so batch-producing sources with missing values (e.g.
+/// future outer joins) reuse the same summing path.
+#[derive(Debug, Clone, Default)]
+pub struct Validity {
+    bits: Vec<u64>,
+    len: usize,
+}
+
+impl Validity {
+    /// An empty bitmap.
+    pub fn new() -> Validity {
+        Validity::default()
+    }
+
+    /// Appends one row's validity bit.
+    pub fn push(&mut self, valid: bool) {
+        let word = self.len / 64;
+        if word == self.bits.len() {
+            self.bits.push(0);
+        }
+        if valid {
+            self.bits[word] |= 1u64 << (self.len % 64);
+        }
+        self.len += 1;
+    }
+
+    /// Whether row `i` is valid (non-null).
+    pub fn is_valid(&self, i: usize) -> bool {
+        assert!(i < self.len);
+        self.bits[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Number of rows tracked.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the bitmap tracks zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Number of valid (set) bits.
+    pub fn count_valid(&self) -> usize {
+        self.bits.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Resets to zero rows, keeping capacity.
+    pub fn clear(&mut self) {
+        self.bits.clear();
+        self.len = 0;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Byte cells
+// ---------------------------------------------------------------------------
+
+/// Variable-length byte cells packed end-to-end with an offsets directory.
+///
+/// Cell `i` lives at `data[offsets[i]..offsets[i + 1]]`; there is always one
+/// more offset than cells. Appending never reallocates per cell beyond the
+/// amortized growth of the two flat vectors.
+#[derive(Debug, Clone)]
+pub struct BytesVec {
+    offsets: Vec<usize>,
+    data: Vec<u8>,
+}
+
+impl Default for BytesVec {
+    fn default() -> Self {
+        BytesVec::new()
+    }
+}
+
+impl BytesVec {
+    /// An empty cell vector.
+    pub fn new() -> BytesVec {
+        BytesVec {
+            offsets: vec![0],
+            data: Vec::new(),
+        }
+    }
+
+    /// Appends one cell.
+    pub fn push(&mut self, cell: &[u8]) {
+        self.data.extend_from_slice(cell);
+        self.offsets.push(self.data.len());
+    }
+
+    /// Borrows cell `i`.
+    pub fn get(&self, i: usize) -> &[u8] {
+        &self.data[self.offsets[i]..self.offsets[i + 1]]
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Whether there are zero cells.
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Resets to zero cells, keeping capacity.
+    pub fn clear(&mut self) {
+        self.offsets.truncate(1);
+        self.data.clear();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Columns and batches
+// ---------------------------------------------------------------------------
+
+/// An out-of-row blob reference: `(blob id, byte length)`.
+pub type LobRef = (u64, u64);
+
+/// One typed column of a [`Batch`].
+#[derive(Debug, Clone)]
+pub enum ColVec {
+    /// 64-bit signed integers.
+    I64(Vec<i64>),
+    /// 32-bit signed integers.
+    I32(Vec<i32>),
+    /// 64-bit floats.
+    F64(Vec<f64>),
+    /// 32-bit floats.
+    F32(Vec<f32>),
+    /// Booleans (no storage column type maps here; produced by kernels).
+    Bool(Vec<bool>),
+    /// Blob cells: inline payloads in `bytes`, out-of-row references in
+    /// `lob`. Both sides always have one entry per row — an out-of-row cell
+    /// has an empty `bytes` entry and `Some` in `lob`, an inline cell the
+    /// reverse.
+    Blob {
+        /// Inline payloads (empty cell for out-of-row rows).
+        bytes: BytesVec,
+        /// Out-of-row references (`None` for inline rows).
+        lob: Vec<Option<LobRef>>,
+    },
+}
+
+impl ColVec {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            ColVec::I64(v) => v.len(),
+            ColVec::I32(v) => v.len(),
+            ColVec::F64(v) => v.len(),
+            ColVec::F32(v) => v.len(),
+            ColVec::Bool(v) => v.len(),
+            ColVec::Blob { lob, .. } => lob.len(),
+        }
+    }
+
+    /// Whether the column holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Resets to zero rows, keeping capacity.
+    pub fn clear(&mut self) {
+        match self {
+            ColVec::I64(v) => v.clear(),
+            ColVec::I32(v) => v.clear(),
+            ColVec::F64(v) => v.clear(),
+            ColVec::F32(v) => v.clear(),
+            ColVec::Bool(v) => v.clear(),
+            ColVec::Blob { bytes, lob } => {
+                bytes.clear();
+                lob.clear();
+            }
+        }
+    }
+}
+
+/// A columnar batch: the clustered keys of ~1–4K rows plus the decoded
+/// columns the active plan needs (in plan order, not schema order).
+#[derive(Debug, Clone, Default)]
+pub struct Batch {
+    /// Clustered-index key of each row, in scan order.
+    pub keys: Vec<i64>,
+    /// Decoded columns; every column has `keys.len()` rows.
+    pub cols: Vec<ColVec>,
+}
+
+impl Batch {
+    /// A batch with the given (empty) columns.
+    pub fn new(cols: Vec<ColVec>) -> Batch {
+        Batch {
+            keys: Vec::new(),
+            cols,
+        }
+    }
+
+    /// Number of rows currently buffered.
+    pub fn len(&self) -> usize {
+        self.keys.len()
+    }
+
+    /// Whether the batch holds zero rows.
+    pub fn is_empty(&self) -> bool {
+        self.keys.is_empty()
+    }
+
+    /// Resets to zero rows, keeping column types and capacity.
+    pub fn clear(&mut self) {
+        self.keys.clear();
+        for c in &mut self.cols {
+            c.clear();
+        }
+    }
+}
+
+/// Fills `sel` with the identity selection `0..n` (all rows selected).
+pub fn identity_selection(sel: &mut Vec<u32>, n: usize) {
+    sel.clear();
+    sel.extend(0..n as u32);
+}
+
+/// Keeps only the selected rows whose flag is set: `out` receives
+/// `sel[i]` for every `i` with `flags[i]`. `flags` is aligned to `sel`
+/// (one flag per *selected* row), not to the batch.
+pub fn refine_selection(flags: &[bool], sel: &[u32], out: &mut Vec<u32>) {
+    assert_eq!(flags.len(), sel.len());
+    out.clear();
+    for (&keep, &row) in flags.iter().zip(sel) {
+        if keep {
+            out.push(row);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Gather / widen / splat kernels
+// ---------------------------------------------------------------------------
+
+macro_rules! gather_impl {
+    ($name:ident, $t:ty) => {
+        /// Copies `src[sel[i]]` into `out` for each selected row.
+        pub fn $name(src: &[$t], sel: &[u32], out: &mut Vec<$t>) {
+            out.clear();
+            out.reserve(sel.len());
+            for &i in sel {
+                out.push(src[i as usize]);
+            }
+        }
+    };
+}
+
+gather_impl!(gather_i64, i64);
+gather_impl!(gather_i32, i32);
+gather_impl!(gather_f64, f64);
+gather_impl!(gather_f32, f32);
+gather_impl!(gather_bool, bool);
+
+/// Fills `out` with `n` copies of `v` (literal/variable broadcast).
+pub fn splat<T: Copy>(v: T, n: usize, out: &mut Vec<T>) {
+    out.clear();
+    out.resize(n, v);
+}
+
+/// Widens `i32` lanes to `i64`.
+pub fn widen_i32(src: &[i32], out: &mut Vec<i64>) {
+    out.clear();
+    out.reserve(src.len());
+    for &x in src {
+        out.push(x as i64);
+    }
+}
+
+/// Converts `i64` lanes to `f64` (same rounding as a scalar `as f64` cast).
+pub fn f64_from_i64(src: &[i64], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(src.len());
+    for &x in src {
+        out.push(x as f64);
+    }
+}
+
+/// Converts `i32` lanes to `f64` (exact).
+pub fn f64_from_i32(src: &[i32], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(src.len());
+    for &x in src {
+        out.push(x as f64);
+    }
+}
+
+/// Widens `f32` lanes to `f64` (exact).
+pub fn f64_from_f32(src: &[f32], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(src.len());
+    for &x in src {
+        out.push(x as f64);
+    }
+}
+
+/// Converts `bool` lanes to `f64` (`false` → 0.0, `true` → 1.0), matching
+/// the row path's `Bool as i64 as f64` coercion.
+pub fn f64_from_bool(src: &[bool], out: &mut Vec<f64>) {
+    out.clear();
+    out.reserve(src.len());
+    for &x in src {
+        out.push(x as i64 as f64);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic kernels
+// ---------------------------------------------------------------------------
+
+/// Arithmetic operator selector for [`arith_i64`] / [`arith_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// Addition (wrapping on integers).
+    Add,
+    /// Subtraction (wrapping on integers).
+    Sub,
+    /// Multiplication (wrapping on integers).
+    Mul,
+    /// Division (integer zero divisor is reported, not computed).
+    Div,
+    /// Remainder (integer zero divisor is reported, not computed).
+    Mod,
+}
+
+/// Lane-wise `i64` arithmetic with the row path's wrapping semantics.
+///
+/// Returns `false` — with `out` left in an unspecified state — if `op` is
+/// `Div`/`Mod` and any `b` lane is zero; the caller raises the same typed
+/// error the row-at-a-time interpreter does.
+#[must_use]
+pub fn arith_i64(op: ArithOp, a: &[i64], b: &[i64], out: &mut Vec<i64>) -> bool {
+    assert_eq!(a.len(), b.len());
+    out.clear();
+    out.reserve(a.len());
+    match op {
+        ArithOp::Add => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x.wrapping_add(y));
+            }
+        }
+        ArithOp::Sub => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x.wrapping_sub(y));
+            }
+        }
+        ArithOp::Mul => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x.wrapping_mul(y));
+            }
+        }
+        ArithOp::Div => {
+            for (&x, &y) in a.iter().zip(b) {
+                if y == 0 {
+                    return false;
+                }
+                out.push(x / y);
+            }
+        }
+        ArithOp::Mod => {
+            for (&x, &y) in a.iter().zip(b) {
+                if y == 0 {
+                    return false;
+                }
+                out.push(x % y);
+            }
+        }
+    }
+    true
+}
+
+/// Lane-wise `f64` arithmetic (IEEE semantics; division by zero yields
+/// infinities/NaN exactly like the row path's scalar ops).
+pub fn arith_f64(op: ArithOp, a: &[f64], b: &[f64], out: &mut Vec<f64>) {
+    assert_eq!(a.len(), b.len());
+    out.clear();
+    out.reserve(a.len());
+    match op {
+        ArithOp::Add => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x + y);
+            }
+        }
+        ArithOp::Sub => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x - y);
+            }
+        }
+        ArithOp::Mul => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x * y);
+            }
+        }
+        ArithOp::Div => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x / y);
+            }
+        }
+        ArithOp::Mod => {
+            for (&x, &y) in a.iter().zip(b) {
+                out.push(x % y);
+            }
+        }
+    }
+}
+
+macro_rules! neg_impl {
+    ($name:ident, $t:ty, wrapping) => {
+        /// Lane-wise negation (wrapping, like the row path).
+        pub fn $name(a: &[$t], out: &mut Vec<$t>) {
+            out.clear();
+            out.reserve(a.len());
+            for &x in a {
+                out.push(x.wrapping_neg());
+            }
+        }
+    };
+    ($name:ident, $t:ty, float) => {
+        /// Lane-wise negation.
+        pub fn $name(a: &[$t], out: &mut Vec<$t>) {
+            out.clear();
+            out.reserve(a.len());
+            for &x in a {
+                out.push(-x);
+            }
+        }
+    };
+}
+
+neg_impl!(neg_i64, i64, wrapping);
+neg_impl!(neg_i32, i32, wrapping);
+neg_impl!(neg_f64, f64, float);
+neg_impl!(neg_f32, f32, float);
+
+// ---------------------------------------------------------------------------
+// Comparison / truthiness kernels
+// ---------------------------------------------------------------------------
+
+/// Comparison operator selector for [`cmp_f64`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// Lane-wise `f64` comparison.
+///
+/// Returns `false` if any lane had a NaN operand — the row path's
+/// `partial_cmp` returns `None` there and the interpreter raises a typed
+/// "NaN comparison" error, which the caller reproduces. The flag is
+/// accumulated branch-free so the comparison loop stays vectorizable.
+#[must_use]
+pub fn cmp_f64(op: CmpOp, a: &[f64], b: &[f64], out: &mut Vec<bool>) -> bool {
+    assert_eq!(a.len(), b.len());
+    out.clear();
+    out.reserve(a.len());
+    let mut nan_seen = false;
+    match op {
+        CmpOp::Eq => {
+            for (&x, &y) in a.iter().zip(b) {
+                nan_seen |= x.is_nan() | y.is_nan();
+                out.push(x == y);
+            }
+        }
+        CmpOp::Ne => {
+            for (&x, &y) in a.iter().zip(b) {
+                nan_seen |= x.is_nan() | y.is_nan();
+                out.push(x != y);
+            }
+        }
+        CmpOp::Lt => {
+            for (&x, &y) in a.iter().zip(b) {
+                nan_seen |= x.is_nan() | y.is_nan();
+                out.push(x < y);
+            }
+        }
+        CmpOp::Le => {
+            for (&x, &y) in a.iter().zip(b) {
+                nan_seen |= x.is_nan() | y.is_nan();
+                out.push(x <= y);
+            }
+        }
+        CmpOp::Gt => {
+            for (&x, &y) in a.iter().zip(b) {
+                nan_seen |= x.is_nan() | y.is_nan();
+                out.push(x > y);
+            }
+        }
+        CmpOp::Ge => {
+            for (&x, &y) in a.iter().zip(b) {
+                nan_seen |= x.is_nan() | y.is_nan();
+                out.push(x >= y);
+            }
+        }
+    }
+    !nan_seen
+}
+
+/// Lane-wise boolean NOT.
+pub fn not_bool(a: &[bool], out: &mut Vec<bool>) {
+    out.clear();
+    out.reserve(a.len());
+    for &x in a {
+        out.push(!x);
+    }
+}
+
+macro_rules! truthy_impl {
+    ($name:ident, $t:ty, $zero:expr) => {
+        /// Lane-wise truthiness: nonzero → `true` (row-path `is_true`).
+        pub fn $name(a: &[$t], out: &mut Vec<bool>) {
+            out.clear();
+            out.reserve(a.len());
+            for &x in a {
+                out.push(x != $zero);
+            }
+        }
+    };
+}
+
+truthy_impl!(truthy_i64, i64, 0i64);
+truthy_impl!(truthy_i32, i32, 0i32);
+truthy_impl!(truthy_f64, f64, 0.0f64);
+truthy_impl!(truthy_f32, f32, 0.0f32);
+
+// ---------------------------------------------------------------------------
+// Summation
+// ---------------------------------------------------------------------------
+
+/// Accumulates every lane into `sum` through the exact summator.
+///
+/// This is the only summing kernel — there is deliberately no fast-path
+/// naive `+=` variant, so batch `SUM`/`AVG` stay bit-identical to serial
+/// row-at-a-time execution at any DOP.
+pub fn sum_f64(vals: &[f64], sum: &mut ExactSum) {
+    for &x in vals {
+        sum.add(x);
+    }
+}
+
+/// Like [`sum_f64`] but skips lanes whose validity bit is unset; returns
+/// the number of lanes accumulated.
+pub fn sum_f64_masked(vals: &[f64], validity: &Validity, sum: &mut ExactSum) -> usize {
+    assert_eq!(vals.len(), validity.len());
+    let mut n = 0usize;
+    for (i, &x) in vals.iter().enumerate() {
+        if validity.is_valid(i) {
+            sum.add(x);
+            n += 1;
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validity_push_and_count() {
+        let mut v = Validity::new();
+        for i in 0..130 {
+            v.push(i % 3 == 0);
+        }
+        assert_eq!(v.len(), 130);
+        assert_eq!(v.count_valid(), (0..130).filter(|i| i % 3 == 0).count());
+        assert!(v.is_valid(0));
+        assert!(!v.is_valid(1));
+        assert!(v.is_valid(129));
+        v.clear();
+        assert!(v.is_empty());
+        assert_eq!(v.count_valid(), 0);
+    }
+
+    #[test]
+    fn bytes_vec_cells() {
+        let mut b = BytesVec::new();
+        assert!(b.is_empty());
+        b.push(b"hello");
+        b.push(b"");
+        b.push(b"world!");
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.get(0), b"hello");
+        assert_eq!(b.get(1), b"");
+        assert_eq!(b.get(2), b"world!");
+        b.clear();
+        assert!(b.is_empty());
+        b.push(b"x");
+        assert_eq!(b.get(0), b"x");
+    }
+
+    #[test]
+    fn batch_clear_keeps_column_types() {
+        let mut batch = Batch::new(vec![
+            ColVec::I64(Vec::new()),
+            ColVec::Blob {
+                bytes: BytesVec::new(),
+                lob: Vec::new(),
+            },
+        ]);
+        batch.keys.push(7);
+        match &mut batch.cols[0] {
+            ColVec::I64(v) => v.push(1),
+            _ => unreachable!(),
+        }
+        match &mut batch.cols[1] {
+            ColVec::Blob { bytes, lob } => {
+                bytes.push(b"abc");
+                lob.push(None);
+            }
+            _ => unreachable!(),
+        }
+        assert_eq!(batch.len(), 1);
+        batch.clear();
+        assert!(batch.is_empty());
+        assert!(matches!(&batch.cols[0], ColVec::I64(v) if v.is_empty()));
+    }
+
+    #[test]
+    fn selection_identity_and_refine() {
+        let mut sel = Vec::new();
+        identity_selection(&mut sel, 5);
+        assert_eq!(sel, vec![0, 1, 2, 3, 4]);
+        let flags = [true, false, false, true, true];
+        let mut out = Vec::new();
+        refine_selection(&flags, &sel, &mut out);
+        assert_eq!(out, vec![0, 3, 4]);
+        // Refining a refined selection keeps batch-row indices.
+        let flags2 = [false, true, false];
+        let mut out2 = Vec::new();
+        refine_selection(&flags2, &out, &mut out2);
+        assert_eq!(out2, vec![3]);
+    }
+
+    #[test]
+    fn gather_and_widen() {
+        let src = [10i64, 20, 30, 40];
+        let mut out = Vec::new();
+        gather_i64(&src, &[3, 1], &mut out);
+        assert_eq!(out, vec![40, 20]);
+
+        let mut wide = Vec::new();
+        widen_i32(&[-1i32, i32::MAX], &mut wide);
+        assert_eq!(wide, vec![-1i64, i32::MAX as i64]);
+
+        let mut f = Vec::new();
+        f64_from_bool(&[true, false], &mut f);
+        assert_eq!(f, vec![1.0, 0.0]);
+        f64_from_i64(&[1i64 << 60], &mut f);
+        assert_eq!(f, vec![(1i64 << 60) as f64]);
+        f64_from_f32(&[0.1f32], &mut f);
+        assert_eq!(f, vec![0.1f32 as f64]);
+        f64_from_i32(&[7], &mut f);
+        assert_eq!(f, vec![7.0]);
+    }
+
+    #[test]
+    fn splat_fills() {
+        let mut out = Vec::new();
+        splat(42i64, 3, &mut out);
+        assert_eq!(out, vec![42, 42, 42]);
+        splat(1i64, 0, &mut out);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn int_arith_wraps_and_flags_zero_divisor() {
+        let mut out = Vec::new();
+        assert!(arith_i64(ArithOp::Add, &[i64::MAX, 1], &[1, 2], &mut out));
+        assert_eq!(out, vec![i64::MIN, 3]);
+        assert!(arith_i64(ArithOp::Mul, &[1i64 << 62], &[4], &mut out));
+        assert_eq!(out, vec![0]);
+        assert!(arith_i64(ArithOp::Div, &[9, -7], &[2, 2], &mut out));
+        assert_eq!(out, vec![4, -3]);
+        assert!(arith_i64(ArithOp::Mod, &[9, -7], &[4, 4], &mut out));
+        assert_eq!(out, vec![1, -3]);
+        assert!(!arith_i64(ArithOp::Div, &[1], &[0], &mut out));
+        assert!(!arith_i64(ArithOp::Mod, &[1], &[0], &mut out));
+    }
+
+    #[test]
+    fn float_arith_matches_scalar_ops() {
+        let mut out = Vec::new();
+        arith_f64(ArithOp::Div, &[1.0, -1.0], &[0.0, 0.0], &mut out);
+        assert_eq!(out[0], f64::INFINITY);
+        assert_eq!(out[1], f64::NEG_INFINITY);
+        arith_f64(ArithOp::Mod, &[7.5], &[2.0], &mut out);
+        assert_eq!(out, vec![7.5 % 2.0]);
+    }
+
+    #[test]
+    fn negation_kernels() {
+        let mut i = Vec::new();
+        neg_i64(&[5, i64::MIN], &mut i);
+        assert_eq!(i, vec![-5, i64::MIN]);
+        let mut i32s = Vec::new();
+        neg_i32(&[5], &mut i32s);
+        assert_eq!(i32s, vec![-5]);
+        let mut f = Vec::new();
+        neg_f64(&[1.5, -0.0], &mut f);
+        assert_eq!(f, vec![-1.5, 0.0]);
+        let mut f32s = Vec::new();
+        neg_f32(&[2.0f32], &mut f32s);
+        assert_eq!(f32s, vec![-2.0f32]);
+    }
+
+    #[test]
+    fn cmp_kernel_and_nan_detection() {
+        let mut out = Vec::new();
+        assert!(cmp_f64(CmpOp::Lt, &[1.0, 3.0], &[2.0, 2.0], &mut out));
+        assert_eq!(out, vec![true, false]);
+        assert!(cmp_f64(CmpOp::Le, &[2.0], &[2.0], &mut out));
+        assert_eq!(out, vec![true]);
+        assert!(cmp_f64(CmpOp::Ne, &[2.0], &[2.0], &mut out));
+        assert_eq!(out, vec![false]);
+        assert!(cmp_f64(CmpOp::Ge, &[2.0], &[3.0], &mut out));
+        assert_eq!(out, vec![false]);
+        assert!(cmp_f64(CmpOp::Gt, &[4.0], &[3.0], &mut out));
+        assert_eq!(out, vec![true]);
+        assert!(cmp_f64(CmpOp::Eq, &[-0.0], &[0.0], &mut out));
+        assert_eq!(out, vec![true]);
+        // Any NaN lane reports failure, mirroring the row path's error.
+        assert!(!cmp_f64(CmpOp::Eq, &[f64::NAN], &[1.0], &mut out));
+        assert!(!cmp_f64(CmpOp::Lt, &[1.0], &[f64::NAN], &mut out));
+    }
+
+    #[test]
+    fn truthiness_kernels() {
+        let mut out = Vec::new();
+        truthy_i64(&[0, 5, -1], &mut out);
+        assert_eq!(out, vec![false, true, true]);
+        truthy_f64(&[0.0, -0.0, 0.5], &mut out);
+        assert_eq!(out, vec![false, false, true]);
+        truthy_i32(&[0, 1], &mut out);
+        assert_eq!(out, vec![false, true]);
+        truthy_f32(&[0.0, 2.0], &mut out);
+        assert_eq!(out, vec![false, true]);
+        let mut notted = Vec::new();
+        not_bool(&out, &mut notted);
+        assert_eq!(notted, vec![true, false]);
+    }
+
+    #[test]
+    fn sum_kernel_is_exact_and_order_independent() {
+        let xs = [1e100, 1.0, -1e100, 1e-30];
+        let mut forward = ExactSum::new();
+        sum_f64(&xs, &mut forward);
+        let rev: Vec<f64> = xs.iter().rev().copied().collect();
+        let mut backward = ExactSum::new();
+        sum_f64(&rev, &mut backward);
+        assert_eq!(forward.value().to_bits(), backward.value().to_bits());
+        assert_eq!(forward.value(), 1.0 + 1e-30);
+    }
+
+    #[test]
+    fn masked_sum_skips_invalid_lanes() {
+        let mut validity = Validity::new();
+        validity.push(true);
+        validity.push(false);
+        validity.push(true);
+        let mut sum = ExactSum::new();
+        let n = sum_f64_masked(&[1.0, 100.0, 2.0], &validity, &mut sum);
+        assert_eq!(n, 2);
+        assert_eq!(sum.value(), 3.0);
+    }
+}

@@ -37,6 +37,7 @@
 #![warn(missing_docs)]
 
 pub mod array;
+pub mod batch;
 pub mod build;
 pub mod complex;
 pub mod element;

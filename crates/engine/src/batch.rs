@@ -1,0 +1,951 @@
+//! The vectorized execution plan: compiling scan expressions to batch
+//! kernels, and evaluating them over columnar batches.
+//!
+//! [`plan_select`] is **the** fallback seam of the vectorized pipeline: it
+//! returns `Some(BatchPlan)` exactly when every expression a scan must
+//! evaluate compiles to the batch kernel set — column references of scalar
+//! type, numeric/boolean literals and session variables, arithmetic,
+//! comparisons, `AND`/`OR`/`NOT`, unary minus, the built-in aggregates, and
+//! bare blob-column projections. Anything else — UDFs (including the
+//! `Subarray`/`Item` LOB pushdown), UDAs, `GROUP BY`, string/bytes
+//! comparisons — returns `None` and the executor runs the row-at-a-time
+//! interpreter instead. There is no third path.
+//!
+//! Compiled plans reproduce the row interpreter's semantics exactly:
+//!
+//! * integer × integer arithmetic wraps in `i64` and yields `BIGINT`;
+//!   any float or boolean operand switches the operator to `f64`;
+//! * comparisons coerce both sides to `f64`; a NaN operand raises the
+//!   same typed error;
+//! * `AND`/`OR` short-circuit *per row* via selection splitting: the right
+//!   operand is evaluated only over rows the left operand did not decide,
+//!   so an error in the right operand surfaces for exactly the rows the
+//!   row interpreter would have evaluated it on;
+//! * projections and aggregate arguments are evaluated only over rows
+//!   that passed the filter;
+//! * unary minus preserves the operand's type, like the row path.
+
+use crate::expr::{AggFunc, BinOp, Expr};
+use crate::tsql::SelectItem;
+use crate::value::{EngineError, Result, Value};
+use sqlarray_core::batch as b;
+use sqlarray_core::batch::{ArithOp, Batch, CmpOp, ColVec};
+use sqlarray_storage::{ColType, Schema};
+use std::collections::HashMap;
+
+/// Static type of a compiled batch expression.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VKind {
+    I64,
+    I32,
+    F64,
+    F32,
+    Bool,
+}
+
+impl VKind {
+    fn is_int(self) -> bool {
+        matches!(self, VKind::I64 | VKind::I32)
+    }
+}
+
+/// A compiled scalar expression over batch columns.
+#[derive(Debug, Clone)]
+pub(crate) enum BExpr {
+    /// Batch column `pos` (a position in [`BatchPlan::cols`], not a schema
+    /// index) of the given scalar kind.
+    Col {
+        pos: usize,
+        kind: VKind,
+    },
+    LitI64(i64),
+    LitI32(i32),
+    LitF64(f64),
+    LitF32(f32),
+    LitBool(bool),
+    Neg(Box<BExpr>),
+    Not(Box<BExpr>),
+    And(Box<BExpr>, Box<BExpr>),
+    Or(Box<BExpr>, Box<BExpr>),
+    Cmp {
+        op: CmpOp,
+        l: Box<BExpr>,
+        r: Box<BExpr>,
+    },
+    /// Both operands integral: wrapping `i64` arithmetic yielding `BIGINT`.
+    IntArith {
+        op: ArithOp,
+        l: Box<BExpr>,
+        r: Box<BExpr>,
+    },
+    /// At least one non-integral operand: `f64` arithmetic yielding `FLOAT`.
+    FloatArith {
+        op: ArithOp,
+        l: Box<BExpr>,
+        r: Box<BExpr>,
+    },
+}
+
+impl BExpr {
+    pub(crate) fn kind(&self) -> VKind {
+        match self {
+            BExpr::Col { kind, .. } => *kind,
+            BExpr::LitI64(_) => VKind::I64,
+            BExpr::LitI32(_) => VKind::I32,
+            BExpr::LitF64(_) => VKind::F64,
+            BExpr::LitF32(_) => VKind::F32,
+            BExpr::LitBool(_) => VKind::Bool,
+            BExpr::Neg(e) => e.kind(),
+            BExpr::Not(_) | BExpr::And(..) | BExpr::Or(..) | BExpr::Cmp { .. } => VKind::Bool,
+            BExpr::IntArith { .. } => VKind::I64,
+            BExpr::FloatArith { .. } => VKind::F64,
+        }
+    }
+}
+
+/// The argument of a compiled built-in aggregate.
+#[derive(Debug, Clone)]
+pub(crate) enum BAggArg {
+    /// A scalar expression (`SUM`/`AVG`/`MIN`/`MAX`/`COUNT` over numerics).
+    Scalar(BExpr),
+    /// `COUNT(blob_col)`: the argument is a bare blob column — only
+    /// null-ness matters and stored columns are never null, so the batch
+    /// position is carried for shape only.
+    Blob(usize),
+}
+
+/// One compiled select-list item.
+#[derive(Debug, Clone)]
+pub(crate) enum BItem {
+    /// Scalar projection.
+    Proj(BExpr),
+    /// Bare blob-column projection: materialized per selected row at the
+    /// projection boundary (inline bytes copied, LOB references resolved
+    /// through the worker's reader in row order).
+    ProjBlob(usize),
+    /// Built-in aggregate.
+    Agg { func: AggFunc, arg: Option<BAggArg> },
+    /// Non-aggregate item inside an aggregate query: evaluated once, at
+    /// the first filter-passing row (the row interpreter's semantics).
+    Plain(BExpr),
+}
+
+/// A compiled vectorized scan: which schema columns to decode, the filter,
+/// and the select-list items, all in terms of batch column positions.
+#[derive(Debug, Clone)]
+pub(crate) struct BatchPlan {
+    /// Schema column indices to decode, in batch-column order.
+    pub cols: Vec<usize>,
+    /// Compiled WHERE predicate.
+    pub filter: Option<BExpr>,
+    /// Compiled select-list items (aggregates iff the query aggregates).
+    pub items: Vec<BItem>,
+    /// Flush batches at every leaf boundary. Set when the plan touches a
+    /// blob column, so per-batch LOB resolution interleaves page reads
+    /// (leaf, then that leaf's LOB pages) exactly like the row-at-a-time
+    /// scan — the IoStats/seek DOP-invariance machinery depends on it.
+    pub leaf_aligned: bool,
+}
+
+struct Compiler<'a> {
+    schema: &'a Schema,
+    vars: &'a HashMap<String, Value>,
+    cols: Vec<usize>,
+}
+
+impl<'a> Compiler<'a> {
+    /// Batch column position for a schema index, registering it on first
+    /// use. Linear scan: plans touch a handful of columns.
+    fn col_pos(&mut self, idx: usize) -> usize {
+        match self.cols.iter().position(|&c| c == idx) {
+            Some(p) => p,
+            None => {
+                self.cols.push(idx);
+                self.cols.len() - 1
+            }
+        }
+    }
+
+    fn lit(&self, v: &Value) -> Option<BExpr> {
+        match v {
+            Value::I64(x) => Some(BExpr::LitI64(*x)),
+            Value::I32(x) => Some(BExpr::LitI32(*x)),
+            Value::F64(x) => Some(BExpr::LitF64(*x)),
+            Value::F32(x) => Some(BExpr::LitF32(*x)),
+            Value::Bool(x) => Some(BExpr::LitBool(*x)),
+            // Null, strings, bytes, and LOB references keep the row
+            // interpreter's semantics (string compares, null propagation)
+            // by falling back.
+            _ => None,
+        }
+    }
+
+    fn compile(&mut self, e: &Expr) -> Option<BExpr> {
+        match e {
+            Expr::Lit(v) => self.lit(v),
+            // A missing variable is a per-row error in the interpreter
+            // (FROM-scans only raise it when the table is non-empty), so
+            // it must stay on the row path to error identically.
+            Expr::Var(name) => {
+                let v = self.vars.get(&name.to_ascii_lowercase())?;
+                self.lit(v)
+            }
+            Expr::Col(name) => {
+                let idx = self.schema.col_index(name)?;
+                let kind = match self.schema.columns[idx].ctype {
+                    ColType::I64 => VKind::I64,
+                    ColType::I32 => VKind::I32,
+                    ColType::F64 => VKind::F64,
+                    ColType::F32 => VKind::F32,
+                    // Blob columns inside computed expressions (equality,
+                    // truthiness, …) keep row semantics by falling back.
+                    ColType::Blob => return None,
+                };
+                Some(BExpr::Col {
+                    pos: self.col_pos(idx),
+                    kind,
+                })
+            }
+            Expr::Neg(inner) => {
+                let c = self.compile(inner)?;
+                if c.kind() == VKind::Bool {
+                    // `-(bool)` is a typed error in the interpreter; the
+                    // fallback raises it with the exact message.
+                    return None;
+                }
+                Some(BExpr::Neg(Box::new(c)))
+            }
+            Expr::Not(inner) => Some(BExpr::Not(Box::new(self.compile(inner)?))),
+            Expr::Bin { op, left, right } => {
+                let l = Box::new(self.compile(left)?);
+                let r = Box::new(self.compile(right)?);
+                match op {
+                    BinOp::And => Some(BExpr::And(l, r)),
+                    BinOp::Or => Some(BExpr::Or(l, r)),
+                    BinOp::Eq => Some(BExpr::Cmp {
+                        op: CmpOp::Eq,
+                        l,
+                        r,
+                    }),
+                    BinOp::Ne => Some(BExpr::Cmp {
+                        op: CmpOp::Ne,
+                        l,
+                        r,
+                    }),
+                    BinOp::Lt => Some(BExpr::Cmp {
+                        op: CmpOp::Lt,
+                        l,
+                        r,
+                    }),
+                    BinOp::Le => Some(BExpr::Cmp {
+                        op: CmpOp::Le,
+                        l,
+                        r,
+                    }),
+                    BinOp::Gt => Some(BExpr::Cmp {
+                        op: CmpOp::Gt,
+                        l,
+                        r,
+                    }),
+                    BinOp::Ge => Some(BExpr::Cmp {
+                        op: CmpOp::Ge,
+                        l,
+                        r,
+                    }),
+                    BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Mod => {
+                        let aop = match op {
+                            BinOp::Add => ArithOp::Add,
+                            BinOp::Sub => ArithOp::Sub,
+                            BinOp::Mul => ArithOp::Mul,
+                            BinOp::Div => ArithOp::Div,
+                            BinOp::Mod => ArithOp::Mod,
+                            _ => unreachable!(),
+                        };
+                        if l.kind().is_int() && r.kind().is_int() {
+                            Some(BExpr::IntArith { op: aop, l, r })
+                        } else {
+                            Some(BExpr::FloatArith { op: aop, l, r })
+                        }
+                    }
+                }
+            }
+            // UDFs (and the LOB pushdown behind them), UDAs, and nested
+            // aggregates stay on the row path.
+            Expr::Func { .. } | Expr::UdaCall { .. } | Expr::Agg { .. } => None,
+        }
+    }
+
+    /// A bare blob-column reference, as a batch position.
+    fn blob_col(&mut self, e: &Expr) -> Option<usize> {
+        let Expr::Col(name) = e else { return None };
+        let idx = self.schema.col_index(name)?;
+        if self.schema.columns[idx].ctype != ColType::Blob {
+            return None;
+        }
+        Some(self.col_pos(idx))
+    }
+}
+
+/// Compiles a SELECT scan to a [`BatchPlan`], or `None` to run the
+/// row-at-a-time interpreter. This is the vectorized pipeline's single
+/// fallback seam — see the module docs for what compiles.
+pub(crate) fn plan_select(
+    schema: &Schema,
+    items: &[SelectItem],
+    where_clause: Option<&Expr>,
+    group_by: &[Expr],
+    has_aggregate: bool,
+    vars: &HashMap<String, Value>,
+) -> Option<BatchPlan> {
+    if !group_by.is_empty() {
+        return None;
+    }
+    let mut c = Compiler {
+        schema,
+        vars,
+        cols: Vec::new(),
+    };
+    let filter = match where_clause {
+        Some(w) => Some(c.compile(w)?),
+        None => None,
+    };
+    let mut plan_items = Vec::with_capacity(items.len());
+    for it in items {
+        let item = if has_aggregate {
+            match &it.expr {
+                Expr::Agg { func, arg } => {
+                    let barg = match (func, arg) {
+                        (AggFunc::CountStar, _) => None,
+                        (AggFunc::Count, Some(e)) => Some(match c.blob_col(e) {
+                            Some(pos) => BAggArg::Blob(pos),
+                            None => BAggArg::Scalar(c.compile(e)?),
+                        }),
+                        (AggFunc::Sum | AggFunc::Avg | AggFunc::Min | AggFunc::Max, Some(e)) => {
+                            Some(BAggArg::Scalar(c.compile(e)?))
+                        }
+                        _ => return None,
+                    };
+                    BItem::Agg {
+                        func: *func,
+                        arg: barg,
+                    }
+                }
+                Expr::UdaCall { .. } => return None,
+                other => BItem::Plain(c.compile(other)?),
+            }
+        } else {
+            match c.blob_col(&it.expr) {
+                Some(pos) => BItem::ProjBlob(pos),
+                None => BItem::Proj(c.compile(&it.expr)?),
+            }
+        };
+        plan_items.push(item);
+    }
+    let leaf_aligned = c
+        .cols
+        .iter()
+        .any(|&i| schema.columns[i].ctype == ColType::Blob);
+    Some(BatchPlan {
+        cols: c.cols,
+        filter,
+        items: plan_items,
+        leaf_aligned,
+    })
+}
+
+/// A batch expression result: one value per *selected* row, dense.
+#[derive(Debug, Clone)]
+pub(crate) enum BVal {
+    I64(Vec<i64>),
+    I32(Vec<i32>),
+    F64(Vec<f64>),
+    F32(Vec<f32>),
+    Bool(Vec<bool>),
+}
+
+impl BVal {
+    pub(crate) fn len(&self) -> usize {
+        match self {
+            BVal::I64(v) => v.len(),
+            BVal::I32(v) => v.len(),
+            BVal::F64(v) => v.len(),
+            BVal::F32(v) => v.len(),
+            BVal::Bool(v) => v.len(),
+        }
+    }
+
+    /// The `i`-th value as an engine [`Value`], preserving the lane type
+    /// (an `INT` column stays `Value::I32`, like the row interpreter).
+    pub(crate) fn value_at(&self, i: usize) -> Value {
+        match self {
+            BVal::I64(v) => Value::I64(v[i]),
+            BVal::I32(v) => Value::I32(v[i]),
+            BVal::F64(v) => Value::F64(v[i]),
+            BVal::F32(v) => Value::F32(v[i]),
+            BVal::Bool(v) => Value::Bool(v[i]),
+        }
+    }
+
+    /// Integral lanes widened to `i64` (only called on int-kind results).
+    fn into_i64(self) -> Result<Vec<i64>> {
+        match self {
+            BVal::I64(v) => Ok(v),
+            BVal::I32(v) => {
+                let mut out = Vec::new();
+                b::widen_i32(&v, &mut out);
+                Ok(out)
+            }
+            other => Err(EngineError::Type(format!(
+                "batch plan error: expected integral lanes, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Lanes coerced to `f64` with the row path's `as_f64` semantics
+    /// (`BIT` → 0/1).
+    pub(crate) fn into_f64(self) -> Vec<f64> {
+        match self {
+            BVal::F64(v) => v,
+            BVal::I64(v) => {
+                let mut out = Vec::new();
+                b::f64_from_i64(&v, &mut out);
+                out
+            }
+            BVal::I32(v) => {
+                let mut out = Vec::new();
+                b::f64_from_i32(&v, &mut out);
+                out
+            }
+            BVal::F32(v) => {
+                let mut out = Vec::new();
+                b::f64_from_f32(&v, &mut out);
+                out
+            }
+            BVal::Bool(v) => {
+                let mut out = Vec::new();
+                b::f64_from_bool(&v, &mut out);
+                out
+            }
+        }
+    }
+
+    /// Lanes as row-path truthiness (nonzero → true).
+    fn into_truthy(self) -> Vec<bool> {
+        match self {
+            BVal::Bool(v) => v,
+            BVal::I64(v) => {
+                let mut out = Vec::new();
+                b::truthy_i64(&v, &mut out);
+                out
+            }
+            BVal::I32(v) => {
+                let mut out = Vec::new();
+                b::truthy_i32(&v, &mut out);
+                out
+            }
+            BVal::F64(v) => {
+                let mut out = Vec::new();
+                b::truthy_f64(&v, &mut out);
+                out
+            }
+            BVal::F32(v) => {
+                let mut out = Vec::new();
+                b::truthy_f32(&v, &mut out);
+                out
+            }
+        }
+    }
+}
+
+/// Evaluates a filter over the current selection, refining `sel` in place
+/// (`scratch` is the swap buffer, reused across batches).
+pub(crate) fn apply_filter(
+    f: &BExpr,
+    batch: &Batch,
+    sel: &mut Vec<u32>,
+    scratch: &mut Vec<u32>,
+) -> Result<()> {
+    let flags = eval(f, batch, sel)?.into_truthy();
+    b::refine_selection(&flags, sel, scratch);
+    std::mem::swap(sel, scratch);
+    Ok(())
+}
+
+/// Evaluates a compiled expression over the selected rows of a batch,
+/// returning one dense value per selected row.
+pub(crate) fn eval(e: &BExpr, batch: &Batch, sel: &[u32]) -> Result<BVal> {
+    match e {
+        BExpr::Col { pos, .. } => match &batch.cols[*pos] {
+            ColVec::I64(src) => {
+                let mut out = Vec::new();
+                b::gather_i64(src, sel, &mut out);
+                Ok(BVal::I64(out))
+            }
+            ColVec::I32(src) => {
+                let mut out = Vec::new();
+                b::gather_i32(src, sel, &mut out);
+                Ok(BVal::I32(out))
+            }
+            ColVec::F64(src) => {
+                let mut out = Vec::new();
+                b::gather_f64(src, sel, &mut out);
+                Ok(BVal::F64(out))
+            }
+            ColVec::F32(src) => {
+                let mut out = Vec::new();
+                b::gather_f32(src, sel, &mut out);
+                Ok(BVal::F32(out))
+            }
+            ColVec::Bool(src) => {
+                let mut out = Vec::new();
+                b::gather_bool(src, sel, &mut out);
+                Ok(BVal::Bool(out))
+            }
+            ColVec::Blob { .. } => Err(EngineError::Type(
+                "batch plan error: blob column in scalar expression".into(),
+            )),
+        },
+        BExpr::LitI64(x) => {
+            let mut out = Vec::new();
+            b::splat(*x, sel.len(), &mut out);
+            Ok(BVal::I64(out))
+        }
+        BExpr::LitI32(x) => {
+            let mut out = Vec::new();
+            b::splat(*x, sel.len(), &mut out);
+            Ok(BVal::I32(out))
+        }
+        BExpr::LitF64(x) => {
+            let mut out = Vec::new();
+            b::splat(*x, sel.len(), &mut out);
+            Ok(BVal::F64(out))
+        }
+        BExpr::LitF32(x) => {
+            let mut out = Vec::new();
+            b::splat(*x, sel.len(), &mut out);
+            Ok(BVal::F32(out))
+        }
+        BExpr::LitBool(x) => {
+            let mut out = Vec::new();
+            b::splat(*x, sel.len(), &mut out);
+            Ok(BVal::Bool(out))
+        }
+        BExpr::Neg(inner) => match eval(inner, batch, sel)? {
+            BVal::I64(v) => {
+                let mut out = Vec::new();
+                b::neg_i64(&v, &mut out);
+                Ok(BVal::I64(out))
+            }
+            BVal::I32(v) => {
+                let mut out = Vec::new();
+                b::neg_i32(&v, &mut out);
+                Ok(BVal::I32(out))
+            }
+            BVal::F64(v) => {
+                let mut out = Vec::new();
+                b::neg_f64(&v, &mut out);
+                Ok(BVal::F64(out))
+            }
+            BVal::F32(v) => {
+                let mut out = Vec::new();
+                b::neg_f32(&v, &mut out);
+                Ok(BVal::F32(out))
+            }
+            BVal::Bool(_) => Err(EngineError::Type(
+                "batch plan error: negation of a boolean".into(),
+            )),
+        },
+        BExpr::Not(inner) => {
+            let t = eval(inner, batch, sel)?.into_truthy();
+            let mut out = Vec::new();
+            b::not_bool(&t, &mut out);
+            Ok(BVal::Bool(out))
+        }
+        BExpr::And(l, r) => {
+            // Per-row short-circuit via selection splitting: the right
+            // side sees only rows where the left side was truthy, so its
+            // errors (and only its errors) match the row interpreter.
+            let lt = eval(l, batch, sel)?.into_truthy();
+            let mut rhs_sel = Vec::new();
+            b::refine_selection(&lt, sel, &mut rhs_sel);
+            let rt = eval(r, batch, &rhs_sel)?.into_truthy();
+            let mut out = Vec::with_capacity(lt.len());
+            let mut j = 0usize;
+            for &t in lt.iter() {
+                if t {
+                    out.push(rt[j]);
+                    j += 1;
+                } else {
+                    out.push(false);
+                }
+            }
+            Ok(BVal::Bool(out))
+        }
+        BExpr::Or(l, r) => {
+            let lt = eval(l, batch, sel)?.into_truthy();
+            let mut not_lt = Vec::new();
+            b::not_bool(&lt, &mut not_lt);
+            let mut rhs_sel = Vec::new();
+            b::refine_selection(&not_lt, sel, &mut rhs_sel);
+            let rt = eval(r, batch, &rhs_sel)?.into_truthy();
+            let mut out = Vec::with_capacity(lt.len());
+            let mut j = 0usize;
+            for &t in lt.iter() {
+                if t {
+                    out.push(true);
+                } else {
+                    out.push(rt[j]);
+                    j += 1;
+                }
+            }
+            Ok(BVal::Bool(out))
+        }
+        BExpr::Cmp { op, l, r } => {
+            let a = eval(l, batch, sel)?.into_f64();
+            let bv = eval(r, batch, sel)?.into_f64();
+            let mut out = Vec::new();
+            if !b::cmp_f64(*op, &a, &bv, &mut out) {
+                return Err(EngineError::Type("NaN comparison".into()));
+            }
+            Ok(BVal::Bool(out))
+        }
+        BExpr::IntArith { op, l, r } => {
+            let a = eval(l, batch, sel)?.into_i64()?;
+            let bv = eval(r, batch, sel)?.into_i64()?;
+            let mut out = Vec::new();
+            if !b::arith_i64(*op, &a, &bv, &mut out) {
+                return Err(EngineError::Type(match op {
+                    ArithOp::Div => "integer division by zero".into(),
+                    ArithOp::Mod => "modulo by zero".into(),
+                    _ => unreachable!("only Div/Mod report zero divisors"),
+                }));
+            }
+            Ok(BVal::I64(out))
+        }
+        BExpr::FloatArith { op, l, r } => {
+            let a = eval(l, batch, sel)?.into_f64();
+            let bv = eval(r, batch, sel)?.into_f64();
+            let mut out = Vec::new();
+            b::arith_f64(*op, &a, &bv, &mut out);
+            Ok(BVal::F64(out))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sqlarray_core::batch::BytesVec;
+
+    fn scalar_schema() -> Schema {
+        Schema::new(&[
+            ("id", ColType::I64),
+            ("n", ColType::I32),
+            ("x", ColType::F64),
+            ("y", ColType::F32),
+            ("v", ColType::Blob),
+        ])
+    }
+
+    fn bin(op: BinOp, l: Expr, r: Expr) -> Expr {
+        Expr::Bin {
+            op,
+            left: Box::new(l),
+            right: Box::new(r),
+        }
+    }
+
+    fn item(expr: Expr) -> SelectItem {
+        SelectItem {
+            expr,
+            alias: None,
+            assign: None,
+        }
+    }
+
+    fn no_vars() -> HashMap<String, Value> {
+        HashMap::new()
+    }
+
+    fn plan(
+        items: &[SelectItem],
+        where_clause: Option<&Expr>,
+        has_aggregate: bool,
+    ) -> Option<BatchPlan> {
+        plan_select(
+            &scalar_schema(),
+            items,
+            where_clause,
+            &[],
+            has_aggregate,
+            &no_vars(),
+        )
+    }
+
+    #[test]
+    fn compiles_scalar_filter_and_projection() {
+        // SELECT id, x * 2.0 FROM T WHERE n % 2 = 0 AND x > 1.5
+        let wh = bin(
+            BinOp::And,
+            bin(
+                BinOp::Eq,
+                bin(BinOp::Mod, Expr::Col("n".into()), Expr::Lit(Value::I64(2))),
+                Expr::Lit(Value::I64(0)),
+            ),
+            bin(BinOp::Gt, Expr::Col("x".into()), Expr::Lit(Value::F64(1.5))),
+        );
+        let items = [
+            item(Expr::Col("id".into())),
+            item(bin(
+                BinOp::Mul,
+                Expr::Col("x".into()),
+                Expr::Lit(Value::F64(2.0)),
+            )),
+        ];
+        let p = plan(&items, Some(&wh), false).expect("should compile");
+        // Columns registered in first-use order: n (filter), x, id.
+        assert_eq!(p.cols, vec![1, 2, 0]);
+        assert!(!p.leaf_aligned);
+        assert!(p.filter.is_some());
+        assert_eq!(p.items.len(), 2);
+    }
+
+    #[test]
+    fn fallback_cases() {
+        // UDF call → row path.
+        let udf = item(Expr::Func {
+            name: "dbo.F".into(),
+            args: vec![Expr::Col("x".into())],
+        });
+        assert!(plan(&[udf], None, false).is_none());
+        // GROUP BY → row path.
+        assert!(plan_select(
+            &scalar_schema(),
+            &[item(Expr::Agg {
+                func: AggFunc::CountStar,
+                arg: None
+            })],
+            None,
+            &[Expr::Col("n".into())],
+            true,
+            &no_vars(),
+        )
+        .is_none());
+        // String literal comparison → row path.
+        let wh = bin(
+            BinOp::Eq,
+            Expr::Col("id".into()),
+            Expr::Lit(Value::Str("x".into())),
+        );
+        assert!(plan(&[item(Expr::Col("id".into()))], Some(&wh), false).is_none());
+        // Missing session variable → row path (error parity).
+        let wh = bin(BinOp::Gt, Expr::Col("x".into()), Expr::Var("gone".into()));
+        assert!(plan(&[item(Expr::Col("id".into()))], Some(&wh), false).is_none());
+        // Blob column inside a computed expression → row path.
+        let wh = bin(BinOp::Eq, Expr::Col("v".into()), Expr::Col("v".into()));
+        assert!(plan(&[item(Expr::Col("id".into()))], Some(&wh), false).is_none());
+        // SUM over a blob column → row path.
+        assert!(plan(
+            &[item(Expr::Agg {
+                func: AggFunc::Sum,
+                arg: Some(Box::new(Expr::Col("v".into())))
+            })],
+            None,
+            true,
+        )
+        .is_none());
+    }
+
+    #[test]
+    fn blob_projection_sets_leaf_aligned() {
+        let p = plan(&[item(Expr::Col("v".into()))], None, false).expect("should compile");
+        assert!(p.leaf_aligned);
+        assert!(matches!(p.items[0], BItem::ProjBlob(0)));
+        // COUNT(v) compiles too — null-ness only.
+        let p = plan(
+            &[item(Expr::Agg {
+                func: AggFunc::Count,
+                arg: Some(Box::new(Expr::Col("v".into()))),
+            })],
+            None,
+            true,
+        )
+        .expect("should compile");
+        assert!(p.leaf_aligned);
+        assert!(matches!(
+            p.items[0],
+            BItem::Agg {
+                func: AggFunc::Count,
+                arg: Some(BAggArg::Blob(0)),
+            }
+        ));
+    }
+
+    fn test_batch() -> Batch {
+        // Columns (batch order): I64 [1,2,3,4], F64 [0.5,1.5,-2.0,0.0]
+        Batch {
+            keys: vec![10, 11, 12, 13],
+            cols: vec![
+                ColVec::I64(vec![1, 2, 3, 4]),
+                ColVec::F64(vec![0.5, 1.5, -2.0, 0.0]),
+            ],
+        }
+    }
+
+    fn all(n: usize) -> Vec<u32> {
+        (0..n as u32).collect()
+    }
+
+    #[test]
+    fn eval_matches_row_semantics() {
+        let batch = test_batch();
+        let sel = all(4);
+        let col0 = BExpr::Col {
+            pos: 0,
+            kind: VKind::I64,
+        };
+        let col1 = BExpr::Col {
+            pos: 1,
+            kind: VKind::F64,
+        };
+        // Int arithmetic stays integral and wraps.
+        let e = BExpr::IntArith {
+            op: ArithOp::Add,
+            l: Box::new(col0.clone()),
+            r: Box::new(BExpr::LitI64(i64::MAX)),
+        };
+        match eval(&e, &batch, &sel).unwrap() {
+            BVal::I64(v) => assert_eq!(v, vec![i64::MIN, i64::MIN + 1, i64::MIN + 2, i64::MIN + 3]),
+            other => panic!("expected I64, got {other:?}"),
+        }
+        // Mixed arithmetic is f64.
+        let e = BExpr::FloatArith {
+            op: ArithOp::Mul,
+            l: Box::new(col0.clone()),
+            r: Box::new(col1.clone()),
+        };
+        match eval(&e, &batch, &sel).unwrap() {
+            BVal::F64(v) => assert_eq!(v, vec![0.5, 3.0, -6.0, 0.0]),
+            other => panic!("expected F64, got {other:?}"),
+        }
+        // Comparison over a sub-selection gathers the right lanes.
+        let e = BExpr::Cmp {
+            op: CmpOp::Gt,
+            l: Box::new(col1.clone()),
+            r: Box::new(BExpr::LitF64(0.0)),
+        };
+        match eval(&e, &batch, &[1, 3]).unwrap() {
+            BVal::Bool(v) => assert_eq!(v, vec![true, false]),
+            other => panic!("expected Bool, got {other:?}"),
+        }
+        // Division by zero raises the row path's message.
+        let e = BExpr::IntArith {
+            op: ArithOp::Div,
+            l: Box::new(col0.clone()),
+            r: Box::new(BExpr::LitI64(0)),
+        };
+        let err = eval(&e, &batch, &sel).unwrap_err();
+        assert!(err.to_string().contains("integer division by zero"));
+    }
+
+    #[test]
+    fn and_or_short_circuit_skips_rhs_rows() {
+        let batch = test_batch();
+        let sel = all(4);
+        let col0 = BExpr::Col {
+            pos: 0,
+            kind: VKind::I64,
+        };
+        // (c0 > 2) AND (1 / (c0 - 2) > 0): the rhs divides by zero at
+        // lane 1 (value 2), but that lane fails the lhs — the row path
+        // never evaluates it, so neither must the batch path.
+        let lhs = BExpr::Cmp {
+            op: CmpOp::Gt,
+            l: Box::new(col0.clone()),
+            r: Box::new(BExpr::LitI64(2)),
+        };
+        let rhs = BExpr::Cmp {
+            op: CmpOp::Gt,
+            l: Box::new(BExpr::IntArith {
+                op: ArithOp::Div,
+                l: Box::new(BExpr::LitI64(1)),
+                r: Box::new(BExpr::IntArith {
+                    op: ArithOp::Sub,
+                    l: Box::new(col0.clone()),
+                    r: Box::new(BExpr::LitI64(2)),
+                }),
+            }),
+            r: Box::new(BExpr::LitI64(0)),
+        };
+        // Lanes passing lhs: values 3, 4 → rhs divisors 1, 2 → no error,
+        // and 1/1 > 0 but 1/2 = 0 is not.
+        let e = BExpr::And(Box::new(lhs.clone()), Box::new(rhs.clone()));
+        match eval(&e, &batch, &sel).unwrap() {
+            BVal::Bool(v) => assert_eq!(v, vec![false, false, true, false]),
+            other => panic!("expected Bool, got {other:?}"),
+        }
+        // Flip to OR: now the rhs runs on lanes 1, 2 (divisors -1, 0) and
+        // the zero divisor *is* evaluated → error, same as the row path.
+        let e = BExpr::Or(Box::new(lhs), Box::new(rhs));
+        assert!(eval(&e, &batch, &sel).is_err());
+    }
+
+    #[test]
+    fn filter_refines_selection() {
+        let batch = test_batch();
+        let mut sel = all(4);
+        let mut scratch = Vec::new();
+        // x > 0.0 keeps lanes 0, 1.
+        let f = BExpr::Cmp {
+            op: CmpOp::Gt,
+            l: Box::new(BExpr::Col {
+                pos: 1,
+                kind: VKind::F64,
+            }),
+            r: Box::new(BExpr::LitF64(0.0)),
+        };
+        apply_filter(&f, &batch, &mut sel, &mut scratch).unwrap();
+        assert_eq!(sel, vec![0, 1]);
+        // A second filter composes over the refined selection.
+        let f2 = BExpr::Cmp {
+            op: CmpOp::Ge,
+            l: Box::new(BExpr::Col {
+                pos: 0,
+                kind: VKind::I64,
+            }),
+            r: Box::new(BExpr::LitI64(2)),
+        };
+        apply_filter(&f2, &batch, &mut sel, &mut scratch).unwrap();
+        assert_eq!(sel, vec![1]);
+    }
+
+    #[test]
+    fn value_at_preserves_lane_types() {
+        let v = BVal::I32(vec![7]);
+        assert_eq!(v.value_at(0), Value::I32(7));
+        let v = BVal::F32(vec![1.5]);
+        assert_eq!(v.value_at(0), Value::F32(1.5));
+        let v = BVal::Bool(vec![true]);
+        assert_eq!(v.value_at(0), Value::Bool(true));
+    }
+
+    #[test]
+    fn blob_columns_are_rejected_in_scalar_eval() {
+        let batch = Batch {
+            keys: vec![1],
+            cols: vec![ColVec::Blob {
+                bytes: {
+                    let mut b = BytesVec::new();
+                    b.push(b"xyz");
+                    b
+                },
+                lob: vec![None],
+            }],
+        };
+        let e = BExpr::Col {
+            pos: 0,
+            kind: VKind::I64,
+        };
+        assert!(eval(&e, &batch, &[0]).is_err());
+    }
+}

@@ -54,8 +54,19 @@ pub const DEFAULT_ROW_LIMIT: usize = 100_000;
 pub struct QueryStats {
     /// Rows the scan visited (before WHERE), summed over workers. Under
     /// `TOP`-style early termination this can differ between DOPs (each
-    /// worker stops independently); result rows never do.
+    /// worker stops independently); result rows never do. The vectorized
+    /// path counts a whole batch when it is handed to the filter, so under
+    /// `TOP` it can run slightly ahead of the row-at-a-time count.
     pub rows_scanned: u64,
+    /// Column batches the vectorized scan produced, summed over workers.
+    /// 0 when the query ran the row-at-a-time path (fallback or batch
+    /// execution disabled).
+    pub batches: u64,
+    /// Mean rows per batch (`rows_scanned / batches`); 0 when no batches
+    /// ran. Full batches (≈ the configured batch size) mean the scan
+    /// amortized per-row decode well; low fill means leaf-aligned flushes
+    /// (blob plans) or a small table.
+    pub batch_fill: f64,
     /// Managed UDF invocations during the query, summed over workers.
     /// A non-aggregate select item inside an aggregate query evaluates
     /// once per worker (each worker primes its own partial, the merge
@@ -179,6 +190,9 @@ pub struct ExecCtx<'a> {
     pub row_limit: usize,
     /// Maximum degree of parallelism for scans (≥ 1).
     pub dop: usize,
+    /// Target rows per column batch for vectorized scans; 0 disables
+    /// batch execution entirely (every query runs row-at-a-time).
+    pub batch_rows: usize,
 }
 
 /// Rewrites scalar-function calls that name a registered UDA into
@@ -514,6 +528,7 @@ fn item_name(item: &SelectItem, index: usize) -> String {
 /// query-level failure rides in `out`.
 struct WorkerScan {
     rows_scanned: u64,
+    batches: u64,
     scan_io: ScanIo,
     calls: u64,
     charged_ns: u64,
@@ -547,6 +562,12 @@ struct ScanJob<'a> {
     udas: &'a UdaRegistry,
     vars: &'a HashMap<String, Value>,
     uda_mode: UdaMode,
+    /// The compiled vectorized plan, when every expression compiled
+    /// ([`crate::batch::plan_select`]); `None` runs the row-at-a-time
+    /// interpreter. This is the executor side of the fallback seam.
+    batch_plan: Option<&'a crate::batch::BatchPlan>,
+    /// Target rows per batch (≥ 1 whenever `batch_plan` is `Some`).
+    batch_rows: usize,
 }
 
 /// Runs one partition to completion on the current thread. Workers share
@@ -581,9 +602,18 @@ fn scan_worker_inner(
     let t0 = Instant::now();
     let mut reader = job.store.reader(job.scan, partition_index);
     let mut rows_scanned = 0u64;
-    let out = scan_worker_body(job, part, &mut reader, &mut hosting, &mut rows_scanned);
+    let mut batches = 0u64;
+    let out = scan_worker_body(
+        job,
+        part,
+        &mut reader,
+        &mut hosting,
+        &mut rows_scanned,
+        &mut batches,
+    );
     WorkerScan {
         rows_scanned,
+        batches,
         scan_io: reader.finish(),
         calls: hosting.calls(),
         charged_ns: hosting.charged_ns(),
@@ -598,7 +628,11 @@ fn scan_worker_body(
     reader: &mut sqlarray_storage::PartitionReader<'_>,
     hosting: &mut HostingModel,
     rows_scanned: &mut u64,
+    batches: &mut u64,
 ) -> Result<WorkerOut> {
+    if let Some(plan) = job.batch_plan {
+        return scan_worker_body_batch(job, plan, part, reader, hosting, rows_scanned, batches);
+    }
     let mut inner_err: Option<EngineError> = None;
 
     let out = if job.has_aggregate {
@@ -617,6 +651,10 @@ fn scan_worker_body(
         }
         {
             let hosting = &mut *hosting;
+            // Key-encoding scratch, reused across rows so the hot grouped
+            // loop re-fills one buffer instead of growing a fresh Vec per
+            // row; it is cloned only when a new group is inserted.
+            let mut group_key = GroupKey::default();
             job.table
                 .scan_partition(reader, part, |reader, key, bytes| {
                     *rows_scanned += 1;
@@ -631,6 +669,7 @@ fn scan_worker_body(
                         vars: job.vars,
                         lobs: Some(reader),
                     };
+                    let group_key = &mut group_key;
                     let step = (|| -> Result<()> {
                         if let Some(w) = job.where_clause {
                             if !eval(w, Some(&row), &mut env)?.is_true() {
@@ -640,7 +679,7 @@ fn scan_worker_body(
                         let gidx = if job.group_by.is_empty() {
                             0
                         } else {
-                            let mut group_key = GroupKey::default();
+                            group_key.0.clear();
                             for g in job.group_by.iter() {
                                 let mut v = eval(g, Some(&row), &mut env)?;
                                 // Grouping by a LOB column groups by its
@@ -648,7 +687,7 @@ fn scan_worker_body(
                                 crate::pushdown::resolve_lob_in_place(&mut v, &mut env)?;
                                 group_key.push(&v)?;
                             }
-                            match group_index.get(&group_key) {
+                            match group_index.get(group_key) {
                                 Some(&i) => i,
                                 None => {
                                     let accs = job
@@ -659,7 +698,7 @@ fn scan_worker_body(
                                     groups.push(accs);
                                     let i = groups.len() - 1;
                                     keys.push(group_key.clone());
-                                    group_index.insert(group_key, i);
+                                    group_index.insert(group_key.clone(), i);
                                     i
                                 }
                             }
@@ -738,6 +777,294 @@ fn scan_worker_body(
     Ok(out)
 }
 
+/// The vectorized worker body: decode a leaf range into column batches,
+/// filter into a selection vector, then feed projections or aggregate
+/// accumulators batch-at-a-time. Mirrors [`scan_worker_body`] result for
+/// result — the differential suite asserts bit-identity — while touching
+/// the allocator once per batch instead of once per row.
+fn scan_worker_body_batch(
+    job: &ScanJob<'_>,
+    plan: &crate::batch::BatchPlan,
+    part: &ScanPartition,
+    reader: &mut sqlarray_storage::PartitionReader<'_>,
+    hosting: &mut HostingModel,
+    rows_scanned: &mut u64,
+    batches: &mut u64,
+) -> Result<WorkerOut> {
+    let mut inner_err: Option<EngineError> = None;
+    let mut batch = sqlarray_storage::row::new_batch(job.schema, &plan.cols)?;
+    let mut sel: Vec<u32> = Vec::new();
+    let mut scratch: Vec<u32> = Vec::new();
+
+    let out = if job.has_aggregate {
+        // Compiled aggregate plans are always the single global group
+        // (GROUP BY falls back), so the worker holds one accumulator row.
+        let mut accs = job
+            .items
+            .iter()
+            .map(|it| make_acc(&it.expr, job.udas))
+            .collect::<Result<Vec<_>>>()?;
+        job.table.scan_partition_batches(
+            reader,
+            part,
+            sqlarray_storage::BatchScanOpts {
+                cols: &plan.cols,
+                rows_cap: job.batch_rows,
+                leaf_aligned: plan.leaf_aligned,
+            },
+            &mut batch,
+            |_, b| {
+                *rows_scanned += b.len() as u64;
+                *batches += 1;
+                let step = (|| -> Result<()> {
+                    sqlarray_core::batch::identity_selection(&mut sel, b.len());
+                    if let Some(f) = &plan.filter {
+                        crate::batch::apply_filter(f, b, &mut sel, &mut scratch)?;
+                    }
+                    if sel.is_empty() {
+                        return Ok(());
+                    }
+                    for (acc, item) in accs.iter_mut().zip(plan.items.iter()) {
+                        feed_acc_batch(acc, item, b, &sel)?;
+                    }
+                    Ok(())
+                })();
+                match step {
+                    Ok(()) => Ok(true),
+                    Err(e) => {
+                        inner_err = Some(e);
+                        Ok(false)
+                    }
+                }
+            },
+        )?;
+        if let Some(e) = inner_err {
+            return Err(e);
+        }
+        WorkerOut::Groups {
+            keys: vec![GroupKey::default()],
+            accs: vec![accs],
+        }
+    } else {
+        let mut rows: Vec<Vec<Value>> = Vec::new();
+        // A projection never needs more than `limit` output rows per
+        // worker, so a small `TOP` shrinks the batch: the scan stops
+        // within one cap of the limit instead of decoding a full batch.
+        let rows_cap = job.batch_rows.min(job.limit.max(1));
+        {
+            let hosting = &mut *hosting;
+            job.table.scan_partition_batches(
+                reader,
+                part,
+                sqlarray_storage::BatchScanOpts {
+                    cols: &plan.cols,
+                    rows_cap,
+                    leaf_aligned: plan.leaf_aligned,
+                },
+                &mut batch,
+                |reader, b| {
+                    *rows_scanned += b.len() as u64;
+                    *batches += 1;
+                    if rows.len() >= job.limit {
+                        return Ok(false);
+                    }
+                    let mut env = EvalEnv {
+                        udfs: job.udfs,
+                        hosting,
+                        vars: job.vars,
+                        lobs: Some(reader),
+                    };
+                    let step = (|| -> Result<()> {
+                        sqlarray_core::batch::identity_selection(&mut sel, b.len());
+                        if let Some(f) = &plan.filter {
+                            crate::batch::apply_filter(f, b, &mut sel, &mut scratch)?;
+                        }
+                        if sel.is_empty() {
+                            return Ok(());
+                        }
+                        batch_project(plan, b, &sel, job.limit, &mut rows, &mut env)
+                    })();
+                    match step {
+                        Ok(()) => Ok(rows.len() < job.limit),
+                        Err(e) => {
+                            inner_err = Some(e);
+                            Ok(false)
+                        }
+                    }
+                },
+            )?;
+        }
+        if let Some(e) = inner_err {
+            return Err(e);
+        }
+        WorkerOut::Rows(rows)
+    };
+    Ok(out)
+}
+
+/// Feeds one batch of selected rows into one aggregate accumulator —
+/// the batch counterpart of [`ItemAcc::accumulate`]. Stored columns are
+/// never NULL, so the row path's null-skip never fires and whole-batch
+/// counts are exact.
+fn feed_acc_batch(
+    acc: &mut ItemAcc,
+    item: &crate::batch::BItem,
+    b: &sqlarray_core::batch::Batch,
+    sel: &[u32],
+) -> Result<()> {
+    use crate::batch::{BAggArg, BItem};
+    match (acc, item) {
+        (
+            ItemAcc::Agg {
+                count,
+                sum,
+                min,
+                max,
+                ..
+            },
+            BItem::Agg { func, arg },
+        ) => {
+            match (func, arg) {
+                (AggFunc::CountStar, _) => *count += sel.len() as u64,
+                // COUNT over a blob column counts non-null rows without
+                // reading the blobs, like the row path.
+                (AggFunc::Count, Some(BAggArg::Blob(pos))) => {
+                    assert!(matches!(
+                        b.cols[*pos],
+                        sqlarray_core::batch::ColVec::Blob { .. }
+                    ));
+                    *count += sel.len() as u64;
+                }
+                (AggFunc::Count, Some(BAggArg::Scalar(e))) => {
+                    // Evaluated for error parity with the row path (a
+                    // zero divisor in the argument must still fail).
+                    let v = crate::batch::eval(e, b, sel)?;
+                    *count += v.len() as u64;
+                }
+                (AggFunc::Sum | AggFunc::Avg, Some(BAggArg::Scalar(e))) => {
+                    let vals = crate::batch::eval(e, b, sel)?;
+                    *count += vals.len() as u64;
+                    // The exact accumulator keeps any summation order —
+                    // and thus any batch/partition split — bit-identical.
+                    sqlarray_core::batch::sum_f64(&vals.into_f64(), sum);
+                }
+                (AggFunc::Min, Some(BAggArg::Scalar(e))) => {
+                    let vals = crate::batch::eval(e, b, sel)?;
+                    *count += vals.len() as u64;
+                    for i in 0..vals.len() {
+                        let cand = vals.value_at(i);
+                        let replace = match &*min {
+                            None => true,
+                            Some(cur) => {
+                                crate::expr::compare(&cand, cur)? == std::cmp::Ordering::Less
+                            }
+                        };
+                        if replace {
+                            *min = Some(cand);
+                        }
+                    }
+                }
+                (AggFunc::Max, Some(BAggArg::Scalar(e))) => {
+                    let vals = crate::batch::eval(e, b, sel)?;
+                    *count += vals.len() as u64;
+                    for i in 0..vals.len() {
+                        let cand = vals.value_at(i);
+                        let replace = match &*max {
+                            None => true,
+                            Some(cur) => {
+                                crate::expr::compare(&cand, cur)? == std::cmp::Ordering::Greater
+                            }
+                        };
+                        if replace {
+                            *max = Some(cand);
+                        }
+                    }
+                }
+                _ => {
+                    return Err(EngineError::Type(
+                        "batch plan error: aggregate shape mismatch".into(),
+                    ))
+                }
+            }
+            Ok(())
+        }
+        (ItemAcc::Plain { value, .. }, BItem::Plain(e)) => {
+            // The row path evaluates a plain item at the first passing row
+            // and keeps that value; compiled plain items are scalar, so no
+            // LOB materialization is needed.
+            if value.is_none() && !sel.is_empty() {
+                let first = [sel[0]];
+                let v = crate::batch::eval(e, b, &first)?;
+                *value = Some(v.value_at(0));
+            }
+            Ok(())
+        }
+        _ => Err(EngineError::Type(
+            "batch plan error: accumulator shape mismatch".into(),
+        )),
+    }
+}
+
+/// Materializes the selected rows of one batch as projection output.
+/// Scalar items evaluate column-at-a-time; blob items resolve per row in
+/// row-major order, so LOB page reads interleave exactly like the
+/// row-at-a-time scan (the plan is leaf-aligned whenever blobs appear).
+fn batch_project(
+    plan: &crate::batch::BatchPlan,
+    b: &sqlarray_core::batch::Batch,
+    sel: &[u32],
+    limit: usize,
+    rows: &mut Vec<Vec<Value>>,
+    env: &mut EvalEnv<'_>,
+) -> Result<()> {
+    use crate::batch::{BItem, BVal};
+    enum ProjCol {
+        Vals(BVal),
+        Blob(usize),
+    }
+    let mut cols: Vec<ProjCol> = Vec::with_capacity(plan.items.len());
+    for item in plan.items.iter() {
+        cols.push(match item {
+            BItem::Proj(e) => ProjCol::Vals(crate::batch::eval(e, b, sel)?),
+            BItem::ProjBlob(pos) => ProjCol::Blob(*pos),
+            _ => {
+                return Err(EngineError::Type(
+                    "batch plan error: aggregate item in a projection".into(),
+                ))
+            }
+        });
+    }
+    for (r, &row_idx) in sel.iter().enumerate() {
+        if rows.len() >= limit {
+            break;
+        }
+        let mut out = Vec::with_capacity(cols.len());
+        for col in cols.iter() {
+            match col {
+                ProjCol::Vals(v) => out.push(v.value_at(r)),
+                ProjCol::Blob(pos) => {
+                    let sqlarray_core::batch::ColVec::Blob { bytes, lob } = &b.cols[*pos] else {
+                        return Err(EngineError::Type(
+                            "batch plan error: blob projection over a scalar column".into(),
+                        ));
+                    };
+                    let i = row_idx as usize;
+                    let mut v = match lob[i] {
+                        Some((id, len)) => Value::Lob { id, len },
+                        None => Value::Bytes(bytes.get(i).to_vec()),
+                    };
+                    // The projection boundary is blob-aware, same as the
+                    // row path: stored references come back as bytes.
+                    crate::pushdown::resolve_lob_in_place(&mut v, env)?;
+                    out.push(v);
+                }
+            }
+        }
+        rows.push(out);
+    }
+    Ok(())
+}
+
 /// Executes one SELECT.
 pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResult> {
     let io_before = ctx.store.stats();
@@ -763,6 +1090,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
         items.iter().any(|it| it.expr.contains_aggregate()) || !stmt.group_by.is_empty();
 
     let mut rows_scanned = 0u64;
+    let mut batches_total = 0u64;
     let mut rows: Vec<Vec<Value>> = Vec::new();
     let mut cpu_seconds = 0.0f64;
     let mut dop_used = 1usize;
@@ -791,6 +1119,21 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             let parts = table.partition(ctx.store, ctx.dop.max(1))?;
             let scan = ctx.store.begin_scan();
             let limit = stmt.top.unwrap_or(ctx.row_limit);
+            // Vectorized by default: scans run batch-at-a-time whenever
+            // the plan compiles; `batch_rows == 0` (or a plan that does
+            // not compile) runs the row-at-a-time interpreter.
+            let batch_plan = if ctx.batch_rows > 0 {
+                crate::batch::plan_select(
+                    &schema,
+                    &items,
+                    stmt.where_clause.as_ref(),
+                    &stmt.group_by,
+                    has_aggregate,
+                    ctx.vars,
+                )
+            } else {
+                None
+            };
             let job = ScanJob {
                 table: &table,
                 schema: &schema,
@@ -805,6 +1148,8 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 udas: ctx.udas,
                 vars: ctx.vars,
                 uda_mode: ctx.uda_mode,
+                batch_plan: batch_plan.as_ref(),
+                batch_rows: ctx.batch_rows,
             };
 
             // Fan the partitions out through the workspace helper: one
@@ -837,6 +1182,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             let mut outs: Vec<WorkerOut> = Vec::new();
             for w in worker_results {
                 rows_scanned += w.rows_scanned;
+                batches_total += w.batches;
                 scan_ios.push(w.scan_io);
                 ctx.hosting.absorb(w.calls, w.charged_ns);
                 // lint:allow(L002, reason = "wall-clock diagnostics, not query results; timing is inherently non-deterministic and outside the bit-identity contract")
@@ -929,6 +1275,12 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
         rows,
         stats: QueryStats {
             rows_scanned,
+            batches: batches_total,
+            batch_fill: if batches_total > 0 {
+                rows_scanned as f64 / batches_total as f64
+            } else {
+                0.0
+            },
             udf_calls: ctx.hosting.calls(),
             udf_overhead_ns: ctx.hosting.charged_ns(),
             cpu_seconds,
@@ -1179,14 +1531,17 @@ fn dml_worker_body(
                                     // chain is copied here, while the
                                     // worker's reader is live — two rows
                                     // must never share a chain, or freeing
-                                    // one corrupts the other.
+                                    // one corrupts the other. The borrowed
+                                    // decode inspects the stored reference
+                                    // without copying inline blob bytes.
                                     let own = matches!(
-                                        sqlarray_storage::row::decode_col(
+                                        sqlarray_storage::row::decode_col_ref(
                                             job.schema,
                                             bytes,
                                             item.col
                                         )?,
-                                        RowValue::LobRef(cid, _) if cid == id
+                                        sqlarray_storage::row::RowValueRef::LobRef(cid, _)
+                                            if cid == id
                                     );
                                     if !own {
                                         crate::pushdown::resolve_lob_in_place(&mut v, &mut env)?;
@@ -1496,6 +1851,10 @@ fn exec_dml(
         rows: Vec::new(),
         stats: QueryStats {
             rows_scanned,
+            // DML match scans run row-at-a-time (the WAL byte stream, not
+            // scan throughput, dominates): no batches to report.
+            batches: 0,
+            batch_fill: 0.0,
             udf_calls: ctx.hosting.calls(),
             udf_overhead_ns: ctx.hosting.charged_ns(),
             cpu_seconds,

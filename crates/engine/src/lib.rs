@@ -21,6 +21,7 @@
 
 pub mod aggregate;
 pub mod arraybind;
+mod batch;
 pub mod exec;
 pub mod expr;
 pub mod hosting;

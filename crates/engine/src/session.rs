@@ -224,6 +224,16 @@ impl Default for Database {
     }
 }
 
+/// The session default for rows per column batch: `SQLARRAY_BATCH_ROWS`
+/// when set and parseable (0 disables vectorized execution), otherwise
+/// [`sqlarray_core::batch::DEFAULT_BATCH_ROWS`].
+fn configured_batch_rows() -> usize {
+    std::env::var("SQLARRAY_BATCH_ROWS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .unwrap_or(sqlarray_core::batch::DEFAULT_BATCH_ROWS)
+}
+
 /// An interactive session against one database.
 pub struct Session {
     /// The database.
@@ -240,6 +250,9 @@ pub struct Session {
     pub row_limit: usize,
     /// Maximum degree of parallelism for scans (≥ 1).
     dop: usize,
+    /// Target rows per column batch for vectorized scans; 0 runs every
+    /// query row-at-a-time.
+    batch_rows: usize,
     vars: HashMap<String, Value>,
 }
 
@@ -266,6 +279,7 @@ impl Session {
             uda_mode: UdaMode::InMemory,
             row_limit: DEFAULT_ROW_LIMIT,
             dop: sqlarray_core::parallel::configured_dop(),
+            batch_rows: configured_batch_rows(),
             vars: HashMap::new(),
         }
     }
@@ -282,6 +296,21 @@ impl Session {
     /// setting.
     pub fn set_dop(&mut self, dop: usize) {
         self.dop = dop.max(1);
+    }
+
+    /// The target rows per column batch for vectorized scans. Defaults to
+    /// the `SQLARRAY_BATCH_ROWS` environment variable when set, otherwise
+    /// [`sqlarray_core::batch::DEFAULT_BATCH_ROWS`]; 0 means batch
+    /// execution is disabled.
+    pub fn batch_rows(&self) -> usize {
+        self.batch_rows
+    }
+
+    /// Sets the target rows per column batch. `set_batch_rows(0)` disables
+    /// the vectorized path entirely — every query runs the row-at-a-time
+    /// interpreter; results are bit-identical at every setting.
+    pub fn set_batch_rows(&mut self, rows: usize) {
+        self.batch_rows = rows;
     }
 
     /// Reads a session variable.
@@ -331,6 +360,7 @@ impl Session {
                             uda_mode: self.uda_mode,
                             row_limit: self.row_limit,
                             dop: self.dop,
+                            batch_rows: self.batch_rows,
                         };
                         exec_select(&mut ctx, &sel)?
                     };
@@ -351,6 +381,7 @@ impl Session {
                             uda_mode: self.uda_mode,
                             row_limit: self.row_limit,
                             dop: self.dop,
+                            batch_rows: self.batch_rows,
                         };
                         exec_update(&mut ctx, &u)?
                     };
@@ -371,6 +402,7 @@ impl Session {
                             uda_mode: self.uda_mode,
                             row_limit: self.row_limit,
                             dop: self.dop,
+                            batch_rows: self.batch_rows,
                         };
                         exec_delete(&mut ctx, &d)?
                     };

@@ -1,0 +1,33 @@
+// Positive fixture for L008: per-row heap allocation inside batch-kernel
+// loops. Linted under the pretend path crates/core/src/batch.rs.
+
+pub fn gather_bytes(rows: &[Vec<u8>], sel: &[u32], out: &mut Vec<Vec<u8>>) {
+    for &i in sel {
+        // Allocates once per selected row.
+        out.push(rows[i as usize].to_vec());
+    }
+}
+
+pub fn clone_per_row(keys: &[String], out: &mut Vec<String>) {
+    for k in keys {
+        out.push(k.clone());
+    }
+}
+
+pub fn label_rows(n: usize) -> Vec<String> {
+    let mut out = Vec::with_capacity(n);
+    for i in 0..n {
+        out.push(format!("row {i}"));
+    }
+    out
+}
+
+pub fn scratch_inside(batches: &[Vec<i64>]) -> usize {
+    let mut total = 0;
+    for b in batches.iter().map(|b| { b }) {
+        let mut scratch = Vec::new();
+        scratch.extend_from_slice(b);
+        total += scratch.len();
+    }
+    total
+}

@@ -11,6 +11,7 @@
 //! | L005 | no `unwrap`/`expect` on fallible paths in library code | PR 5: silent `<lob:…>` placeholder replaced by typed `UnresolvedLob` |
 //! | L006 | shard locks are acquired in ascending index order | deadlock class a multi-session server will make real |
 //! | L007 | every `unsafe` block carries a `// SAFETY:` comment | unsafe-audit companion |
+//! | L008 | no per-row heap allocation inside batch-kernel loops | the vectorized path's speedup dies silently if a kernel loop allocates |
 //!
 //! Suppression: `// lint:allow(L00x, reason = "…")` on the finding's line
 //! or the line above. The reason is mandatory; a malformed or reasonless
@@ -23,12 +24,15 @@ mod l004_thread_fanout;
 mod l005_unwrap;
 mod l006_lock_order;
 mod l007_safety_comment;
+mod l008_batch_alloc;
 
 use crate::diag::Finding;
 use crate::source::SourceFile;
 
 /// Every rule id this crate knows, in order.
-pub const ALL_RULES: &[&str] = &["L001", "L002", "L003", "L004", "L005", "L006", "L007"];
+pub const ALL_RULES: &[&str] = &[
+    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
+];
 
 /// Builds a [`Finding`] anchored at significant token `k` of `f`.
 pub(crate) fn finding_at(
@@ -59,6 +63,7 @@ pub fn run_all(f: &SourceFile<'_>) -> Vec<Finding> {
     out.extend(l005_unwrap::check(f));
     out.extend(l006_lock_order::check(f));
     out.extend(l007_safety_comment::check(f));
+    out.extend(l008_batch_alloc::check(f));
     out.retain(|d| !f.is_allowed(d.rule, d.line));
     for bad in &f.bad_allows {
         out.push(Finding {

@@ -130,6 +130,26 @@ fn l007_silent_when_safety_comment_present() {
 }
 
 #[test]
+fn l008_flags_per_row_allocation_in_batch_loops() {
+    let pos = include_str!("../fixtures/l008_pos.rs");
+    // `.to_vec()`, `.clone()`, `format!`, `Vec::new()` — one each.
+    assert_eq!(count("crates/core/src/batch.rs", pos, "L008"), 4);
+    assert_eq!(count("crates/engine/src/batch.rs", pos, "L008"), 4);
+}
+
+#[test]
+fn l008_silent_on_hoisted_scratch_borrows_allows_and_tests() {
+    let neg = include_str!("../fixtures/l008_neg.rs");
+    assert_eq!(count("crates/core/src/batch.rs", neg, "L008"), 0);
+}
+
+#[test]
+fn l008_only_watches_the_batch_kernels() {
+    let pos = include_str!("../fixtures/l008_pos.rs");
+    assert_eq!(count("crates/engine/src/exec.rs", pos, "L008"), 0);
+}
+
+#[test]
 fn l000_reasonless_allow_is_reported_and_does_not_suppress() {
     let src = include_str!("../fixtures/l000_bad_allow.rs");
     let got = rules("crates/storage/src/fixture.rs", src);

@@ -50,4 +50,4 @@ pub use stats::{DiskProfile, IoStats};
 pub use store::{
     DiskImage, FailPlan, PageRead, PageStore, PartitionReader, Recovery, ScanCtx, ScanIo,
 };
-pub use table::{ScanPartition, Table};
+pub use table::{BatchScanOpts, ScanPartition, Table};

@@ -9,6 +9,7 @@
 use crate::blob::{self, BlobId};
 use crate::errors::{Result, StorageError};
 use crate::store::PageStore;
+use sqlarray_core::batch::{Batch, BytesVec, ColVec};
 
 /// Largest blob stored inside the row — the `VARBINARY(8000)` budget that
 /// also caps short arrays.
@@ -101,6 +102,25 @@ impl RowValue {
             ))),
         }
     }
+}
+
+/// A borrowed view of one decoded column value — the zero-copy sibling of
+/// [`RowValue`] for callers that only inspect a value (predicates, LOB-ref
+/// checks) and would otherwise pay a heap copy per inline blob.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum RowValueRef<'a> {
+    /// `bigint` value.
+    I64(i64),
+    /// `int` value.
+    I32(i32),
+    /// `float` value.
+    F64(f64),
+    /// `real` value.
+    F32(f32),
+    /// Blob payload held in the row, borrowed from the encoded bytes.
+    Bytes(&'a [u8]),
+    /// Blob moved out of page: LOB id and byte length.
+    LobRef(BlobId, u64),
 }
 
 // Value tags inside encoded blob columns.
@@ -254,6 +274,178 @@ pub fn decode_col(schema: &Schema, bytes: &[u8], col_idx: usize) -> Result<RowVa
     unreachable!("col_idx checked above")
 }
 
+/// Like [`decode_col`] but borrows inline blob payloads from the encoded
+/// row instead of copying them.
+pub fn decode_col_ref<'a>(
+    schema: &Schema,
+    bytes: &'a [u8],
+    col_idx: usize,
+) -> Result<RowValueRef<'a>> {
+    if col_idx >= schema.columns.len() {
+        return Err(StorageError::SchemaMismatch(format!(
+            "column index {col_idx} out of range"
+        )));
+    }
+    let mut off = 0usize;
+    for (i, col) in schema.columns.iter().enumerate() {
+        if i == col_idx {
+            let (v, _) = decode_value_ref(col.ctype, bytes, off, &col.name)?;
+            return Ok(v);
+        }
+        off = skip_value(col.ctype, bytes, off, &col.name)?;
+    }
+    unreachable!("col_idx checked above")
+}
+
+/// Appends the LOB ids a row references to `out`, without materializing any
+/// inline payloads. `UPDATE`/`DELETE` walk old and new images through this
+/// to free orphaned blobs.
+pub fn lob_refs(schema: &Schema, bytes: &[u8], out: &mut Vec<BlobId>) -> Result<()> {
+    let mut off = 0usize;
+    for col in &schema.columns {
+        if col.ctype == ColType::Blob {
+            let (v, next) = decode_value_ref(col.ctype, bytes, off, &col.name)?;
+            if let RowValueRef::LobRef(id, _) = v {
+                out.push(id);
+            }
+            off = next;
+        } else {
+            off = skip_value(col.ctype, bytes, off, &col.name)?;
+        }
+    }
+    Ok(())
+}
+
+/// Builds an empty [`Batch`] with one column vector per requested schema
+/// column (`cols` gives the schema indices, in batch-column order).
+pub fn new_batch(schema: &Schema, cols: &[usize]) -> Result<Batch> {
+    let mut out = Vec::with_capacity(cols.len());
+    for &idx in cols {
+        let col = schema.columns.get(idx).ok_or_else(|| {
+            StorageError::SchemaMismatch(format!("column index {idx} out of range"))
+        })?;
+        out.push(match col.ctype {
+            ColType::I64 => ColVec::I64(Vec::new()),
+            ColType::I32 => ColVec::I32(Vec::new()),
+            ColType::F64 => ColVec::F64(Vec::new()),
+            ColType::F32 => ColVec::F32(Vec::new()),
+            ColType::Blob => ColVec::Blob {
+                bytes: BytesVec::new(),
+                lob: Vec::new(),
+            },
+        });
+    }
+    Ok(Batch::new(out))
+}
+
+/// Decodes the projected columns of encoded rows straight into a batch's
+/// column vectors, amortizing the per-row schema walk: the directory maps
+/// schema index → batch column position once, and decoding stops at the
+/// last projected column instead of walking the full row.
+#[derive(Debug, Clone)]
+pub struct BatchDecoder {
+    /// `dir[schema_idx]` = batch column position, if projected.
+    dir: Vec<Option<usize>>,
+    /// Last projected schema index; columns past it are never touched.
+    last: Option<usize>,
+}
+
+impl BatchDecoder {
+    /// Builds a decoder for the given projected schema indices (`cols` must
+    /// match the column order used for [`new_batch`]).
+    pub fn new(schema: &Schema, cols: &[usize]) -> Result<BatchDecoder> {
+        let mut dir = vec![None; schema.columns.len()];
+        let mut last = None;
+        for (pos, &idx) in cols.iter().enumerate() {
+            if idx >= schema.columns.len() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column index {idx} out of range"
+                )));
+            }
+            if dir[idx].is_some() {
+                return Err(StorageError::SchemaMismatch(format!(
+                    "column index {idx} projected twice"
+                )));
+            }
+            dir[idx] = Some(pos);
+            last = Some(last.map_or(idx, |l: usize| l.max(idx)));
+        }
+        Ok(BatchDecoder { dir, last })
+    }
+
+    /// Appends one encoded row's projected columns to `out` (one push per
+    /// projected column; inline blob payloads are copied once, directly
+    /// into the batch's packed cell storage).
+    pub fn decode_row_into(&self, schema: &Schema, bytes: &[u8], out: &mut [ColVec]) -> Result<()> {
+        let Some(last) = self.last else {
+            return Ok(());
+        };
+        let mut off = 0usize;
+        for (i, col) in schema.columns.iter().enumerate().take(last + 1) {
+            let Some(pos) = self.dir[i] else {
+                off = skip_value(col.ctype, bytes, off, &col.name)?;
+                continue;
+            };
+            match (col.ctype, &mut out[pos]) {
+                (ColType::I64, ColVec::I64(v)) => {
+                    need(bytes, off, 8, &col.name)?;
+                    v.push(sqlarray_core::le::i64_at(bytes, off));
+                    off += 8;
+                }
+                (ColType::I32, ColVec::I32(v)) => {
+                    need(bytes, off, 4, &col.name)?;
+                    v.push(sqlarray_core::le::i32_at(bytes, off));
+                    off += 4;
+                }
+                (ColType::F64, ColVec::F64(v)) => {
+                    need(bytes, off, 8, &col.name)?;
+                    v.push(sqlarray_core::le::f64_at(bytes, off));
+                    off += 8;
+                }
+                (ColType::F32, ColVec::F32(v)) => {
+                    need(bytes, off, 4, &col.name)?;
+                    v.push(sqlarray_core::le::f32_at(bytes, off));
+                    off += 4;
+                }
+                (ColType::Blob, ColVec::Blob { bytes: cells, lob }) => {
+                    need(bytes, off, 1, &col.name)?;
+                    match bytes[off] {
+                        BLOB_INLINE => {
+                            need(bytes, off + 1, 2, &col.name)?;
+                            let len = sqlarray_core::le::u16_at(bytes, off + 1) as usize;
+                            need(bytes, off + 3, len, &col.name)?;
+                            cells.push(&bytes[off + 3..off + 3 + len]);
+                            lob.push(None);
+                            off += 3 + len;
+                        }
+                        BLOB_LOB => {
+                            need(bytes, off + 1, 16, &col.name)?;
+                            let id = sqlarray_core::le::u64_at(bytes, off + 1);
+                            let len = sqlarray_core::le::u64_at(bytes, off + 9);
+                            cells.push(&[]);
+                            lob.push(Some((id, len)));
+                            off += 17;
+                        }
+                        tag => {
+                            return Err(StorageError::RowCorrupt(format!(
+                                "unknown blob tag {tag} in column `{}`",
+                                col.name
+                            )))
+                        }
+                    }
+                }
+                (t, _) => {
+                    return Err(StorageError::SchemaMismatch(format!(
+                        "batch column {pos} does not match schema type {t:?} of `{}`",
+                        col.name
+                    )))
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
 fn need(bytes: &[u8], off: usize, n: usize, name: &str) -> Result<()> {
     if off + n > bytes.len() {
         return Err(StorageError::RowCorrupt(format!(
@@ -264,26 +456,44 @@ fn need(bytes: &[u8], off: usize, n: usize, name: &str) -> Result<()> {
 }
 
 fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<(RowValue, usize)> {
+    let (v, next) = decode_value_ref(ctype, bytes, off, name)?;
+    let owned = match v {
+        RowValueRef::I64(x) => RowValue::I64(x),
+        RowValueRef::I32(x) => RowValue::I32(x),
+        RowValueRef::F64(x) => RowValue::F64(x),
+        RowValueRef::F32(x) => RowValue::F32(x),
+        RowValueRef::Bytes(b) => RowValue::Bytes(b.to_vec()),
+        RowValueRef::LobRef(id, len) => RowValue::LobRef(id, len),
+    };
+    Ok((owned, next))
+}
+
+fn decode_value_ref<'a>(
+    ctype: ColType,
+    bytes: &'a [u8],
+    off: usize,
+    name: &str,
+) -> Result<(RowValueRef<'a>, usize)> {
     match ctype {
         ColType::I64 => {
             need(bytes, off, 8, name)?;
             let v = sqlarray_core::le::i64_at(bytes, off);
-            Ok((RowValue::I64(v), off + 8))
+            Ok((RowValueRef::I64(v), off + 8))
         }
         ColType::I32 => {
             need(bytes, off, 4, name)?;
             let v = sqlarray_core::le::i32_at(bytes, off);
-            Ok((RowValue::I32(v), off + 4))
+            Ok((RowValueRef::I32(v), off + 4))
         }
         ColType::F64 => {
             need(bytes, off, 8, name)?;
             let v = sqlarray_core::le::f64_at(bytes, off);
-            Ok((RowValue::F64(v), off + 8))
+            Ok((RowValueRef::F64(v), off + 8))
         }
         ColType::F32 => {
             need(bytes, off, 4, name)?;
             let v = sqlarray_core::le::f32_at(bytes, off);
-            Ok((RowValue::F32(v), off + 4))
+            Ok((RowValueRef::F32(v), off + 4))
         }
         ColType::Blob => {
             need(bytes, off, 1, name)?;
@@ -293,7 +503,7 @@ fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<
                     let len = sqlarray_core::le::u16_at(bytes, off + 1) as usize;
                     need(bytes, off + 3, len, name)?;
                     Ok((
-                        RowValue::Bytes(bytes[off + 3..off + 3 + len].to_vec()),
+                        RowValueRef::Bytes(&bytes[off + 3..off + 3 + len]),
                         off + 3 + len,
                     ))
                 }
@@ -301,7 +511,7 @@ fn decode_value(ctype: ColType, bytes: &[u8], off: usize, name: &str) -> Result<
                     need(bytes, off + 1, 16, name)?;
                     let id = sqlarray_core::le::u64_at(bytes, off + 1);
                     let len = sqlarray_core::le::u64_at(bytes, off + 9);
-                    Ok((RowValue::LobRef(id, len), off + 17))
+                    Ok((RowValueRef::LobRef(id, len), off + 17))
                 }
                 tag => Err(StorageError::RowCorrupt(format!(
                     "unknown blob tag {tag} in column `{name}`"
@@ -489,6 +699,110 @@ mod tests {
         bytes.pop();
         bytes[16] = 9; // invalid blob tag
         assert!(decode_row(&schema, &bytes).is_err());
+    }
+
+    #[test]
+    fn decode_col_ref_borrows_inline_blobs() {
+        let mut store = PageStore::new();
+        let schema = test_schema();
+        let row = vec![
+            RowValue::I64(1),
+            RowValue::F64(3.25),
+            RowValue::Bytes(vec![9; 50]),
+            RowValue::I32(11),
+        ];
+        let bytes = encode_row(&mut store, &schema, &row).unwrap();
+        assert_eq!(
+            decode_col_ref(&schema, &bytes, 0).unwrap(),
+            RowValueRef::I64(1)
+        );
+        match decode_col_ref(&schema, &bytes, 2).unwrap() {
+            RowValueRef::Bytes(b) => assert_eq!(b, &[9u8; 50][..]),
+            other => panic!("expected borrowed bytes, got {other:?}"),
+        }
+        assert_eq!(
+            decode_col_ref(&schema, &bytes, 3).unwrap(),
+            RowValueRef::I32(11)
+        );
+        assert!(decode_col_ref(&schema, &bytes, 4).is_err());
+    }
+
+    #[test]
+    fn lob_refs_finds_out_of_row_blobs_only() {
+        let mut store = PageStore::new();
+        let schema = Schema::new(&[
+            ("a", ColType::Blob),
+            ("n", ColType::I64),
+            ("b", ColType::Blob),
+        ]);
+        let row = vec![
+            RowValue::Bytes(vec![1; 10]),
+            RowValue::I64(5),
+            RowValue::Bytes(vec![2; 9000]),
+        ];
+        let bytes = encode_row(&mut store, &schema, &row).unwrap();
+        let mut ids = Vec::new();
+        lob_refs(&schema, &bytes, &mut ids).unwrap();
+        assert_eq!(ids.len(), 1);
+        match &decode_row(&schema, &bytes).unwrap()[2] {
+            RowValue::LobRef(id, _) => assert_eq!(ids[0], *id),
+            other => panic!("expected LobRef, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn batch_decoder_round_trip() {
+        let mut store = PageStore::new();
+        let schema = test_schema();
+        // Project a subset, out of schema order: n (3), v (2), id (0).
+        let cols = [3usize, 2, 0];
+        let mut batch = new_batch(&schema, &cols).unwrap();
+        let dec = BatchDecoder::new(&schema, &cols).unwrap();
+        let rows = vec![
+            vec![
+                RowValue::I64(1),
+                RowValue::F64(0.5),
+                RowValue::Bytes(vec![7; 3]),
+                RowValue::I32(-1),
+            ],
+            vec![
+                RowValue::I64(2),
+                RowValue::F64(1.5),
+                RowValue::Bytes(vec![8; 9000]),
+                RowValue::I32(-2),
+            ],
+        ];
+        for r in &rows {
+            let bytes = encode_row(&mut store, &schema, r).unwrap();
+            batch.keys.push(match r[0] {
+                RowValue::I64(k) => k,
+                _ => unreachable!(),
+            });
+            dec.decode_row_into(&schema, &bytes, &mut batch.cols)
+                .unwrap();
+        }
+        assert_eq!(batch.keys, vec![1, 2]);
+        assert!(matches!(&batch.cols[0], ColVec::I32(v) if *v == vec![-1, -2]));
+        match &batch.cols[1] {
+            ColVec::Blob { bytes, lob } => {
+                assert_eq!(bytes.get(0), &[7u8; 3][..]);
+                assert_eq!(bytes.get(1), b"");
+                assert!(lob[0].is_none());
+                let (_, len) = lob[1].expect("big blob should be a LOB ref");
+                assert_eq!(len, 9000);
+            }
+            other => panic!("expected blob column, got {other:?}"),
+        }
+        assert!(matches!(&batch.cols[2], ColVec::I64(v) if *v == vec![1, 2]));
+
+        // Invalid projections are rejected up front.
+        assert!(BatchDecoder::new(&schema, &[4]).is_err());
+        assert!(BatchDecoder::new(&schema, &[0, 0]).is_err());
+        assert!(new_batch(&schema, &[9]).is_err());
+        // Empty projection decodes nothing but still validates keys-only scans.
+        let empty = BatchDecoder::new(&schema, &[]).unwrap();
+        let bytes = encode_row(&mut store, &schema, &rows[0]).unwrap();
+        empty.decode_row_into(&schema, &bytes, &mut []).unwrap();
     }
 
     #[test]
