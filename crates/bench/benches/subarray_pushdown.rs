@@ -18,9 +18,9 @@ fn bench_subarray_pushdown(c: &mut Criterion) {
         // fails the bench run itself.
         {
             let mut fx = build_subarray_fixture(mb);
-            fx.session.db.store.clear_cache();
+            fx.session.db().store.clear_cache();
             let push = fx.session.query(&fx.pushdown_sql).expect("pushdown query");
-            fx.session.db.store.clear_cache();
+            fx.session.db().store.clear_cache();
             let full = fx.session.query(&fx.full_sql).expect("full query");
             assert!(
                 rows_bit_identical(&push.rows, &full.rows),
@@ -30,14 +30,14 @@ fn bench_subarray_pushdown(c: &mut Criterion) {
         let mut fx = build_subarray_fixture(mb);
         group.bench_function(format!("pushdown/{mb}MB"), |b| {
             b.iter(|| {
-                fx.session.db.store.clear_cache();
+                fx.session.db().store.clear_cache();
                 fx.session.query(&fx.pushdown_sql).expect("pushdown query")
             })
         });
         let mut fx = build_subarray_fixture(mb);
         group.bench_function(format!("full_materialize/{mb}MB"), |b| {
             b.iter(|| {
-                fx.session.db.store.clear_cache();
+                fx.session.db().store.clear_cache();
                 fx.session.query(&fx.full_sql).expect("full query")
             })
         });

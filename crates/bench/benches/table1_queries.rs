@@ -17,7 +17,7 @@ fn bench_table1(c: &mut Criterion) {
             b.iter_batched(
                 || (),
                 |_| {
-                    session.db.store.clear_cache();
+                    session.db().store.clear_cache();
                     session.query(query).expect("query runs")
                 },
                 BatchSize::PerIteration,

@@ -7,8 +7,9 @@
 //! ```
 
 use sqlarray_bench::{
-    build_table1_db_with_dop, rows_from_env, run_batch_report, run_linalg_report,
-    run_subarray_report, run_table1, storage_overhead, TABLE1_QUERIES, TESTBED_DOP,
+    build_table1_db_with_dop, rows_from_env, run_batch_report, run_concurrency_report,
+    run_linalg_report, run_subarray_report, run_table1, storage_overhead, CONCURRENCY_QUERY,
+    TABLE1_QUERIES, TESTBED_DOP,
 };
 use sqlarray_engine::HostingModel;
 
@@ -196,6 +197,27 @@ fn main() {
             r.batches,
             r.batch_fill,
             r.sql,
+        );
+    }
+
+    // --- shared-engine concurrency -----------------------------------
+    println!();
+    println!("== Shared-engine concurrency (N sessions over one engine) ==");
+    println!(
+        "fixed batch of 12 x Q3 ({CONCURRENCY_QUERY}), each session at DOP 1, warm; \
+         bit-identity vs a single session asserted first"
+    );
+    let conc = run_concurrency_report(&mut session, 12);
+    let single_qps = conc.first().map(|r| r.qps()).unwrap_or(0.0);
+    for r in &conc {
+        println!(
+            "{} session(s): {:.3} s wall, {:>6.1} q/s ({:.2}x vs single), \
+             {} plan-cache hits",
+            r.sessions,
+            r.wall_seconds,
+            r.qps(),
+            r.qps() / single_qps.max(1e-9),
+            r.plan_hits,
         );
     }
 

@@ -229,11 +229,11 @@ pub fn run_table1_query(session: &mut Session, query_no: usize) -> Table1Row {
     let sql = TABLE1_QUERIES[query_no - 1];
 
     session.set_dop(1);
-    session.db.store.clear_cache();
+    session.db().store.clear_cache();
     let serial = session.query(sql).expect("table 1 query (serial)");
 
     session.set_dop(configured_dop);
-    session.db.store.clear_cache();
+    session.db().store.clear_cache();
     let parallel = session.query(sql).expect("table 1 query (parallel)");
 
     assert!(
@@ -280,10 +280,11 @@ pub fn run_table1(session: &mut Session) -> Vec<Table1Row> {
 /// Storage accounting for the §6.2 size comparison (the "43 % bigger"
 /// claim): returns `(scalar_bytes_per_row, vector_bytes_per_row, ratio)`.
 pub fn storage_overhead(session: &mut Session) -> (f64, f64, f64) {
-    let ts = session.db.table("Tscalar").expect("Tscalar").clone();
-    let tv = session.db.table("Tvector").expect("Tvector").clone();
-    let s = ts.bytes_per_row(&mut session.db.store).expect("page count");
-    let v = tv.bytes_per_row(&mut session.db.store).expect("page count");
+    let mut db = session.db_mut();
+    let ts = db.table("Tscalar").expect("Tscalar").clone();
+    let tv = db.table("Tvector").expect("Tvector").clone();
+    let s = ts.bytes_per_row(&mut db.store).expect("page count");
+    let v = tv.bytes_per_row(&mut db.store).expect("page count");
     (s, v, v / s)
 }
 
@@ -468,12 +469,12 @@ pub fn run_subarray_report() -> Vec<SubarrayReport> {
         .into_iter()
         .map(|mb| {
             let mut fx = build_subarray_fixture(mb);
-            fx.session.db.store.clear_cache();
+            fx.session.db().store.clear_cache();
             let push = fx
                 .session
                 .query(&fx.pushdown_sql)
                 .expect("pushdown subarray query");
-            fx.session.db.store.clear_cache();
+            fx.session.db().store.clear_cache();
             let full = fx
                 .session
                 .query(&fx.full_sql)
@@ -591,6 +592,83 @@ pub fn run_batch_report(session: &mut Session) -> Vec<BatchReport> {
     }
     session.set_dop(saved_dop);
     session.set_batch_rows(saved_batch);
+    out
+}
+
+// --- shared-engine concurrency ----------------------------------------
+
+/// The statement every session in the concurrency report runs: Table 1's
+/// Q3, the CPU-bound full scan (`SUM(v1)` over `Tscalar`).
+pub const CONCURRENCY_QUERY: &str = TABLE1_QUERIES[2];
+
+/// One row of the multi-session throughput report: `sessions` concurrent
+/// sessions over one shared engine draining a fixed batch of
+/// [`CONCURRENCY_QUERY`] runs.
+#[derive(Debug, Clone, Copy)]
+pub struct ConcurrencyReport {
+    /// Concurrent sessions sharing the engine.
+    pub sessions: usize,
+    /// Queries drained across all sessions.
+    pub queries: usize,
+    /// Wall clock for the whole batch.
+    pub wall_seconds: f64,
+    /// Plan-cache hits the batch produced.
+    pub plan_hits: u64,
+}
+
+impl ConcurrencyReport {
+    /// Aggregate throughput, queries per second.
+    pub fn qps(&self) -> f64 {
+        self.queries as f64 / self.wall_seconds.max(1e-9)
+    }
+}
+
+/// Drains a fixed batch of `total_queries` [`CONCURRENCY_QUERY`] runs
+/// through 1, 2, 4 and 8 concurrent sessions over `session`'s engine,
+/// one session per worker thread, each session at DOP 1 (so the scaling
+/// measured is session concurrency, not intra-query parallelism). Every
+/// result must be bit-identical to a single-session baseline — the
+/// snapshot-read guarantee is asserted, not assumed. Warm runs: the
+/// comparison isolates the engine's session scaling, not buffer-pool
+/// behaviour.
+pub fn run_concurrency_report(
+    session: &mut Session,
+    total_queries: usize,
+) -> Vec<ConcurrencyReport> {
+    let engine = std::sync::Arc::clone(session.engine());
+    let want = {
+        let mut s = engine.session_with_hosting(HostingModel::free());
+        s.set_dop(1);
+        s.query(CONCURRENCY_QUERY).expect("baseline query").rows
+    };
+    let mut out = Vec::with_capacity(4);
+    for sessions in [1usize, 2, 4, 8] {
+        let hits_before = engine.stats().plans.hits;
+        let t0 = std::time::Instant::now();
+        let results =
+            sqlarray_core::parallel::scoped_map_ranges(total_queries, sessions, |range| {
+                let mut s = engine.session_with_hosting(HostingModel::free());
+                s.set_dop(1);
+                let mut rows = Vec::new();
+                for _ in range {
+                    rows = s.query(CONCURRENCY_QUERY).expect("concurrent query").rows;
+                }
+                rows
+            });
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        for rows in results.iter().filter(|r| !r.is_empty()) {
+            assert!(
+                rows_bit_identical(rows, &want),
+                "concurrent result diverged from the single-session baseline"
+            );
+        }
+        out.push(ConcurrencyReport {
+            sessions,
+            queries: total_queries,
+            wall_seconds,
+            plan_hits: engine.stats().plans.hits - hits_before,
+        });
+    }
     out
 }
 

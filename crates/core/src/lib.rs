@@ -41,6 +41,7 @@ pub mod batch;
 pub mod build;
 pub mod complex;
 pub mod element;
+pub mod env;
 pub mod errors;
 pub mod exact;
 pub mod fmt;
@@ -57,6 +58,7 @@ pub mod typed;
 pub use array::SqlArray;
 pub use complex::{Complex32, Complex64};
 pub use element::{Element, ElementType};
+pub use env::env_usize;
 pub use errors::{ArrayError, Result};
 pub use exact::ExactSum;
 pub use header::{Header, StorageClass, SHORT_MAX_BYTES, SHORT_MAX_RANK};

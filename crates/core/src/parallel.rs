@@ -49,10 +49,8 @@ pub fn configured_dop() -> usize {
     if FORCE_SERIAL.with(|s| s.get()) {
         return 1;
     }
-    if let Ok(v) = std::env::var(DOP_ENV_VAR) {
-        if let Ok(n) = v.trim().parse::<usize>() {
-            return n.max(1);
-        }
+    if let Some(n) = crate::env::env_usize(DOP_ENV_VAR) {
+        return n.max(1);
     }
     std::thread::available_parallelism()
         .map(|n| n.get())

@@ -187,7 +187,7 @@ impl<'a> Compiler<'a> {
             // (FROM-scans only raise it when the table is non-empty), so
             // it must stay on the row path to error identically.
             Expr::Var(name) => {
-                let v = self.vars.get(&name.to_ascii_lowercase())?;
+                let v = crate::expr::lookup_var(self.vars, name)?;
                 self.lit(v)
             }
             Expr::Col(name) => {

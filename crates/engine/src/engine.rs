@@ -1,0 +1,172 @@
+//! The shared engine: one database, many cheap sessions.
+//!
+//! [`Engine`] owns everything that is per-*database* — the page store and
+//! table catalog behind a reader/writer lock, the immutable function
+//! registries, the [plan cache](crate::plancache), and the
+//! [admission-control scheduler](crate::sched). A
+//! [`Session`] is per-*connection* state (variables, DOP,
+//! batch size, hosting model) over an `Arc<Engine>`, so spawning a session
+//! costs a handful of words, like handing out a connection from a pool.
+//!
+//! ## Isolation: single writer, many snapshot readers
+//!
+//! Statements take the database lock at statement granularity:
+//!
+//! * **SELECT** runs under a **read** guard — any number of sessions scan
+//!   concurrently, sharing the live buffer pool;
+//! * **UPDATE/DELETE** runs under the **write** guard, commits through
+//!   the WAL (statement-level autocommit), and only then releases.
+//!
+//! Readers therefore always observe a *committed* state — never a
+//! half-applied mutation — and every page a statement reads belongs to
+//! the same commit epoch ([`sqlarray_storage::ScanCtx::snapshot_epoch`]
+//! names it). This is the single-writer/multi-reader epoch scheme: the
+//! honest stepping stone to MVCC, where readers would keep their snapshot
+//! *while* a writer proceeds instead of briefly excluding it.
+
+use crate::aggregate::UdaRegistry;
+use crate::hosting::HostingModel;
+use crate::plancache::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
+use crate::sched::{configured_worker_budget, DopScheduler, SchedStats};
+use crate::session::{Database, Session};
+use crate::udf::UdfRegistry;
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Construction-time tuning for an [`Engine`].
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Global scan-worker budget the scheduler arbitrates
+    /// (`SQLARRAY_WORKER_BUDGET`, else the configured DOP).
+    pub worker_budget: usize,
+    /// Parsed batches the plan cache retains.
+    pub plan_cache_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            worker_budget: configured_worker_budget(),
+            plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+        }
+    }
+}
+
+/// Engine-wide observability: plan-cache and scheduler counters plus the
+/// store's commit epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Plan-cache counters.
+    pub plans: PlanCacheStats,
+    /// Admission-control counters.
+    pub sched: SchedStats,
+    /// Commits the store has accepted.
+    pub committed_epoch: u64,
+}
+
+/// The shared query engine. See the module docs for the ownership story.
+pub struct Engine {
+    db: RwLock<Database>,
+    udfs: UdfRegistry,
+    udas: UdaRegistry,
+    plans: PlanCache,
+    sched: DopScheduler,
+}
+
+impl Engine {
+    /// An engine over `db` with default configuration and the full array
+    /// library registered.
+    pub fn new(db: Database) -> Arc<Engine> {
+        Engine::with_config(db, EngineConfig::default())
+    }
+
+    /// An engine with explicit tuning.
+    pub fn with_config(db: Database, config: EngineConfig) -> Arc<Engine> {
+        let mut udfs = UdfRegistry::new();
+        crate::arraybind::register_all(&mut udfs);
+        crate::mathfn::register_math(&mut udfs);
+        let mut udas = UdaRegistry::new();
+        udas.register_array_aggregates();
+        Arc::new(Engine {
+            db: RwLock::new(db),
+            udfs,
+            udas,
+            plans: PlanCache::new(config.plan_cache_capacity),
+            sched: DopScheduler::new(config.worker_budget),
+        })
+    }
+
+    /// Spawns a session with the paper's 2 µs CLR hosting cost.
+    pub fn session(self: &Arc<Self>) -> Session {
+        self.session_with_hosting(HostingModel::paper_clr())
+    }
+
+    /// Spawns a session with an explicit hosting model.
+    pub fn session_with_hosting(self: &Arc<Self>, hosting: HostingModel) -> Session {
+        Session::on_engine(Arc::clone(self), hosting)
+    }
+
+    /// Read access to the database: shared with every other concurrent
+    /// reader, excluded only by a writer. Hold it no longer than one
+    /// statement.
+    pub fn db(&self) -> RwLockReadGuard<'_, Database> {
+        // Poisoning: a panicking statement poisons the lock; the data it
+        // guards is only reachable through committed WAL state, so
+        // continuing with the inner value is sound (recovery semantics
+        // are the WAL's, not the lock's).
+        self.db.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Exclusive write access to the database (the single-writer half of
+    /// the isolation scheme).
+    pub fn db_mut(&self) -> RwLockWriteGuard<'_, Database> {
+        self.db.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// The shared scalar-UDF registry.
+    pub fn udfs(&self) -> &UdfRegistry {
+        &self.udfs
+    }
+
+    /// The shared UDA registry.
+    pub fn udas(&self) -> &UdaRegistry {
+        &self.udas
+    }
+
+    /// The engine's plan cache.
+    pub fn plans(&self) -> &PlanCache {
+        &self.plans
+    }
+
+    /// The engine's admission-control scheduler.
+    pub fn sched(&self) -> &DopScheduler {
+        &self.sched
+    }
+
+    /// Engine-wide counters.
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            plans: self.plans.stats(),
+            sched: self.sched.stats(),
+            committed_epoch: self.db().store.committed_epoch(),
+        }
+    }
+
+    /// Consumes a single-owner engine, giving the database back. Errors
+    /// (returning `self` untouched) while other `Arc` holders — sessions
+    /// or clones — are alive.
+    pub fn try_into_db(self: Arc<Self>) -> std::result::Result<Database, Arc<Engine>> {
+        match Arc::try_unwrap(self) {
+            Ok(e) => Ok(e.db.into_inner().unwrap_or_else(|p| p.into_inner())),
+            Err(arc) => Err(arc),
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("worker_budget", &self.sched.budget())
+            .field("plans", &self.plans.stats())
+            .finish()
+    }
+}

@@ -170,17 +170,23 @@ impl QueryResult {
 }
 
 /// Everything `exec_select` needs besides the statement.
+///
+/// SELECT is read-only, so the context holds the store and catalog by
+/// shared reference — which is what lets many sessions run their SELECTs
+/// concurrently under one [`std::sync::RwLock`] read guard. Mutating
+/// statements use [`DmlCtx`] instead.
 pub struct ExecCtx<'a> {
-    /// The page store.
-    pub store: &'a mut PageStore,
-    /// Tables by lowercase name (mutable so UPDATE/DELETE can write the
-    /// changed B-tree geometry back).
-    pub tables: &'a mut HashMap<String, Table>,
+    /// The page store (shared: concurrent readers classify their I/O
+    /// against per-scan snapshots and fold counters back through
+    /// [`PageStore::finish_scan`]).
+    pub store: &'a PageStore,
+    /// Tables by lowercase name.
+    pub tables: &'a HashMap<String, Table>,
     /// Scalar UDFs.
     pub udfs: &'a UdfRegistry,
     /// User-defined aggregates.
     pub udas: &'a UdaRegistry,
-    /// Hosting model (mutated).
+    /// Hosting model (mutated; per-session, not shared).
     pub hosting: &'a mut HostingModel,
     /// Session variables.
     pub vars: &'a HashMap<String, Value>,
@@ -193,6 +199,31 @@ pub struct ExecCtx<'a> {
     /// Target rows per column batch for vectorized scans; 0 disables
     /// batch execution entirely (every query runs row-at-a-time).
     pub batch_rows: usize,
+    /// This statement's compiled-plan slot in the engine's plan cache,
+    /// when the statement came through it. `None` (ad-hoc execution)
+    /// compiles fresh.
+    pub cached: Option<&'a crate::plancache::SelectSlot>,
+}
+
+/// Everything UPDATE/DELETE need besides the statement.
+///
+/// DML mutates the store, the B-tree geometry, and the catalog entry, so
+/// it borrows them exclusively — the caller holds the engine's write
+/// guard, making the statement the single writer.
+pub struct DmlCtx<'a> {
+    /// The page store (exclusive: the apply phase writes pages and WAL).
+    pub store: &'a mut PageStore,
+    /// Tables by lowercase name (mutable so the changed B-tree geometry
+    /// can be written back).
+    pub tables: &'a mut HashMap<String, Table>,
+    /// Scalar UDFs.
+    pub udfs: &'a UdfRegistry,
+    /// Hosting model (mutated; per-session, not shared).
+    pub hosting: &'a mut HostingModel,
+    /// Session variables.
+    pub vars: &'a HashMap<String, Value>,
+    /// Maximum degree of parallelism for the match-phase scan (≥ 1).
+    pub dop: usize,
 }
 
 /// Rewrites scalar-function calls that name a registered UDA into
@@ -1097,17 +1128,29 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
 
     match &stmt.from {
         None => {
-            let mut env = EvalEnv {
-                udfs: ctx.udfs,
-                hosting: ctx.hosting,
-                vars: ctx.vars,
-                lobs: Some(&mut *ctx.store),
-            };
-            let mut row = Vec::with_capacity(items.len());
-            for it in &items {
-                row.push(eval(&it.expr, None, &mut env)?);
-            }
-            rows.push(row);
+            // The store is shared here, so LOB-typed variables resolve
+            // through a single-partition scan reader — the same live-pool
+            // handle scan workers use — and its I/O folds back like any
+            // one-worker scan. Counters fold even when evaluation errors,
+            // so the pool and the stats stay consistent with each other.
+            let scan = ctx.store.begin_scan();
+            let mut r = ctx.store.reader(&scan, 0);
+            let evaluated = (|| -> Result<Vec<Value>> {
+                let mut env = EvalEnv {
+                    udfs: ctx.udfs,
+                    hosting: ctx.hosting,
+                    vars: ctx.vars,
+                    lobs: Some(&mut r),
+                };
+                let mut row = Vec::with_capacity(items.len());
+                for it in &items {
+                    row.push(eval(&it.expr, None, &mut env)?);
+                }
+                Ok(row)
+            })();
+            let io = r.finish();
+            ctx.store.finish_scan([&io]);
+            rows.push(evaluated?);
         }
         Some(table_name) => {
             let table = ctx
@@ -1121,23 +1164,32 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             let limit = stmt.top.unwrap_or(ctx.row_limit);
             // Vectorized by default: scans run batch-at-a-time whenever
             // the plan compiles; `batch_rows == 0` (or a plan that does
-            // not compile) runs the row-at-a-time interpreter.
-            let batch_plan = if ctx.batch_rows > 0 {
-                crate::batch::plan_select(
-                    &schema,
-                    &items,
-                    stmt.where_clause.as_ref(),
-                    &stmt.group_by,
-                    has_aggregate,
-                    ctx.vars,
-                )
+            // not compile) runs the row-at-a-time interpreter. When the
+            // statement came through the plan cache, its slot answers for
+            // var-free statements without recompiling.
+            let batch_plan: Option<std::sync::Arc<crate::batch::BatchPlan>> = if ctx.batch_rows > 0
+            {
+                let compile = || {
+                    crate::batch::plan_select(
+                        &schema,
+                        &items,
+                        stmt.where_clause.as_ref(),
+                        &stmt.group_by,
+                        has_aggregate,
+                        ctx.vars,
+                    )
+                };
+                match ctx.cached {
+                    Some(slot) => slot.plan_for(&schema, compile),
+                    None => compile().map(std::sync::Arc::new),
+                }
             } else {
                 None
             };
             let job = ScanJob {
                 table: &table,
                 schema: &schema,
-                store: &*ctx.store,
+                store: ctx.store,
                 scan: &scan,
                 items: &items,
                 where_clause: stmt.where_clause.as_ref(),
@@ -1148,7 +1200,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 udas: ctx.udas,
                 vars: ctx.vars,
                 uda_mode: ctx.uda_mode,
-                batch_plan: batch_plan.as_ref(),
+                batch_plan: batch_plan.as_deref(),
                 batch_rows: ctx.batch_rows,
             };
 
@@ -1644,8 +1696,9 @@ fn materialize(store: &mut PageStore, v: RowValue) -> Result<Value> {
     }
 }
 
-/// Executes one UPDATE.
-pub fn exec_update(ctx: &mut ExecCtx<'_>, stmt: &UpdateStmt) -> Result<QueryResult> {
+/// Executes one UPDATE. The caller holds exclusive access to the
+/// database (the engine's write guard) for the whole statement.
+pub fn exec_update(ctx: &mut DmlCtx<'_>, stmt: &UpdateStmt) -> Result<QueryResult> {
     let lower = stmt.table.to_ascii_lowercase();
     let table = ctx
         .tables
@@ -1679,8 +1732,9 @@ pub fn exec_update(ctx: &mut ExecCtx<'_>, stmt: &UpdateStmt) -> Result<QueryResu
     )
 }
 
-/// Executes one DELETE.
-pub fn exec_delete(ctx: &mut ExecCtx<'_>, stmt: &DeleteStmt) -> Result<QueryResult> {
+/// Executes one DELETE. The caller holds exclusive access to the
+/// database (the engine's write guard) for the whole statement.
+pub fn exec_delete(ctx: &mut DmlCtx<'_>, stmt: &DeleteStmt) -> Result<QueryResult> {
     let lower = stmt.table.to_ascii_lowercase();
     let table = ctx
         .tables
@@ -1701,7 +1755,7 @@ pub fn exec_delete(ctx: &mut ExecCtx<'_>, stmt: &DeleteStmt) -> Result<QueryResu
 
 /// The shared two-phase DML driver: parallel match, serial apply.
 fn exec_dml(
-    ctx: &mut ExecCtx<'_>,
+    ctx: &mut DmlCtx<'_>,
     lower_name: String,
     mut table: Table,
     schema: Schema,

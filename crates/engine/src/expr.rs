@@ -82,6 +82,24 @@ pub enum Expr {
 }
 
 impl Expr {
+    /// True if the expression (transitively) references a session
+    /// variable. The plan cache only reuses a *compiled* batch plan for
+    /// var-free statements — `plan_select` folds variable values into the
+    /// compiled constants, so a plan touching `@x` is only valid for the
+    /// binding it was compiled under.
+    pub fn contains_var(&self) -> bool {
+        match self {
+            Expr::Var(_) => true,
+            Expr::Func { args, .. } | Expr::UdaCall { args, .. } => {
+                args.iter().any(Expr::contains_var)
+            }
+            Expr::Agg { arg, .. } => arg.as_deref().is_some_and(Expr::contains_var),
+            Expr::Neg(e) | Expr::Not(e) => e.contains_var(),
+            Expr::Bin { left, right, .. } => left.contains_var() || right.contains_var(),
+            Expr::Lit(_) | Expr::Col(_) => false,
+        }
+    }
+
     /// True if the expression (transitively) contains an aggregate.
     pub fn contains_aggregate(&self) -> bool {
         match self {
@@ -123,13 +141,27 @@ pub struct EvalEnv<'a> {
     pub lobs: Option<&'a mut dyn sqlarray_storage::PageRead>,
 }
 
+/// Case-insensitive variable lookup against a map whose keys are stored
+/// lowercase (normalized once at insert). Only a name that actually
+/// contains uppercase letters pays the lowercase allocation — the common
+/// already-lowercase case borrows straight from the map, which matters
+/// because `Expr::Var` evaluates once per scanned row.
+pub(crate) fn lookup_var<'a>(
+    vars: &'a std::collections::HashMap<String, Value>,
+    name: &str,
+) -> Option<&'a Value> {
+    if name.bytes().any(|b| b.is_ascii_uppercase()) {
+        vars.get(&name.to_ascii_lowercase())
+    } else {
+        vars.get(name)
+    }
+}
+
 /// Evaluates an expression against an optional row.
 pub fn eval(expr: &Expr, row: Option<&RowCtx<'_>>, env: &mut EvalEnv<'_>) -> Result<Value> {
     match expr {
         Expr::Lit(v) => Ok(v.clone()),
-        Expr::Var(name) => env
-            .vars
-            .get(&name.to_ascii_lowercase())
+        Expr::Var(name) => lookup_var(env.vars, name)
             .cloned()
             .ok_or_else(|| EngineError::Unknown(format!("variable `@{name}`"))),
         Expr::Col(name) => {

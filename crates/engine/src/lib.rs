@@ -22,11 +22,14 @@
 pub mod aggregate;
 pub mod arraybind;
 mod batch;
+pub mod engine;
 pub mod exec;
 pub mod expr;
 pub mod hosting;
 pub mod mathfn;
+pub mod plancache;
 pub mod pushdown;
+pub mod sched;
 pub mod session;
 pub mod sugar;
 pub mod tsql;
@@ -34,10 +37,13 @@ pub mod udf;
 pub mod value;
 
 pub use aggregate::{UdaMode, UdaRegistry, UdaState};
+pub use engine::{Engine, EngineConfig, EngineStats};
 pub use exec::{QueryResult, QueryStats};
 pub use hosting::{CostClass, HostingModel, PAPER_CLR_CALL_NS};
 pub use mathfn::{fft_array, gesvd_array, ifft_array, power_spectrum_array};
-pub use session::{Database, Session};
+pub use plancache::{PlanCache, PlanCacheStats};
+pub use sched::{DopScheduler, DopTicket, SchedStats};
+pub use session::{Database, Prepared, Session};
 pub use sugar::{desugar, SugarTypes};
 pub use udf::UdfRegistry;
 pub use value::{EngineError, Value};

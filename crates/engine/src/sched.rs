@@ -1,0 +1,211 @@
+//! Admission control: DOP tickets from a global worker budget.
+//!
+//! Every statement that fans out asks the engine's [`DopScheduler`] for a
+//! ticket before touching the database. The scheduler arbitrates a global
+//! **worker budget** (how many scan workers the whole engine may run at
+//! once) between however many queries are in flight:
+//!
+//! * a **lone** query is granted its full request, even past the budget —
+//!   single-session behavior is exactly what it was before admission
+//!   control existed (the scan is the parallel unit, and oversubscribing
+//!   an idle engine is the session's choice);
+//! * **concurrent** queries share the budget fairly: each is granted at
+//!   most `max(1, budget / active_queries)` workers, further clamped to
+//!   the workers still unclaimed — but never below 1, so read-only
+//!   queries always make progress;
+//! * when every budgeted worker is claimed, new arrivals **queue** on a
+//!   condvar until a ticket releases.
+//!
+//! The granted width only changes *how many partitions* a scan fans out
+//! over — results are bit-identical at any width, so admission decisions
+//! can never change what a query returns, only when it runs and how wide.
+
+use sqlarray_core::env_usize;
+use std::sync::{Condvar, Mutex, MutexGuard};
+
+/// Environment variable overriding the engine's default worker budget.
+pub const WORKER_BUDGET_ENV_VAR: &str = "SQLARRAY_WORKER_BUDGET";
+
+/// The default worker budget: `SQLARRAY_WORKER_BUDGET` when set (clamped
+/// to ≥ 1), otherwise the configured DOP (`SQLARRAY_DOP`, else the core
+/// count).
+pub fn configured_worker_budget() -> usize {
+    env_usize(WORKER_BUDGET_ENV_VAR)
+        .map(|n| n.max(1))
+        .unwrap_or_else(sqlarray_core::parallel::configured_dop)
+}
+
+/// Observable scheduler counters (snapshot).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedStats {
+    /// Tickets granted so far.
+    pub admitted: u64,
+    /// Times an acquire had to wait for a release.
+    pub queued: u64,
+    /// High-water mark of simultaneously granted workers. Can exceed the
+    /// budget only through lone-query full grants.
+    pub peak_in_flight: usize,
+}
+
+#[derive(Default)]
+struct SchedState {
+    /// Workers currently granted to live tickets.
+    in_flight: usize,
+    /// Queries holding or waiting for a ticket.
+    active: usize,
+    stats: SchedStats,
+}
+
+/// The admission-control scheduler. One per engine.
+pub struct DopScheduler {
+    budget: usize,
+    state: Mutex<SchedState>,
+    released: Condvar,
+}
+
+impl DopScheduler {
+    /// A scheduler over a worker budget of `budget` (clamped to ≥ 1).
+    pub fn new(budget: usize) -> DopScheduler {
+        DopScheduler {
+            budget: budget.max(1),
+            state: Mutex::new(SchedState::default()),
+            released: Condvar::new(),
+        }
+    }
+
+    /// The global worker budget.
+    pub fn budget(&self) -> usize {
+        self.budget
+    }
+
+    fn state(&self) -> MutexGuard<'_, SchedState> {
+        // Poisoning is unreachable: the critical sections are counter
+        // arithmetic only.
+        self.state.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires a DOP ticket for a statement requesting `requested`
+    /// workers (clamped to ≥ 1). Blocks while the budget is exhausted by
+    /// other queries. The ticket releases its grant on drop.
+    pub fn acquire(&self, requested: usize) -> DopTicket<'_> {
+        let requested = requested.max(1);
+        let mut st = self.state();
+        st.active += 1;
+        let granted = loop {
+            if st.in_flight == 0 {
+                // Nothing else is running: a lone query keeps its full
+                // request (pre-admission-control behavior); with waiters
+                // racing in, the first grant still respects fair share.
+                break if st.active == 1 {
+                    requested
+                } else {
+                    requested.min((self.budget / st.active).max(1))
+                };
+            }
+            let free = self.budget.saturating_sub(st.in_flight);
+            if free > 0 {
+                let fair = (self.budget / st.active).max(1);
+                break requested.min(fair).min(free);
+            }
+            st.stats.queued += 1;
+            st = self.released.wait(st).unwrap_or_else(|e| e.into_inner());
+        };
+        st.in_flight += granted;
+        st.stats.admitted += 1;
+        st.stats.peak_in_flight = st.stats.peak_in_flight.max(st.in_flight);
+        DopTicket {
+            sched: self,
+            granted,
+        }
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SchedStats {
+        self.state().stats
+    }
+}
+
+/// A granted degree-of-parallelism ticket. Holds `granted` workers out of
+/// the engine budget until dropped.
+pub struct DopTicket<'a> {
+    sched: &'a DopScheduler,
+    granted: usize,
+}
+
+impl DopTicket<'_> {
+    /// Workers this statement may fan out over.
+    pub fn granted(&self) -> usize {
+        self.granted
+    }
+}
+
+impl Drop for DopTicket<'_> {
+    fn drop(&mut self) {
+        let mut st = self.sched.state();
+        st.in_flight -= self.granted;
+        st.active -= 1;
+        drop(st);
+        self.sched.released.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lone_query_gets_full_request_even_past_budget() {
+        let s = DopScheduler::new(2);
+        let t = s.acquire(8);
+        assert_eq!(t.granted(), 8);
+        drop(t);
+        assert_eq!(s.stats().admitted, 1);
+        assert_eq!(s.stats().peak_in_flight, 8);
+    }
+
+    #[test]
+    fn concurrent_queries_share_the_budget_fairly() {
+        let s = DopScheduler::new(8);
+        let a = s.acquire(8);
+        assert_eq!(a.granted(), 8);
+        drop(a);
+        // With one ticket live, a second request is clamped to fair share
+        // of the remainder.
+        let a = s.acquire(4);
+        let b = s.acquire(8);
+        assert_eq!(a.granted(), 4);
+        // active = 2 → fair share 4, free 4.
+        assert_eq!(b.granted(), 4);
+        drop(a);
+        drop(b);
+        assert_eq!(s.stats().admitted, 3);
+        assert_eq!(s.stats().peak_in_flight, 8);
+    }
+
+    #[test]
+    fn exhausted_budget_queues_until_release() {
+        let s = Arc::new(DopScheduler::new(2));
+        let a = s.acquire(2);
+        let s2 = Arc::clone(&s);
+        let waiter = std::thread::spawn(move || s2.acquire(2).granted());
+        // Give the waiter time to block, then release.
+        while s.stats().queued == 0 {
+            std::thread::yield_now();
+        }
+        drop(a);
+        let granted = waiter.join().expect("waiter panicked");
+        assert!(granted >= 1);
+        assert!(s.stats().queued >= 1);
+    }
+
+    #[test]
+    fn every_grant_is_at_least_one() {
+        let s = DopScheduler::new(1);
+        let a = s.acquire(1);
+        // in_flight == budget, but free == 0 → would queue; release first.
+        drop(a);
+        let b = s.acquire(4);
+        assert!(b.granted() >= 1);
+    }
+}

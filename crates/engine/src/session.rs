@@ -1,16 +1,26 @@
-//! Sessions: database + function registries + variables, executing T-SQL
-//! batches.
+//! Sessions: cheap per-connection state over a shared [`Engine`],
+//! executing T-SQL batches.
+//!
+//! A session owns only what is genuinely per-connection — variables, DOP,
+//! batch size, the hosting-cost model, UDA mode, row limit. Everything
+//! heavy (store, catalog, registries, plan cache, scheduler) lives in the
+//! engine and is shared by every session cloned off it.
 
 use crate::aggregate::{UdaMode, UdaRegistry};
-use crate::exec::{exec_delete, exec_select, exec_update, ExecCtx, QueryResult, DEFAULT_ROW_LIMIT};
+use crate::engine::Engine;
+use crate::exec::{
+    exec_delete, exec_select, exec_update, DmlCtx, ExecCtx, QueryResult, DEFAULT_ROW_LIMIT,
+};
 use crate::expr::{eval, EvalEnv};
 use crate::hosting::HostingModel;
-use crate::tsql::{parse, Stmt};
+use crate::plancache::CachedPlan;
+use crate::tsql::Stmt;
 use crate::udf::UdfRegistry;
 use crate::value::{EngineError, Result, Value};
 use sqlarray_core::le;
 use sqlarray_storage::{ColType, DiskImage, PageStore, Recovery, RowValue, Schema, Table};
 use std::collections::HashMap;
+use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
 
 /// A database: one page store plus its tables.
 pub struct Database {
@@ -228,21 +238,36 @@ impl Default for Database {
 /// when set and parseable (0 disables vectorized execution), otherwise
 /// [`sqlarray_core::batch::DEFAULT_BATCH_ROWS`].
 fn configured_batch_rows() -> usize {
-    std::env::var("SQLARRAY_BATCH_ROWS")
-        .ok()
-        .and_then(|s| s.trim().parse::<usize>().ok())
+    sqlarray_core::env_usize("SQLARRAY_BATCH_ROWS")
         .unwrap_or(sqlarray_core::batch::DEFAULT_BATCH_ROWS)
 }
 
-/// An interactive session against one database.
+/// A prepared statement: the batch's cached parse (and, per SELECT, its
+/// compiled-plan slot) pinned so repeated executions skip both the cache
+/// lookup and — for var-free statements — recompilation. Cheap to clone;
+/// executable from any session of the same engine.
+#[derive(Clone)]
+pub struct Prepared {
+    plan: Arc<CachedPlan>,
+}
+
+impl Prepared {
+    /// The normalized statement text this plan was cached under.
+    pub fn key(&self) -> &str {
+        &self.plan.key
+    }
+}
+
+/// An interactive session: per-connection state over a shared [`Engine`].
+///
+/// Constructing a session from a [`Database`] (the single-connection
+/// convenience) wraps it in a fresh engine; [`Engine::session`] spawns
+/// additional sessions over the same data. Statement isolation is
+/// single-writer/multi-reader: see the [`crate::engine`] module docs.
 pub struct Session {
-    /// The database.
-    pub db: Database,
-    /// Scalar UDFs (all array schemas + math bindings pre-registered).
-    pub udfs: UdfRegistry,
-    /// User-defined aggregates (array aggregates pre-registered).
-    pub udas: UdaRegistry,
-    /// CLR hosting-cost model.
+    engine: Arc<Engine>,
+    /// CLR hosting-cost model (per-session: forks into scan workers and
+    /// accumulates this session's call counters).
     pub hosting: HostingModel,
     /// How UDA state is maintained between rows.
     pub uda_mode: UdaMode,
@@ -257,24 +282,22 @@ pub struct Session {
 }
 
 impl Session {
-    /// A session with the full array library registered and the paper's
-    /// 2 µs CLR hosting cost.
+    /// A single-connection session over its own fresh engine, with the
+    /// full array library registered and the paper's 2 µs CLR hosting
+    /// cost.
     pub fn new(db: Database) -> Session {
         Session::with_hosting(db, HostingModel::paper_clr())
     }
 
-    /// A session with an explicit hosting model (e.g.
+    /// A single-connection session with an explicit hosting model (e.g.
     /// [`HostingModel::free`] for the native-cost counterfactual).
     pub fn with_hosting(db: Database, hosting: HostingModel) -> Session {
-        let mut udfs = UdfRegistry::new();
-        crate::arraybind::register_all(&mut udfs);
-        crate::mathfn::register_math(&mut udfs);
-        let mut udas = UdaRegistry::new();
-        udas.register_array_aggregates();
+        Engine::new(db).session_with_hosting(hosting)
+    }
+
+    pub(crate) fn on_engine(engine: Arc<Engine>, hosting: HostingModel) -> Session {
         Session {
-            db,
-            udfs,
-            udas,
+            engine,
             hosting,
             uda_mode: UdaMode::InMemory,
             row_limit: DEFAULT_ROW_LIMIT,
@@ -282,6 +305,37 @@ impl Session {
             batch_rows: configured_batch_rows(),
             vars: HashMap::new(),
         }
+    }
+
+    /// The shared engine this session runs on. Clone the `Arc` to spawn
+    /// concurrent sessions over the same database.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Read access to the shared database — for inspecting the store or
+    /// catalog (`s.db().store.stats()`). Excludes writers; drop the guard
+    /// before executing statements.
+    pub fn db(&self) -> RwLockReadGuard<'_, Database> {
+        self.engine.db()
+    }
+
+    /// Exclusive access to the shared database — for loading data
+    /// (`s.db_mut().bulk_insert(...)`) or direct mutation. Drop the guard
+    /// before executing statements.
+    pub fn db_mut(&self) -> RwLockWriteGuard<'_, Database> {
+        self.engine.db_mut()
+    }
+
+    /// The engine's scalar-UDF registry (all array schemas + math
+    /// bindings pre-registered).
+    pub fn udfs(&self) -> &UdfRegistry {
+        self.engine.udfs()
+    }
+
+    /// The engine's UDA registry (array aggregates pre-registered).
+    pub fn udas(&self) -> &UdaRegistry {
+        self.engine.udas()
     }
 
     /// The session's degree of parallelism: how many workers a scan may
@@ -313,27 +367,55 @@ impl Session {
         self.batch_rows = rows;
     }
 
-    /// Reads a session variable.
+    /// Reads a session variable (case-insensitive, no allocation for
+    /// already-lowercase names).
     pub fn var(&self, name: &str) -> Option<&Value> {
-        self.vars.get(&name.to_ascii_lowercase())
+        crate::expr::lookup_var(&self.vars, name)
     }
 
-    /// Sets a session variable directly (bypassing SQL).
+    /// Sets a session variable directly (bypassing SQL). Names normalize
+    /// to lowercase once, here at insert.
     pub fn set_var(&mut self, name: &str, v: Value) {
         self.vars.insert(name.to_ascii_lowercase(), v);
     }
 
+    /// Prepares a batch: parses it through the engine's plan cache and
+    /// pins the result. Repeated [`execute_prepared`](Self::execute_prepared)
+    /// calls skip the parser; var-free SELECTs also reuse their compiled
+    /// batch plan.
+    pub fn prepare(&self, sql: &str) -> Result<Prepared> {
+        Ok(Prepared {
+            plan: self.engine.plans().get_or_parse(sql)?,
+        })
+    }
+
+    /// Executes a previously prepared batch.
+    pub fn execute_prepared(&mut self, prepared: &Prepared) -> Result<Vec<QueryResult>> {
+        self.run_plan(&prepared.plan)
+    }
+
     /// Executes a batch; returns the result of each SELECT, UPDATE and
     /// DELETE in order (DML results carry no rows — their
-    /// `stats.rows_affected` is the row count).
+    /// `stats.rows_affected` is the row count). The parse comes from the
+    /// engine's plan cache, shared with every other session.
     pub fn execute(&mut self, sql: &str) -> Result<Vec<QueryResult>> {
-        let stmts = parse(sql)?;
+        let plan = self.engine.plans().get_or_parse(sql)?;
+        self.run_plan(&plan)
+    }
+
+    /// Runs one cached batch, statement by statement.
+    ///
+    /// Lock discipline, per statement: admission ticket first, database
+    /// lock second, and both drop before the next statement — a session
+    /// never carries a lock between statements, so a long batch cannot
+    /// starve the engine.
+    fn run_plan(&mut self, cached: &CachedPlan) -> Result<Vec<QueryResult>> {
         let mut results = Vec::new();
-        for stmt in stmts {
+        for (i, stmt) in cached.stmts.iter().enumerate() {
             match stmt {
                 Stmt::Declare { name, init } => {
                     let v = match init {
-                        Some(e) => self.eval_expr(&e)?,
+                        Some(e) => self.eval_expr(e)?,
                         None => Value::Null,
                     };
                     self.vars.insert(name.to_ascii_lowercase(), v);
@@ -345,24 +427,31 @@ impl Session {
                             "variable `@{name}` (DECLARE it first)"
                         )));
                     }
-                    let v = self.eval_expr(&expr)?;
+                    let v = self.eval_expr(expr)?;
                     self.vars.insert(key, v);
                 }
                 Stmt::Select(sel) => {
                     let result = {
+                        // Ticket before lock: a queued session must not
+                        // hold the database lock while it waits, or it
+                        // would block the very writers whose release
+                        // frees the budget.
+                        let ticket = self.engine.sched().acquire(self.dop);
+                        let db = self.engine.db();
                         let mut ctx = ExecCtx {
-                            store: &mut self.db.store,
-                            tables: &mut self.db.tables,
-                            udfs: &self.udfs,
-                            udas: &self.udas,
+                            store: &db.store,
+                            tables: &db.tables,
+                            udfs: self.engine.udfs(),
+                            udas: self.engine.udas(),
                             hosting: &mut self.hosting,
                             vars: &self.vars,
                             uda_mode: self.uda_mode,
                             row_limit: self.row_limit,
-                            dop: self.dop,
+                            dop: ticket.granted(),
                             batch_rows: self.batch_rows,
+                            cached: cached.slot(i),
                         };
-                        exec_select(&mut ctx, &sel)?
+                        exec_select(&mut ctx, sel)?
                     };
                     for (name, v) in &result.assignments {
                         self.vars.insert(name.to_ascii_lowercase(), v.clone());
@@ -370,48 +459,43 @@ impl Session {
                     results.push(result);
                 }
                 Stmt::Update(u) => {
-                    let result = {
-                        let mut ctx = ExecCtx {
-                            store: &mut self.db.store,
-                            tables: &mut self.db.tables,
-                            udfs: &self.udfs,
-                            udas: &self.udas,
-                            hosting: &mut self.hosting,
-                            vars: &self.vars,
-                            uda_mode: self.uda_mode,
-                            row_limit: self.row_limit,
-                            dop: self.dop,
-                            batch_rows: self.batch_rows,
-                        };
-                        exec_update(&mut ctx, &u)?
-                    };
-                    // Statement-level autocommit: each DML statement is a
-                    // durability point.
-                    self.db.commit();
+                    let result = self.run_dml(|ctx| exec_update(ctx, u))?;
                     results.push(result);
                 }
                 Stmt::Delete(d) => {
-                    let result = {
-                        let mut ctx = ExecCtx {
-                            store: &mut self.db.store,
-                            tables: &mut self.db.tables,
-                            udfs: &self.udfs,
-                            udas: &self.udas,
-                            hosting: &mut self.hosting,
-                            vars: &self.vars,
-                            uda_mode: self.uda_mode,
-                            row_limit: self.row_limit,
-                            dop: self.dop,
-                            batch_rows: self.batch_rows,
-                        };
-                        exec_delete(&mut ctx, &d)?
-                    };
-                    self.db.commit();
+                    let result = self.run_dml(|ctx| exec_delete(ctx, d))?;
                     results.push(result);
                 }
             }
         }
         Ok(results)
+    }
+
+    /// Runs one mutating statement under the engine's write guard and
+    /// commits before releasing it — concurrent readers blocked by the
+    /// guard therefore only ever observe committed state.
+    fn run_dml(
+        &mut self,
+        f: impl FnOnce(&mut DmlCtx<'_>) -> Result<QueryResult>,
+    ) -> Result<QueryResult> {
+        let ticket = self.engine.sched().acquire(self.dop);
+        let mut guard = self.engine.db_mut();
+        let db = &mut *guard;
+        let result = {
+            let mut ctx = DmlCtx {
+                store: &mut db.store,
+                tables: &mut db.tables,
+                udfs: self.engine.udfs(),
+                hosting: &mut self.hosting,
+                vars: &self.vars,
+                dop: ticket.granted(),
+            };
+            f(&mut ctx)?
+        };
+        // Statement-level autocommit: each DML statement is a durability
+        // point, written while this session is still the exclusive owner.
+        db.commit();
+        Ok(result)
     }
 
     /// Executes a batch written in the §8 array-notation sugar (`@a[3]`,
@@ -449,14 +533,25 @@ impl Session {
         Ok(self.query(sql)?.scalar()?.clone())
     }
 
+    /// Evaluates a standalone expression (DECLARE/SET initializers) under
+    /// a read guard. LOB-typed variables resolve through a one-partition
+    /// scan reader, whose I/O folds back into the store like any scan.
     fn eval_expr(&mut self, e: &crate::expr::Expr) -> Result<Value> {
-        let mut env = EvalEnv {
-            udfs: &self.udfs,
-            hosting: &mut self.hosting,
-            vars: &self.vars,
-            lobs: Some(&mut self.db.store),
+        let db = self.engine.db();
+        let scan = db.store.begin_scan();
+        let mut r = db.store.reader(&scan, 0);
+        let out = {
+            let mut env = EvalEnv {
+                udfs: self.engine.udfs(),
+                hosting: &mut self.hosting,
+                vars: &self.vars,
+                lobs: Some(&mut r),
+            };
+            eval(e, None, &mut env)
         };
-        eval(e, None, &mut env)
+        let io = r.finish();
+        db.store.finish_scan([&io]);
+        out
     }
 }
 
@@ -633,7 +728,7 @@ mod tests {
     #[test]
     fn stats_track_io() {
         let mut s = session_with_tables(2000);
-        s.db.store.clear_cache();
+        s.db().store.clear_cache();
         let r = s.query("SELECT COUNT(*) FROM Tscalar").unwrap();
         assert!(r.stats.io.pages_read > 5);
         assert!(r.stats.sim_io_seconds > 0.0);
@@ -676,7 +771,7 @@ mod tests {
     fn parallel_stats_merge_workers() {
         let mut s = session_with_tables(3000);
         s.set_dop(4);
-        s.db.store.clear_cache();
+        s.db().store.clear_cache();
         let r = s
             .query("SELECT SUM(floatarray.Item_1(v, 0)) FROM Tvector")
             .unwrap();
@@ -770,7 +865,7 @@ mod tests {
             }
         }
         // Bulk loading a non-empty table errors.
-        assert!(bulk.db.bulk_insert("Tscalar", &rows).is_err());
+        assert!(bulk.db_mut().bulk_insert("Tscalar", &rows).is_err());
     }
 
     #[test]
@@ -786,5 +881,66 @@ mod tests {
         let mut s = session_with_tables(0);
         let v = s.query_scalar("SELECT 1 + 2 * 3").unwrap();
         assert_eq!(v, Value::I64(7));
+    }
+
+    #[test]
+    fn prepared_statements_reuse_the_cached_plan() {
+        let mut s = session_with_tables(300);
+        let p = s.prepare("SELECT SUM(v1) FROM Tscalar").unwrap();
+        let a = s.execute_prepared(&p).unwrap();
+        let b = s.execute_prepared(&p).unwrap();
+        assert_eq!(a[0].rows, b[0].rows);
+        // The second execution reused the compiled batch plan.
+        let stats = s.engine().stats();
+        assert!(stats.plans.compiled_reuses >= 1, "{stats:?}");
+        // Ad-hoc execution of the same (differently spaced) text hits the
+        // parsed-plan cache rather than re-parsing.
+        let hits_before = s.engine().stats().plans.hits;
+        s.query("SELECT  SUM(v1)\nFROM Tscalar").unwrap();
+        assert!(s.engine().stats().plans.hits > hits_before);
+    }
+
+    #[test]
+    fn var_bearing_selects_compile_fresh_per_execution() {
+        let mut s = session_with_tables(100);
+        s.execute("DECLARE @lo FLOAT = 10.0").unwrap();
+        let p = s
+            .prepare("SELECT COUNT(*) FROM Tscalar WHERE v1 >= @lo")
+            .unwrap();
+        let a = s.execute_prepared(&p).unwrap();
+        assert_eq!(a[0].rows[0][0], Value::I64(90));
+        // Changing the variable must change the result: the plan embeds
+        // variable values, so it is recompiled, not reused.
+        s.execute("SET @lo = 50.0").unwrap();
+        let b = s.execute_prepared(&p).unwrap();
+        assert_eq!(b[0].rows[0][0], Value::I64(50));
+    }
+
+    #[test]
+    fn sessions_share_one_engine() {
+        let s = session_with_tables(50);
+        let engine = std::sync::Arc::clone(s.engine());
+        let mut s1 = engine.session_with_hosting(HostingModel::free());
+        let mut s2 = engine.session_with_hosting(HostingModel::free());
+        let a = s1.query_scalar("SELECT SUM(v1) FROM Tscalar").unwrap();
+        let b = s2.query_scalar("SELECT SUM(v1) FROM Tscalar").unwrap();
+        assert_eq!(a, b);
+        // The second session's identical text hit the shared plan cache.
+        assert!(engine.stats().plans.hits >= 1);
+        // Sessions do not share variables.
+        s1.set_var("x", Value::I64(1));
+        assert!(s2.var("x").is_none());
+        // Both admissions went through the scheduler.
+        assert!(engine.stats().sched.admitted >= 2);
+    }
+
+    #[test]
+    fn var_reads_are_case_insensitive_without_insert_normalization_loss() {
+        let mut s = session_with_tables(0);
+        s.set_var("MiXeD", Value::I64(7));
+        assert_eq!(s.var("mixed"), Some(&Value::I64(7)));
+        assert_eq!(s.var("MIXED"), Some(&Value::I64(7)));
+        assert_eq!(s.var("MiXeD"), Some(&Value::I64(7)));
+        assert!(s.var("other").is_none());
     }
 }

@@ -118,13 +118,13 @@ fn dml_wal_stream_is_dop_invariant() {
     base.set_dop(1);
     base.execute(batch).unwrap();
     let want_rows = id_tag_rows(&mut base);
-    let want_image = base.db.store.crash_image();
+    let want_image = base.db().store.crash_image();
     for dop in [2usize, 4, 8] {
         let mut s = session(120);
         s.set_dop(dop);
         s.execute(batch).unwrap();
         assert_eq!(id_tag_rows(&mut s), want_rows, "rows differ at dop {dop}");
-        let img = s.db.store.crash_image();
+        let img = s.db().store.crash_image();
         assert_eq!(img.wal, want_image.wal, "WAL bytes differ at dop {dop}");
         assert_eq!(img, want_image, "disk image differs at dop {dop}");
     }
@@ -155,8 +155,11 @@ fn array_update_rewrites_only_touched_chunks() {
     db.commit();
     let mut s = Session::with_hosting(db, HostingModel::free());
 
-    let stored_before = s.db.table("T").unwrap().clone();
-    let before = stored_before.get(&mut s.db.store, 0).unwrap().unwrap();
+    let stored_before = s.db().table("T").unwrap().clone();
+    let before = stored_before
+        .get(&mut s.db_mut().store, 0)
+        .unwrap()
+        .unwrap();
     let RowValue::LobRef(id_before, len_before) = before[2] else {
         panic!(
             "a 16 MiB array must spill to a LOB chain, got {:?}",
@@ -187,13 +190,10 @@ fn array_update_rewrites_only_touched_chunks() {
     );
 
     // The chain was patched in place: same LOB reference, same length.
-    let after =
-        s.db.table("T")
-            .unwrap()
-            .clone()
-            .get(&mut s.db.store, 0)
-            .unwrap()
-            .unwrap();
+    // (Two statements: chaining `s.db()` into `s.db_mut()` would hold the
+    // read guard while taking the write lock — self-deadlock.)
+    let stored_after = s.db().table("T").unwrap().clone();
+    let after = stored_after.get(&mut s.db_mut().store, 0).unwrap().unwrap();
     assert_eq!(after[2], RowValue::LobRef(id_before, len_before));
 
     // Spot-check contents through SQL on both sides of the patch.
@@ -246,16 +246,16 @@ fn dml_crash_recovery_through_sql() {
     // state before the statement; a crash after it keeps it.
     let mut s = session(20);
     let pre = id_tag_rows(&mut s);
-    let pre_image = s.db.store.crash_image();
+    let pre_image = s.db().store.crash_image();
 
     // Crash with only part of the UPDATE's log durable.
-    s.db.store.arm_fail(FailPlan {
+    s.db_mut().store.arm_fail(FailPlan {
         allow_records: 3,
         torn_bytes: 0,
     });
     s.execute("UPDATE T SET tag = tag + 500 WHERE id < 10")
         .unwrap();
-    let crashed = s.db.store.crash_image();
+    let crashed = s.db().store.crash_image();
     let db = Database::recover(&crashed).unwrap();
     let mut rec = Session::with_hosting(db, HostingModel::free());
     assert_eq!(
@@ -271,7 +271,7 @@ fn dml_crash_recovery_through_sql() {
         .unwrap();
     let post = id_tag_rows(&mut s2);
     assert_ne!(post, pre);
-    let db = Database::recover(&s2.db.store.crash_image()).unwrap();
+    let db = Database::recover(&s2.db().store.crash_image()).unwrap();
     let mut rec = Session::with_hosting(db, HostingModel::free());
     assert_eq!(
         id_tag_rows(&mut rec),
@@ -335,14 +335,15 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 fn apply_sql(s: &mut Session, op: &Op) -> u64 {
     match op {
         Op::Insert(k) => {
-            if s.db.table("T").is_some() {
-                let t = s.db.table("T").unwrap().clone();
-                if t.get(&mut s.db.store, *k).unwrap().is_some() {
+            let mut db = s.db_mut();
+            if let Some(t) = db.table("T") {
+                let t = t.clone();
+                if t.get(&mut db.store, *k).unwrap().is_some() {
                     return 0;
                 }
             }
             let arr = build::short_vector(&[*k as f64]).unwrap();
-            s.db.insert(
+            db.insert(
                 "T",
                 *k,
                 &[
@@ -352,7 +353,7 @@ fn apply_sql(s: &mut Session, op: &Op) -> u64 {
                 ],
             )
             .unwrap();
-            s.db.commit();
+            db.commit();
             1
         }
         Op::Point(k, val) => {
@@ -436,7 +437,7 @@ proptest! {
             );
         }
         // The final durable image round-trips through recovery.
-        let db = Database::recover(&s.db.store.crash_image()).unwrap();
+        let db = Database::recover(&s.db().store.crash_image()).unwrap();
         let mut rec = Session::with_hosting(db, HostingModel::free());
         let rows = id_tag_rows(&mut rec);
         let expect: Vec<(i64, i32)> = model.iter().map(|(&k, &t)| (k, t)).collect();

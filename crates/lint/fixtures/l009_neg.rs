@@ -1,0 +1,33 @@
+//! L009 negative fixture: guards dropped, scoped out, or released before
+//! the fan-out; RwLock read guards (the snapshot) are exempt by design.
+
+fn guard_dropped_before_fanout(state: &std::sync::Mutex<u64>, parts: usize) {
+    let st = state.lock().unwrap_or_else(|e| e.into_inner());
+    let snapshot = *st;
+    drop(st);
+    scoped_map_ranges(parts, parts, |r| r.count() + snapshot as usize);
+}
+
+fn guard_scoped_out_before_fanout(state: &std::sync::Mutex<u64>, parts: usize) {
+    let snapshot = {
+        let st = state.lock().unwrap_or_else(|e| e.into_inner());
+        *st
+    };
+    scoped_map_ranges(parts, parts, |r| r.count() + snapshot as usize);
+}
+
+fn rwlock_read_guard_is_the_snapshot(db: &std::sync::RwLock<u64>, parts: usize) {
+    // The database read guard is *designed* to span the fan-out.
+    let guard = db.read().unwrap_or_else(|e| e.into_inner());
+    scoped_map_ranges(parts, parts, |r| r.count() + *guard as usize);
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_hold_guards_across_fanouts() {
+        let m = std::sync::Mutex::new(0u64);
+        let g = m.lock().unwrap();
+        scoped_map_ranges(1, 1, |r| r.count() + *g as usize);
+    }
+}

@@ -1,0 +1,17 @@
+//! L009 positive fixture: mutex guards live across scan fan-outs.
+
+fn guard_held_across_scoped_fanout(state: &std::sync::Mutex<u64>, parts: usize) {
+    let st = state.lock().unwrap_or_else(|e| e.into_inner());
+    // The guard is still live here: every worker that touches `state`
+    // blocks behind this session.
+    scoped_map_ranges(parts, parts, |r| r.count());
+    drop(st);
+}
+
+fn guard_held_across_thread_scope(state: &std::sync::Mutex<u64>) {
+    let mut st = state.lock().unwrap_or_else(|e| e.into_inner());
+    *st += 1;
+    std::thread::scope(|s| {
+        s.spawn(|| ());
+    });
+}

@@ -12,6 +12,7 @@
 //! | L006 | shard locks are acquired in ascending index order | deadlock class a multi-session server will make real |
 //! | L007 | every `unsafe` block carries a `// SAFETY:` comment | unsafe-audit companion |
 //! | L008 | no per-row heap allocation inside batch-kernel loops | the vectorized path's speedup dies silently if a kernel loop allocates |
+//! | L009 | no mutex guard held across a scan fan-out in engine code | the shared-engine refactor's lock discipline: guard-across-fan-out serializes or deadlocks concurrent sessions |
 //!
 //! Suppression: `// lint:allow(L00x, reason = "…")` on the finding's line
 //! or the line above. The reason is mandatory; a malformed or reasonless
@@ -25,13 +26,14 @@ mod l005_unwrap;
 mod l006_lock_order;
 mod l007_safety_comment;
 mod l008_batch_alloc;
+mod l009_guard_across_fanout;
 
 use crate::diag::Finding;
 use crate::source::SourceFile;
 
 /// Every rule id this crate knows, in order.
 pub const ALL_RULES: &[&str] = &[
-    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008",
+    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
 ];
 
 /// Builds a [`Finding`] anchored at significant token `k` of `f`.
@@ -64,6 +66,7 @@ pub fn run_all(f: &SourceFile<'_>) -> Vec<Finding> {
     out.extend(l006_lock_order::check(f));
     out.extend(l007_safety_comment::check(f));
     out.extend(l008_batch_alloc::check(f));
+    out.extend(l009_guard_across_fanout::check(f));
     out.retain(|d| !f.is_allowed(d.rule, d.line));
     for bad in &f.bad_allows {
         out.push(Finding {

@@ -150,6 +150,25 @@ fn l008_only_watches_the_batch_kernels() {
 }
 
 #[test]
+fn l009_flags_mutex_guard_held_across_fanout() {
+    let pos = include_str!("../fixtures/l009_pos.rs");
+    // One `scoped_map_ranges` and one `thread::scope`, each under a guard.
+    assert_eq!(count("crates/engine/src/fixture.rs", pos, "L009"), 2);
+}
+
+#[test]
+fn l009_silent_on_dropped_scoped_rwlock_and_test_guards() {
+    let neg = include_str!("../fixtures/l009_neg.rs");
+    assert_eq!(count("crates/engine/src/fixture.rs", neg, "L009"), 0);
+}
+
+#[test]
+fn l009_only_applies_to_the_engine_crate() {
+    let pos = include_str!("../fixtures/l009_pos.rs");
+    assert_eq!(count("crates/storage/src/fixture.rs", pos, "L009"), 0);
+}
+
+#[test]
 fn l000_reasonless_allow_is_reported_and_does_not_suppress() {
     let src = include_str!("../fixtures/l000_bad_allow.rs");
     let got = rules("crates/storage/src/fixture.rs", src);

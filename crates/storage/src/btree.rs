@@ -852,7 +852,13 @@ impl BTree {
     /// derives parallel range boundaries from the index upper levels.
     /// Cost: one read per *internal* page (a few hundredths of the leaf
     /// count at normal fan-outs).
-    pub fn leaf_page_ids(&self, store: &mut PageStore) -> Result<Vec<PageId>> {
+    ///
+    /// Generic over [`PageRead`](crate::store::PageRead) so the walk can
+    /// run either through the serial `&mut PageStore` path or through a
+    /// scan worker's [`PartitionReader`](crate::store::PartitionReader) —
+    /// the latter is how `Table::partition` enumerates leaves over a
+    /// *shared* store reference when many sessions scan concurrently.
+    pub fn leaf_page_ids<R: crate::store::PageRead>(&self, store: &mut R) -> Result<Vec<PageId>> {
         // Knowing the depth up front lets the walk stop one level above
         // the leaves: a depth-`d` tree's level-`d−1` entries *are* leaf
         // ids, so no leaf page is ever faulted in.
@@ -861,9 +867,9 @@ impl BTree {
         Ok(out)
     }
 
-    fn collect_leaves(
+    fn collect_leaves<R: crate::store::PageRead>(
         &self,
-        store: &mut PageStore,
+        store: &mut R,
         page: PageId,
         levels_to_leaf: u32,
         out: &mut Vec<PageId>,
@@ -873,7 +879,7 @@ impl BTree {
             return Ok(());
         }
         let children = {
-            let bytes = store.read(page)?;
+            let bytes = store.read_page(page)?;
             let v = SlottedRead::open(bytes, page_type::BTREE_INTERNAL, page)?;
             let mut cs = vec![leftmost_child(&v)?];
             for i in 0..v.slot_count() {

@@ -30,7 +30,7 @@ use crate::stats::{DiskProfile, IoStats};
 use crate::wal::{self, WalRecord};
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Mutex, MutexGuard, OnceLock};
 
 /// Default buffer-pool capacity (pages). 4096 pages = 32 MiB, small enough
 /// that the Table 1 scans (hundreds of MB) are disk-bound after a cache
@@ -130,8 +130,26 @@ pub struct PageStore {
     /// Logical clock behind every pool stamp: serial touches take a fresh
     /// epoch each, a parallel scan takes one epoch for all its workers.
     clock: AtomicU64,
-    stats: IoStats,
+    /// Commit epoch: bumped by every [`commit`](Self::commit). Scans record
+    /// it at [`begin_scan`](Self::begin_scan) so a reader can name the
+    /// committed state its snapshot was taken against.
+    committed: AtomicU64,
+    /// I/O accounting shared by the serial path and concurrent scan
+    /// merges. Behind its own mutex so read-only consumers
+    /// ([`stats`](Self::stats), [`finish_scan`](Self::finish_scan),
+    /// [`io_seconds_since`](Self::io_seconds_since)) work through
+    /// `&self` — which is what lets many sessions scan one shared store
+    /// under a read lock.
+    acct: Mutex<Acct>,
     profile: DiskProfile,
+}
+
+/// The mutable I/O-accounting state: counters plus the simulated disk
+/// head. Grouped so it can sit behind one short-lived [`Mutex`] — the
+/// guard is never held across a page access or a scan fan-out.
+#[derive(Debug, Default, Clone, Copy)]
+struct Acct {
+    stats: IoStats,
     last_physical_read: Option<PageId>,
 }
 
@@ -142,7 +160,7 @@ impl std::fmt::Debug for PageStore {
             .field("pool_resident", &self.pool.len())
             .field("wal_bytes", &self.wal_buf.len())
             .field("free_pages", &self.free.len())
-            .field("stats", &self.stats)
+            .field("stats", &self.acct().stats)
             .finish()
     }
 }
@@ -169,10 +187,18 @@ impl PageStore {
             scratch: vec![0u8; PAGE_SIZE].into_boxed_slice(),
             pool: ShardedLruPool::new(pool_pages),
             clock: AtomicU64::new(1),
-            stats: IoStats::default(),
+            committed: AtomicU64::new(0),
+            acct: Mutex::new(Acct::default()),
             profile,
-            last_physical_read: None,
         }
+    }
+
+    /// The accounting guard. Lock poisoning is unreachable by construction
+    /// (no panic can occur while the guard is held — every critical
+    /// section is straight-line counter arithmetic), so a poisoned lock
+    /// just yields its inner state.
+    fn acct(&self) -> MutexGuard<'_, Acct> {
+        self.acct.lock().unwrap_or_else(|e| e.into_inner())
     }
 
     /// Number of allocated pages.
@@ -204,16 +230,14 @@ impl PageStore {
     fn append_wal(&mut self, rec: &WalRecord<'_>) {
         let lsn = self.next_lsn;
         self.next_lsn += 1;
-        self.stats.wal_records += 1;
+        let appended_bytes;
         match &mut self.fail {
             None => {
-                let n = wal::append_record(&mut self.wal_buf, lsn, rec);
-                self.stats.wal_bytes += n as u64;
+                appended_bytes = wal::append_record(&mut self.wal_buf, lsn, rec);
             }
             Some(f) => {
                 let mut frame = Vec::new();
-                let n = wal::append_record(&mut frame, lsn, rec);
-                self.stats.wal_bytes += n as u64;
+                appended_bytes = wal::append_record(&mut frame, lsn, rec);
                 if f.appended < f.plan.allow_records {
                     self.wal_buf.extend_from_slice(&frame);
                 } else if f.appended == f.plan.allow_records && f.plan.torn_bytes > 0 {
@@ -225,6 +249,9 @@ impl PageStore {
                 f.appended += 1;
             }
         }
+        let mut acct = self.acct();
+        acct.stats.wal_records += 1;
+        acct.stats.wal_bytes += appended_bytes as u64;
     }
 
     /// Allocates a zeroed page **at the end of the file** and returns its
@@ -287,7 +314,7 @@ impl PageStore {
     /// physiological record, and the page's checksum is restamped.
     pub fn write(&mut self, id: PageId, f: impl FnOnce(&mut [u8])) -> Result<()> {
         self.fault_in(id)?;
-        self.stats.pages_written += 1;
+        self.acct().stats.pages_written += 1;
         self.scratch.copy_from_slice(&self.pages[id as usize]);
         f(&mut self.pages[id as usize]);
         let Some((first, last)) = diff_range(&self.scratch, &self.pages[id as usize]) else {
@@ -315,17 +342,22 @@ impl PageStore {
             });
         }
         if self.pool.touch_or_insert(id, self.serial_stamp()) {
-            self.stats.cache_hits += 1;
+            self.acct().stats.cache_hits += 1;
         } else {
-            self.stats.pages_read += 1;
-            match self.last_physical_read {
-                // `checked_add`: `prev` can be `u64::MAX`-adjacent in
-                // synthetic tests; a plain `prev + 1` overflows in debug
-                // builds.
-                Some(prev) if prev.checked_add(1) == Some(id) => self.stats.sequential_reads += 1,
-                _ => self.stats.random_reads += 1,
+            {
+                let mut acct = self.acct();
+                acct.stats.pages_read += 1;
+                match acct.last_physical_read {
+                    // `checked_add`: `prev` can be `u64::MAX`-adjacent in
+                    // synthetic tests; a plain `prev + 1` overflows in debug
+                    // builds.
+                    Some(prev) if prev.checked_add(1) == Some(id) => {
+                        acct.stats.sequential_reads += 1
+                    }
+                    _ => acct.stats.random_reads += 1,
+                }
+                acct.last_physical_read = Some(id);
             }
-            self.last_physical_read = Some(id);
             let computed = wal::checksum32(&self.pages[id as usize]);
             let stored = self.sums[id as usize];
             if stored != computed {
@@ -342,26 +374,25 @@ impl PageStore {
     /// Empties the buffer pool — the cache clear the paper performs before
     /// every measured run ("the database server cache was explicitly
     /// cleared before each performance test run", §6.3).
-    pub fn clear_cache(&mut self) {
+    pub fn clear_cache(&self) {
         self.pool.clear();
-        self.last_physical_read = None;
+        self.acct().last_physical_read = None;
     }
 
     /// Current I/O counters.
     pub fn stats(&self) -> IoStats {
-        self.stats
+        self.acct().stats
     }
 
     /// Resets the I/O counters (the cache contents are unaffected).
-    pub fn reset_stats(&mut self) {
-        self.stats = IoStats::default();
-        self.last_physical_read = None;
+    pub fn reset_stats(&self) {
+        *self.acct() = Acct::default();
     }
 
     /// The simulated disk head: the last page physically read. Cache hits
     /// never move it — only actual (simulated) platter traffic does.
     pub fn seek_position(&self) -> Option<PageId> {
-        self.last_physical_read
+        self.acct().last_physical_read
     }
 
     /// The disk cost model in effect.
@@ -371,7 +402,14 @@ impl PageStore {
 
     /// Simulated disk seconds for the I/O performed since `before`.
     pub fn io_seconds_since(&self, before: &IoStats) -> f64 {
-        self.profile.io_seconds(&self.stats.since(before))
+        self.profile.io_seconds(&self.acct().stats.since(before))
+    }
+
+    /// The current commit epoch: how many [`commit`](Self::commit)s this
+    /// store has accepted. A scan's snapshot names the epoch it read
+    /// against (see [`ScanCtx::snapshot_epoch`]).
+    pub fn committed_epoch(&self) -> u64 {
+        self.committed.load(Ordering::Acquire)
     }
 
     /// Appends a commit marker carrying `catalog` (the engine's serialized
@@ -384,6 +422,7 @@ impl PageStore {
     /// crash harness needs the log to stay cuttable.
     pub fn commit(&mut self, catalog: &[u8]) {
         self.append_wal(&WalRecord::Commit { catalog });
+        self.committed.fetch_add(1, Ordering::AcqRel);
         if self.fail.is_none() && self.wal_buf.len() >= AUTO_CHECKPOINT_BYTES {
             self.checkpoint();
         }
@@ -583,6 +622,7 @@ impl PageStore {
         ScanCtx {
             resident: self.pool.resident_set(),
             epoch: self.clock.fetch_add(1, Ordering::Relaxed),
+            committed: self.committed.load(Ordering::Acquire),
         }
     }
 
@@ -617,9 +657,13 @@ impl PageStore {
     ///   in partition order — never to a trailing cache hit, which leaves
     ///   the platter untouched.
     ///
-    /// The pool needs no attention here: workers touched it live.
-    pub fn finish_scan<'a>(&mut self, parts: impl IntoIterator<Item = &'a ScanIo>) -> IoStats {
-        let mut head = self.last_physical_read;
+    /// The pool needs no attention here: workers touched it live. Takes
+    /// `&self` so concurrent sessions can fold their scans back in while
+    /// sharing the store under a read lock; the accounting mutex makes
+    /// each fold atomic.
+    pub fn finish_scan<'a>(&self, parts: impl IntoIterator<Item = &'a ScanIo>) -> IoStats {
+        let mut acct = self.acct();
+        let mut head = acct.last_physical_read;
         let mut merged = IoStats::default();
         for part in parts {
             let mut io = part.io;
@@ -634,8 +678,8 @@ impl PageStore {
             }
             merged.merge(&io);
         }
-        self.stats.merge(&merged);
-        self.last_physical_read = head;
+        acct.stats.merge(&merged);
+        acct.last_physical_read = head;
         merged
     }
 }
@@ -672,12 +716,22 @@ impl PageRead for PartitionReader<'_> {
 pub struct ScanCtx {
     resident: HashSet<PageId>,
     epoch: u64,
+    committed: u64,
 }
 
 impl ScanCtx {
     /// The start-of-scan residency snapshot.
     pub fn resident(&self) -> &HashSet<PageId> {
         &self.resident
+    }
+
+    /// The store's commit epoch when this scan began — the committed
+    /// state the snapshot was taken against. Under the engine's
+    /// single-writer/multi-reader scheme every read of one statement
+    /// carries the same epoch, which is what the concurrency tests
+    /// assert when proving a reader never observes a half-applied write.
+    pub fn snapshot_epoch(&self) -> u64 {
+        self.committed
     }
 }
 

@@ -323,8 +323,18 @@ impl Table {
     /// produces partitions that concatenate to the full scan. There is
     /// always at least one partition (an empty table yields one partition
     /// holding the empty root leaf).
-    pub fn partition(&self, store: &mut PageStore, dop: usize) -> Result<Vec<ScanPartition>> {
-        let leaves = self.tree.leaf_page_ids(store)?;
+    ///
+    /// Takes `&PageStore`: the internal-level walk runs through its own
+    /// one-partition scan (snapshot-classified [`PartitionReader`], folded
+    /// back via `finish_scan`), which produces byte-identical accounting
+    /// to the old serial `&mut` path while letting concurrent sessions
+    /// partition the same table under a shared read lock.
+    pub fn partition(&self, store: &PageStore, dop: usize) -> Result<Vec<ScanPartition>> {
+        let scan = store.begin_scan();
+        let mut r = store.reader(&scan, 0);
+        let leaves = self.tree.leaf_page_ids(&mut r)?;
+        let io = r.finish();
+        store.finish_scan([&io]);
         // A tree always has at least one leaf (possibly empty), so this
         // always yields at least one partition.
         let ranges = sqlarray_core::parallel::partition_ranges(leaves.len(), dop.max(1));
@@ -649,7 +659,7 @@ mod tests {
         })
         .unwrap();
         for dop in [1usize, 2, 3, 7, 64] {
-            let parts = t.partition(&mut store, dop).unwrap();
+            let parts = t.partition(&store, dop).unwrap();
             assert!(!parts.is_empty() && parts.len() <= dop);
             let scan = store.begin_scan();
             let mut seen = Vec::new();
@@ -679,7 +689,7 @@ mod tests {
         })
         .unwrap();
         for (dop, cap, aligned) in [(1usize, 1024usize, false), (3, 7, false), (2, 256, true)] {
-            let parts = t.partition(&mut store, dop).unwrap();
+            let parts = t.partition(&store, dop).unwrap();
             let scan = store.begin_scan();
             let mut keys = Vec::new();
             let mut blobs: Vec<RowValue> = Vec::new();
@@ -733,7 +743,7 @@ mod tests {
     fn batch_scan_early_stop_and_empty_table() {
         let mut store = PageStore::new();
         let t = vector_table(&mut store, 500, 5);
-        let parts = t.partition(&mut store, 1).unwrap();
+        let parts = t.partition(&store, 1).unwrap();
         let scan = store.begin_scan();
         let mut r = store.reader(&scan, 0);
         let mut batch = row::new_batch(t.schema(), &[0]).unwrap();
@@ -760,7 +770,7 @@ mod tests {
 
         let schema = Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]);
         let empty = Table::create(&mut store, "E2", schema).unwrap();
-        let parts = empty.partition(&mut store, 4).unwrap();
+        let parts = empty.partition(&store, 4).unwrap();
         let scan = store.begin_scan();
         let mut r = store.reader(&scan, 0);
         let mut batch = row::new_batch(empty.schema(), &[1]).unwrap();
@@ -789,7 +799,7 @@ mod tests {
         let mut store = PageStore::new();
         let t = vector_table(&mut store, 5000, 5);
         store.clear_cache();
-        let parts = t.partition(&mut store, 4).unwrap();
+        let parts = t.partition(&store, 4).unwrap();
         assert_eq!(parts.len(), 4);
         let scan = store.begin_scan();
         let shared = &store;
@@ -838,7 +848,7 @@ mod tests {
         let mut store = PageStore::new();
         let t = vector_table(&mut store, 2000, 5);
         store.clear_cache();
-        let parts = t.partition(&mut store, 3).unwrap();
+        let parts = t.partition(&store, 3).unwrap();
         let scan = store.begin_scan();
         let mut ios = Vec::new();
         for (pi, p) in parts.iter().enumerate() {
@@ -866,7 +876,7 @@ mod tests {
         let mut store = PageStore::new();
         let schema = Schema::new(&[("id", ColType::I64), ("x", ColType::F64)]);
         let empty = Table::create(&mut store, "E", schema.clone()).unwrap();
-        let parts = empty.partition(&mut store, 8).unwrap();
+        let parts = empty.partition(&store, 8).unwrap();
         assert_eq!(parts.len(), 1);
         let scan = store.begin_scan();
         let mut n = 0;
@@ -884,7 +894,7 @@ mod tests {
         let mut one = Table::create(&mut store, "O", schema).unwrap();
         one.insert(&mut store, 42, &[RowValue::I64(42), RowValue::F64(1.0)])
             .unwrap();
-        let parts = one.partition(&mut store, 8).unwrap();
+        let parts = one.partition(&store, 8).unwrap();
         assert_eq!(parts.len(), 1, "1 row < DOP collapses to one partition");
         let scan = store.begin_scan();
         let mut keys = Vec::new();

@@ -217,7 +217,7 @@ proptest! {
         t.scan_raw(&mut store, |k, _| { full.push(k); Ok(true) }).unwrap();
         prop_assert_eq!(full.len() as i64, rows);
 
-        let parts = t.partition(&mut store, dop).unwrap();
+        let parts = t.partition(&store, dop).unwrap();
         // Always at least one partition, never more than requested, and
         // no partition is a useless empty tail when the table has rows.
         prop_assert!(!parts.is_empty());
@@ -240,7 +240,7 @@ proptest! {
         prop_assert_eq!(seen, full);
 
         // Same DOP, same boundaries: partitioning is deterministic.
-        let again = t.partition(&mut store, dop).unwrap();
+        let again = t.partition(&store, dop).unwrap();
         prop_assert_eq!(
             again.iter().map(|p| p.leaves().to_vec()).collect::<Vec<_>>(),
             parts.iter().map(|p| p.leaves().to_vec()).collect::<Vec<_>>()

@@ -58,7 +58,7 @@ fn scalar_accessor_rejects_multi_row_results() {
 #[test]
 fn stats_expose_cpu_percent_and_rates() {
     let mut s = Session::with_hosting(tiny_db(2000), HostingModel::free());
-    s.db.store.clear_cache();
+    s.db().store.clear_cache();
     let r = s.query("SELECT SUM(x) FROM t").unwrap();
     let st = &r.stats;
     assert!(st.exec_seconds() >= st.cpu_seconds.min(st.sim_io_seconds));

@@ -84,12 +84,12 @@ fn simulated_io_accounting_is_dop_invariant() {
     let sql = "SELECT COUNT(*) FROM Tvector WITH (NOLOCK)";
     let mut serial = build_table1_db_with(5_000, HostingModel::free());
     serial.set_dop(1);
-    serial.db.store.clear_cache();
+    serial.db().store.clear_cache();
     let a = serial.query(sql).unwrap();
     for dop in [2usize, 6] {
         let mut par = build_table1_db_with(5_000, HostingModel::free());
         par.set_dop(dop);
-        par.db.store.clear_cache();
+        par.db().store.clear_cache();
         let b = par.query(sql).unwrap();
         assert_eq!(a.stats.io, b.stats.io, "IoStats diverged at dop {dop}");
         assert_eq!(
@@ -98,13 +98,13 @@ fn simulated_io_accounting_is_dop_invariant() {
             "simulated disk seconds diverged at dop {dop}"
         );
         assert_eq!(
-            serial.db.store.seek_position(),
-            par.db.store.seek_position(),
+            serial.db().store.seek_position(),
+            par.db().store.seek_position(),
             "simulated head diverged at dop {dop}"
         );
         assert_eq!(
-            serial.db.store.pool().keys_mru_order(),
-            par.db.store.pool().keys_mru_order(),
+            serial.db().store.pool().keys_mru_order(),
+            par.db().store.pool().keys_mru_order(),
             "live pool state diverged at dop {dop}"
         );
     }

@@ -107,14 +107,18 @@ fn pushdown_accounting_is_dop_invariant() {
     let run = |dop: usize| {
         let (mut s, _) = cube_session(&dims, 4);
         s.set_dop(dop);
-        s.db.store.clear_cache();
+        s.db().store.clear_cache();
         let r = s.query(&pushdown_sql(&offset, &size)).unwrap();
+        let db = s.db();
+        let seek = db.store.seek_position();
+        let mru = db.store.pool().keys_mru_order();
+        drop(db);
         (
             r.rows,
             r.stats.io,
             r.stats.sim_io_seconds.to_bits(),
-            s.db.store.seek_position(),
-            s.db.store.pool().keys_mru_order(),
+            seek,
+            mru,
         )
     };
     let serial = run(1);
@@ -159,7 +163,7 @@ fn small_region_of_large_array_reads_bounded_pages() {
     let region_pages = region_bytes.div_ceil(PAGE_SIZE) as u64;
 
     s.set_dop(1);
-    s.db.store.clear_cache();
+    s.db().store.clear_cache();
     let r = s.query(&pushdown_sql(&offset, &size)).unwrap();
     // ⌈region bytes / page size⌉ (+1 for straddling a chunk boundary)
     // plus index/root overhead: B-tree internals + leaf + LOB root +
@@ -173,7 +177,7 @@ fn small_region_of_large_array_reads_bounded_pages() {
     );
 
     // The full-materialize form must read the whole blob.
-    s.db.store.clear_cache();
+    s.db().store.clear_cache();
     let f = s.query(&full_sql(&dims, &offset, &size)).unwrap();
     assert!(
         f.stats.io.pages_read >= blob_pages as u64,
@@ -301,7 +305,7 @@ proptest! {
             }
         }
         s.set_dop(1);
-        s.db.store.clear_cache();
+        s.db().store.clear_cache();
         let r = s.query(&pushdown_sql(&offset, &size)).unwrap();
         // Chunk pages + B-tree internals/leaf + LOB root + header chunk.
         let overhead = 8u64;
