@@ -8,8 +8,8 @@
 
 use sqlarray_bench::{
     build_table1_db_with_dop, rows_from_env, run_batch_report, run_concurrency_report,
-    run_linalg_report, run_subarray_report, run_table1, storage_overhead, CONCURRENCY_QUERY,
-    TABLE1_QUERIES, TESTBED_DOP,
+    run_lifecycle_report, run_linalg_report, run_subarray_report, run_table1, storage_overhead,
+    CONCURRENCY_QUERY, TABLE1_QUERIES, TESTBED_DOP,
 };
 use sqlarray_engine::HostingModel;
 
@@ -220,6 +220,27 @@ fn main() {
             r.plan_hits,
         );
     }
+
+    // --- query lifecycle under synthetic overload --------------------
+    println!();
+    println!("== Query lifecycle (admission control under synthetic overload) ==");
+    println!(
+        "worker budget 1, queue cap 2, 25 ms statement deadline; demand \
+         exceeds capacity by construction, every completion asserted \
+         bit-identical to an uncontended baseline"
+    );
+    let lr = run_lifecycle_report(8, 6);
+    println!(
+        "{} clients x {} statements: {} completed, {} rejected (Overloaded), \
+         {} deadline-shed (AdmissionTimeout/Timeout); mean admission wait \
+         {:.1} ms",
+        lr.clients,
+        lr.attempted / lr.clients,
+        lr.completed,
+        lr.rejected_overload,
+        lr.admission_timeouts,
+        lr.mean_wait_ms,
+    );
 
     // --- §6.2: storage sizes -----------------------------------------
     println!();

@@ -672,6 +672,109 @@ pub fn run_concurrency_report(
     out
 }
 
+/// One synthetic-overload run against a deliberately starved engine:
+/// how admission control sheds load when demand far exceeds the worker
+/// budget, and what that shedding costs.
+#[derive(Debug, Clone, Copy)]
+pub struct LifecycleReport {
+    /// Client threads hammering the engine.
+    pub clients: usize,
+    /// Statements attempted across all clients.
+    pub attempted: usize,
+    /// Statements that ran to completion (each asserted bit-identical to
+    /// an uncontended baseline).
+    pub completed: u64,
+    /// Statements refused immediately with `Overloaded` (queue at cap).
+    pub rejected_overload: u64,
+    /// Statements whose deadline expired while still queued
+    /// (`AdmissionTimeout` — they never ran).
+    pub admission_timeouts: u64,
+    /// Mean admission wait per queued statement, milliseconds.
+    pub mean_wait_ms: f64,
+}
+
+/// Drives `clients` threads, each issuing `per_client` copies of a
+/// slow statement against an engine configured with a worker budget of 1
+/// and an admission queue cap of 2, every statement carrying a short
+/// deadline. Demand therefore exceeds capacity by construction, and
+/// every statement ends in exactly one of three typed outcomes:
+/// completed (bit-identical to the uncontended baseline — load shedding
+/// must never change an answer), `Overloaded`, or `AdmissionTimeout`.
+/// Any other error is a bug and panics the report.
+pub fn run_lifecycle_report(clients: usize, per_client: usize) -> LifecycleReport {
+    const ROWS: i64 = 200;
+    let mut db = Database::new();
+    db.create_table(
+        "L",
+        Schema::new(&[("id", ColType::I64), ("tag", ColType::I32)]),
+    )
+    .expect("fresh database");
+    let rows: KeyedRows = (0..ROWS)
+        .map(|k| (k, vec![RowValue::I64(k), RowValue::I32(k as i32)]))
+        .collect();
+    db.bulk_insert("L", &rows).expect("bulk load");
+    db.commit();
+    let engine = sqlarray_engine::Engine::with_config(
+        db,
+        sqlarray_engine::EngineConfig {
+            worker_budget: 1,
+            admission_queue_cap: 2,
+            ..sqlarray_engine::EngineConfig::default()
+        },
+    );
+
+    // ~50 µs of spin per row ≈ 10 ms per statement: long enough that the
+    // budget-1 engine convoys, short enough that the report stays quick.
+    let slow = "SELECT COUNT(*), SUM(dbo.SpinUs(tag, 50)) FROM L";
+    let want = {
+        let mut s = engine.session_with_hosting(HostingModel::free());
+        s.set_dop(1);
+        s.query(slow).expect("uncontended baseline").rows
+    };
+
+    let outcomes = sqlarray_core::parallel::scoped_map_ranges(clients, clients, |range| {
+        let mut s = engine.session_with_hosting(HostingModel::free());
+        s.set_dop(1);
+        s.set_statement_timeout_ms(Some(25));
+        let (mut done, mut shed, mut timed) = (0u64, 0u64, 0u64);
+        for _ in 0..(range.len() * per_client) {
+            match s.query(slow) {
+                Ok(r) => {
+                    assert!(
+                        rows_bit_identical(&r.rows, &want),
+                        "overload changed an answer"
+                    );
+                    done += 1;
+                }
+                Err(sqlarray_engine::EngineError::Overloaded { .. }) => shed += 1,
+                Err(sqlarray_engine::EngineError::AdmissionTimeout { .. }) => timed += 1,
+                // The statement deadline can also fire mid-scan under a
+                // debug build's slower row loop; count it with the
+                // admission timeouts — both are the deadline shedding it.
+                Err(sqlarray_engine::EngineError::Timeout { .. }) => timed += 1,
+                Err(other) => panic!("unexpected overload outcome: {other:?}"),
+            }
+        }
+        (done, shed, timed)
+    });
+
+    let (mut completed, mut rejected, mut timeouts) = (0u64, 0u64, 0u64);
+    for (d, s, t) in outcomes {
+        completed += d;
+        rejected += s;
+        timeouts += t;
+    }
+    let st = engine.stats().sched;
+    LifecycleReport {
+        clients,
+        attempted: clients * per_client,
+        completed,
+        rejected_overload: rejected,
+        admission_timeouts: timeouts,
+        mean_wait_ms: st.wait_nanos as f64 / 1e6 / (st.queued.max(1)) as f64,
+    }
+}
+
 /// Reads the row-count override from `SQLARRAY_ROWS`.
 pub fn rows_from_env() -> i64 {
     std::env::var("SQLARRAY_ROWS")
@@ -725,6 +828,23 @@ mod tests {
         }
         // The 16 MB row benches a ≤ 1 % slice, as the experiment states.
         assert!(reports[1].slice_percent <= 1.0);
+    }
+
+    #[test]
+    fn lifecycle_report_accounts_for_every_statement() {
+        let r = run_lifecycle_report(4, 3);
+        assert_eq!(r.attempted, 12);
+        assert_eq!(
+            r.completed + r.rejected_overload + r.admission_timeouts,
+            r.attempted as u64,
+            "an overload outcome went unaccounted: {r:?}"
+        );
+        // A budget-1 engine under 4 clients must actually shed load.
+        assert!(r.completed >= 1, "{r:?}");
+        assert!(
+            r.rejected_overload + r.admission_timeouts >= 1,
+            "no statement was shed under synthetic overload: {r:?}"
+        );
     }
 
     #[test]

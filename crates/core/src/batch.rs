@@ -147,6 +147,13 @@ impl BytesVec {
         self.offsets.truncate(1);
         self.data.clear();
     }
+
+    /// Bytes of payload + offsets currently held (length-based, not
+    /// capacity-based, so the figure is deterministic for a given row
+    /// stream regardless of allocator growth policy).
+    pub fn byte_size(&self) -> u64 {
+        (self.data.len() + self.offsets.len() * std::mem::size_of::<usize>()) as u64
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -213,6 +220,22 @@ impl ColVec {
             }
         }
     }
+
+    /// Bytes of lane data currently held. Length-based (see
+    /// [`BytesVec::byte_size`]), so memory-budget charges derived from it
+    /// are bit-reproducible for a given scan.
+    pub fn byte_size(&self) -> u64 {
+        match self {
+            ColVec::I64(v) => (v.len() * 8) as u64,
+            ColVec::I32(v) => (v.len() * 4) as u64,
+            ColVec::F64(v) => (v.len() * 8) as u64,
+            ColVec::F32(v) => (v.len() * 4) as u64,
+            ColVec::Bool(v) => v.len() as u64,
+            ColVec::Blob { bytes, lob } => {
+                bytes.byte_size() + (lob.len() * std::mem::size_of::<Option<LobRef>>()) as u64
+            }
+        }
+    }
 }
 
 /// A columnar batch: the clustered keys of ~1–4K rows plus the decoded
@@ -250,6 +273,16 @@ impl Batch {
         for c in &mut self.cols {
             c.clear();
         }
+    }
+
+    /// Bytes of keys + lane data currently buffered — what the executor
+    /// charges against the per-query memory budget at each batch flush.
+    pub fn byte_size(&self) -> u64 {
+        let mut n = (self.keys.len() * 8) as u64;
+        for c in &self.cols {
+            n += c.byte_size();
+        }
+        n
     }
 }
 

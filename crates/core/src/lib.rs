@@ -47,12 +47,14 @@ pub mod exact;
 pub mod fmt;
 pub mod header;
 pub mod le;
+pub mod lifecycle;
 pub mod ops;
 pub mod parallel;
 pub mod rng;
 pub mod scalar;
 pub mod shape;
 pub mod stream;
+pub mod sync;
 pub mod typed;
 
 pub use array::SqlArray;
@@ -62,6 +64,7 @@ pub use env::env_usize;
 pub use errors::{ArrayError, Result};
 pub use exact::ExactSum;
 pub use header::{Header, StorageClass, SHORT_MAX_BYTES, SHORT_MAX_RANK};
+pub use lifecycle::{CancelHandle, Interrupt, QueryCtx, QueryLimits};
 pub use scalar::Scalar;
 pub use shape::Shape;
 pub use typed::TypedArray;

@@ -1,0 +1,323 @@
+//! Per-statement lifecycle control: cancellation, deadlines, memory
+//! budgets.
+//!
+//! A [`QueryCtx`] is minted once per statement by the session layer and
+//! stamped down through the executor and the storage scan context, so a
+//! single cheap [`QueryCtx::check`] call at every batch flush, leaf-walk
+//! step, row-interpreter iteration and worker start can abort a runaway
+//! statement within one batch worth of work. Three independent triggers
+//! share the one check:
+//!
+//! * **cancellation** — a [`CancelHandle`] (an `Arc<AtomicBool>` shared
+//!   with the owning session) flipped from any thread;
+//! * **deadline** — a wall-clock instant computed from the statement
+//!   timeout at mint time;
+//! * **memory budget** — a cumulative allocation accountant charged by
+//!   [`QueryCtx::charge`] for batch lane growth, aggregation state and
+//!   LOB materialization.
+//!
+//! The context is also the *fault-injection* surface for the query
+//! kill-matrix tests: [`QueryLimits::cancel_after_checks`] arms a
+//! deterministic trip point — the N-th `check` anywhere in the pipeline
+//! reports [`Interrupt::Cancelled`] — which lets a test enumerate every
+//! cancellation point of a statement from a counting dry run, exactly the
+//! way the WAL crash matrix enumerates its kill points from
+//! `IoStats::wal_records`.
+//!
+//! The happy-path cost is one relaxed atomic load per check (plus an
+//! `Instant::now()` only when a deadline is armed), so checks can sit in
+//! per-row loops without showing up in profiles.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Why a statement was interrupted. Carried inside typed storage/engine
+/// errors; never stringly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Interrupt {
+    /// The session's cancel handle was flipped.
+    Cancelled,
+    /// The statement ran past its deadline.
+    Timeout {
+        /// The statement timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The statement's cumulative memory charges exceeded its budget.
+    MemExceeded {
+        /// Bytes charged so far (including the charge that tripped).
+        used: u64,
+        /// The configured budget in bytes.
+        limit: u64,
+    },
+}
+
+impl std::fmt::Display for Interrupt {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Interrupt::Cancelled => write!(f, "statement cancelled"),
+            Interrupt::Timeout { timeout_ms } => {
+                write!(f, "statement timeout ({timeout_ms} ms) exceeded")
+            }
+            Interrupt::MemExceeded { used, limit } => write!(
+                f,
+                "query memory budget exceeded: {used} bytes charged, limit {limit}"
+            ),
+        }
+    }
+}
+
+/// A cloneable cancellation token for one session. Flipping it aborts the
+/// statement currently running (or the next one to start) on that
+/// session; the session clears the flag once a statement has consumed it.
+#[derive(Debug, Clone, Default)]
+pub struct CancelHandle {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancelHandle {
+    /// A fresh, unset handle.
+    pub fn new() -> CancelHandle {
+        CancelHandle::default()
+    }
+
+    /// Requests cancellation. Sticky until a statement consumes it.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation is currently requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Relaxed)
+    }
+
+    /// Clears the request (the session does this after a statement
+    /// reports [`Interrupt::Cancelled`], so the *next* statement runs).
+    pub fn clear(&self) {
+        self.flag.store(false, Ordering::Relaxed);
+    }
+}
+
+/// Mint-time limits for a [`QueryCtx`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct QueryLimits {
+    /// Statement timeout; `None` = no deadline.
+    pub timeout_ms: Option<u64>,
+    /// Memory budget in bytes; `0` = unlimited.
+    pub mem_limit_bytes: u64,
+    /// Deterministic trip point for kill-matrix tests: the N-th `check`
+    /// (1-based, counted across all threads) reports `Cancelled`. Arming
+    /// with `u64::MAX` counts checks without ever tripping (the dry-run
+    /// mode that enumerates a statement's cancellation points).
+    pub cancel_after_checks: Option<u64>,
+}
+
+#[derive(Debug)]
+struct QueryInner {
+    cancel: CancelHandle,
+    deadline: Option<Instant>,
+    timeout_ms: u64,
+    mem_limit: u64,
+    mem_used: AtomicU64,
+    /// Checks observed so far; only counted while a trip point is armed,
+    /// so the unarmed fast path is a single branch.
+    checks: AtomicU64,
+    /// 1-based check ordinal that trips, `u64::MAX` = count only, `0`
+    /// (via `None`) = don't even count.
+    trip_at: u64,
+    count_checks: bool,
+}
+
+/// The per-statement lifecycle context. Cheap to clone (one `Arc`); every
+/// layer of a statement's pipeline holds the same underlying state.
+#[derive(Debug, Clone)]
+pub struct QueryCtx {
+    inner: Arc<QueryInner>,
+}
+
+impl QueryCtx {
+    /// A context with no cancellation source, no deadline and no budget —
+    /// `check` always passes. Used by internal scans (catalog walks,
+    /// recovery) and as the default for [`crate::batch`]-free serial
+    /// paths.
+    pub fn unbounded() -> QueryCtx {
+        QueryCtx::with_limits(CancelHandle::new(), &QueryLimits::default())
+    }
+
+    /// A context wired to `cancel` with `limits` applied. The deadline is
+    /// computed *now*, so mint the context when the statement starts.
+    pub fn with_limits(cancel: CancelHandle, limits: &QueryLimits) -> QueryCtx {
+        QueryCtx {
+            inner: Arc::new(QueryInner {
+                cancel,
+                deadline: limits
+                    .timeout_ms
+                    .map(|ms| Instant::now() + Duration::from_millis(ms)),
+                timeout_ms: limits.timeout_ms.unwrap_or(0),
+                mem_limit: limits.mem_limit_bytes,
+                mem_used: AtomicU64::new(0),
+                checks: AtomicU64::new(0),
+                trip_at: limits.cancel_after_checks.unwrap_or(0),
+                count_checks: limits.cancel_after_checks.is_some(),
+            }),
+        }
+    }
+
+    /// The one cancellation poll. Called at every batch flush, leaf-walk
+    /// step, row-interpreter iteration and worker start. Relaxed-atomic
+    /// cheap when nothing is armed.
+    pub fn check(&self) -> Result<(), Interrupt> {
+        let i = &*self.inner;
+        if i.count_checks {
+            let n = i.checks.fetch_add(1, Ordering::Relaxed) + 1;
+            if n >= i.trip_at {
+                return Err(Interrupt::Cancelled);
+            }
+        }
+        if i.cancel.is_cancelled() {
+            return Err(Interrupt::Cancelled);
+        }
+        if let Some(d) = i.deadline {
+            if Instant::now() >= d {
+                return Err(Interrupt::Timeout {
+                    timeout_ms: i.timeout_ms,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `bytes` against the memory budget (cumulative, monotonic:
+    /// the accountant tracks total allocation pressure, not live bytes,
+    /// so charging is a single `fetch_add` with no free-side bookkeeping).
+    pub fn charge(&self, bytes: u64) -> Result<(), Interrupt> {
+        let used = self.inner.mem_used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if self.inner.mem_limit != 0 && used > self.inner.mem_limit {
+            return Err(Interrupt::MemExceeded {
+                used,
+                limit: self.inner.mem_limit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Bytes charged so far.
+    pub fn mem_used(&self) -> u64 {
+        self.inner.mem_used.load(Ordering::Relaxed)
+    }
+
+    /// Checks observed so far. Zero unless `cancel_after_checks` armed
+    /// counting; the kill matrix reads this off a `u64::MAX` dry run to
+    /// enumerate trip points.
+    pub fn checks(&self) -> u64 {
+        self.inner.checks.load(Ordering::Relaxed)
+    }
+
+    /// The armed deadline, if any (the scheduler bounds its admission
+    /// wait against it).
+    pub fn deadline(&self) -> Option<Instant> {
+        self.inner.deadline
+    }
+
+    /// The statement timeout in milliseconds (0 when no deadline is
+    /// armed) — error-payload companion to [`QueryCtx::deadline`].
+    pub fn timeout_ms(&self) -> u64 {
+        self.inner.timeout_ms
+    }
+}
+
+impl Default for QueryCtx {
+    fn default() -> Self {
+        QueryCtx::unbounded()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_always_passes() {
+        let q = QueryCtx::unbounded();
+        for _ in 0..1000 {
+            assert_eq!(q.check(), Ok(()));
+        }
+        assert_eq!(q.checks(), 0, "unarmed checks are not counted");
+    }
+
+    #[test]
+    fn cancel_handle_trips_check() {
+        let h = CancelHandle::new();
+        let q = QueryCtx::with_limits(h.clone(), &QueryLimits::default());
+        assert_eq!(q.check(), Ok(()));
+        h.cancel();
+        assert_eq!(q.check(), Err(Interrupt::Cancelled));
+        // Sticky until cleared.
+        assert_eq!(q.check(), Err(Interrupt::Cancelled));
+        h.clear();
+        assert_eq!(q.check(), Ok(()));
+    }
+
+    #[test]
+    fn deadline_trips_with_timeout_payload() {
+        let q = QueryCtx::with_limits(
+            CancelHandle::new(),
+            &QueryLimits {
+                timeout_ms: Some(0),
+                ..QueryLimits::default()
+            },
+        );
+        assert_eq!(q.check(), Err(Interrupt::Timeout { timeout_ms: 0 }));
+    }
+
+    #[test]
+    fn budget_charges_cumulatively() {
+        let q = QueryCtx::with_limits(
+            CancelHandle::new(),
+            &QueryLimits {
+                mem_limit_bytes: 100,
+                ..QueryLimits::default()
+            },
+        );
+        assert_eq!(q.charge(60), Ok(()));
+        assert_eq!(q.charge(40), Ok(()));
+        assert_eq!(
+            q.charge(1),
+            Err(Interrupt::MemExceeded {
+                used: 101,
+                limit: 100
+            })
+        );
+        assert_eq!(q.mem_used(), 101);
+    }
+
+    #[test]
+    fn trip_point_fires_on_exact_check() {
+        let q = QueryCtx::with_limits(
+            CancelHandle::new(),
+            &QueryLimits {
+                cancel_after_checks: Some(3),
+                ..QueryLimits::default()
+            },
+        );
+        assert_eq!(q.check(), Ok(()));
+        assert_eq!(q.check(), Ok(()));
+        assert_eq!(q.check(), Err(Interrupt::Cancelled));
+        assert_eq!(q.checks(), 3);
+    }
+
+    #[test]
+    fn count_only_mode_never_trips() {
+        let q = QueryCtx::with_limits(
+            CancelHandle::new(),
+            &QueryLimits {
+                cancel_after_checks: Some(u64::MAX),
+                ..QueryLimits::default()
+            },
+        );
+        for _ in 0..100 {
+            assert_eq!(q.check(), Ok(()));
+        }
+        assert_eq!(q.checks(), 100);
+    }
+}

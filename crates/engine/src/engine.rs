@@ -27,9 +27,12 @@
 use crate::aggregate::UdaRegistry;
 use crate::hosting::HostingModel;
 use crate::plancache::{PlanCache, PlanCacheStats, DEFAULT_PLAN_CACHE_CAPACITY};
-use crate::sched::{configured_worker_budget, DopScheduler, SchedStats};
+use crate::sched::{
+    configured_admission_queue_cap, configured_worker_budget, DopScheduler, SchedStats,
+};
 use crate::session::{Database, Session};
 use crate::udf::UdfRegistry;
+use sqlarray_core::sync::{read_unpoisoned, write_unpoisoned};
 use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// Construction-time tuning for an [`Engine`].
@@ -40,6 +43,10 @@ pub struct EngineConfig {
     pub worker_budget: usize,
     /// Parsed batches the plan cache retains.
     pub plan_cache_capacity: usize,
+    /// Statements admission control will queue before refusing further
+    /// arrivals with [`crate::EngineError::Overloaded`]
+    /// (`SQLARRAY_ADMISSION_QUEUE`).
+    pub admission_queue_cap: usize,
 }
 
 impl Default for EngineConfig {
@@ -47,6 +54,7 @@ impl Default for EngineConfig {
         EngineConfig {
             worker_budget: configured_worker_budget(),
             plan_cache_capacity: DEFAULT_PLAN_CACHE_CAPACITY,
+            admission_queue_cap: configured_admission_queue_cap(),
         }
     }
 }
@@ -84,6 +92,7 @@ impl Engine {
         let mut udfs = UdfRegistry::new();
         crate::arraybind::register_all(&mut udfs);
         crate::mathfn::register_math(&mut udfs);
+        crate::faultfn::register_faults(&mut udfs);
         let mut udas = UdaRegistry::new();
         udas.register_array_aggregates();
         Arc::new(Engine {
@@ -91,7 +100,7 @@ impl Engine {
             udfs,
             udas,
             plans: PlanCache::new(config.plan_cache_capacity),
-            sched: DopScheduler::new(config.worker_budget),
+            sched: DopScheduler::with_queue_cap(config.worker_budget, config.admission_queue_cap),
         })
     }
 
@@ -109,17 +118,19 @@ impl Engine {
     /// reader, excluded only by a writer. Hold it no longer than one
     /// statement.
     pub fn db(&self) -> RwLockReadGuard<'_, Database> {
-        // Poisoning: a panicking statement poisons the lock; the data it
+        // Recover-on-poison ([`sqlarray_core::sync`]): the data this lock
         // guards is only reachable through committed WAL state, so
         // continuing with the inner value is sound (recovery semantics
-        // are the WAL's, not the lock's).
-        self.db.read().unwrap_or_else(|e| e.into_inner())
+        // are the WAL's, not the lock's) — and scan-worker panics are
+        // already contained at the fan-out boundary before they could
+        // unwind through a guard.
+        read_unpoisoned(&self.db)
     }
 
     /// Exclusive write access to the database (the single-writer half of
     /// the isolation scheme).
     pub fn db_mut(&self) -> RwLockWriteGuard<'_, Database> {
-        self.db.write().unwrap_or_else(|e| e.into_inner())
+        write_unpoisoned(&self.db)
     }
 
     /// The shared scalar-UDF registry.

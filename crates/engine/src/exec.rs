@@ -203,6 +203,15 @@ pub struct ExecCtx<'a> {
     /// when the statement came through it. `None` (ad-hoc execution)
     /// compiles fresh.
     pub cached: Option<&'a crate::plancache::SelectSlot>,
+    /// The statement's lifecycle context: cancellation, deadline, memory
+    /// budget. Stamped into the scan context so every worker's reader
+    /// polls it.
+    pub query: sqlarray_core::QueryCtx,
+    /// Where the executor deposits the statement's measurements when it
+    /// aborts (cancel/timeout/budget/panic): the counters of the work
+    /// actually performed, which the happy path would have returned
+    /// inside [`QueryResult`].
+    pub partial: &'a mut Option<QueryStats>,
 }
 
 /// Everything UPDATE/DELETE need besides the statement.
@@ -224,6 +233,13 @@ pub struct DmlCtx<'a> {
     pub vars: &'a HashMap<String, Value>,
     /// Maximum degree of parallelism for the match-phase scan (≥ 1).
     pub dop: usize,
+    /// The statement's lifecycle context. Polled throughout the parallel
+    /// match phase; the serial apply phase deliberately ignores it — once
+    /// the first page mutates, the statement runs to its commit, so an
+    /// abort can never leave a half-applied update behind.
+    pub query: sqlarray_core::QueryCtx,
+    /// Measurements of an aborted match phase (see [`ExecCtx::partial`]).
+    pub partial: &'a mut Option<QueryStats>,
 }
 
 /// Rewrites scalar-function calls that name a registered UDA into
@@ -601,6 +617,19 @@ struct ScanJob<'a> {
     batch_rows: usize,
 }
 
+/// Renders a caught panic payload for [`EngineError::WorkerPanicked`].
+/// `panic!` with a literal carries `&str`, with a format string carries
+/// `String`; anything else (a `panic_any` payload) gets a fixed label.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked with a non-string payload".to_string()
+    }
+}
+
 /// Runs one partition to completion on the current thread. Workers share
 /// nothing mutable: each owns its reader, hosting fork, and accumulators.
 /// The body runs under [`sqlarray_core::parallel::with_serial_kernels`]:
@@ -634,14 +663,24 @@ fn scan_worker_inner(
     let mut reader = job.store.reader(job.scan, partition_index);
     let mut rows_scanned = 0u64;
     let mut batches = 0u64;
-    let out = scan_worker_body(
-        job,
-        part,
-        &mut reader,
-        &mut hosting,
-        &mut rows_scanned,
-        &mut batches,
-    );
+    // The panic boundary wraps only the body, not the reader: a worker
+    // that panics mid-row still folds its I/O counters back through
+    // `reader.finish()` below, so the pool and the session's accounting
+    // stay consistent — and the unwind never crosses a lock guard (the
+    // coordinator holds them), so no lock is poisoned by a buggy UDF.
+    let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        scan_worker_body(
+            job,
+            part,
+            &mut reader,
+            &mut hosting,
+            &mut rows_scanned,
+            &mut batches,
+        )
+    })) {
+        Ok(out) => out,
+        Err(p) => Err(EngineError::WorkerPanicked(panic_message(p.as_ref()))),
+    };
     WorkerScan {
         rows_scanned,
         batches,
@@ -665,6 +704,10 @@ fn scan_worker_body(
         return scan_worker_body_batch(job, plan, part, reader, hosting, rows_scanned, batches);
     }
     let mut inner_err: Option<EngineError> = None;
+    // Owned handle on the statement's lifecycle for the charge sites
+    // inside the row closures, where `reader` is re-borrowed into the
+    // evaluation environment.
+    let query = reader.query().clone();
 
     let out = if job.has_aggregate {
         let mut group_index: HashMap<GroupKey, usize> = HashMap::new();
@@ -688,6 +731,7 @@ fn scan_worker_body(
             let mut group_key = GroupKey::default();
             job.table
                 .scan_partition(reader, part, |reader, key, bytes| {
+                    reader.check_interrupt()?;
                     *rows_scanned += 1;
                     let row = RowCtx {
                         schema: job.schema,
@@ -721,6 +765,16 @@ fn scan_worker_body(
                             match group_index.get(group_key) {
                                 Some(&i) => i,
                                 None => {
+                                    // Aggregation state is the memory a
+                                    // grouped scan actually accumulates:
+                                    // charge each new group's key (stored
+                                    // twice — order list and index) plus
+                                    // its accumulator row.
+                                    query.charge(
+                                        (2 * group_key.0.len()
+                                            + job.items.len() * std::mem::size_of::<ItemAcc>())
+                                            as u64,
+                                    )?;
                                     let accs = job
                                         .items
                                         .iter()
@@ -758,6 +812,7 @@ fn scan_worker_body(
             let hosting = &mut *hosting;
             job.table
                 .scan_partition(reader, part, |reader, key, bytes| {
+                    reader.check_interrupt()?;
                     *rows_scanned += 1;
                     if rows.len() >= job.limit {
                         return Ok(false);
@@ -826,6 +881,21 @@ fn scan_worker_body_batch(
     let mut batch = sqlarray_storage::row::new_batch(job.schema, &plan.cols)?;
     let mut sel: Vec<u32> = Vec::new();
     let mut scratch: Vec<u32> = Vec::new();
+    let query = reader.query().clone();
+    // Batch lanes are reused across flushes, so the budget charge is the
+    // high-water mark of the decoded batch, not its size times flushes:
+    // only growth beyond what this worker already charged costs budget.
+    let mut charged_batch_bytes = 0u64;
+    let mut charge_batch = |q: &sqlarray_core::QueryCtx,
+                            b: &sqlarray_core::batch::Batch|
+     -> std::result::Result<(), sqlarray_core::Interrupt> {
+        let size = b.byte_size();
+        if size > charged_batch_bytes {
+            q.charge(size - charged_batch_bytes)?;
+            charged_batch_bytes = size;
+        }
+        Ok(())
+    };
 
     let out = if job.has_aggregate {
         // Compiled aggregate plans are always the single global group
@@ -844,10 +914,12 @@ fn scan_worker_body_batch(
                 leaf_aligned: plan.leaf_aligned,
             },
             &mut batch,
-            |_, b| {
+            |reader, b| {
+                reader.check_interrupt()?;
                 *rows_scanned += b.len() as u64;
                 *batches += 1;
                 let step = (|| -> Result<()> {
+                    charge_batch(&query, b)?;
                     sqlarray_core::batch::identity_selection(&mut sel, b.len());
                     if let Some(f) = &plan.filter {
                         crate::batch::apply_filter(f, b, &mut sel, &mut scratch)?;
@@ -894,6 +966,7 @@ fn scan_worker_body_batch(
                 },
                 &mut batch,
                 |reader, b| {
+                    reader.check_interrupt()?;
                     *rows_scanned += b.len() as u64;
                     *batches += 1;
                     if rows.len() >= job.limit {
@@ -906,6 +979,7 @@ fn scan_worker_body_batch(
                         lobs: Some(reader),
                     };
                     let step = (|| -> Result<()> {
+                        charge_batch(&query, b)?;
                         sqlarray_core::batch::identity_selection(&mut sel, b.len());
                         if let Some(f) = &plan.filter {
                             crate::batch::apply_filter(f, b, &mut sel, &mut scratch)?;
@@ -1133,7 +1207,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             // handle scan workers use — and its I/O folds back like any
             // one-worker scan. Counters fold even when evaluation errors,
             // so the pool and the stats stay consistent with each other.
-            let scan = ctx.store.begin_scan();
+            let scan = ctx.store.begin_scan_for(ctx.query.clone());
             let mut r = ctx.store.reader(&scan, 0);
             let evaluated = (|| -> Result<Vec<Value>> {
                 let mut env = EvalEnv {
@@ -1160,7 +1234,7 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
                 .ok_or_else(|| EngineError::Unknown(format!("table `{table_name}`")))?;
             let schema = table.schema().clone();
             let parts = table.partition(ctx.store, ctx.dop.max(1))?;
-            let scan = ctx.store.begin_scan();
+            let scan = ctx.store.begin_scan_for(ctx.query.clone());
             let limit = stmt.top.unwrap_or(ctx.row_limit);
             // Vectorized by default: scans run batch-at-a-time whenever
             // the plan compiles; `batch_rows == 0` (or a plan that does
@@ -1254,6 +1328,30 @@ pub fn exec_select(ctx: &mut ExecCtx<'_>, stmt: &SelectStmt) -> Result<QueryResu
             // and advances the simulated head to the last physical read.
             ctx.store.finish_scan(scan_ios.iter());
             if let Some(e) = first_err {
+                // Every counter above already folded (the pool saw the
+                // reads), so an aborted statement still reports what it
+                // did before the abort — the ISSUE's "partial stats"
+                // contract for cancel/timeout/budget/panic.
+                let wall_seconds = t0.elapsed().as_secs_f64();
+                let io = ctx.store.stats().since(&io_before);
+                let sim_io_seconds = ctx.store.profile().io_seconds(&io);
+                *ctx.partial = Some(QueryStats {
+                    rows_scanned,
+                    batches: batches_total,
+                    batch_fill: if batches_total > 0 {
+                        rows_scanned as f64 / batches_total as f64
+                    } else {
+                        0.0
+                    },
+                    udf_calls: ctx.hosting.calls(),
+                    udf_overhead_ns: ctx.hosting.charged_ns(),
+                    cpu_seconds,
+                    wall_seconds,
+                    dop: dop_used,
+                    io,
+                    sim_io_seconds,
+                    rows_affected: 0,
+                });
                 return Err(e);
             }
 
@@ -1529,7 +1627,15 @@ fn dml_worker_inner(
     let t0 = Instant::now();
     let mut reader = job.store.reader(job.scan, partition_index);
     let mut rows_scanned = 0u64;
-    let out = dml_worker_body(job, part, &mut reader, &mut hosting, &mut rows_scanned);
+    // Same panic boundary as `scan_worker_inner`: the match phase is
+    // read-only, so a contained panic aborts the statement before any
+    // page or WAL byte changes.
+    let out = match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        dml_worker_body(job, part, &mut reader, &mut hosting, &mut rows_scanned)
+    })) {
+        Ok(out) => out,
+        Err(p) => Err(EngineError::WorkerPanicked(panic_message(p.as_ref()))),
+    };
     DmlWorker {
         rows_scanned,
         scan_io: reader.finish(),
@@ -1553,6 +1659,7 @@ fn dml_worker_body(
         let hosting = &mut *hosting;
         job.table
             .scan_partition(reader, part, |reader, key, bytes| {
+                reader.check_interrupt()?;
                 *rows_scanned += 1;
                 let row = RowCtx {
                     schema: job.schema,
@@ -1769,7 +1876,7 @@ fn exec_dml(
 
     // --- Match phase (parallel, read-only) -----------------------------
     let parts = table.partition(ctx.store, ctx.dop.max(1))?;
-    let scan = ctx.store.begin_scan();
+    let scan = ctx.store.begin_scan_for(ctx.query.clone());
     let job = DmlJob {
         table: &table,
         schema: &schema,
@@ -1821,6 +1928,25 @@ fn exec_dml(
     }
     ctx.store.finish_scan(scan_ios.iter());
     if let Some(e) = first_err {
+        // A match-phase abort reports its partial measurements like an
+        // aborted SELECT. No page or WAL byte has changed yet, so
+        // `rows_affected` is honestly zero.
+        let wall_seconds = t0.elapsed().as_secs_f64();
+        let io = ctx.store.stats().since(&io_before);
+        let sim_io_seconds = ctx.store.profile().io_seconds(&io);
+        *ctx.partial = Some(QueryStats {
+            rows_scanned,
+            batches: 0,
+            batch_fill: 0.0,
+            udf_calls: ctx.hosting.calls(),
+            udf_overhead_ns: ctx.hosting.charged_ns(),
+            cpu_seconds,
+            wall_seconds,
+            dop: dop_used,
+            io,
+            sim_io_seconds,
+            rows_affected: 0,
+        });
         return Err(e);
     }
 

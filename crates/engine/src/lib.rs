@@ -25,6 +25,7 @@ mod batch;
 pub mod engine;
 pub mod exec;
 pub mod expr;
+pub mod faultfn;
 pub mod hosting;
 pub mod mathfn;
 pub mod plancache;
@@ -44,6 +45,7 @@ pub use mathfn::{fft_array, gesvd_array, ifft_array, power_spectrum_array};
 pub use plancache::{PlanCache, PlanCacheStats};
 pub use sched::{DopScheduler, DopTicket, SchedStats};
 pub use session::{Database, Prepared, Session};
+pub use sqlarray_core::lifecycle::{CancelHandle, Interrupt, QueryCtx, QueryLimits};
 pub use sugar::{desugar, SugarTypes};
 pub use udf::UdfRegistry;
 pub use value::{EngineError, Value};

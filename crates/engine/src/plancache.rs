@@ -125,9 +125,9 @@ impl SelectSlot {
     }
 
     fn state(&self) -> MutexGuard<'_, SlotState> {
-        // Poisoning is unreachable: the critical sections below are
-        // straight-line assignments and clones.
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        // Straight-line assignments and clones only under the guard; the
+        // repo-wide recover-on-poison policy (sqlarray_core::sync) holds.
+        sqlarray_core::sync::lock_unpoisoned(&self.state)
     }
 
     /// Returns the compiled plan for this statement, compiling through
@@ -208,9 +208,10 @@ impl PlanCache {
     }
 
     fn state(&self) -> MutexGuard<'_, CacheState> {
-        // Poisoning is unreachable: no user code runs under the guard
-        // (parsing happens before the insert lock below).
-        self.state.lock().unwrap_or_else(|e| e.into_inner())
+        // No user code runs under the guard (parsing happens before the
+        // insert lock below); the repo-wide recover-on-poison policy
+        // (sqlarray_core::sync) holds.
+        sqlarray_core::sync::lock_unpoisoned(&self.state)
     }
 
     /// Looks `sql` up by normalized text, parsing and inserting on miss.

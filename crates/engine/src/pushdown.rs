@@ -162,6 +162,12 @@ pub(crate) fn resolve_lob_in_place(v: &mut Value, env: &mut EvalEnv<'_>) -> Resu
     let Some(reader) = env.lobs.as_deref_mut() else {
         return Err(EngineError::UnresolvedLob { id, len });
     };
+    // Materializing a stored chain is the single largest allocation a
+    // row can force; charge it against the statement's memory budget
+    // before reading a byte.
+    if let Some(q) = reader.lifecycle() {
+        q.charge(len)?;
+    }
     let bytes = blob::read_blob(reader, id)?;
     assert_eq!(bytes.len(), len as usize);
     *v = Value::Bytes(bytes);

@@ -9,7 +9,8 @@
 use crate::aggregate::{UdaMode, UdaRegistry};
 use crate::engine::Engine;
 use crate::exec::{
-    exec_delete, exec_select, exec_update, DmlCtx, ExecCtx, QueryResult, DEFAULT_ROW_LIMIT,
+    exec_delete, exec_select, exec_update, DmlCtx, ExecCtx, QueryResult, QueryStats,
+    DEFAULT_ROW_LIMIT,
 };
 use crate::expr::{eval, EvalEnv};
 use crate::hosting::HostingModel;
@@ -18,6 +19,7 @@ use crate::tsql::Stmt;
 use crate::udf::UdfRegistry;
 use crate::value::{EngineError, Result, Value};
 use sqlarray_core::le;
+use sqlarray_core::lifecycle::{CancelHandle, QueryCtx, QueryLimits};
 use sqlarray_storage::{ColType, DiskImage, PageStore, Recovery, RowValue, Schema, Table};
 use std::collections::HashMap;
 use std::sync::{Arc, RwLockReadGuard, RwLockWriteGuard};
@@ -242,6 +244,21 @@ fn configured_batch_rows() -> usize {
         .unwrap_or(sqlarray_core::batch::DEFAULT_BATCH_ROWS)
 }
 
+/// The session default statement timeout: `SQLARRAY_STATEMENT_TIMEOUT_MS`
+/// when set and non-zero, otherwise no deadline.
+fn configured_statement_timeout_ms() -> Option<u64> {
+    sqlarray_core::env_usize("SQLARRAY_STATEMENT_TIMEOUT_MS")
+        .filter(|&ms| ms > 0)
+        .map(|ms| ms as u64)
+}
+
+/// The session default per-statement memory budget:
+/// `SQLARRAY_QUERY_MEM_BYTES` when set (0 = unlimited), otherwise
+/// unlimited.
+fn configured_query_mem_bytes() -> u64 {
+    sqlarray_core::env_usize("SQLARRAY_QUERY_MEM_BYTES").unwrap_or(0) as u64
+}
+
 /// A prepared statement: the batch's cached parse (and, per SELECT, its
 /// compiled-plan slot) pinned so repeated executions skip both the cache
 /// lookup and — for var-free statements — recompilation. Cheap to clone;
@@ -279,6 +296,22 @@ pub struct Session {
     /// query row-at-a-time.
     batch_rows: usize,
     vars: HashMap<String, Value>,
+    /// The cancellation flag every statement of this session polls;
+    /// [`Session::cancel_handle`] clones it out for other threads.
+    cancel: CancelHandle,
+    /// Statement timeout; `None` = no deadline.
+    statement_timeout_ms: Option<u64>,
+    /// Per-statement memory budget in bytes; 0 = unlimited.
+    query_mem_bytes: u64,
+    /// Kill-matrix knob: trip the N-th lifecycle check of the next
+    /// statements ([`QueryLimits::cancel_after_checks`]).
+    cancel_after_checks: Option<u64>,
+    /// Measurements of the most recent *aborted* statement (cancel,
+    /// timeout, budget, worker panic); `None` after a successful one.
+    last_partial: Option<QueryStats>,
+    /// Lifecycle context of the most recent statement — exposes its
+    /// check count and charged bytes after the fact.
+    last_query: Option<QueryCtx>,
 }
 
 impl Session {
@@ -304,6 +337,12 @@ impl Session {
             dop: sqlarray_core::parallel::configured_dop(),
             batch_rows: configured_batch_rows(),
             vars: HashMap::new(),
+            cancel: CancelHandle::new(),
+            statement_timeout_ms: configured_statement_timeout_ms(),
+            query_mem_bytes: configured_query_mem_bytes(),
+            cancel_after_checks: None,
+            last_partial: None,
+            last_query: None,
         }
     }
 
@@ -365,6 +404,90 @@ impl Session {
     /// interpreter; results are bit-identical at every setting.
     pub fn set_batch_rows(&mut self, rows: usize) {
         self.batch_rows = rows;
+    }
+
+    /// A cancellation handle for this session's statements. Clone-cheap
+    /// and thread-safe: call [`CancelHandle::cancel`] from any thread to
+    /// abort the statement currently running (or the next one to start)
+    /// with [`EngineError::Cancelled`]. The session clears the flag once
+    /// a statement has consumed it, so subsequent statements run.
+    pub fn cancel_handle(&self) -> CancelHandle {
+        self.cancel.clone()
+    }
+
+    /// The statement timeout, milliseconds; `None` = no deadline.
+    /// Defaults to `SQLARRAY_STATEMENT_TIMEOUT_MS` (unset or 0 = none).
+    pub fn statement_timeout_ms(&self) -> Option<u64> {
+        self.statement_timeout_ms
+    }
+
+    /// Sets the statement timeout. A statement past its deadline aborts
+    /// with [`EngineError::Timeout`] within one batch worth of work —
+    /// including while it is still queued for admission.
+    pub fn set_statement_timeout_ms(&mut self, ms: Option<u64>) {
+        self.statement_timeout_ms = ms.filter(|&ms| ms > 0);
+    }
+
+    /// The per-statement memory budget in bytes; 0 = unlimited. Defaults
+    /// to `SQLARRAY_QUERY_MEM_BYTES`.
+    pub fn query_mem_bytes(&self) -> u64 {
+        self.query_mem_bytes
+    }
+
+    /// Sets the per-statement memory budget. Statements whose cumulative
+    /// charges (batch lanes, aggregation state, LOB materialization)
+    /// exceed it abort with [`EngineError::ResourceExhausted`].
+    pub fn set_query_mem_bytes(&mut self, bytes: u64) {
+        self.query_mem_bytes = bytes;
+    }
+
+    /// Arms a deterministic trip point for the kill-matrix tests: the
+    /// N-th lifecycle check of each following statement reports
+    /// cancellation ([`QueryLimits::cancel_after_checks`]; `u64::MAX`
+    /// counts checks without tripping). `None` disarms.
+    pub fn set_cancel_after_checks(&mut self, n: Option<u64>) {
+        self.cancel_after_checks = n;
+    }
+
+    /// Measurements of the most recent aborted statement — the partial
+    /// work a cancel/timeout/budget/panic abort left behind. `None` when
+    /// the last statement succeeded (its stats ride in its
+    /// [`QueryResult`]) or failed before reaching the executor.
+    pub fn partial_stats(&self) -> Option<&QueryStats> {
+        self.last_partial.as_ref()
+    }
+
+    /// The lifecycle context of the most recent statement: its observed
+    /// check count (when counting was armed) and charged bytes.
+    pub fn last_query_ctx(&self) -> Option<&QueryCtx> {
+        self.last_query.as_ref()
+    }
+
+    /// Mints the lifecycle context for one statement. Minting happens at
+    /// statement start so the deadline measures statement time (admission
+    /// wait included), not batch time.
+    fn mint_query(&mut self) -> QueryCtx {
+        let query = QueryCtx::with_limits(
+            self.cancel.clone(),
+            &QueryLimits {
+                timeout_ms: self.statement_timeout_ms,
+                mem_limit_bytes: self.query_mem_bytes,
+                cancel_after_checks: self.cancel_after_checks,
+            },
+        );
+        self.last_partial = None;
+        self.last_query = Some(query.clone());
+        query
+    }
+
+    /// A statement that reports [`EngineError::Cancelled`] has consumed
+    /// the session's cancel request: clear the sticky flag so the *next*
+    /// statement runs instead of aborting instantly.
+    fn settle<T>(&mut self, r: Result<T>) -> Result<T> {
+        if let Err(EngineError::Cancelled) = &r {
+            self.cancel.clear();
+        }
+        r
     }
 
     /// Reads a session variable (case-insensitive, no allocation for
@@ -431,28 +554,38 @@ impl Session {
                     self.vars.insert(key, v);
                 }
                 Stmt::Select(sel) => {
-                    let result = {
+                    let query = self.mint_query();
+                    let outcome = {
                         // Ticket before lock: a queued session must not
                         // hold the database lock while it waits, or it
                         // would block the very writers whose release
-                        // frees the budget.
-                        let ticket = self.engine.sched().acquire(self.dop);
-                        let db = self.engine.db();
-                        let mut ctx = ExecCtx {
-                            store: &db.store,
-                            tables: &db.tables,
-                            udfs: self.engine.udfs(),
-                            udas: self.engine.udas(),
-                            hosting: &mut self.hosting,
-                            vars: &self.vars,
-                            uda_mode: self.uda_mode,
-                            row_limit: self.row_limit,
-                            dop: ticket.granted(),
-                            batch_rows: self.batch_rows,
-                            cached: cached.slot(i),
-                        };
-                        exec_select(&mut ctx, sel)?
+                        // frees the budget. The admission wait itself
+                        // polls the statement's lifecycle (deadline,
+                        // cancel) and can refuse with a typed error.
+                        match self.engine.sched().acquire(self.dop, &query) {
+                            Err(e) => Err(e),
+                            Ok(ticket) => {
+                                let db = self.engine.db();
+                                let mut ctx = ExecCtx {
+                                    store: &db.store,
+                                    tables: &db.tables,
+                                    udfs: self.engine.udfs(),
+                                    udas: self.engine.udas(),
+                                    hosting: &mut self.hosting,
+                                    vars: &self.vars,
+                                    uda_mode: self.uda_mode,
+                                    row_limit: self.row_limit,
+                                    dop: ticket.granted(),
+                                    batch_rows: self.batch_rows,
+                                    cached: cached.slot(i),
+                                    query: query.clone(),
+                                    partial: &mut self.last_partial,
+                                };
+                                exec_select(&mut ctx, sel)
+                            }
+                        }
                     };
+                    let result = self.settle(outcome)?;
                     for (name, v) in &result.assignments {
                         self.vars.insert(name.to_ascii_lowercase(), v.clone());
                     }
@@ -478,24 +611,39 @@ impl Session {
         &mut self,
         f: impl FnOnce(&mut DmlCtx<'_>) -> Result<QueryResult>,
     ) -> Result<QueryResult> {
-        let ticket = self.engine.sched().acquire(self.dop);
-        let mut guard = self.engine.db_mut();
-        let db = &mut *guard;
-        let result = {
-            let mut ctx = DmlCtx {
-                store: &mut db.store,
-                tables: &mut db.tables,
-                udfs: self.engine.udfs(),
-                hosting: &mut self.hosting,
-                vars: &self.vars,
-                dop: ticket.granted(),
-            };
-            f(&mut ctx)?
+        let query = self.mint_query();
+        let outcome = match self.engine.sched().acquire(self.dop, &query) {
+            Err(e) => Err(e),
+            Ok(ticket) => {
+                let mut guard = self.engine.db_mut();
+                let db = &mut *guard;
+                let result = {
+                    let mut ctx = DmlCtx {
+                        store: &mut db.store,
+                        tables: &mut db.tables,
+                        udfs: self.engine.udfs(),
+                        hosting: &mut self.hosting,
+                        vars: &self.vars,
+                        dop: ticket.granted(),
+                        query: query.clone(),
+                        partial: &mut self.last_partial,
+                    };
+                    f(&mut ctx)
+                };
+                match result {
+                    // Statement-level autocommit: each DML statement is a
+                    // durability point, written while this session is
+                    // still the exclusive owner. An aborted match phase
+                    // commits nothing — no page or WAL byte has changed.
+                    Ok(r) => {
+                        db.commit();
+                        Ok(r)
+                    }
+                    Err(e) => Err(e),
+                }
+            }
         };
-        // Statement-level autocommit: each DML statement is a durability
-        // point, written while this session is still the exclusive owner.
-        db.commit();
-        Ok(result)
+        self.settle(outcome)
     }
 
     /// Executes a batch written in the §8 array-notation sugar (`@a[3]`,

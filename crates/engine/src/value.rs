@@ -71,6 +71,42 @@ pub enum EngineError {
         /// Byte length of the referenced blob.
         len: u64,
     },
+    /// The statement was cancelled through its session's
+    /// [`sqlarray_core::CancelHandle`] (or a test-armed trip point).
+    Cancelled,
+    /// The statement ran past `SQLARRAY_STATEMENT_TIMEOUT_MS` / the
+    /// session's configured timeout.
+    Timeout {
+        /// The timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// The statement's cumulative memory charges (batch lanes,
+    /// aggregation state, LOB materialization) exceeded its budget
+    /// (`SQLARRAY_QUERY_MEM_BYTES`).
+    ResourceExhausted {
+        /// Bytes charged, including the charge that tripped.
+        used: u64,
+        /// The configured budget in bytes.
+        limit: u64,
+    },
+    /// A scan worker panicked; the panic was contained at the fan-out
+    /// boundary (pool accounting folded back, no lock poisoned) and
+    /// carries the panic message.
+    WorkerPanicked(String),
+    /// The statement's deadline expired while it was still queued for
+    /// admission — it never ran.
+    AdmissionTimeout {
+        /// The timeout that expired, in milliseconds.
+        timeout_ms: u64,
+    },
+    /// Admission control refused to queue the statement: the worker
+    /// budget was exhausted and the wait queue was already at its cap.
+    Overloaded {
+        /// Statements already waiting when this one was refused.
+        waiting: usize,
+        /// The configured queue-depth cap.
+        cap: usize,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -90,11 +126,94 @@ impl fmt::Display for EngineError {
                 "unresolved LOB reference (root page {id}, {len} bytes) reached a \
                  non-blob-aware operator"
             ),
+            EngineError::Cancelled => write!(f, "statement cancelled"),
+            EngineError::Timeout { timeout_ms } => {
+                write!(f, "statement timeout ({timeout_ms} ms) exceeded")
+            }
+            EngineError::ResourceExhausted { used, limit } => write!(
+                f,
+                "query memory budget exceeded: {used} bytes charged, limit {limit}"
+            ),
+            EngineError::WorkerPanicked(msg) => {
+                write!(f, "scan worker panicked (contained): {msg}")
+            }
+            EngineError::AdmissionTimeout { timeout_ms } => write!(
+                f,
+                "statement timeout ({timeout_ms} ms) expired while queued for admission"
+            ),
+            EngineError::Overloaded { waiting, cap } => write!(
+                f,
+                "engine overloaded: {waiting} statements already queued (cap {cap})"
+            ),
         }
     }
 }
 
 impl std::error::Error for EngineError {}
+
+impl EngineError {
+    /// Whether retrying the same statement, unchanged, may succeed —
+    /// transient engine conditions (overload, timeouts, contained faults
+    /// of the moment) as opposed to errors that are deterministic
+    /// functions of the statement and the data. The match is exhaustive
+    /// on purpose: a new variant must pick a side.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            EngineError::Timeout { .. }
+            | EngineError::AdmissionTimeout { .. }
+            | EngineError::Overloaded { .. } => true,
+            // Storage wraps both retryable (transient read faults) and
+            // permanent conditions; the string form can't distinguish, so
+            // the conservative answer is no — the typed storage error is
+            // classified before it is flattened here.
+            EngineError::Parse { .. }
+            | EngineError::Unknown(_)
+            | EngineError::Type(_)
+            | EngineError::Arity { .. }
+            | EngineError::Array(_)
+            | EngineError::Storage(_)
+            | EngineError::Unsupported(_)
+            | EngineError::UnresolvedLob { .. }
+            | EngineError::Cancelled
+            | EngineError::ResourceExhausted { .. }
+            | EngineError::WorkerPanicked(_) => false,
+        }
+    }
+
+    /// Whether the error is scoped to the *statement* (caller mistakes,
+    /// the caller's own limits) rather than a sign of engine damage. A
+    /// serving layer keeps the connection open for user errors and may
+    /// tear it down — or alarm — for the rest.
+    pub fn is_user_error(&self) -> bool {
+        match self {
+            EngineError::Parse { .. }
+            | EngineError::Unknown(_)
+            | EngineError::Type(_)
+            | EngineError::Arity { .. }
+            | EngineError::Array(_)
+            | EngineError::Unsupported(_)
+            | EngineError::UnresolvedLob { .. }
+            | EngineError::Cancelled
+            | EngineError::Timeout { .. }
+            | EngineError::ResourceExhausted { .. }
+            | EngineError::AdmissionTimeout { .. }
+            | EngineError::Overloaded { .. } => true,
+            EngineError::Storage(_) | EngineError::WorkerPanicked(_) => false,
+        }
+    }
+}
+
+impl From<sqlarray_core::Interrupt> for EngineError {
+    fn from(i: sqlarray_core::Interrupt) -> Self {
+        match i {
+            sqlarray_core::Interrupt::Cancelled => EngineError::Cancelled,
+            sqlarray_core::Interrupt::Timeout { timeout_ms } => EngineError::Timeout { timeout_ms },
+            sqlarray_core::Interrupt::MemExceeded { used, limit } => {
+                EngineError::ResourceExhausted { used, limit }
+            }
+        }
+    }
+}
 
 impl From<ArrayError> for EngineError {
     fn from(e: ArrayError) -> Self {
@@ -104,7 +223,13 @@ impl From<ArrayError> for EngineError {
 
 impl From<sqlarray_storage::StorageError> for EngineError {
     fn from(e: sqlarray_storage::StorageError) -> Self {
-        EngineError::Storage(e.to_string())
+        match e {
+            // An interrupt detected inside the storage scan keeps its
+            // type across the layer boundary instead of flattening to a
+            // string like ordinary storage failures.
+            sqlarray_storage::StorageError::Interrupted(i) => i.into(),
+            e => EngineError::Storage(e.to_string()),
+        }
     }
 }
 

@@ -16,6 +16,13 @@ fn guard_scoped_out_before_fanout(state: &std::sync::Mutex<u64>, parts: usize) {
     scoped_map_ranges(parts, parts, |r| r.count() + snapshot as usize);
 }
 
+fn funnel_guard_dropped_before_fanout(state: &std::sync::Mutex<u64>, parts: usize) {
+    let st = sqlarray_core::sync::lock_unpoisoned(state);
+    let snapshot = *st;
+    drop(st);
+    scoped_map_ranges(parts, parts, |r| r.count() + snapshot as usize);
+}
+
 fn rwlock_read_guard_is_the_snapshot(db: &std::sync::RwLock<u64>, parts: usize) {
     // The database read guard is *designed* to span the fan-out.
     let guard = db.read().unwrap_or_else(|e| e.into_inner());

@@ -15,3 +15,10 @@ fn guard_held_across_thread_scope(state: &std::sync::Mutex<u64>) {
         s.spawn(|| ());
     });
 }
+
+fn funnel_guard_held_across_fanout(state: &std::sync::Mutex<u64>, parts: usize) {
+    // The poison-policy funnel acquires the same MutexGuard as `.lock()`.
+    let st = sqlarray_core::sync::lock_unpoisoned(state);
+    scoped_map_ranges(parts, parts, |r| r.count());
+    drop(st);
+}

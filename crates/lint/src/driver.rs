@@ -45,7 +45,7 @@ impl Options {
 fn usage() -> String {
     "usage: sqlarray-lint [--format=json|human] [--deny-all] [paths…]\n\
      Lints the workspace's library sources against the repo invariants \
-     (L001–L009). With no paths, walks up to the workspace root and lints \
+     (L001–L010). With no paths, walks up to the workspace root and lints \
      every crate's src/ tree."
         .to_string()
 }

@@ -12,9 +12,12 @@
 //! to span the fan-out (that is the read-snapshot), so only `Mutex`
 //! guards (`.lock()`) are watched, not `.read()`/`.write()`.
 //!
-//! Mechanically: inside the `engine` crate, a `let`-bound `….lock(…)`
-//! guard is live until its binding is `drop(…)`ed or its enclosing block
-//! ends; reaching a fan-out call with any guard live is a finding.
+//! Mechanically: inside the `engine` crate, a `let`-bound `….lock(…)` or
+//! `lock_unpoisoned(…)` guard (the [`sqlarray_core::sync`] poison-policy
+//! funnel acquires the same `MutexGuard`) is live until its binding is
+//! `drop(…)`ed or its enclosing block ends; reaching a fan-out call with
+//! any guard live is a finding. `read_unpoisoned`/`write_unpoisoned` are
+//! exempt for the same reason `.read()`/`.write()` are.
 
 use crate::diag::Finding;
 use crate::lexer::TokKind;
@@ -74,7 +77,10 @@ pub fn check(f: &SourceFile<'_>) -> Vec<Finding> {
                 // within that block, so the outer binding is not a guard.
                 let mut j = n + 1;
                 while j + 2 < f.sig.len() && !f.is_punct(j, ";") && !f.is_punct(j, "{") {
-                    if f.is_punct(j, ".") && f.is_ident(j + 1, "lock") && f.is_punct(j + 2, "(") {
+                    let method_lock =
+                        f.is_punct(j, ".") && f.is_ident(j + 1, "lock") && f.is_punct(j + 2, "(");
+                    let funnel_lock = f.is_ident(j, "lock_unpoisoned") && f.is_punct(j + 1, "(");
+                    if method_lock || funnel_lock {
                         guards.push(Guard {
                             name: name.to_string(),
                             depth,

@@ -13,6 +13,7 @@
 //! | L007 | every `unsafe` block carries a `// SAFETY:` comment | unsafe-audit companion |
 //! | L008 | no per-row heap allocation inside batch-kernel loops | the vectorized path's speedup dies silently if a kernel loop allocates |
 //! | L009 | no mutex guard held across a scan fan-out in engine code | the shared-engine refactor's lock discipline: guard-across-fan-out serializes or deadlocks concurrent sessions |
+//! | L010 | engine scan loops must poll the query lifecycle | PR 10's cancellation contract: a scan loop without `check_interrupt` cannot be killed until its next page fault |
 //!
 //! Suppression: `// lint:allow(L00x, reason = "…")` on the finding's line
 //! or the line above. The reason is mandatory; a malformed or reasonless
@@ -27,13 +28,14 @@ mod l006_lock_order;
 mod l007_safety_comment;
 mod l008_batch_alloc;
 mod l009_guard_across_fanout;
+mod l010_cancel_poll;
 
 use crate::diag::Finding;
 use crate::source::SourceFile;
 
 /// Every rule id this crate knows, in order.
 pub const ALL_RULES: &[&str] = &[
-    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009",
+    "L001", "L002", "L003", "L004", "L005", "L006", "L007", "L008", "L009", "L010",
 ];
 
 /// Builds a [`Finding`] anchored at significant token `k` of `f`.
@@ -67,6 +69,7 @@ pub fn run_all(f: &SourceFile<'_>) -> Vec<Finding> {
     out.extend(l007_safety_comment::check(f));
     out.extend(l008_batch_alloc::check(f));
     out.extend(l009_guard_across_fanout::check(f));
+    out.extend(l010_cancel_poll::check(f));
     out.retain(|d| !f.is_allowed(d.rule, d.line));
     for bad in &f.bad_allows {
         out.push(Finding {

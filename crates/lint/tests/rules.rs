@@ -152,8 +152,10 @@ fn l008_only_watches_the_batch_kernels() {
 #[test]
 fn l009_flags_mutex_guard_held_across_fanout() {
     let pos = include_str!("../fixtures/l009_pos.rs");
-    // One `scoped_map_ranges` and one `thread::scope`, each under a guard.
-    assert_eq!(count("crates/engine/src/fixture.rs", pos, "L009"), 2);
+    // One `scoped_map_ranges` and one `thread::scope` under `.lock()`
+    // guards, plus one `scoped_map_ranges` under a `lock_unpoisoned`
+    // funnel guard.
+    assert_eq!(count("crates/engine/src/fixture.rs", pos, "L009"), 3);
 }
 
 #[test]
@@ -166,6 +168,27 @@ fn l009_silent_on_dropped_scoped_rwlock_and_test_guards() {
 fn l009_only_applies_to_the_engine_crate() {
     let pos = include_str!("../fixtures/l009_pos.rs");
     assert_eq!(count("crates/storage/src/fixture.rs", pos, "L009"), 0);
+}
+
+#[test]
+fn l010_flags_scan_loops_without_lifecycle_poll() {
+    let pos = include_str!("../fixtures/l010_pos.rs");
+    // One unpolled `scan_partition`, one unpolled `scan_partition_batches`.
+    assert_eq!(count("crates/engine/src/fixture.rs", pos, "L010"), 2);
+}
+
+#[test]
+fn l010_silent_on_polling_callbacks_and_tests() {
+    let neg = include_str!("../fixtures/l010_neg.rs");
+    assert_eq!(count("crates/engine/src/fixture.rs", neg, "L010"), 0);
+}
+
+#[test]
+fn l010_only_applies_to_the_engine_crate() {
+    // The storage crate owns the scan drivers (its leaf walk polls per
+    // page read) — the callback rule watches engine call sites only.
+    let pos = include_str!("../fixtures/l010_pos.rs");
+    assert_eq!(count("crates/storage/src/table.rs", pos, "L010"), 0);
 }
 
 #[test]

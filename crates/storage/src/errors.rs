@@ -1,5 +1,6 @@
 //! Storage-engine error type.
 
+use sqlarray_core::lifecycle::Interrupt;
 use std::fmt;
 
 /// Errors raised by the page store, B-trees, blob store and tables.
@@ -45,6 +46,14 @@ pub enum StorageError {
     WalCorrupt { offset: usize, msg: String },
     /// The serialized catalog image in a commit record failed to decode.
     CatalogCorrupt(String),
+    /// The statement driving this read was interrupted (cancellation,
+    /// deadline, or memory budget) — carried typed so the engine can map
+    /// it back to its own `Cancelled`/`Timeout`/`ResourceExhausted`
+    /// variants without string matching.
+    Interrupted(Interrupt),
+    /// A (simulated) transient read fault persisted past the bounded
+    /// retry budget ([`crate::store::MAX_READ_RETRIES`]).
+    ReadFaulted { page: u64, attempts: u32 },
 }
 
 impl fmt::Display for StorageError {
@@ -91,11 +100,72 @@ impl fmt::Display for StorageError {
                 write!(f, "write-ahead log corrupt at record {offset}: {msg}")
             }
             StorageError::CatalogCorrupt(msg) => write!(f, "catalog corrupt: {msg}"),
+            StorageError::Interrupted(i) => write!(f, "{i}"),
+            StorageError::ReadFaulted { page, attempts } => write!(
+                f,
+                "transient read fault on page {page} persisted through {attempts} attempts"
+            ),
         }
     }
 }
 
 impl std::error::Error for StorageError {}
+
+impl StorageError {
+    /// Whether retrying the same operation, unchanged, may succeed — the
+    /// per-statement half of the taxonomy a serving layer needs to decide
+    /// between "retry the statement" and "the data is damaged". The match
+    /// is exhaustive on purpose: adding a variant forces a classification.
+    pub fn is_retryable(&self) -> bool {
+        match self {
+            // Transient by construction: the fault injector (or a real
+            // flaky device) may not fire next time.
+            StorageError::ReadFaulted { .. } => true,
+            // Interrupts answer to the statement's own limits; a fresh
+            // statement gets fresh limits.
+            StorageError::Interrupted(_) => true,
+            // Persistent state or caller mistakes: retrying changes nothing.
+            StorageError::PageOutOfRange { .. }
+            | StorageError::RecordTooLarge { .. }
+            | StorageError::BadSlot { .. }
+            | StorageError::DuplicateKey { .. }
+            | StorageError::KeyNotFound { .. }
+            | StorageError::PageTypeMismatch { .. }
+            | StorageError::BlobRangeOutOfBounds { .. }
+            | StorageError::RowCorrupt(_)
+            | StorageError::BulkLoad(_)
+            | StorageError::SchemaMismatch(_)
+            | StorageError::PageCorrupt { .. }
+            | StorageError::WalTorn { .. }
+            | StorageError::WalCorrupt { .. }
+            | StorageError::CatalogCorrupt(_) => false,
+        }
+    }
+
+    /// Whether the error is the *caller's* (bad key, bad schema, its own
+    /// cancellation) rather than the store's. User errors are
+    /// per-statement: the connection and the database stay healthy.
+    pub fn is_user_error(&self) -> bool {
+        match self {
+            StorageError::DuplicateKey { .. }
+            | StorageError::KeyNotFound { .. }
+            | StorageError::BlobRangeOutOfBounds { .. }
+            | StorageError::SchemaMismatch(_)
+            | StorageError::BulkLoad(_)
+            | StorageError::Interrupted(_) => true,
+            StorageError::PageOutOfRange { .. }
+            | StorageError::RecordTooLarge { .. }
+            | StorageError::BadSlot { .. }
+            | StorageError::PageTypeMismatch { .. }
+            | StorageError::RowCorrupt(_)
+            | StorageError::PageCorrupt { .. }
+            | StorageError::WalTorn { .. }
+            | StorageError::WalCorrupt { .. }
+            | StorageError::CatalogCorrupt(_)
+            | StorageError::ReadFaulted { .. } => false,
+        }
+    }
+}
 
 /// Convenience alias.
 pub type Result<T> = std::result::Result<T, StorageError>;

@@ -114,10 +114,14 @@ impl PoolShard {
 }
 
 /// Locks one pool shard, funneling every acquisition through a single
-/// annotated site.
+/// annotated site. Poison recovery (the repo-wide policy in
+/// [`sqlarray_core::sync`]) is sound here because the pool is pure cache
+/// accounting: scan-worker panics are caught at the fan-out boundary
+/// before they can unwind through pool code, and even a stripe whose
+/// recency bookkeeping was torn by a panic inside the pool itself can
+/// only mis-prioritize evictions, never corrupt page data.
 fn lock_shard(m: &Mutex<PoolShard>) -> std::sync::MutexGuard<'_, PoolShard> {
-    // lint:allow(L005, reason = "a poisoned shard means a worker panicked mid-update and the LRU bookkeeping on that stripe is gone; no caller can repair it, so aborting is the only sound response")
-    m.lock().expect("pool shard poisoned")
+    sqlarray_core::sync::lock_unpoisoned(m)
 }
 
 /// A fixed-capacity, lock-striped, stamp-ordered LRU set of pages — the

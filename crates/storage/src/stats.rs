@@ -25,6 +25,9 @@ pub struct IoStats {
     pub wal_records: u64,
     /// Write-ahead log bytes appended (record framing included).
     pub wal_bytes: u64,
+    /// Transient read faults absorbed by the bounded retry path in the
+    /// pool reader (each count is one retried physical-read attempt).
+    pub transient_retries: u64,
 }
 
 impl IoStats {
@@ -64,6 +67,7 @@ impl IoStats {
         self.pages_written += other.pages_written;
         self.wal_records += other.wal_records;
         self.wal_bytes += other.wal_bytes;
+        self.transient_retries += other.transient_retries;
     }
 
     /// Differences of two snapshots (`self` after, `before` earlier).
@@ -76,6 +80,7 @@ impl IoStats {
             pages_written: self.pages_written - before.pages_written,
             wal_records: self.wal_records - before.wal_records,
             wal_bytes: self.wal_bytes - before.wal_bytes,
+            transient_retries: self.transient_retries - before.transient_retries,
         }
     }
 }

@@ -28,6 +28,8 @@ use crate::page::{PageId, PAGE_SIZE};
 use crate::pool::{pool_stamp, PoolStamp, ShardedLruPool};
 use crate::stats::{DiskProfile, IoStats};
 use crate::wal::{self, WalRecord};
+use sqlarray_core::lifecycle::QueryCtx;
+use sqlarray_core::sync::lock_unpoisoned;
 use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock};
@@ -40,6 +42,13 @@ pub const DEFAULT_POOL_PAGES: usize = 4096;
 /// Auto-checkpoint threshold: a commit whose log has grown past this many
 /// bytes folds the log into a fresh base image and truncates it.
 pub const AUTO_CHECKPOINT_BYTES: usize = 8 * 1024 * 1024;
+
+/// How many times a [`PartitionReader`] re-attempts a physical page read
+/// that hit a (simulated) transient fault before surfacing
+/// [`StorageError::ReadFaulted`]. The bound keeps a persistently failing
+/// device from wedging a scan; the retries themselves are counted in
+/// [`IoStats::transient_retries`].
+pub const MAX_READ_RETRIES: u32 = 3;
 
 /// Checksum of an all-zero page (every fresh allocation starts here).
 fn zero_page_sum() -> u32 {
@@ -141,6 +150,14 @@ pub struct PageStore {
     /// `&self` — which is what lets many sessions scan one shared store
     /// under a read lock.
     acct: Mutex<Acct>,
+    /// Armed transient-read faults remaining (see
+    /// [`arm_read_faults`](Self::arm_read_faults)); atomic so concurrent
+    /// scan workers consume from one deterministic global pool.
+    read_faults: AtomicU64,
+    /// Faults a single physical read consumes at most (the per-read
+    /// "burst"); values above [`MAX_READ_RETRIES`] make a read fail for
+    /// good.
+    read_fault_burst: AtomicU64,
     profile: DiskProfile,
 }
 
@@ -189,16 +206,17 @@ impl PageStore {
             clock: AtomicU64::new(1),
             committed: AtomicU64::new(0),
             acct: Mutex::new(Acct::default()),
+            read_faults: AtomicU64::new(0),
+            read_fault_burst: AtomicU64::new(0),
             profile,
         }
     }
 
-    /// The accounting guard. Lock poisoning is unreachable by construction
-    /// (no panic can occur while the guard is held — every critical
-    /// section is straight-line counter arithmetic), so a poisoned lock
-    /// just yields its inner state.
+    /// The accounting guard. The critical sections are counter arithmetic
+    /// only, so the repo-wide recover-on-poison policy
+    /// ([`sqlarray_core::sync`]) applies trivially.
     fn acct(&self) -> MutexGuard<'_, Acct> {
-        self.acct.lock().unwrap_or_else(|e| e.into_inner())
+        lock_unpoisoned(&self.acct)
     }
 
     /// Number of allocated pages.
@@ -457,6 +475,25 @@ impl PageStore {
         self.fail = None;
     }
 
+    /// Arms `count` transient read faults, consumed by scan workers'
+    /// physical page reads at up to `burst` faults per read. Each
+    /// consumed fault forces one retry through the bounded
+    /// retry-with-backoff path (counted in
+    /// [`IoStats::transient_retries`]); a `burst` above
+    /// [`MAX_READ_RETRIES`] exhausts a read's retry budget and surfaces
+    /// [`StorageError::ReadFaulted`]. The pool is global and atomic, so
+    /// the *total* number of retries is deterministic at any DOP even
+    /// though which worker absorbs each fault is not.
+    pub fn arm_read_faults(&self, count: u64, burst: u32) {
+        self.read_fault_burst.store(burst as u64, Ordering::Relaxed);
+        self.read_faults.store(count, Ordering::Relaxed);
+    }
+
+    /// Transient read faults still armed (0 = disarmed or all consumed).
+    pub fn read_faults_remaining(&self) -> u64 {
+        self.read_faults.load(Ordering::Relaxed)
+    }
+
     /// The durable state a crash right now would preserve: the last
     /// checkpoint's base image plus the surviving log bytes. Feed it to
     /// [`PageStore::open`] to model the reboot.
@@ -619,10 +656,20 @@ impl PageStore {
     /// so its end state is *also* DOP-invariant (see
     /// [`ShardedLruPool`]) without any replay.
     pub fn begin_scan(&self) -> ScanCtx {
+        self.begin_scan_for(QueryCtx::unbounded())
+    }
+
+    /// [`begin_scan`](Self::begin_scan) under a statement's lifecycle
+    /// context: every [`PartitionReader`] of the scan polls `query` on
+    /// each page read, so cancellation, deadlines and memory budgets
+    /// reach down to the leaf walk. Internal scans (catalog, recovery)
+    /// keep using `begin_scan`, which stamps an unbounded context.
+    pub fn begin_scan_for(&self, query: QueryCtx) -> ScanCtx {
         ScanCtx {
             resident: self.pool.resident_set(),
             epoch: self.clock.fetch_add(1, Ordering::Relaxed),
             committed: self.committed.load(Ordering::Acquire),
+            query,
         }
     }
 
@@ -642,6 +689,9 @@ impl PageStore {
             first_physical_read: None,
             last_physical_read: None,
             seen: HashSet::new(),
+            query: &scan.query,
+            read_faults: &self.read_faults,
+            fault_burst: self.read_fault_burst.load(Ordering::Relaxed) as u32,
         }
     }
 
@@ -696,6 +746,14 @@ pub trait PageRead {
     /// Reads one page through the buffer pool, touching recency and
     /// classifying the access in this reader's [`IoStats`].
     fn read_page(&mut self, id: PageId) -> Result<&[u8]>;
+
+    /// The query lifecycle this reader runs under, when it has one. LOB
+    /// materialization only sees `dyn PageRead`, so budget charging rides
+    /// on this seam; a bare [`PageStore`] (recovery, DML apply, DDL)
+    /// carries no per-query budget and reports `None`.
+    fn lifecycle(&self) -> Option<&QueryCtx> {
+        None
+    }
 }
 
 impl PageRead for PageStore {
@@ -708,6 +766,10 @@ impl PageRead for PartitionReader<'_> {
     fn read_page(&mut self, id: PageId) -> Result<&[u8]> {
         self.read(id)
     }
+
+    fn lifecycle(&self) -> Option<&QueryCtx> {
+        Some(self.query)
+    }
 }
 
 /// Shared context of one scan: the residency snapshot the cost model
@@ -717,12 +779,19 @@ pub struct ScanCtx {
     resident: HashSet<PageId>,
     epoch: u64,
     committed: u64,
+    query: QueryCtx,
 }
 
 impl ScanCtx {
     /// The start-of-scan residency snapshot.
     pub fn resident(&self) -> &HashSet<PageId> {
         &self.resident
+    }
+
+    /// The lifecycle context this scan runs under (unbounded for scans
+    /// opened with [`PageStore::begin_scan`]).
+    pub fn query(&self) -> &QueryCtx {
+        &self.query
     }
 
     /// The store's commit epoch when this scan began — the committed
@@ -772,12 +841,39 @@ pub struct PartitionReader<'a> {
     first_physical_read: Option<PageId>,
     last_physical_read: Option<PageId>,
     seen: HashSet<PageId>,
+    query: &'a QueryCtx,
+    read_faults: &'a AtomicU64,
+    fault_burst: u32,
 }
 
 impl<'a> PartitionReader<'a> {
+    /// Polls the scan's lifecycle context: cancellation, deadline, and
+    /// the trip points the kill-matrix tests arm. The storage scan loops
+    /// call this once per leaf step; the engine's row/batch interpreters
+    /// call it per row / per flush through the same reader.
+    pub fn check_interrupt(&self) -> Result<()> {
+        self.query.check().map_err(StorageError::Interrupted)
+    }
+
+    /// The lifecycle context this reader's scan runs under — the engine
+    /// charges memory (batch lanes, aggregation state, LOB
+    /// materialization) against it.
+    pub fn query(&self) -> &QueryCtx {
+        self.query
+    }
+
+    /// Consumes one armed transient fault if any remain; atomic across
+    /// all concurrent readers of the store.
+    fn consume_read_fault(&self) -> bool {
+        self.read_faults
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+            .is_ok()
+    }
+
     /// Reads a page; the slice borrows the page file, not the reader, so
     /// records can be held while the reader keeps accounting.
     pub fn read(&mut self, id: PageId) -> Result<&'a [u8]> {
+        self.check_interrupt()?;
         let Some(page) = self.pages.get(id as usize) else {
             return Err(StorageError::PageOutOfRange {
                 page: id,
@@ -806,6 +902,22 @@ impl<'a> PartitionReader<'a> {
                     self.first_physical_read = Some(id);
                 }
                 self.last_physical_read = Some(id);
+                // Transient-fault retry: a physical read may hit armed
+                // injected faults; each one costs a retry with a
+                // deterministic (counted, not timed) exponential backoff.
+                // More than MAX_READ_RETRIES faults on one read exhaust
+                // the budget.
+                let mut attempts = 0u32;
+                while attempts < self.fault_burst && self.consume_read_fault() {
+                    attempts += 1;
+                    self.stats.transient_retries += 1;
+                    if attempts > MAX_READ_RETRIES {
+                        return Err(StorageError::ReadFaulted { page: id, attempts });
+                    }
+                    for _ in 0..(1u32 << attempts.min(10)) {
+                        std::hint::spin_loop();
+                    }
+                }
                 // This worker's first touch of a snapshot-cold page is the
                 // scan's (simulated) transfer from disk: verify its
                 // checksum, like the serial path's pool-miss check.
